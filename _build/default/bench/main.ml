@@ -1,0 +1,475 @@
+(* ZION benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (§V), prints paper-vs-measured rows, and
+   finishes with wall-clock microbenchmarks of the simulator itself
+   (Bechamel).
+
+   Usage: dune exec bench/main.exe [-- --quick]
+   --quick shrinks the Redis request counts for fast CI runs. *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let fixed = Metrics.Table.fixed
+let pct = Metrics.Table.signed_pct
+
+(* ---------- §V.B.1 / §V.B.2 : switch experiments ---------- *)
+
+let bench_switches () =
+  Metrics.Table.section
+    "§V.B.1 — shared-vCPU optimisation (MMIO switches, 200 iterations)";
+  let r = Platform.Exp_switch.run () in
+  let row name measured paper_v =
+    [
+      name; fixed 0 measured; fixed 0 paper_v;
+      pct (Metrics.Stats.pct_change ~baseline:paper_v measured);
+    ]
+  in
+  let paper = Platform.Exp_switch.paper in
+  let p k = List.assoc k paper in
+  Metrics.Table.print
+    ~header:[ "switch"; "measured (cycles)"; "paper"; "delta %" ]
+    [
+      row "CVM entry, shared vCPU"
+        r.Platform.Exp_switch.shared_on.Platform.Exp_switch.entry_mean
+        (p "entry shared-vCPU");
+      row "CVM entry, no shared vCPU"
+        r.Platform.Exp_switch.shared_off.Platform.Exp_switch.entry_mean
+        (p "entry no-shared-vCPU");
+      row "CVM exit, shared vCPU"
+        r.Platform.Exp_switch.shared_on.Platform.Exp_switch.exit_mean
+        (p "exit shared-vCPU");
+      row "CVM exit, no shared vCPU"
+        r.Platform.Exp_switch.shared_off.Platform.Exp_switch.exit_mean
+        (p "exit no-shared-vCPU");
+    ];
+  let entry_gain =
+    (r.Platform.Exp_switch.shared_off.Platform.Exp_switch.entry_mean
+    -. r.Platform.Exp_switch.shared_on.Platform.Exp_switch.entry_mean)
+    /. r.Platform.Exp_switch.shared_off.Platform.Exp_switch.entry_mean
+    *. 100.
+  in
+  let exit_gain =
+    (r.Platform.Exp_switch.shared_off.Platform.Exp_switch.exit_mean
+    -. r.Platform.Exp_switch.shared_on.Platform.Exp_switch.exit_mean)
+    /. r.Platform.Exp_switch.shared_off.Platform.Exp_switch.exit_mean
+    *. 100.
+  in
+  Printf.printf
+    "shared-vCPU improvement: entry %.1f%% (paper 20.8%%), exit %.1f%% (paper 22.74%%)\n"
+    entry_gain exit_gain;
+
+  Metrics.Table.section
+    "§V.B.2 — short-path vs long-path (timer switches, 200 iterations)";
+  Metrics.Table.print
+    ~header:[ "switch"; "measured (cycles)"; "paper"; "delta %" ]
+    [
+      row "CVM entry, short path"
+        r.Platform.Exp_switch.short_path.Platform.Exp_switch.entry_mean
+        (p "entry short-path");
+      row "CVM entry, long path"
+        r.Platform.Exp_switch.long_path.Platform.Exp_switch.entry_mean
+        (p "entry long-path");
+      row "CVM exit, short path"
+        r.Platform.Exp_switch.short_path.Platform.Exp_switch.exit_mean
+        (p "exit short-path");
+      row "CVM exit, long path"
+        r.Platform.Exp_switch.long_path.Platform.Exp_switch.exit_mean
+        (p "exit long-path");
+    ];
+  let se =
+    (r.Platform.Exp_switch.long_path.Platform.Exp_switch.entry_mean
+    -. r.Platform.Exp_switch.short_path.Platform.Exp_switch.entry_mean)
+    /. r.Platform.Exp_switch.long_path.Platform.Exp_switch.entry_mean
+    *. 100.
+  in
+  let sx =
+    (r.Platform.Exp_switch.long_path.Platform.Exp_switch.exit_mean
+    -. r.Platform.Exp_switch.short_path.Platform.Exp_switch.exit_mean)
+    /. r.Platform.Exp_switch.long_path.Platform.Exp_switch.exit_mean
+    *. 100.
+  in
+  Printf.printf
+    "short-path improvement: entry %.1f%% (paper 44.7%%), exit %.1f%% (paper 55.3%%)\n"
+    se sx
+
+(* ---------- §V.C : stage-2 page-fault handling ---------- *)
+
+let bench_faults () =
+  Metrics.Table.section "§V.C — stage-2 page-fault handling";
+  let r = Platform.Exp_fault.run () in
+  let paper = Platform.Exp_fault.paper in
+  let p k = List.assoc k paper in
+  let row name measured paper_v n =
+    [
+      name; fixed 0 measured; fixed 0 paper_v;
+      pct (Metrics.Stats.pct_change ~baseline:paper_v measured);
+      string_of_int n;
+    ]
+  in
+  Metrics.Table.print
+    ~header:[ "path"; "measured (cycles)"; "paper"; "delta %"; "faults" ]
+    [
+      row "normal VM (KVM)" r.Platform.Exp_fault.normal_mean
+        (p "normal VM") r.Platform.Exp_fault.normal_count;
+      row "CVM stage 1" r.Platform.Exp_fault.stage1_mean (p "CVM stage 1")
+        r.Platform.Exp_fault.stage1_count;
+      row "CVM stage 2" r.Platform.Exp_fault.stage2_mean (p "CVM stage 2")
+        r.Platform.Exp_fault.stage2_count;
+      row "CVM stage 3" r.Platform.Exp_fault.stage3_mean (p "CVM stage 3")
+        r.Platform.Exp_fault.stage3_count;
+      row "CVM average" r.Platform.Exp_fault.cvm_weighted_mean
+        (p "CVM average")
+        (r.Platform.Exp_fault.stage1_count
+        + r.Platform.Exp_fault.stage2_count
+        + r.Platform.Exp_fault.stage3_count);
+    ]
+
+(* ---------- Table I : RV8 ---------- *)
+
+let bench_rv8 () =
+  Metrics.Table.section
+    "Table I — RV8 benchmarks (10^9 cycles, normal VM vs confidential VM)";
+  let rows = Platform.Exp_rv8.run_table1 () in
+  Metrics.Table.print
+    ~header:
+      [ "benchmark"; "normal VM"; "confidential VM"; "overhead %";
+        "paper %" ]
+    (List.map
+       (fun (r : Platform.Exp_rv8.row) ->
+         [
+           r.Platform.Exp_rv8.name;
+           fixed 3 r.Platform.Exp_rv8.normal_gcycles;
+           fixed 3 r.Platform.Exp_rv8.cvm_gcycles;
+           pct r.Platform.Exp_rv8.overhead_pct;
+           pct r.Platform.Exp_rv8.paper_overhead_pct;
+         ])
+       rows);
+  Printf.printf "average overhead: %+.2f%% (paper +2.59%%)\n"
+    (Platform.Exp_rv8.average_overhead rows);
+  print_endline "kernel checksums (correctness witnesses):";
+  List.iter
+    (fun (r : Platform.Exp_rv8.row) ->
+      Printf.printf "  %-10s %s\n" r.Platform.Exp_rv8.name
+        (let c = r.Platform.Exp_rv8.checksum in
+         if String.length c > 32 then String.sub c 0 32 ^ "..." else c))
+    rows
+
+(* ---------- CoreMark ---------- *)
+
+let bench_coremark () =
+  Metrics.Table.section "§V.D — CoreMark";
+  let r = Platform.Exp_rv8.run_coremark () in
+  let paper_n, paper_c = Platform.Exp_rv8.paper_coremark in
+  Metrics.Table.print
+    ~header:[ "metric"; "measured"; "paper" ]
+    [
+      [ "normal VM score"; fixed 1 r.Platform.Exp_rv8.normal_score;
+        fixed 1 paper_n ];
+      [ "confidential VM score"; fixed 1 r.Platform.Exp_rv8.cvm_score;
+        fixed 1 paper_c ];
+      [ "drop %"; fixed 2 r.Platform.Exp_rv8.drop_pct;
+        fixed 2 ((paper_n -. paper_c) /. paper_n *. 100.) ];
+      [ "validation CRC"; (if r.Platform.Exp_rv8.crc_ok then "ok" else "FAIL");
+        "ok" ];
+    ]
+
+(* ---------- Figure 3 : Redis ---------- *)
+
+let bench_redis () =
+  Metrics.Table.section
+    "Figure 3 — Redis throughput and latency (10 rounds x 10,000 requests)";
+  let rounds, requests = if quick then (2, 1000) else (10, 10_000) in
+  let rows = Platform.Exp_redis.run ~rounds ~requests () in
+  Metrics.Table.print
+    ~header:
+      [ "operation"; "normal kQPS"; "CVM kQPS"; "thr. drop %";
+        "normal lat ms"; "CVM lat ms"; "lat incr %" ]
+    (List.map
+       (fun (r : Platform.Exp_redis.row) ->
+         [
+           r.Platform.Exp_redis.op;
+           fixed 3 r.Platform.Exp_redis.normal_kqps;
+           fixed 3 r.Platform.Exp_redis.cvm_kqps;
+           fixed 2 r.Platform.Exp_redis.throughput_drop_pct;
+           fixed 2 r.Platform.Exp_redis.normal_latency_ms;
+           fixed 2 r.Platform.Exp_redis.cvm_latency_ms;
+           fixed 2 r.Platform.Exp_redis.latency_increase_pct;
+         ])
+       rows);
+  print_endline "\nthroughput by operation (kQPS):";
+  print_string
+    (Metrics.Chart.grouped_bars ~group_labels:[ "normal"; "CVM" ]
+       (List.map
+          (fun (r : Platform.Exp_redis.row) ->
+            ( r.Platform.Exp_redis.op,
+              [ r.Platform.Exp_redis.normal_kqps;
+                r.Platform.Exp_redis.cvm_kqps ] ))
+          rows));
+  let pt, pl = Platform.Exp_redis.paper_avgs in
+  Printf.printf
+    "average: throughput -%.2f%% (paper -%.1f%%), latency +%.2f%% (paper +%.1f%%)\n"
+    (Platform.Exp_redis.average_throughput_drop rows)
+    pt
+    (Platform.Exp_redis.average_latency_increase rows)
+    pl
+
+(* ---------- Figure 4 : IOZone ---------- *)
+
+let bench_iozone () =
+  Metrics.Table.section
+    "Figure 4 — IOZone sequential I/O throughput (MB/s)";
+  let points = Platform.Exp_iozone.run () in
+  let by_op op =
+    List.filter (fun p -> p.Platform.Exp_iozone.op = op) points
+  in
+  let print_op name op =
+    Printf.printf "\n%s:\n" name;
+    Metrics.Table.print
+      ~header:
+        [ "file"; "record"; "normal MB/s"; "CVM MB/s"; "overhead %" ]
+      (List.map
+         (fun (pnt : Platform.Exp_iozone.point) ->
+           let human kb =
+             if kb >= 1024 then Printf.sprintf "%dM" (kb / 1024)
+             else Printf.sprintf "%dK" kb
+           in
+           [
+             human pnt.Platform.Exp_iozone.file_kb;
+             human pnt.Platform.Exp_iozone.record_kb;
+             fixed 2 pnt.Platform.Exp_iozone.normal_mb_s;
+             fixed 2 pnt.Platform.Exp_iozone.cvm_mb_s;
+             pct pnt.Platform.Exp_iozone.overhead_pct;
+           ])
+         (by_op op))
+  in
+  print_op "sequential write" Workloads.Iozone.Write;
+  print_op "sequential read" Workloads.Iozone.Read;
+  (* The figure itself: CVM overhead vs file size, one glyph per record
+     size (x is log2 of the file size in KiB). *)
+  let overhead_series op =
+    List.map
+      (fun record_kb ->
+        ( Printf.sprintf "%d KiB records" record_kb,
+          List.filter_map
+            (fun (p : Platform.Exp_iozone.point) ->
+              if
+                p.Platform.Exp_iozone.op = op
+                && p.Platform.Exp_iozone.record_kb = record_kb
+              then
+                Some
+                  ( log (float_of_int p.Platform.Exp_iozone.file_kb) /. log 2.,
+                    p.Platform.Exp_iozone.overhead_pct )
+              else None)
+            points ))
+      Workloads.Iozone.record_sizes_kb
+  in
+  print_endline "\nCVM overhead vs file size (write):";
+  print_string
+    (Metrics.Chart.series ~x_label:"log2(file KiB)" ~y_label:"overhead %"
+       (overhead_series Workloads.Iozone.Write));
+  Printf.printf
+    "\nmax overhead %.1f%% (paper: up to 20%%); files <= 16 MiB max %.1f%% (paper: under 5%%)\n"
+    (Platform.Exp_iozone.max_overhead points)
+    (Platform.Exp_iozone.small_file_max_overhead points)
+
+(* ---------- Ablations ---------- *)
+
+let bench_ablations () =
+  Metrics.Table.section "Ablation — secure-memory block size";
+  Metrics.Table.print
+    ~header:[ "block"; "stage-1 faults %"; "avg fault cycles" ]
+    (List.map
+       (fun (p : Platform.Exp_ablation.block_size_point) ->
+         [
+           Printf.sprintf "%d KiB" p.Platform.Exp_ablation.block_kb;
+           fixed 1 p.Platform.Exp_ablation.stage1_pct;
+           fixed 0 p.Platform.Exp_ablation.avg_fault_cycles;
+         ])
+       (Platform.Exp_ablation.block_size_sweep ()));
+
+  Metrics.Table.section "Ablation — vCPU page cache";
+  let c = Platform.Exp_ablation.page_cache_ablation () in
+  Metrics.Table.print
+    ~header:[ "configuration"; "avg fault cycles" ]
+    [
+      [ "with per-vCPU page cache";
+        fixed 0 c.Platform.Exp_ablation.with_cache_avg ];
+      [ "without (every fault grabs the list)";
+        fixed 0 c.Platform.Exp_ablation.without_cache_avg ];
+      [ "penalty"; pct c.Platform.Exp_ablation.penalty_pct ];
+    ];
+
+  Metrics.Table.section "Ablation — hardened entry (shared-subtree sweep)";
+  Metrics.Table.print
+    ~header:[ "mapped shared pages"; "CVM entry cycles" ]
+    (List.map
+       (fun (p : Platform.Exp_ablation.hardened_point) ->
+         [
+           string_of_int p.Platform.Exp_ablation.shared_pages;
+           string_of_int p.Platform.Exp_ablation.entry_cycles;
+         ])
+       (Platform.Exp_ablation.hardened_entry_costs ()));
+
+  Metrics.Table.section "Ablation — concurrent-CVM scalability";
+  let s = Platform.Exp_ablation.scalability () in
+  Metrics.Table.print
+    ~header:[ "design"; "concurrent confidential VMs" ]
+    [
+      [ "CURE/VirTEE-style (PMP region each)";
+        string_of_int s.Platform.Exp_ablation.cure_style_limit ];
+      [ "ZION (PMP pool + paging), demonstrated";
+        string_of_int s.Platform.Exp_ablation.zion_cvms_run ];
+    ]
+
+(* ---------- calibration sensitivity ---------- *)
+
+let bench_sensitivity () =
+  Metrics.Table.section
+    "Calibration sensitivity — relative claims under scaled cost models";
+  (* Scale every calibrated constant and check the paper's headline
+     ratios: they must be (nearly) invariant, because they are produced
+     by path structure, not by the constants. *)
+  let ratios scale =
+    let cost = Riscv.Cost.scaled scale in
+    let mk config =
+      let machine = Riscv.Machine.create ~cost ~dram_size:0x10000000L () in
+      Zion.Monitor.create ~config machine
+    in
+    let short = mk Zion.Monitor.default_config in
+    let long = mk { Zion.Monitor.default_config with long_path = true } in
+    let unshared = mk { Zion.Monitor.default_config with shared_vcpu = false } in
+    let e_short =
+      float_of_int (Zion.Monitor.path_cost short Zion.Monitor.Entry_plain)
+    in
+    let e_long =
+      float_of_int (Zion.Monitor.path_cost long Zion.Monitor.Entry_plain)
+    in
+    let e_sh =
+      float_of_int (Zion.Monitor.path_cost short Zion.Monitor.Entry_with_mmio)
+    in
+    let e_unsh =
+      float_of_int
+        (Zion.Monitor.path_cost unshared Zion.Monitor.Entry_with_mmio)
+    in
+    ( (e_long -. e_short) /. e_long *. 100.,
+      (e_unsh -. e_sh) /. e_unsh *. 100. )
+  in
+  Metrics.Table.print
+    ~header:
+      [ "cost scale"; "short-path entry gain %"; "shared-vCPU entry gain %" ]
+    (List.map
+       (fun scale ->
+         let a, b = ratios scale in
+         [ fixed 2 scale; fixed 2 a; fixed 2 b ])
+       [ 0.5; 1.0; 2.0; 4.0 ])
+
+(* ---------- Bechamel: wall-clock microbenchmarks ---------- *)
+
+let bechamel_section () =
+  Metrics.Table.section
+    "Simulator microbenchmarks (Bechamel, host wall-clock ns/op)";
+  let open Bechamel in
+  (* Pre-built stages so per-run work is the operation itself. *)
+  let tb = Platform.Testbed.create () in
+  let handle = Platform.Testbed.cvm tb [ Riscv.Decode.Jal (0, 0L) ] in
+  Platform.Testbed.enable_timer tb ~hart:0;
+  let switch_roundtrip () =
+    Platform.Testbed.set_quantum tb ~hart:0 5_000;
+    match
+      Hypervisor.Kvm.run_cvm tb.Platform.Testbed.kvm handle ~hart:0
+        ~max_steps:1_000_000
+    with
+    | Hypervisor.Kvm.C_timer -> ()
+    | _ -> failwith "bechamel: expected timer exit"
+  in
+  let redis = Workloads.Redis.create () in
+  let redis_req = Workloads.Resp.encode_command [ "SET"; "k"; "v" ] in
+  let sha_buf = String.make 4096 'x' in
+  let tests =
+    Test.make_grouped ~name:"zion"
+      [
+        Test.make ~name:"cvm-switch-roundtrip"
+          (Staged.stage switch_roundtrip);
+        Test.make ~name:"redis-handle-set"
+          (Staged.stage (fun () -> ignore (Workloads.Redis.handle redis redis_req)));
+        Test.make ~name:"sha256-4KiB"
+          (Staged.stage (fun () -> ignore (Crypto.Sha256.digest sha_buf)));
+        Test.make ~name:"sv39-walk"
+          (Staged.stage
+             (let mem = Riscv.Physmem.create ~size:0x100000L in
+              Riscv.Physmem.write_u64 mem 0x1000L
+                (Riscv.Pte.make_pointer ~ppn:2L);
+              Riscv.Physmem.write_u64 mem 0x2000L
+                (Riscv.Pte.make_pointer ~ppn:3L);
+              Riscv.Physmem.write_u64 mem 0x3000L
+                (Riscv.Pte.make ~ppn:7L ~r:true ~valid:true ());
+              let env =
+                {
+                  Riscv.Sv39.read_pte =
+                    (fun pa ->
+                      if Riscv.Xword.ult pa 0x100000L then
+                        Some (Riscv.Physmem.read_u64 mem pa)
+                      else None);
+                  sum = false;
+                  mxr = false;
+                  user = false;
+                }
+              in
+              fun () ->
+                ignore (Riscv.Sv39.walk env ~root:0x1000L Riscv.Sv39.Load 0L)));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if quick then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  Metrics.Table.print
+    ~header:[ "operation"; "ns/op (host)" ]
+    (List.map
+       (fun (n, v) -> [ n; fixed 1 v ])
+       (List.sort compare !rows))
+
+let () =
+  print_endline "ZION paper-reproduction benchmark harness";
+  print_endline
+    (if quick then "(quick mode: reduced Redis request counts)"
+     else "(full mode; pass --quick for a fast run)");
+  bench_switches ();
+  bench_faults ();
+  bench_rv8 ();
+  bench_coremark ();
+  bench_redis ();
+  bench_iozone ();
+  bench_ablations ();
+  bench_sensitivity ();
+  bechamel_section ();
+  (* Close with a platform-wide invariant sweep on a freshly exercised
+     stack: the harness must leave no isolation property broken. *)
+  Metrics.Table.section "Post-run security audit";
+  let tb = Platform.Testbed.create () in
+  let h = Platform.Testbed.cvm tb (Guest.Gprog.hello "audit") in
+  (match
+     Hypervisor.Kvm.run_cvm_to_completion tb.Platform.Testbed.kvm h ~hart:0
+       ~quantum:Platform.Testbed.quantum_cycles ~max_slices:50
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> print_endline "warning: audit guest did not shut down");
+  (match Zion.Monitor.audit tb.Platform.Testbed.monitor with
+  | Ok n -> Printf.printf "audit: %d facts checked, no violations\n" n
+  | Error findings ->
+      print_endline "AUDIT VIOLATIONS:";
+      List.iter print_endline findings);
+  print_endline "\nAll experiment sections completed."

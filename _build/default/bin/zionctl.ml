@@ -1,0 +1,306 @@
+(* zionctl — command-line front end for the ZION reproduction.
+
+   Subcommands:
+     experiments  run paper experiments (switch | fault | rv8 | coremark
+                  | redis | iozone, or "all")
+     boot         boot a confidential VM that prints a message
+     attacks      run the malicious-hypervisor suite
+     costs        dump the calibrated cost model *)
+
+open Cmdliner
+
+let fixed = Metrics.Table.fixed
+
+(* ---------- experiments ---------- *)
+
+let run_switch () =
+  let r = Platform.Exp_switch.run ~iterations:200 () in
+  Metrics.Table.section "§V.B switch costs (cycles)";
+  Metrics.Table.print
+    ~header:[ "path"; "entry"; "exit" ]
+    [
+      [ "shared vCPU";
+        fixed 0 r.Platform.Exp_switch.shared_on.Platform.Exp_switch.entry_mean;
+        fixed 0 r.Platform.Exp_switch.shared_on.Platform.Exp_switch.exit_mean ];
+      [ "no shared vCPU";
+        fixed 0 r.Platform.Exp_switch.shared_off.Platform.Exp_switch.entry_mean;
+        fixed 0 r.Platform.Exp_switch.shared_off.Platform.Exp_switch.exit_mean ];
+      [ "short path";
+        fixed 0 r.Platform.Exp_switch.short_path.Platform.Exp_switch.entry_mean;
+        fixed 0 r.Platform.Exp_switch.short_path.Platform.Exp_switch.exit_mean ];
+      [ "long path";
+        fixed 0 r.Platform.Exp_switch.long_path.Platform.Exp_switch.entry_mean;
+        fixed 0 r.Platform.Exp_switch.long_path.Platform.Exp_switch.exit_mean ];
+    ]
+
+let run_fault () =
+  let r = Platform.Exp_fault.run () in
+  Metrics.Table.section "§V.C page-fault costs (cycles)";
+  Metrics.Table.print
+    ~header:[ "path"; "mean"; "count" ]
+    [
+      [ "normal VM"; fixed 0 r.Platform.Exp_fault.normal_mean;
+        string_of_int r.Platform.Exp_fault.normal_count ];
+      [ "CVM stage 1"; fixed 0 r.Platform.Exp_fault.stage1_mean;
+        string_of_int r.Platform.Exp_fault.stage1_count ];
+      [ "CVM stage 2"; fixed 0 r.Platform.Exp_fault.stage2_mean;
+        string_of_int r.Platform.Exp_fault.stage2_count ];
+      [ "CVM stage 3"; fixed 0 r.Platform.Exp_fault.stage3_mean;
+        string_of_int r.Platform.Exp_fault.stage3_count ];
+      [ "CVM average"; fixed 0 r.Platform.Exp_fault.cvm_weighted_mean; "" ];
+    ]
+
+let run_rv8 () =
+  let rows = Platform.Exp_rv8.run_table1 () in
+  Metrics.Table.section "Table I (10^9 cycles)";
+  Metrics.Table.print
+    ~header:[ "benchmark"; "normal"; "CVM"; "overhead %" ]
+    (List.map
+       (fun (r : Platform.Exp_rv8.row) ->
+         [
+           r.Platform.Exp_rv8.name;
+           fixed 3 r.Platform.Exp_rv8.normal_gcycles;
+           fixed 3 r.Platform.Exp_rv8.cvm_gcycles;
+           Metrics.Table.signed_pct r.Platform.Exp_rv8.overhead_pct;
+         ])
+       rows);
+  Printf.printf "average: %+.2f%%\n" (Platform.Exp_rv8.average_overhead rows)
+
+let run_coremark () =
+  let r = Platform.Exp_rv8.run_coremark () in
+  Metrics.Table.section "CoreMark";
+  Printf.printf "normal %.1f, CVM %.1f, drop %.2f%%, crc %s\n"
+    r.Platform.Exp_rv8.normal_score r.Platform.Exp_rv8.cvm_score
+    r.Platform.Exp_rv8.drop_pct
+    (if r.Platform.Exp_rv8.crc_ok then "ok" else "FAIL")
+
+let run_redis quick =
+  let rounds, requests = if quick then (1, 1000) else (10, 10_000) in
+  let rows = Platform.Exp_redis.run ~rounds ~requests () in
+  Metrics.Table.section "Figure 3 (Redis)";
+  Metrics.Table.print
+    ~header:[ "op"; "normal kQPS"; "CVM kQPS"; "drop %"; "lat +%" ]
+    (List.map
+       (fun (r : Platform.Exp_redis.row) ->
+         [
+           r.Platform.Exp_redis.op;
+           fixed 3 r.Platform.Exp_redis.normal_kqps;
+           fixed 3 r.Platform.Exp_redis.cvm_kqps;
+           fixed 2 r.Platform.Exp_redis.throughput_drop_pct;
+           fixed 2 r.Platform.Exp_redis.latency_increase_pct;
+         ])
+       rows)
+
+let run_iozone () =
+  let points = Platform.Exp_iozone.run () in
+  Metrics.Table.section "Figure 4 (IOZone, MB/s)";
+  Metrics.Table.print
+    ~header:[ "op"; "file KiB"; "record KiB"; "normal"; "CVM"; "overhead %" ]
+    (List.map
+       (fun (p : Platform.Exp_iozone.point) ->
+         [
+           (match p.Platform.Exp_iozone.op with
+           | Workloads.Iozone.Write -> "write"
+           | Workloads.Iozone.Read -> "read");
+           string_of_int p.Platform.Exp_iozone.file_kb;
+           string_of_int p.Platform.Exp_iozone.record_kb;
+           fixed 2 p.Platform.Exp_iozone.normal_mb_s;
+           fixed 2 p.Platform.Exp_iozone.cvm_mb_s;
+           Metrics.Table.signed_pct p.Platform.Exp_iozone.overhead_pct;
+         ])
+       points)
+
+let experiments_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("switch", `Switch); ("fault", `Fault);
+                         ("rv8", `Rv8); ("coremark", `Coremark);
+                         ("redis", `Redis); ("iozone", `Iozone);
+                         ("all", `All) ])) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of switch, fault, rv8, coremark, redis, iozone, all.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduce Redis request counts.")
+  in
+  let run which quick =
+    match which with
+    | `Switch -> run_switch ()
+    | `Fault -> run_fault ()
+    | `Rv8 -> run_rv8 ()
+    | `Coremark -> run_coremark ()
+    | `Redis -> run_redis quick
+    | `Iozone -> run_iozone ()
+    | `All ->
+        run_switch ();
+        run_fault ();
+        run_rv8 ();
+        run_coremark ();
+        run_redis quick;
+        run_iozone ()
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run paper-reproduction experiments")
+    Term.(const run $ which $ quick)
+
+(* ---------- boot ---------- *)
+
+let boot_cmd =
+  let message =
+    Arg.(
+      value
+      & opt string "hello from zionctl"
+      & info [ "m"; "message" ] ~doc:"Message the guest prints.")
+  in
+  let run message =
+    let tb = Platform.Testbed.create () in
+    let handle = Platform.Testbed.cvm tb (Guest.Gprog.hello (message ^ "\n")) in
+    (match
+       Hypervisor.Kvm.run_cvm_to_completion tb.Platform.Testbed.kvm handle
+         ~hart:0 ~quantum:Platform.Testbed.quantum_cycles ~max_slices:100
+     with
+    | Hypervisor.Kvm.C_shutdown -> ()
+    | _ -> prerr_endline "warning: guest did not shut down");
+    print_string (Zion.Monitor.console_output tb.Platform.Testbed.monitor)
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Boot a confidential VM that prints a message")
+    Term.(const run $ message)
+
+(* ---------- attacks ---------- *)
+
+let attacks_cmd =
+  let run () =
+    let tb = Platform.Testbed.create () in
+    let machine = tb.Platform.Testbed.machine in
+    let mon = tb.Platform.Testbed.monitor in
+    let pool =
+      match Zion.Secmem.regions (Zion.Monitor.secmem mon) with
+      | (base, _) :: _ -> base
+      | [] -> failwith "no pool"
+    in
+    let show name o =
+      Printf.printf "%-30s %s\n" name
+        (match o with
+        | Hypervisor.Attacks.Blocked how -> "BLOCKED: " ^ how
+        | Hypervisor.Attacks.Leaked what -> "LEAKED: " ^ what)
+    in
+    show "read secure memory"
+      (Hypervisor.Attacks.read_secure_memory machine ~pool_pa:pool);
+    show "write secure memory"
+      (Hypervisor.Attacks.write_secure_memory machine ~pool_pa:pool);
+    show "DMA into the pool"
+      (Hypervisor.Attacks.dma_into_pool machine ~pool_pa:pool)
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Run the malicious-hypervisor attack suite")
+    Term.(const run $ const ())
+
+(* ---------- migrate ---------- *)
+
+let migrate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ]
+          ~doc:"Also write the encrypted migration image to $(docv)."
+          ~docv:"FILE")
+  in
+  let run out =
+    (* Source host: boot a guest, park it mid-loop, export. *)
+    let tb_a = Platform.Testbed.create () in
+    let prog =
+      Guest.Gprog.print "moved!"
+      @ Riscv.Asm.li Riscv.Asm.t0 150_000L
+      @ [
+          Riscv.Decode.Op_imm (Riscv.Decode.Add, Riscv.Asm.t0, Riscv.Asm.t0, -1L);
+          Riscv.Decode.Branch (Riscv.Decode.Bne, Riscv.Asm.t0, 0, -4L);
+        ]
+      @ Guest.Gprog.print " (resumed on the destination)\n"
+      @ Guest.Gprog.shutdown
+    in
+    let handle = Platform.Testbed.cvm tb_a prog in
+    let id = Hypervisor.Kvm.cvm_id handle in
+    Platform.Testbed.enable_timer tb_a ~hart:0;
+    Platform.Testbed.set_quantum tb_a ~hart:0 100_000;
+    (match
+       Zion.Monitor.run_vcpu tb_a.Platform.Testbed.monitor ~hart:0 ~cvm:id
+         ~vcpu:0 ~max_steps:10_000_000
+     with
+    | Ok Zion.Monitor.Exit_timer -> ()
+    | _ -> failwith "expected a timer exit on the source");
+    let blob =
+      match Zion.Monitor.export_cvm tb_a.Platform.Testbed.monitor ~cvm:id with
+      | Ok b -> b
+      | Error e -> failwith (Zion.Ecall.error_to_string e)
+    in
+    Printf.printf "exported %d-byte encrypted image\n" (String.length blob);
+    (match out with
+    | Some path ->
+        let oc = open_out_bin path in
+        output_string oc blob;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    (* Destination host. *)
+    let tb_b = Platform.Testbed.create () in
+    let id_b =
+      match Zion.Monitor.import_cvm tb_b.Platform.Testbed.monitor blob with
+      | Ok id -> id
+      | Error e -> failwith (Zion.Ecall.error_to_string e)
+    in
+    (match
+       Zion.Monitor.run_vcpu tb_b.Platform.Testbed.monitor ~hart:0 ~cvm:id_b
+         ~vcpu:0 ~max_steps:10_000_000
+     with
+    | Ok Zion.Monitor.Exit_shutdown -> ()
+    | _ -> failwith "destination run failed");
+    print_string
+      (Zion.Monitor.console_output tb_b.Platform.Testbed.monitor)
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Demonstrate encrypted CVM migration between two hosts")
+    Term.(const run $ out)
+
+(* ---------- costs ---------- *)
+
+let costs_cmd =
+  let run () =
+    let c = Riscv.Cost.default in
+    Metrics.Table.section "calibrated cost model (cycles)";
+    Metrics.Table.print
+      ~header:[ "unit"; "cycles" ]
+      [
+        [ "trap entry"; string_of_int c.Riscv.Cost.trap_entry ];
+        [ "xret"; string_of_int c.Riscv.Cost.xret ];
+        [ "save/restore 31 GPRs"; string_of_int c.Riscv.Cost.gpr_all ];
+        [ "guest CSR context"; string_of_int c.Riscv.Cost.csr_ctx_guest ];
+        [ "host CSR context"; string_of_int c.Riscv.Cost.csr_ctx_host ];
+        [ "delegation reprogram"; string_of_int c.Riscv.Cost.deleg_reprogram ];
+        [ "PMP toggle"; string_of_int c.Riscv.Cost.pmp_toggle ];
+        [ "hgatp write"; string_of_int c.Riscv.Cost.hgatp_write ];
+        [ "TLB full flush"; string_of_int c.Riscv.Cost.tlb_full_flush ];
+        [ "vCPU integrity check"; string_of_int c.Riscv.Cost.vcpu_integrity ];
+        [ "page scrub (4 KiB)"; string_of_int c.Riscv.Cost.page_scrub ];
+        [ "stage-2 block grab"; string_of_int c.Riscv.Cost.block_grab ];
+        [ "pool expansion host work";
+          string_of_int c.Riscv.Cost.expand_host_work ];
+        [ "KVM host page alloc"; string_of_int c.Riscv.Cost.kvm_host_alloc ];
+        [ "HS timer tick"; string_of_int c.Riscv.Cost.hs_timer_tick ];
+        [ "HS MMIO emulation"; string_of_int c.Riscv.Cost.hs_mmio_exit ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "costs" ~doc:"Print the calibrated cycle-cost model")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "ZION confidential-VM architecture — simulation toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "zionctl" ~doc)
+          [ experiments_cmd; boot_cmd; attacks_cmd; migrate_cmd; costs_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_surface.ml: Guest Hypervisor Platform Printf Riscv Zion

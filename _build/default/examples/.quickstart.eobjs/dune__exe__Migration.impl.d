@@ -1,0 +1,1 @@
+examples/migration.ml: Asm Bus Bytes Char Clint Crypto Csr Decode Guest Hart Int64 Machine Metrics Printf Result Riscv String Zion

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Guest Hypervisor List Platform Printf Zion

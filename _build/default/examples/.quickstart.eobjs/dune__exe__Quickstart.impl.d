@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crypto Guest Hypervisor List Platform Printf Riscv Zion

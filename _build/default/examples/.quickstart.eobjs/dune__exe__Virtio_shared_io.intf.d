@@ -1,0 +1,1 @@
+examples/virtio_shared_io.mli:

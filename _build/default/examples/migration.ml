@@ -1,0 +1,96 @@
+(* Live migration: move a running confidential VM between two hosts
+   without the (untrusted) hypervisors ever seeing its contents.
+
+   The source monitor seals vCPU state, measurement, and every private
+   page into an encrypted+authenticated blob; the hypervisor carries the
+   blob; the destination monitor verifies and rebuilds the CVM, which
+   resumes exactly where it stopped.
+
+   Run with: dune exec examples/migration.exe *)
+
+open Riscv
+
+let mib n = Int64.mul (Int64.of_int n) 0x100000L
+let guest_entry = 0x10000L
+
+let make_host name =
+  let machine = Machine.create ~dram_size:(mib 256) () in
+  let mon = Zion.Monitor.create machine in
+  (match
+     Zion.Monitor.register_secure_region mon
+       ~base:(Int64.add Bus.dram_base (mib 128))
+       ~size:(mib 8)
+   with
+  | Ok blocks -> Printf.printf "[%s] secure pool ready (%d blocks)\n" name blocks
+  | Error e -> failwith (Zion.Ecall.error_to_string e));
+  (machine, mon)
+
+let () =
+  print_endline "=== ZION live migration ===";
+  let machine_a, mon_a = make_host "host A" in
+  let _, mon_b = make_host "host B" in
+
+  (* A guest with state worth preserving: it counts work into memory,
+     prints progress, and only says DONE when the loop completes. *)
+  let prog =
+    Guest.Gprog.print "guest: starting on host A\n"
+    @ Asm.li Asm.t0 300_000L
+    @ [
+        Decode.Op_imm (Decode.Add, Asm.t0, Asm.t0, -1L);
+        Decode.Branch (Decode.Bne, Asm.t0, 0, -4L);
+      ]
+    @ Guest.Gprog.print "guest: DONE (loop state survived the move)\n"
+    @ Guest.Gprog.shutdown
+  in
+  let id_a =
+    Result.get_ok (Zion.Monitor.create_cvm mon_a ~nvcpus:1 ~entry_pc:guest_entry)
+  in
+  Result.get_ok
+    (Zion.Monitor.load_image mon_a ~cvm:id_a ~gpa:guest_entry
+       (Asm.program prog))
+  |> ignore;
+  let measurement = Result.get_ok (Zion.Monitor.finalize_cvm mon_a ~cvm:id_a) in
+  Printf.printf "[host A] CVM %d measurement %s...\n" id_a
+    (String.sub (Crypto.Sha256.to_hex measurement) 0 16);
+
+  (* Run one short quantum: the guest parks mid-loop. *)
+  let hart = Machine.hart machine_a 0 in
+  hart.Hart.csr.Csr.mie <- Int64.shift_left 1L 7;
+  Clint.set_mtimecmp (Bus.clint machine_a.Machine.bus) 0
+    (Int64.of_int (Metrics.Ledger.now machine_a.Machine.ledger + 80_000));
+  (match
+     Zion.Monitor.run_vcpu mon_a ~hart:0 ~cvm:id_a ~vcpu:0
+       ~max_steps:10_000_000
+   with
+  | Ok Zion.Monitor.Exit_timer -> print_endline "[host A] quantum expired mid-loop"
+  | _ -> failwith "expected a timer exit");
+  print_string (Zion.Monitor.console_output mon_a);
+
+  (* Export. The blob is all the hypervisor ever touches. *)
+  let blob = Result.get_ok (Zion.Monitor.export_cvm mon_a ~cvm:id_a) in
+  Printf.printf "[host A] exported %d-byte encrypted image\n"
+    (String.length blob);
+  Result.get_ok (Zion.Monitor.destroy_cvm mon_a ~cvm:id_a) |> ignore;
+  print_endline "[host A] source destroyed, pages scrubbed";
+
+  (* A tampering hypervisor is caught before any state lands. *)
+  let tampered = Bytes.of_string blob in
+  Bytes.set tampered 100 (Char.chr (Char.code (Bytes.get tampered 100) lxor 1));
+  (match Zion.Monitor.import_cvm mon_b (Bytes.to_string tampered) with
+  | Error Zion.Ecall.Denied ->
+      print_endline "[host B] tampered image rejected (authentication)"
+  | _ -> failwith "tampering was not detected!");
+
+  (* The genuine image imports and resumes. *)
+  let id_b = Result.get_ok (Zion.Monitor.import_cvm mon_b blob) in
+  Printf.printf "[host B] imported as CVM %d; measurement %s\n" id_b
+    (match Zion.Monitor.cvm_measurement mon_b ~cvm:id_b with
+    | Some m when m = measurement -> "matches the source"
+    | _ -> "MISMATCH");
+  (match
+     Zion.Monitor.run_vcpu mon_b ~hart:0 ~cvm:id_b ~vcpu:0
+       ~max_steps:10_000_000
+   with
+  | Ok Zion.Monitor.Exit_shutdown -> ()
+  | _ -> failwith "destination run failed");
+  print_string (Zion.Monitor.console_output mon_b)

@@ -1,0 +1,71 @@
+(* Multi-tenant cloud node: many concurrent confidential VMs sharing one
+   secure pool through paging — the scalability story of §VI (CURE and
+   VirTEE top out at 13 enclaves because each burns a PMP region; ZION's
+   pool uses a couple of PMP entries total).
+
+   Run with: dune exec examples/multi_tenant.exe *)
+
+let tenants = 20
+
+let () =
+  Printf.printf "=== ZION multi-tenant: %d confidential VMs ===\n" tenants;
+  let tb = Platform.Testbed.create ~dram_mib:512 ~pool_mib:64 () in
+  let mon = tb.Platform.Testbed.monitor in
+
+  (* Each tenant runs its own measured image. *)
+  let handles =
+    List.init tenants (fun i ->
+        let tag = Printf.sprintf "[tenant %02d]\n" i in
+        let prog =
+          Guest.Gprog.print tag
+          @ Guest.Gprog.touch_pages ~start_gpa:0x800000L ~pages:16
+          @ Guest.Gprog.shutdown
+        in
+        Platform.Testbed.cvm tb prog)
+  in
+  Printf.printf "created %d CVMs (PMP entries used for the pool: 1 + backdrop)\n"
+    (Zion.Monitor.cvm_count mon);
+
+  (* Distinct images yield distinct measurements: tenants can tell their
+     own VM apart remotely. *)
+  let measurements =
+    List.filter_map
+      (fun h ->
+        Zion.Monitor.cvm_measurement mon ~cvm:(Hypervisor.Kvm.cvm_id h))
+      handles
+  in
+  let distinct = List.sort_uniq compare measurements in
+  Printf.printf "measurements: %d distinct of %d\n" (List.length distinct)
+    (List.length measurements);
+
+  (* Round-robin scheduling, one timer quantum each. *)
+  let sched = Hypervisor.Sched.create tb.Platform.Testbed.kvm ~quantum:300_000 in
+  List.iter (Hypervisor.Sched.add sched) handles;
+  let outcomes = Hypervisor.Sched.run sched ~hart:0 ~max_rounds:500 in
+  let finished =
+    List.length
+      (List.filter (fun (_, o) -> o = Hypervisor.Kvm.C_shutdown) outcomes)
+  in
+  Printf.printf "finished: %d/%d in %d scheduler slices\n" finished tenants
+    (Hypervisor.Sched.slices_run sched);
+  Printf.printf "console interleaving:\n%s"
+    (Zion.Monitor.console_output mon);
+
+  (* Cross-CVM isolation is structural: the SM's page-ownership map
+     guarantees no secure page backs two VMs; tear one down and its
+     blocks return scrubbed. *)
+  let sm = Zion.Monitor.secmem mon in
+  let before = Zion.Secmem.free_blocks sm in
+  List.iter
+    (fun h ->
+      match
+        Zion.Monitor.destroy_cvm mon ~cvm:(Hypervisor.Kvm.cvm_id h)
+      with
+      | Ok () -> ()
+      | Error e -> failwith (Zion.Ecall.error_to_string e))
+    handles;
+  Printf.printf "teardown reclaimed %d secure blocks (list invariants: %s)\n"
+    (Zion.Secmem.free_blocks sm - before)
+    (match Zion.Secmem.check_invariants sm with
+    | Ok () -> "ok"
+    | Error e -> e)

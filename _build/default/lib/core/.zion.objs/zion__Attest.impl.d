@@ -1,0 +1,1 @@
+lib/core/attest.ml: Char Crypto Int64 Printf String

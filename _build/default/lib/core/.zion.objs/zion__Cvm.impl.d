@@ -1,0 +1,1 @@
+lib/core/cvm.ml: Array Attest Hier_alloc List Page_cache Secmem Spt Vcpu

@@ -1,0 +1,1 @@
+lib/core/cvm.mli: Attest Hier_alloc Page_cache Secmem Spt Vcpu

@@ -1,0 +1,1 @@
+lib/core/deleg_policy.ml: Cause Csr Hart Int64 List Riscv

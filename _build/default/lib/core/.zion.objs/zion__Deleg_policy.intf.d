@@ -1,0 +1,1 @@
+lib/core/deleg_policy.mli: Riscv

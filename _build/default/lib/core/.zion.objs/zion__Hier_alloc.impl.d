@@ -1,0 +1,1 @@
+lib/core/hier_alloc.ml: Page_cache Secmem

@@ -1,0 +1,1 @@
+lib/core/hier_alloc.mli: Page_cache Secmem

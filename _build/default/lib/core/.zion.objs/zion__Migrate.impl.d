@@ -1,0 +1,1 @@
+lib/core/migrate.ml: Array Attest Buffer Char Crypto Int64 List String

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Cvm Ecall Hier_alloc Riscv Secmem Vcpu

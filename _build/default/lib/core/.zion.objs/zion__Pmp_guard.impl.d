@@ -1,0 +1,1 @@
+lib/core/pmp_guard.ml: Csr Hart Int64 Iopmp List Pmp Riscv Secmem

@@ -1,0 +1,1 @@
+lib/core/pmp_guard.mli: Riscv Secmem

@@ -1,0 +1,1 @@
+lib/core/secmem.ml: Int64 Layout List Riscv

@@ -1,0 +1,1 @@
+lib/core/spt.ml: Bus Int64 Layout Printf Pte Riscv String Xword

@@ -1,0 +1,1 @@
+lib/core/spt.mli: Riscv

@@ -1,0 +1,1 @@
+lib/core/vcpu.ml: Array Csr Decode Hart Int64 Riscv Xword

@@ -1,0 +1,46 @@
+(** Measurement and attestation.
+
+    The Secure Monitor measures a confidential VM while it is being
+    populated: every [load_image] chunk extends a SHA-256 context with
+    (gpa, data), and [finalize] seals the measurement. Reports bind the
+    measurement to a caller-supplied nonce under a platform key (an
+    HMAC-SHA256, standing in for the device's sealed signing key). *)
+
+type measurement_ctx
+
+val start : unit -> measurement_ctx
+val extend : measurement_ctx -> gpa:int64 -> string -> unit
+val extend_config : measurement_ctx -> string -> unit
+val seal : measurement_ctx -> string
+(** 32-byte measurement; the context must not be extended afterwards. *)
+
+type report = {
+  cvm_id : int;
+  measurement : string;
+  nonce : string;
+  mac : string;  (** HMAC over the rest under the platform key *)
+}
+
+val platform_key : string
+(** Simulated device key (a real deployment derives it from hardware;
+    fixed here for reproducibility). *)
+
+val make_report : cvm_id:int -> measurement:string -> nonce:string -> report
+val verify_report : report -> bool
+val report_to_bytes : report -> string
+val hmac_sha256 : key:string -> string -> string
+
+(* {2 Sealed storage}
+
+   Data sealed by a confidential VM is bound to its measurement: the
+   sealing key is derived from the platform key {e and} the CVM's
+   measurement, so only a CVM running the identical image can unseal.
+   The blob is encrypt-then-MAC (AES-128-CBC + HMAC-SHA256) and opaque
+   to the hypervisor that stores it. *)
+
+val seal_data : measurement:string -> string -> string
+(** Seal a byte string for CVMs with the given measurement. *)
+
+val unseal_data : measurement:string -> string -> (string, string) result
+(** Recover the plaintext; fails on tampering, truncation, or a
+    measurement mismatch. *)

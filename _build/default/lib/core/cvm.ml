@@ -1,0 +1,62 @@
+type state = Created | Runnable | Running | Suspended | Destroyed
+
+type t = {
+  id : int;
+  mutable state : state;
+  vcpus : Vcpu.secure array;
+  shared_vcpus : Vcpu.shared array;
+  caches : Page_cache.t array;
+  spt : Spt.t;
+  table_blocks : Secmem.block list ref;
+  mutable measurement_ctx : Attest.measurement_ctx option;
+  mutable measurement : string option;
+  alloc_stats : Hier_alloc.stats;
+  mutable fault_count : int;
+  mutable entry_count : int;
+  mutable exit_count : int;
+}
+
+let create ~id ~nvcpus ~entry_pc ~spt ~table_blocks =
+  if nvcpus <= 0 then invalid_arg "Cvm.create: need at least one vCPU";
+  {
+    id;
+    state = Created;
+    vcpus = Array.init nvcpus (fun _ -> Vcpu.fresh_secure ~entry_pc);
+    shared_vcpus = Array.init nvcpus (fun _ -> Vcpu.fresh_shared ());
+    caches = Array.init nvcpus (fun _ -> Page_cache.create ());
+    spt;
+    table_blocks;
+    measurement_ctx = Some (Attest.start ());
+    measurement = None;
+    alloc_stats = { Hier_alloc.stage1 = 0; stage2 = 0; stage3 = 0 };
+    fault_count = 0;
+    entry_count = 0;
+    exit_count = 0;
+  }
+
+let state_to_string = function
+  | Created -> "created"
+  | Runnable -> "runnable"
+  | Running -> "running"
+  | Suspended -> "suspended"
+  | Destroyed -> "destroyed"
+
+let check_vcpu t i =
+  if i < 0 || i >= Array.length t.vcpus then
+    invalid_arg "Cvm: vCPU index out of range"
+
+let vcpu t i =
+  check_vcpu t i;
+  t.vcpus.(i)
+
+let shared_vcpu t i =
+  check_vcpu t i;
+  t.shared_vcpus.(i)
+
+let cache t i =
+  check_vcpu t i;
+  t.caches.(i)
+
+let owned_blocks t =
+  !(t.table_blocks)
+  @ List.concat_map Page_cache.blocks (Array.to_list t.caches)

@@ -1,0 +1,40 @@
+(** Per-confidential-VM bookkeeping owned by the Secure Monitor. *)
+
+type state = Created | Runnable | Running | Suspended | Destroyed
+
+type t = {
+  id : int;
+  mutable state : state;
+  vcpus : Vcpu.secure array;
+  shared_vcpus : Vcpu.shared array;
+  caches : Page_cache.t array;  (** per-vCPU page caches *)
+  spt : Spt.t;
+  table_blocks : Secmem.block list ref;
+      (** secure blocks backing page tables (root + intermediates) *)
+  mutable measurement_ctx : Attest.measurement_ctx option;
+  mutable measurement : string option;
+  alloc_stats : Hier_alloc.stats;
+  mutable fault_count : int;
+  mutable entry_count : int;
+  mutable exit_count : int;
+}
+
+val create :
+  id:int ->
+  nvcpus:int ->
+  entry_pc:int64 ->
+  spt:Spt.t ->
+  table_blocks:Secmem.block list ref ->
+  t
+
+val state_to_string : state -> string
+
+val vcpu : t -> int -> Vcpu.secure
+(** Raises [Invalid_argument] on a bad index. *)
+
+val shared_vcpu : t -> int -> Vcpu.shared
+val cache : t -> int -> Page_cache.t
+
+val owned_blocks : t -> Secmem.block list
+(** Every secure block the CVM holds: page caches plus table blocks
+    (teardown list). *)

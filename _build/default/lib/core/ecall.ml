@@ -1,0 +1,37 @@
+let ext_zion = 0x5A494F4EL (* "ZION" *)
+let fid_register_region = 0L
+let fid_create_cvm = 1L
+let fid_load_image = 2L
+let fid_finalize_cvm = 3L
+let fid_run_vcpu = 4L
+let fid_install_shared = 5L
+let fid_destroy_cvm = 6L
+let fid_get_vcpu_reg = 7L
+let fid_set_vcpu_reg = 8L
+let fid_guest_report = 16L
+let fid_guest_random = 17L
+let fid_guest_share = 18L
+let fid_guest_unshare = 19L
+let fid_guest_putchar = 20L
+let fid_guest_shutdown = 21L
+let fid_guest_relinquish = 22L
+let fid_guest_seal = 23L
+let fid_guest_unseal = 24L
+let sbi_legacy_putchar = 1L
+let sbi_legacy_shutdown = 8L
+
+type error = Invalid_param | Denied | No_memory | Not_found | Bad_state
+
+let error_code = function
+  | Invalid_param -> -3L
+  | Denied -> -4L
+  | No_memory -> -5L
+  | Not_found -> -6L
+  | Bad_state -> -7L
+
+let error_to_string = function
+  | Invalid_param -> "invalid parameter"
+  | Denied -> "access denied"
+  | No_memory -> "out of secure memory"
+  | Not_found -> "no such object"
+  | Bad_state -> "object in wrong state"

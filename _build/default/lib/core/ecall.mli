@@ -1,0 +1,49 @@
+(** The Secure Monitor's ECALL ABI.
+
+    Two interfaces, as in the paper's Figure 1: a host-side interface
+    the hypervisor uses to drive confidential-VM lifecycles, and a
+    guest-side interface confidential VMs use for measurement reports,
+    randomness, and shared-memory registration. Function identifiers
+    live in a vendor extension range; guests place the extension id in
+    a7 and the function id in a6, SBI-style. *)
+
+val ext_zion : int64
+(** Vendor extension id (a7). *)
+
+(* Host-side function ids *)
+val fid_register_region : int64
+val fid_create_cvm : int64
+val fid_load_image : int64
+val fid_finalize_cvm : int64
+val fid_run_vcpu : int64
+val fid_install_shared : int64
+val fid_destroy_cvm : int64
+val fid_get_vcpu_reg : int64
+val fid_set_vcpu_reg : int64
+
+(* Guest-side function ids *)
+val fid_guest_report : int64
+val fid_guest_random : int64
+val fid_guest_share : int64
+val fid_guest_unshare : int64
+val fid_guest_putchar : int64
+val fid_guest_shutdown : int64
+val fid_guest_relinquish : int64
+val fid_guest_seal : int64
+val fid_guest_unseal : int64
+
+(* SBI legacy ids the guest kernel may also use *)
+val sbi_legacy_putchar : int64
+val sbi_legacy_shutdown : int64
+
+type error =
+  | Invalid_param
+  | Denied
+  | No_memory
+  | Not_found
+  | Bad_state
+
+val error_code : error -> int64
+(** Negative SBI-style error codes. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,28 @@
+type stage = Stage1 | Stage2 | Stage3_retry
+type outcome = Allocated of int64 * stage | Need_expand
+
+type stats = {
+  mutable stage1 : int;
+  mutable stage2 : int;
+  mutable stage3 : int;
+}
+
+let allocate secmem cache ~after_expand =
+  match Page_cache.take_page cache with
+  | Some page -> Allocated (page, if after_expand then Stage3_retry else Stage1)
+  | None -> begin
+      match Secmem.alloc_block secmem with
+      | Some block -> begin
+          Page_cache.attach_block cache block;
+          match Page_cache.take_page cache with
+          | Some page ->
+              Allocated (page, if after_expand then Stage3_retry else Stage2)
+          | None -> assert false (* a fresh block always has pages *)
+        end
+      | None -> Need_expand
+    end
+
+let stage_to_string = function
+  | Stage1 -> "stage1"
+  | Stage2 -> "stage2"
+  | Stage3_retry -> "stage3"

@@ -1,0 +1,32 @@
+(** The three-stage hierarchical page allocator (paper §IV.D, Fig. 2).
+
+    Stage 1: serve the fault from the faulting vCPU's page cache.
+    Stage 2: pop a fresh secure block from the pool's list head, attach
+    it as the vCPU's cache, then serve from it.
+    Stage 3: the pool is (nearly) exhausted — the Secure Monitor must
+    ask the hypervisor to register more secure memory. The allocator
+    reports this upward as [Need_expand]; the monitor exits to Normal
+    mode, lets the hypervisor expand the pool, and retries.
+
+    Each allocation reports which stage served it, so the fault handler
+    can charge the stage-appropriate cost and the experiments can count
+    the stage mix (§V.C). *)
+
+type stage = Stage1 | Stage2 | Stage3_retry
+(** [Stage3_retry] marks an allocation that succeeded only after a pool
+    expansion — the fault handler charges the full stage-3 path. *)
+
+type outcome = Allocated of int64 * stage | Need_expand
+
+type stats = {
+  mutable stage1 : int;
+  mutable stage2 : int;
+  mutable stage3 : int;
+}
+
+val allocate : Secmem.t -> Page_cache.t -> after_expand:bool -> outcome
+(** One allocation attempt for the vCPU owning [cache]. [after_expand]
+    marks the retry following a pool expansion so the stage is recorded
+    as [Stage3_retry]. *)
+
+val stage_to_string : stage -> string

@@ -1,0 +1,18 @@
+let shared_gpa_base = 0x4000_0000L
+let shared_gpa_size = 0x4000_0000L
+
+let is_shared_gpa gpa =
+  (not (Riscv.Xword.ult gpa shared_gpa_base))
+  && Riscv.Xword.ult gpa (Int64.add shared_gpa_base shared_gpa_size)
+
+let is_private_gpa gpa = Riscv.Xword.ult gpa shared_gpa_base
+let shared_root_index = 1 (* GPA bits 40:30 of 0x4000_0000 *)
+let default_block_size = 0x40000L (* 256 KiB *)
+
+let pages_per_block size =
+  if size <= 0L || Int64.rem size 4096L <> 0L then
+    invalid_arg "Layout.pages_per_block: size must be a positive page multiple";
+  Int64.to_int (Int64.div size 4096L)
+
+let virtio_mmio_gpa = 0x1000_1000L
+let virtio_mmio_size = 0x1000L

@@ -1,0 +1,33 @@
+(** Address-space layout conventions of the ZION platform.
+
+    Guest-physical space is split per the paper's split-page-table
+    design: a {e private} half, whose mappings only the Secure Monitor
+    may create (backed by secure memory), and a {e shared} half managed
+    directly by the hypervisor (backed by normal memory, used for
+    SWIOTLB/virtio buffers). The split falls on a 1 GiB boundary so the
+    shared half is exactly one root-table slot of the Sv39x4 G-stage
+    table. *)
+
+val shared_gpa_base : int64
+(** 0x4000_0000: first guest-physical address of the shared region. *)
+
+val shared_gpa_size : int64
+(** 1 GiB. *)
+
+val is_shared_gpa : int64 -> bool
+val is_private_gpa : int64 -> bool
+
+val shared_root_index : int
+(** Index of the shared region's slot in the 2048-entry Sv39x4 root. *)
+
+val default_block_size : int64
+(** 256 KiB — the paper's default secure-memory block size. *)
+
+val pages_per_block : int64 -> int
+(** Number of 4 KiB pages in a block of the given size. *)
+
+val virtio_mmio_gpa : int64
+(** Guest-physical base of the virtio-MMIO window (in the private half
+    but never mapped, so guest accesses exit as MMIO). *)
+
+val virtio_mmio_size : int64

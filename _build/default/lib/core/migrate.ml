@@ -1,0 +1,173 @@
+type vcpu_image = {
+  vi_regs : int64 array;
+  vi_pc : int64;
+  vi_csrs : int64 array;
+}
+
+type image = {
+  im_vcpus : vcpu_image list;
+  im_measurement : string;
+  im_pages : (int64 * string) list;
+}
+
+let magic = "ZMIG1"
+let payload_magic = "ZCVM"
+
+let enc_key =
+  String.sub (Attest.hmac_sha256 ~key:Attest.platform_key "migrate-enc") 0 16
+
+let mac_key = Attest.hmac_sha256 ~key:Attest.platform_key "migrate-mac"
+
+(* --- little-endian buffer helpers --- *)
+
+let put_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let put_u64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let get_u32 s off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let get_u64 s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+(* --- payload serialization --- *)
+
+let serialize im =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b payload_magic;
+  put_u32 b (List.length im.im_vcpus);
+  List.iter
+    (fun v ->
+      assert (Array.length v.vi_regs = 32);
+      assert (Array.length v.vi_csrs = 8);
+      Array.iter (put_u64 b) v.vi_regs;
+      put_u64 b v.vi_pc;
+      Array.iter (put_u64 b) v.vi_csrs)
+    im.im_vcpus;
+  put_u32 b (String.length im.im_measurement);
+  Buffer.add_string b im.im_measurement;
+  put_u32 b (List.length im.im_pages);
+  List.iter
+    (fun (gpa, data) ->
+      assert (String.length data = 4096);
+      put_u64 b gpa;
+      Buffer.add_string b data)
+    im.im_pages;
+  Buffer.contents b
+
+let deserialize s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then failwith "truncated payload"
+  in
+  let u32 () =
+    need 4;
+    let v = get_u32 s !pos in
+    pos := !pos + 4;
+    v
+  in
+  let u64 () =
+    need 8;
+    let v = get_u64 s !pos in
+    pos := !pos + 8;
+    v
+  in
+  let bytes n =
+    need n;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  if bytes 4 <> payload_magic then failwith "bad payload magic";
+  let nvcpus = u32 () in
+  if nvcpus <= 0 || nvcpus > 64 then failwith "implausible vcpu count";
+  let vcpus =
+    List.init nvcpus (fun _ ->
+        let regs = Array.init 32 (fun _ -> u64 ()) in
+        let pc = u64 () in
+        let csrs = Array.init 8 (fun _ -> u64 ()) in
+        { vi_regs = regs; vi_pc = pc; vi_csrs = csrs })
+  in
+  let mlen = u32 () in
+  if mlen > 64 then failwith "implausible measurement";
+  let measurement = bytes mlen in
+  let npages = u32 () in
+  if npages < 0 || npages > 1 lsl 20 then failwith "implausible page count";
+  let pages =
+    List.init npages (fun _ ->
+        let gpa = u64 () in
+        (gpa, bytes 4096))
+  in
+  { im_vcpus = vcpus; im_measurement = measurement; im_pages = pages }
+
+(* --- sealing --- *)
+
+let pad16 s =
+  let r = String.length s mod 16 in
+  if r = 0 then s else s ^ String.make (16 - r) '\x00'
+
+let seal im =
+  let payload = serialize im in
+  (* SIV-style deterministic IV: MAC of the plaintext. *)
+  let iv = String.sub (Attest.hmac_sha256 ~key:mac_key payload) 0 16 in
+  let ct = Crypto.Aes.cbc_encrypt ~key:enc_key ~iv (pad16 payload) in
+  let tag = Attest.hmac_sha256 ~key:mac_key (iv ^ ct) in
+  let b = Buffer.create (String.length ct + 64) in
+  Buffer.add_string b magic;
+  put_u32 b (String.length payload);
+  Buffer.add_string b iv;
+  Buffer.add_string b ct;
+  Buffer.add_string b tag;
+  Buffer.contents b
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri
+         (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i]))
+         a;
+       !acc = 0
+     end
+
+let unseal blob =
+  let hdr = 5 + 4 + 16 in
+  if String.length blob < hdr + 32 then Error "migration blob truncated"
+  else if String.sub blob 0 5 <> magic then Error "bad migration magic"
+  else begin
+    let payload_len = get_u32 blob 5 in
+    let iv = String.sub blob 9 16 in
+    let ct_len = String.length blob - hdr - 32 in
+    if ct_len <= 0 || ct_len mod 16 <> 0 then Error "bad ciphertext length"
+    else begin
+      let ct = String.sub blob hdr ct_len in
+      let tag = String.sub blob (hdr + ct_len) 32 in
+      if not (constant_time_eq tag (Attest.hmac_sha256 ~key:mac_key (iv ^ ct)))
+      then Error "migration blob failed authentication"
+      else begin
+        let padded = Crypto.Aes.cbc_decrypt ~key:enc_key ~iv ct in
+        if payload_len > String.length padded then
+          Error "inconsistent payload length"
+        else begin
+          match deserialize (String.sub padded 0 payload_len) with
+          | im -> Ok im
+          | exception Failure msg -> Error msg
+        end
+      end
+    end
+  end

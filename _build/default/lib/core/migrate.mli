@@ -1,0 +1,32 @@
+(** Confidential-VM migration images (the live-migration capability
+    VirTEE advertises, §VI, realised for ZION).
+
+    [Monitor.export_cvm] snapshots a suspended CVM — every secure vCPU,
+    the sealed measurement, and all mapped private pages — into a blob
+    the *untrusted* hypervisor can carry: the payload is encrypted and
+    authenticated under keys derived from the platform key, so the
+    hypervisor can move or store it but neither read nor alter it.
+    [Monitor.import_cvm] on the destination verifies and decrypts the
+    blob and rebuilds the CVM inside fresh secure memory.
+
+    Format (after the clear-text header "ZMIG1" + length):
+    SIV-style deterministic IV, AES-128-CBC ciphertext, HMAC-SHA256 tag
+    (encrypt-then-MAC). Keys: HKDF-like HMAC(platform_key, label). *)
+
+type vcpu_image = {
+  vi_regs : int64 array;  (** 32 GPRs *)
+  vi_pc : int64;
+  vi_csrs : int64 array;  (** vsstatus..vsatp + hvip (8 values) *)
+}
+
+type image = {
+  im_vcpus : vcpu_image list;
+  im_measurement : string;
+  im_pages : (int64 * string) list;  (** (gpa, 4 KiB contents) *)
+}
+
+val seal : image -> string
+(** Serialize, encrypt, and authenticate. *)
+
+val unseal : string -> (image, string) result
+(** Verify and decrypt; [Error] on any tampering or truncation. *)

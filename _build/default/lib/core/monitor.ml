@@ -1,0 +1,1099 @@
+open Riscv
+
+type config = {
+  shared_vcpu : bool;
+  long_path : bool;
+  validate_shared_on_entry : bool;
+}
+
+let default_config =
+  { shared_vcpu = true; long_path = false; validate_shared_on_entry = false }
+
+type exit_reason =
+  | Exit_timer
+  | Exit_limit
+  | Exit_mmio of Vcpu.mmio
+  | Exit_shared_fault of int64
+  | Exit_need_memory of { bytes : int64 }
+  | Exit_shutdown
+  | Exit_error of string
+
+(* Saved Normal-mode context of one hart while a CVM occupies it. *)
+type host_ctx = {
+  mutable h_satp : int64;
+  mutable h_hgatp : int64;
+  mutable h_medeleg : int64;
+  mutable h_mideleg : int64;
+  mutable h_hedeleg : int64;
+  mutable h_hideleg : int64;
+  mutable h_mode : Priv.t;
+  mutable h_pc : int64;
+}
+
+type t = {
+  machine : Machine.t;
+  cfg : config;
+  cost : Cost.t;
+  sm : Secmem.t;
+  guard : Pmp_guard.t;
+  cvms : (int, Cvm.t) Hashtbl.t;
+  mutable next_cvm_id : int;
+  host : host_ctx array;
+  pending_mmio : (int * int, Vcpu.mmio) Hashtbl.t;
+  expand_retry : (int * int, unit) Hashtbl.t;
+      (** vCPUs whose next private fault is a stage-3 retry *)
+  staged_reg : (int * int, int * int64) Hashtbl.t;
+      (** SET_REG value awaiting Check-after-Load, unshared mode *)
+  page_owner : (int64, int) Hashtbl.t;
+      (** physical page -> CVM id: the exclusivity ground truth *)
+  freed_pages : (int, int64 list ref) Hashtbl.t;
+      (** per-CVM pages returned by the guest (relinquish), reused before
+          the page cache *)
+  mutable entry_hist : int list;
+  mutable exit_hist : int list;
+  mutable faults : (Hier_alloc.stage * int) list;
+  mutable rand_counter : int;
+}
+
+let create ?(config = default_config) machine =
+  let nharts = Array.length machine.Machine.harts in
+  let t =
+    {
+      machine;
+      cfg = config;
+      cost = machine.Machine.cost;
+      sm = Secmem.create ();
+      guard = Pmp_guard.create ();
+      cvms = Hashtbl.create 16;
+      next_cvm_id = 1;
+      host =
+        Array.init nharts (fun _ ->
+            {
+              h_satp = 0L;
+              h_hgatp = 0L;
+              h_medeleg = Deleg_policy.normal_medeleg;
+              h_mideleg = Deleg_policy.normal_mideleg;
+              h_hedeleg = Deleg_policy.normal_hedeleg;
+              h_hideleg = Deleg_policy.normal_hideleg;
+              h_mode = Priv.HS;
+              h_pc = 0L;
+            });
+      pending_mmio = Hashtbl.create 8;
+      expand_retry = Hashtbl.create 8;
+      staged_reg = Hashtbl.create 8;
+      page_owner = Hashtbl.create 1024;
+      freed_pages = Hashtbl.create 8;
+      entry_hist = [];
+      exit_hist = [];
+      faults = [];
+      rand_counter = 0;
+    }
+  in
+  (* Boot-time setup: normal delegation and an all-open PMP backdrop so
+     Normal mode works before any secure region exists. *)
+  Array.iter
+    (fun hart ->
+      Deleg_policy.apply_normal hart;
+      Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false;
+      hart.Hart.mode <- Priv.HS)
+    machine.Machine.harts;
+  (* The IOPMP runs with a permissive default over normal memory;
+     standing deny entries cover each secure region as it registers. *)
+  Iopmp.allow_all_default (Bus.iopmp machine.Machine.bus) true;
+  t
+
+let machine t = t.machine
+let config t = t.cfg
+let secmem t = t.sm
+let ledger t = t.machine.Machine.ledger
+let charge t cat cycles = Metrics.Ledger.charge (ledger t) cat cycles
+
+let find_cvm t id = Hashtbl.find_opt t.cvms id
+
+(* ---------- path-cost compositions (see DESIGN.md §5) ---------- *)
+
+type mmio_kind = No_mmio | Shared_mmio | Unshared_mmio
+
+let long_path_entry_extra c =
+  c.Cost.sechyp_trap + c.Cost.sechyp_xret + c.Cost.sechyp_ctx
+  + c.Cost.sechyp_dispatch_entry + c.Cost.sechyp_barrier
+
+let long_path_exit_extra c =
+  c.Cost.sechyp_trap + c.Cost.sechyp_xret + c.Cost.sechyp_ctx
+  + c.Cost.sechyp_dispatch_exit + c.Cost.sechyp_barrier
+
+let entry_cost t ~mmio ~validated_ptes =
+  let c = t.cost in
+  let base =
+    c.Cost.trap_entry + c.Cost.gpr_all + c.Cost.csr_ctx_host
+    + c.Cost.deleg_reprogram + c.Cost.pmp_toggle + c.Cost.hgatp_write
+    + c.Cost.tlb_full_flush + c.Cost.csr_ctx_guest + c.Cost.gpr_all
+    + c.Cost.vcpu_integrity + c.Cost.irq_scan + c.Cost.timer_prog
+    + c.Cost.xret
+  in
+  let mmio_extra =
+    match mmio with
+    | No_mmio -> 0
+    | Shared_mmio ->
+        (4 * (c.Cost.shared_item_load + c.Cost.check_after_load))
+        + c.Cost.resume_merge
+    | Unshared_mmio ->
+        (2 * c.Cost.ecall_roundtrip)
+        + (6 * c.Cost.secure_copy_item)
+        + c.Cost.resume_merge
+  in
+  let long = if t.cfg.long_path then long_path_entry_extra c else 0 in
+  base + mmio_extra + long + (validated_ptes * 2)
+
+let exit_cost t ~mmio =
+  let c = t.cost in
+  let base =
+    c.Cost.trap_entry + c.Cost.gpr_all + c.Cost.csr_ctx_guest
+    + c.Cost.exit_cause_decode + c.Cost.pmp_toggle + c.Cost.hgatp_write
+    + c.Cost.tlb_full_flush + c.Cost.gpr_all + c.Cost.csr_ctx_host
+    + c.Cost.deleg_reprogram + c.Cost.xret
+  in
+  let mmio_extra =
+    match mmio with
+    | No_mmio -> 0
+    | Shared_mmio -> (4 * c.Cost.shared_item_store) + c.Cost.shared_classify
+    | Unshared_mmio ->
+        c.Cost.ecall_roundtrip
+        + (8 * c.Cost.secure_copy_item)
+        + c.Cost.unshared_validate
+  in
+  let long = if t.cfg.long_path then long_path_exit_extra c else 0 in
+  base + mmio_extra + long
+
+let fault_base_cost c =
+  c.Cost.trap_entry + c.Cost.sm_fault_decode + c.Cost.sm_fault_validate
+  + c.Cost.page_cache_alloc + c.Cost.page_scrub + (3 * c.Cost.page_walk_step)
+  + c.Cost.gstage_map + c.Cost.sm_fault_bookkeeping + c.Cost.xret
+
+let fault_cost t stage =
+  let c = t.cost in
+  match stage with
+  | Hier_alloc.Stage1 -> fault_base_cost c
+  | Hier_alloc.Stage2 -> fault_base_cost c + c.Cost.block_grab
+  | Hier_alloc.Stage3_retry ->
+      fault_base_cost c + c.Cost.block_grab
+      + exit_cost t ~mmio:No_mmio
+      + entry_cost t ~mmio:No_mmio ~validated_ptes:0
+      + c.Cost.expand_host_work + c.Cost.pmp_toggle + c.Cost.pmp_toggle
+      + c.Cost.tlb_full_flush
+
+(* ---------- host interface ---------- *)
+
+let register_secure_region t ~base ~size =
+  let bus = t.machine.Machine.bus in
+  let last = Int64.add base (Int64.sub size 1L) in
+  if not (Bus.in_dram bus base && Bus.in_dram bus last) then
+    Error Ecall.Invalid_param
+  else begin
+    match Secmem.register_region t.sm ~base ~size with
+    | Error _ -> Error Ecall.Invalid_param
+    | Ok blocks ->
+        (match
+           Array.iter
+             (fun hart -> Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false)
+             t.machine.Machine.harts
+         with
+        | () ->
+            Pmp_guard.guard_iopmp t.guard (Bus.iopmp bus) t.sm;
+            (* PMP resync + IOPMP programming + mandatory global fence. *)
+            charge t "sm_region_setup"
+              (t.cost.Cost.pmp_toggle + t.cost.Cost.pmp_toggle
+             + t.cost.Cost.tlb_full_flush);
+            Array.iter
+              (fun hart -> Tlb.flush_all hart.Hart.tlb)
+              t.machine.Machine.harts;
+            Ok blocks
+        | exception Invalid_argument _ -> Error Ecall.Invalid_param)
+  end
+
+(* Allocate one 4 KiB secure page for page tables, growing the CVM's
+   table-block list as needed. *)
+let alloc_table_page t table_blocks () =
+  let take () =
+    match !table_blocks with
+    | blk :: _ -> Secmem.block_take_page blk
+    | [] -> None
+  in
+  match take () with
+  | Some p -> Some p
+  | None -> begin
+      match Secmem.alloc_block t.sm with
+      | None -> None
+      | Some blk ->
+          table_blocks := blk :: !table_blocks;
+          Secmem.block_take_page blk
+    end
+
+let create_cvm t ~nvcpus ~entry_pc =
+  if nvcpus <= 0 then Error Ecall.Invalid_param
+  else begin
+    (* The Sv39x4 root needs 16 KiB, 16 KiB-aligned: take the first four
+       pages of a fresh block (blocks are 256 KiB-aligned). *)
+    match Secmem.alloc_block t.sm with
+    | None -> Error Ecall.No_memory
+    | Some blk ->
+        let root = Secmem.block_base blk in
+        for _ = 1 to 4 do
+          ignore (Secmem.block_take_page blk)
+        done;
+        let table_blocks = ref [ blk ] in
+        let spt =
+          Spt.create ~bus:t.machine.Machine.bus ~root
+            ~alloc_table_page:(alloc_table_page t table_blocks)
+        in
+        let id = t.next_cvm_id in
+        t.next_cvm_id <- id + 1;
+        let cvm = Cvm.create ~id ~nvcpus ~entry_pc ~spt ~table_blocks in
+        Hashtbl.replace t.cvms id cvm;
+        charge t "sm_cvm_create"
+          (t.cost.Cost.page_scrub * 4 (* zero the root *)
+          + t.cost.Cost.block_grab);
+        Ok id
+  end
+
+(* Allocate and map one private page; returns its physical address.
+   Pages the guest relinquished earlier are reused first — they are the
+   cheapest source, equivalent to a page-cache hit. *)
+let take_freed t cvm_id =
+  match Hashtbl.find_opt t.freed_pages cvm_id with
+  | Some ({ contents = pa :: rest } as r) ->
+      r := rest;
+      Some pa
+  | Some { contents = [] } | None -> None
+
+let provide_private_page t cvm cache ~gpa ~after_expand =
+  let alloc_outcome =
+    match take_freed t cvm.Cvm.id with
+    | Some pa ->
+        Hashtbl.remove t.page_owner pa;
+        Hier_alloc.Allocated
+          (pa, if after_expand then Hier_alloc.Stage3_retry else Hier_alloc.Stage1)
+    | None -> Hier_alloc.allocate t.sm cache ~after_expand
+  in
+  match alloc_outcome with
+  | Hier_alloc.Need_expand -> Error `Need_expand
+  | Hier_alloc.Allocated (pa, stage) -> begin
+      (* Exclusivity: a page may back exactly one CVM. *)
+      (match Hashtbl.find_opt t.page_owner pa with
+      | Some owner ->
+          invalid_arg
+            (Printf.sprintf
+               "SM invariant violated: page 0x%Lx already owned by CVM %d" pa
+               owner)
+      | None -> ());
+      Physmem.zero_range
+        (Bus.dram t.machine.Machine.bus)
+        (Int64.sub pa Bus.dram_base) 4096L;
+      match Spt.map_private cvm.Cvm.spt ~gpa ~pa ~writable:true with
+      | Error e -> Error (`Map_error e)
+      | Ok () ->
+          Hashtbl.replace t.page_owner pa cvm.Cvm.id;
+          Ok (pa, stage)
+    end
+
+let load_image t ~cvm:id ~gpa data =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm when cvm.Cvm.state <> Cvm.Created -> Error Ecall.Bad_state
+  | Some cvm ->
+      if Int64.rem gpa 4096L <> 0L || not (Layout.is_private_gpa gpa) then
+        Error Ecall.Invalid_param
+      else begin
+        let bus = t.machine.Machine.bus in
+        let cache = Cvm.cache cvm 0 in
+        let len = String.length data in
+        let npages = (len + 4095) / 4096 in
+        let rec go page =
+          if page >= npages then Ok ()
+          else begin
+            let page_gpa = Int64.add gpa (Int64.of_int (page * 4096)) in
+            let chunk =
+              String.sub data (page * 4096) (min 4096 (len - (page * 4096)))
+            in
+            let target =
+              match Spt.lookup cvm.Cvm.spt ~gpa:page_gpa with
+              | Some pa -> Ok pa
+              | None -> begin
+                  match
+                    provide_private_page t cvm cache ~gpa:page_gpa
+                      ~after_expand:false
+                  with
+                  | Ok (pa, _) -> Ok pa
+                  | Error `Need_expand -> Error Ecall.No_memory
+                  | Error (`Map_error _) -> Error Ecall.Invalid_param
+                end
+            in
+            match target with
+            | Error e -> Error e
+            | Ok pa ->
+                Bus.write_bytes bus pa chunk;
+                (match cvm.Cvm.measurement_ctx with
+                | Some m -> Attest.extend m ~gpa:page_gpa chunk
+                | None -> ());
+                go (page + 1)
+          end
+        in
+        go 0
+      end
+
+let finalize_cvm t ~cvm:id =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm -> begin
+      match (cvm.Cvm.state, cvm.Cvm.measurement_ctx) with
+      | Cvm.Created, Some m ->
+          let digest = Attest.seal m in
+          cvm.Cvm.measurement <- Some digest;
+          cvm.Cvm.measurement_ctx <- None;
+          cvm.Cvm.state <- Cvm.Runnable;
+          Ok digest
+      | _ -> Error Ecall.Bad_state
+    end
+
+let install_shared t ~cvm:id ~table_pa =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm -> begin
+      match
+        Spt.install_shared_root cvm.Cvm.spt
+          ~is_secure:(Secmem.contains t.sm) ~table_pa
+      with
+      | Ok () -> Ok ()
+      | Error _ -> Error Ecall.Denied
+    end
+
+let destroy_cvm t ~cvm:id =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm ->
+      let bus = t.machine.Machine.bus in
+      (* Scrub every owned page, drop ownership, return blocks. *)
+      Hashtbl.iter
+        (fun pa owner ->
+          if owner = id then begin
+            Physmem.zero_range (Bus.dram bus) (Int64.sub pa Bus.dram_base)
+              4096L;
+            charge t "sm_scrub" t.cost.Cost.page_scrub
+          end)
+        t.page_owner;
+      Hashtbl.filter_map_inplace
+        (fun _ owner -> if owner = id then None else Some owner)
+        t.page_owner;
+      List.iter
+        (fun blk ->
+          Physmem.zero_range (Bus.dram bus)
+            (Int64.sub (Secmem.block_base blk) Bus.dram_base)
+            (Int64.of_int (Secmem.block_npages blk * 4096));
+          Secmem.free_block t.sm blk)
+        (Cvm.owned_blocks cvm);
+      cvm.Cvm.state <- Cvm.Destroyed;
+      Hashtbl.remove t.pending_mmio (id, 0);
+      Ok ()
+
+(* ---------- migration ---------- *)
+
+let vcpu_to_image (sv : Vcpu.secure) =
+  {
+    Migrate.vi_regs = Array.copy sv.Vcpu.regs;
+    vi_pc = sv.Vcpu.pc;
+    vi_csrs =
+      [|
+        sv.Vcpu.vsstatus; sv.Vcpu.vstvec; sv.Vcpu.vsscratch; sv.Vcpu.vsepc;
+        sv.Vcpu.vscause; sv.Vcpu.vstval; sv.Vcpu.vsatp; sv.Vcpu.hvip;
+      |];
+  }
+
+let image_to_vcpu (vi : Migrate.vcpu_image) (sv : Vcpu.secure) =
+  Array.blit vi.Migrate.vi_regs 0 sv.Vcpu.regs 0 32;
+  sv.Vcpu.pc <- vi.Migrate.vi_pc;
+  (match vi.Migrate.vi_csrs with
+  | [| a; b; c; d; e; f; g; h |] ->
+      sv.Vcpu.vsstatus <- a;
+      sv.Vcpu.vstvec <- b;
+      sv.Vcpu.vsscratch <- c;
+      sv.Vcpu.vsepc <- d;
+      sv.Vcpu.vscause <- e;
+      sv.Vcpu.vstval <- f;
+      sv.Vcpu.vsatp <- g;
+      sv.Vcpu.hvip <- h
+  | _ -> invalid_arg "image_to_vcpu: bad CSR image")
+
+let export_cvm t ~cvm:id =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm -> begin
+      match cvm.Cvm.state with
+      | Cvm.Running | Cvm.Created | Cvm.Destroyed -> Error Ecall.Bad_state
+      | Cvm.Runnable | Cvm.Suspended ->
+          let bus = t.machine.Machine.bus in
+          let pages =
+            Spt.fold_private cvm.Cvm.spt
+              (fun ~gpa ~pa acc -> (gpa, Bus.read_bytes bus pa 4096) :: acc)
+              []
+          in
+          (* Per-page crypto work dominates the export path. *)
+          charge t "sm_migrate" (List.length pages * t.cost.Cost.page_scrub);
+          let im =
+            {
+              Migrate.im_vcpus =
+                Array.to_list (Array.map vcpu_to_image cvm.Cvm.vcpus);
+              im_measurement =
+                Option.value ~default:"" cvm.Cvm.measurement;
+              im_pages = List.rev pages;
+            }
+          in
+          Ok (Migrate.seal im)
+    end
+
+let import_cvm t blob =
+  match Migrate.unseal blob with
+  | Error _ -> Error Ecall.Denied
+  | Ok im -> begin
+      let nvcpus = List.length im.Migrate.im_vcpus in
+      match create_cvm t ~nvcpus ~entry_pc:0L with
+      | Error e -> Error e
+      | Ok id -> begin
+          let cvm =
+            match find_cvm t id with Some c -> c | None -> assert false
+          in
+          let bus = t.machine.Machine.bus in
+          let cache = Cvm.cache cvm 0 in
+          let rec restore = function
+            | [] -> Ok ()
+            | (gpa, data) :: rest -> begin
+                match
+                  provide_private_page t cvm cache ~gpa ~after_expand:false
+                with
+                | Ok (pa, _) ->
+                    Bus.write_bytes bus pa data;
+                    restore rest
+                | Error `Need_expand ->
+                    (* roll back the half-built CVM *)
+                    ignore (destroy_cvm t ~cvm:id);
+                    Error Ecall.No_memory
+                | Error (`Map_error _) ->
+                    ignore (destroy_cvm t ~cvm:id);
+                    Error Ecall.Invalid_param
+              end
+          in
+          match restore im.Migrate.im_pages with
+          | Error e -> Error e
+          | Ok () ->
+              List.iteri
+                (fun i vi -> image_to_vcpu vi (Cvm.vcpu cvm i))
+                im.Migrate.im_vcpus;
+              cvm.Cvm.measurement <-
+                (if im.Migrate.im_measurement = "" then None
+                 else Some im.Migrate.im_measurement);
+              cvm.Cvm.measurement_ctx <- None;
+              cvm.Cvm.state <- Cvm.Suspended;
+              charge t "sm_migrate"
+                (List.length im.Migrate.im_pages * t.cost.Cost.page_scrub);
+              Ok id
+        end
+    end
+
+(* ---------- guest SBI handling ---------- *)
+
+let gpa_to_pa cvm gpa = Spt.lookup cvm.Cvm.spt ~gpa
+
+(* Write bytes into guest memory through the CVM's own G-stage table,
+   page by page. *)
+let write_guest t cvm ~gpa data =
+  let bus = t.machine.Machine.bus in
+  let len = String.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match gpa_to_pa cvm g with
+      | None -> Error "guest buffer not mapped"
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Bus.write_bytes bus pa (String.sub data off chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let read_guest t cvm ~gpa len =
+  let bus = t.machine.Machine.bus in
+  let buf = Buffer.create len in
+  let rec go off =
+    if off >= len then Ok (Buffer.contents buf)
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match gpa_to_pa cvm g with
+      | None -> Error "guest buffer not mapped"
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Buffer.add_string buf (Bus.read_bytes bus pa chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let next_random t =
+  t.rand_counter <- t.rand_counter + 1;
+  let h =
+    Attest.hmac_sha256 ~key:Attest.platform_key
+      (Printf.sprintf "rng:%d" t.rand_counter)
+  in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code h.[i]))
+  done;
+  !v
+
+type sbi_outcome = Resume | Stop of exit_reason
+
+let handle_guest_ecall t cvm (hart : Hart.t) =
+  let reg = Hart.get_reg hart in
+  let a7 = reg 17 and a6 = reg 16 in
+  let a0 = reg 10 and a1 = reg 11 and a2 = reg 12 in
+  let ret ?(value = 0L) code =
+    Hart.set_reg hart 10 code;
+    Hart.set_reg hart 11 value;
+    Resume
+  in
+  let ok ?value () = ret ?value 0L in
+  let err e = ret (Ecall.error_code e) in
+  if a7 = Ecall.sbi_legacy_putchar then begin
+    Bus.write t.machine.Machine.bus Bus.uart_base 1 (Int64.logand a0 0xFFL);
+    ok ()
+  end
+  else if a7 = Ecall.sbi_legacy_shutdown then Stop Exit_shutdown
+  else if a7 = Ecall.ext_zion then begin
+    if a6 = Ecall.fid_guest_putchar then begin
+      Bus.write t.machine.Machine.bus Bus.uart_base 1 (Int64.logand a0 0xFFL);
+      ok ()
+    end
+    else if a6 = Ecall.fid_guest_shutdown then Stop Exit_shutdown
+    else if a6 = Ecall.fid_guest_random then ok ~value:(next_random t) ()
+    else if a6 = Ecall.fid_guest_report then begin
+      (* a0 = report buffer GPA, a1 = 32-byte nonce GPA *)
+      match read_guest t cvm ~gpa:a1 32 with
+      | Error _ -> err Ecall.Invalid_param
+      | Ok nonce -> begin
+          match cvm.Cvm.measurement with
+          | None -> err Ecall.Bad_state
+          | Some measurement ->
+              let report =
+                Attest.make_report ~cvm_id:cvm.Cvm.id ~measurement ~nonce
+              in
+              let bytes = Attest.report_to_bytes report in
+              (match write_guest t cvm ~gpa:a0 bytes with
+              | Ok () -> ok ~value:(Int64.of_int (String.length bytes)) ()
+              | Error _ -> err Ecall.Invalid_param)
+        end
+    end
+    else if a6 = Ecall.fid_guest_seal then begin
+      (* a0 = source GPA, a1 = length, a2 = destination GPA. The sealed
+         blob is bound to this CVM's measurement. *)
+      let len = Int64.to_int a1 in
+      if len <= 0 || len > 65536 then err Ecall.Invalid_param
+      else begin
+        match (cvm.Cvm.measurement, read_guest t cvm ~gpa:a0 len) with
+        | None, _ -> err Ecall.Bad_state
+        | _, Error _ -> err Ecall.Invalid_param
+        | Some measurement, Ok data -> begin
+            let blob = Attest.seal_data ~measurement data in
+            charge t "sm_seal" (t.cost.Cost.page_scrub * ((len / 4096) + 1));
+            match write_guest t cvm ~gpa:a2 blob with
+            | Ok () -> ok ~value:(Int64.of_int (String.length blob)) ()
+            | Error _ -> err Ecall.Invalid_param
+          end
+      end
+    end
+    else if a6 = Ecall.fid_guest_unseal then begin
+      (* a0 = blob GPA, a1 = blob length, a2 = destination GPA. *)
+      let len = Int64.to_int a1 in
+      if len <= 0 || len > 131072 then err Ecall.Invalid_param
+      else begin
+        match (cvm.Cvm.measurement, read_guest t cvm ~gpa:a0 len) with
+        | None, _ -> err Ecall.Bad_state
+        | _, Error _ -> err Ecall.Invalid_param
+        | Some measurement, Ok blob -> begin
+            charge t "sm_seal" (t.cost.Cost.page_scrub * ((len / 4096) + 1));
+            match Attest.unseal_data ~measurement blob with
+            | Error _ -> err Ecall.Denied
+            | Ok data -> begin
+                match write_guest t cvm ~gpa:a2 data with
+                | Ok () -> ok ~value:(Int64.of_int (String.length data)) ()
+                | Error _ -> err Ecall.Invalid_param
+              end
+          end
+      end
+    end
+    else if a6 = Ecall.fid_guest_relinquish then begin
+      (* Guest returns a private page to the SM: unmap, scrub, keep it
+         for this CVM's future faults (ballooning-style). *)
+      let gpa = Xword.align_down a0 4096L in
+      if not (Layout.is_private_gpa gpa) then err Ecall.Invalid_param
+      else begin
+        match Spt.unmap_private cvm.Cvm.spt ~gpa with
+        | Error _ -> err Ecall.Not_found
+        | Ok pa ->
+            Physmem.zero_range
+              (Bus.dram t.machine.Machine.bus)
+              (Int64.sub pa Bus.dram_base) 4096L;
+            charge t "sm_scrub" t.cost.Cost.page_scrub;
+            Tlb.flush_page hart.Hart.tlb gpa;
+            (match Hashtbl.find_opt t.freed_pages cvm.Cvm.id with
+            | Some r -> r := pa :: !r
+            | None -> Hashtbl.add t.freed_pages cvm.Cvm.id (ref [ pa ]));
+            ok ()
+      end
+    end
+    else if a6 = Ecall.fid_guest_share || a6 = Ecall.fid_guest_unshare then
+      (* The static split-page-table design needs no per-page work: the
+         shared window is always backed by hypervisor mappings. *)
+      ok ()
+    else err Ecall.Not_found
+  end
+  else err Ecall.Not_found
+
+(* ---------- world switch ---------- *)
+
+let save_host_ctx t hart_id =
+  let hart = t.machine.Machine.harts.(hart_id) in
+  let h = t.host.(hart_id) in
+  let csr = hart.Hart.csr in
+  h.h_satp <- csr.Csr.satp;
+  h.h_hgatp <- csr.Csr.hgatp;
+  h.h_medeleg <- csr.Csr.medeleg;
+  h.h_mideleg <- csr.Csr.mideleg;
+  h.h_hedeleg <- csr.Csr.hedeleg;
+  h.h_hideleg <- csr.Csr.hideleg;
+  h.h_mode <- hart.Hart.mode;
+  h.h_pc <- hart.Hart.pc
+
+let restore_host_ctx t hart_id =
+  let hart = t.machine.Machine.harts.(hart_id) in
+  let h = t.host.(hart_id) in
+  let csr = hart.Hart.csr in
+  csr.Csr.satp <- h.h_satp;
+  csr.Csr.hgatp <- h.h_hgatp;
+  csr.Csr.medeleg <- h.h_medeleg;
+  csr.Csr.mideleg <- h.h_mideleg;
+  csr.Csr.hedeleg <- h.h_hedeleg;
+  csr.Csr.hideleg <- h.h_hideleg;
+  hart.Hart.mode <- h.h_mode;
+  hart.Hart.pc <- h.h_pc
+
+let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
+  let hart = t.machine.Machine.harts.(hart_id) in
+  let sv = Cvm.vcpu cvm vcpu_idx in
+  Vcpu.save_from_hart hart sv;
+  (* When the exit came through a trap, the hart's pc already points at
+     the M-mode vector; the guest's architectural resume point is mepc. *)
+  if hart.Hart.mode = Priv.M then sv.Vcpu.pc <- hart.Hart.csr.Csr.mepc;
+  Pmp_guard.set_world t.guard hart ~cvm_open:false;
+  restore_host_ctx t hart_id;
+  Tlb.flush_all hart.Hart.tlb;
+  let cycles = exit_cost t ~mmio:mmio_kind in
+  (* Trap.take already charged trap_entry when the guest trapped. *)
+  charge t "cvm_exit" (cycles - t.cost.Cost.trap_entry);
+  t.exit_hist <- cycles :: t.exit_hist;
+  cvm.Cvm.exit_count <- cvm.Cvm.exit_count + 1;
+  cvm.Cvm.state <- Cvm.Suspended
+
+(* Resume the guest after an SM-internal service (fault, SBI) without
+   leaving CVM mode. [skip] advances past the trapping instruction. *)
+let resume_guest t hart ~skip =
+  let csr = hart.Hart.csr in
+  let target_virt = Csr.get_mpv csr in
+  let target_level = Csr.get_mpp csr in
+  hart.Hart.mode <- Priv.of_level ~virt:target_virt target_level;
+  hart.Hart.pc <-
+    (if skip then Int64.add csr.Csr.mepc 4L else csr.Csr.mepc);
+  charge t "xret" t.cost.Cost.xret
+
+(* Handle a guest-page fault on a private GPA inside the SM.
+   Returns [Ok stage] or the exit the fault escalates to. *)
+type fault_outcome = Fault_served of Hier_alloc.stage | Fault_spurious
+
+let handle_private_fault t cvm vcpu_idx gpa =
+  let key = (cvm.Cvm.id, vcpu_idx) in
+  let after_expand = Hashtbl.mem t.expand_retry key in
+  let cache = Cvm.cache cvm vcpu_idx in
+  let page_gpa = Xword.align_down gpa 4096L in
+  (* Another vCPU may have mapped the page between the fault and our
+     handling (or the fault was a stale-TLB artifact): just resume. *)
+  if Spt.lookup cvm.Cvm.spt ~gpa:page_gpa <> None then Ok Fault_spurious
+  else
+  match provide_private_page t cvm cache ~gpa:page_gpa ~after_expand with
+  | Ok (_, stage) ->
+      Hashtbl.remove t.expand_retry key;
+      Ok (Fault_served stage)
+  | Error `Need_expand ->
+      Hashtbl.replace t.expand_retry key ();
+      Error (Exit_need_memory { bytes = Secmem.block_size t.sm })
+  | Error (`Map_error e) -> Error (Exit_error e)
+
+let record_fault t cvm stage =
+  let cycles = fault_cost t stage in
+  (* The architectural trap already charged trap_entry; the stage-3
+     world-switch components are charged by the actual switch. *)
+  let already =
+    t.cost.Cost.trap_entry
+    +
+    match stage with
+    | Hier_alloc.Stage3_retry ->
+        exit_cost t ~mmio:No_mmio
+        + entry_cost t ~mmio:No_mmio ~validated_ptes:0
+        + t.cost.Cost.expand_host_work
+    | Hier_alloc.Stage1 | Hier_alloc.Stage2 -> 0
+  in
+  charge t "sm_fault" (cycles - already);
+  t.faults <- (stage, cycles) :: t.faults;
+  cvm.Cvm.fault_count <- cvm.Cvm.fault_count + 1;
+  let s = cvm.Cvm.alloc_stats in
+  match stage with
+  | Hier_alloc.Stage1 -> s.Hier_alloc.stage1 <- s.Hier_alloc.stage1 + 1
+  | Hier_alloc.Stage2 -> s.Hier_alloc.stage2 <- s.Hier_alloc.stage2 + 1
+  | Hier_alloc.Stage3_retry -> s.Hier_alloc.stage3 <- s.Hier_alloc.stage3 + 1
+
+let in_virtio_window gpa =
+  (not (Xword.ult gpa Layout.virtio_mmio_gpa))
+  && Xword.ult gpa (Int64.add Layout.virtio_mmio_gpa Layout.virtio_mmio_size)
+
+let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm -> begin
+      match cvm.Cvm.state with
+      | Cvm.Created | Cvm.Destroyed | Cvm.Running -> Error Ecall.Bad_state
+      | Cvm.Runnable | Cvm.Suspended ->
+          let hart = t.machine.Machine.harts.(hart_id) in
+          let sv = Cvm.vcpu cvm vcpu_idx in
+          let sh = Cvm.shared_vcpu cvm vcpu_idx in
+          let key = (id, vcpu_idx) in
+          (* Absorb a pending MMIO reply before entering. *)
+          let mmio_kind = ref No_mmio in
+          let absorb_error = ref None in
+          (match Hashtbl.find_opt t.pending_mmio key with
+          | None -> ()
+          | Some mmio ->
+              Hashtbl.remove t.pending_mmio key;
+              if t.cfg.shared_vcpu then begin
+                mmio_kind := Shared_mmio;
+                match Vcpu.absorb_mmio_result sh sv mmio with
+                | Ok _ -> ()
+                | Error e -> absorb_error := Some e
+              end
+              else begin
+                mmio_kind := Unshared_mmio;
+                (* Unshared path: apply the staged SET_REG value. *)
+                (match Hashtbl.find_opt t.staged_reg key with
+                | Some (reg, value) when reg = mmio.Vcpu.mmio_reg ->
+                    if (not mmio.Vcpu.mmio_write) && reg <> 0 then
+                      sv.Vcpu.regs.(reg) <- value
+                | Some _ -> absorb_error := Some "SET_REG to wrong register"
+                | None ->
+                    if not mmio.Vcpu.mmio_write then
+                      absorb_error := Some "missing SET_REG before resume");
+                Hashtbl.remove t.staged_reg key;
+                sv.Vcpu.pc <- Int64.add sv.Vcpu.pc 4L
+              end);
+          (match !absorb_error with
+          | Some msg ->
+              (* Check-after-Load rejected the reply: refuse to run. *)
+              ignore msg;
+              Error Ecall.Denied
+          | None ->
+              (* --- CVM entry --- *)
+              save_host_ctx t hart_id;
+              Deleg_policy.apply_cvm hart;
+              Pmp_guard.set_world t.guard hart ~cvm_open:true;
+              hart.Hart.csr.Csr.hgatp <-
+                Sv39.hgatp_of ~vmid:id ~root:(Spt.root cvm.Cvm.spt);
+              Tlb.flush_all hart.Hart.tlb;
+              let validated =
+                if t.cfg.validate_shared_on_entry then
+                  Spt.validate_shared cvm.Cvm.spt
+                    ~is_secure:(Secmem.contains t.sm)
+                else Ok 0
+              in
+              match validated with
+              | Error _msg ->
+                  (* Hypervisor planted a hostile shared subtree: abort
+                     the entry before any guest instruction runs. *)
+                  restore_host_ctx t hart_id;
+                  Pmp_guard.set_world t.guard hart ~cvm_open:false;
+                  Error Ecall.Denied
+              | Ok validated -> begin
+                let ec =
+                  entry_cost t ~mmio:!mmio_kind ~validated_ptes:validated
+                in
+                charge t "cvm_entry" ec;
+                t.entry_hist <- ec :: t.entry_hist;
+                cvm.Cvm.entry_count <- cvm.Cvm.entry_count + 1;
+                Vcpu.restore_to_hart sv hart;
+                hart.Hart.mode <- Priv.VS;
+                hart.Hart.wfi_stalled <- false;
+                cvm.Cvm.state <- Cvm.Running;
+                (* --- guest execution loop --- *)
+                let finish ~mmio reason =
+                  world_switch_out t hart_id cvm vcpu_idx ~mmio_kind:mmio;
+                  Ok reason
+                in
+                let rec loop steps =
+                  if steps >= max_steps then finish ~mmio:No_mmio Exit_limit
+                  else begin
+                    Machine.sync_time t.machine;
+                    Exec.step hart;
+                    if hart.Hart.mode <> Priv.M then loop (steps + 1)
+                    else handle_m_trap steps
+                  end
+                and handle_m_trap steps =
+                  let csr = hart.Hart.csr in
+                  let cause = csr.Csr.mcause in
+                  let is_interrupt = Int64.compare cause 0L < 0 in
+                  let code = Int64.to_int (Int64.logand cause 0xFFL) in
+                  if is_interrupt then
+                    (* Timer or software interrupt for the host. *)
+                    finish ~mmio:No_mmio Exit_timer
+                  else begin
+                    match Cause.exception_of_code code with
+                    | Some Cause.Ecall_from_vs -> begin
+                        match handle_guest_ecall t cvm hart with
+                        | Resume ->
+                            resume_guest t hart ~skip:true;
+                            loop (steps + 1)
+                        | Stop reason -> finish ~mmio:No_mmio reason
+                      end
+                    | Some
+                        (Cause.Load_guest_page_fault
+                        | Cause.Store_guest_page_fault
+                        | Cause.Instr_guest_page_fault) ->
+                        let gpa =
+                          Int64.logor
+                            (Int64.shift_left csr.Csr.mtval2 2)
+                            (Int64.logand csr.Csr.mtval 3L)
+                        in
+                        if in_virtio_window gpa then begin
+                          (* MMIO: decode from the recorded instruction,
+                             expose via the shared vCPU, exit. *)
+                          Vcpu.save_from_hart hart sv;
+                          match
+                            Vcpu.decode_mmio sv ~htinst:csr.Csr.htinst ~gpa
+                          with
+                          | Error e -> finish ~mmio:No_mmio (Exit_error e)
+                          | Ok mmio ->
+                              Hashtbl.replace t.pending_mmio key mmio;
+                              let kind =
+                                if t.cfg.shared_vcpu then begin
+                                  ignore
+                                    (Vcpu.expose_mmio sh mmio
+                                       ~htinst:csr.Csr.htinst);
+                                  Shared_mmio
+                                end
+                                else Unshared_mmio
+                              in
+                              finish ~mmio:kind (Exit_mmio mmio)
+                        end
+                        else if Layout.is_private_gpa gpa then begin
+                          match handle_private_fault t cvm vcpu_idx gpa with
+                          | Ok (Fault_served stage) ->
+                              record_fault t cvm stage;
+                              resume_guest t hart ~skip:false;
+                              loop (steps + 1)
+                          | Ok Fault_spurious ->
+                              (* page is present; the retry will hit *)
+                              Tlb.flush_page hart.Hart.tlb
+                                hart.Hart.csr.Csr.mtval;
+                              resume_guest t hart ~skip:false;
+                              loop (steps + 1)
+                          | Error (Exit_need_memory b) ->
+                              (* The guest will re-fault after the pool
+                                 expansion and take the stage-3 path. *)
+                              finish ~mmio:No_mmio (Exit_need_memory b)
+                          | Error reason -> finish ~mmio:No_mmio reason
+                        end
+                        else if Layout.is_shared_gpa gpa then
+                          (* Shared-region fault: hypervisor's job. *)
+                          finish ~mmio:No_mmio (Exit_shared_fault gpa)
+                        else
+                          (* Beyond both halves of the guest-physical
+                             space: a wild guest access, not a mapping
+                             request. *)
+                          finish ~mmio:No_mmio
+                            (Exit_error
+                               (Printf.sprintf
+                                  "guest access outside the GPA space: 0x%Lx"
+                                  gpa))
+                    | Some e ->
+                        finish ~mmio:No_mmio
+                          (Exit_error
+                             (Printf.sprintf "unexpected guest trap: %s"
+                                (Cause.to_string
+                                   (Cause.Exception e))))
+                    | None ->
+                        finish ~mmio:No_mmio (Exit_error "unknown mcause")
+                  end
+                in
+                loop 0
+              end)
+    end
+
+(* After a fault-driven exit the guest's pc was reset to the faulting
+   instruction, so on re-entry the retry fault is taken with the
+   after-expand stage accounting. We detect that by marking CVMs that
+   exited with Need_memory. *)
+
+let get_vcpu_reg t ~cvm:id ~vcpu:vcpu_idx ~reg =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some cvm -> begin
+      match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
+      | None -> Error Ecall.Denied
+      | Some mmio ->
+          charge t "sm_getreg"
+            (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
+          ignore (Cvm.vcpu cvm vcpu_idx);
+          (* Only the value the pending exit legitimately exposes — the
+             store data, requested as register 0 — is readable. Every
+             other register stays secret. *)
+          if mmio.Vcpu.mmio_write && reg = 0 then Ok mmio.Vcpu.mmio_data
+          else Error Ecall.Denied
+    end
+
+let set_vcpu_reg t ~cvm:id ~vcpu:vcpu_idx ~reg value =
+  match find_cvm t id with
+  | None -> Error Ecall.Not_found
+  | Some _ -> begin
+      match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
+      | None -> Error Ecall.Denied
+      | Some mmio ->
+          charge t "sm_setreg"
+            (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
+          if mmio.Vcpu.mmio_write then Error Ecall.Denied
+          else if reg <> mmio.Vcpu.mmio_reg then Error Ecall.Denied
+          else begin
+            Hashtbl.replace t.staged_reg (id, vcpu_idx) (reg, value);
+            Ok ()
+          end
+    end
+
+let shared_vcpu_of t ~cvm:id ~vcpu:vcpu_idx =
+  Option.map (fun c -> Cvm.shared_vcpu c vcpu_idx) (find_cvm t id)
+
+type path = Entry_plain | Entry_with_mmio | Exit_plain | Exit_with_mmio
+
+let path_cost t path =
+  let mmio_kind () =
+    if t.cfg.shared_vcpu then Shared_mmio else Unshared_mmio
+  in
+  match path with
+  | Entry_plain -> entry_cost t ~mmio:No_mmio ~validated_ptes:0
+  | Entry_with_mmio -> entry_cost t ~mmio:(mmio_kind ()) ~validated_ptes:0
+  | Exit_plain -> exit_cost t ~mmio:No_mmio
+  | Exit_with_mmio -> exit_cost t ~mmio:(mmio_kind ())
+
+let cvm_state t ~cvm:id =
+  Option.map (fun c -> c.Cvm.state) (find_cvm t id)
+
+let cvm_count t =
+  Hashtbl.fold
+    (fun _ c n -> if c.Cvm.state <> Cvm.Destroyed then n + 1 else n)
+    t.cvms 0
+
+let cvm_measurement t ~cvm:id =
+  Option.bind (find_cvm t id) (fun c -> c.Cvm.measurement)
+
+let entry_cycles t = t.entry_hist
+let exit_cycles t = t.exit_hist
+let fault_log t = t.faults
+
+let alloc_stats t ~cvm:id =
+  Option.map (fun c -> c.Cvm.alloc_stats) (find_cvm t id)
+
+let reset_stats t =
+  t.entry_hist <- [];
+  t.exit_hist <- [];
+  t.faults <- []
+
+let console_output t = Machine.console_output t.machine
+
+let audit t =
+  let findings = ref [] in
+  let checked = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> findings := m :: !findings) fmt in
+  let check b fmt =
+    incr checked;
+    if b then Printf.ksprintf ignore fmt else fail fmt
+  in
+  (* 1. Pool closed on every hart (caller runs in Normal mode). *)
+  List.iter
+    (fun (base, _) ->
+      Array.iteri
+        (fun i hart ->
+          check
+            (not (Pmp.check hart.Hart.csr.Csr.pmp Priv.HS Pmp.Read base 8))
+            "pool region 0x%Lx is PMP-open to HS on hart %d" base i)
+        t.machine.Machine.harts)
+    (Secmem.regions t.sm);
+  (* 2. Page-ownership exclusivity across all live CVMs. *)
+  let live =
+    Hashtbl.fold
+      (fun _ c acc -> if c.Cvm.state <> Cvm.Destroyed then c :: acc else acc)
+      t.cvms []
+  in
+  let seen_pa = Hashtbl.create 256 in
+  List.iter
+    (fun cvm ->
+      Spt.fold_private cvm.Cvm.spt
+        (fun ~gpa ~pa () ->
+          check (Secmem.contains t.sm pa)
+            "CVM %d maps GPA 0x%Lx to non-secure PA 0x%Lx" cvm.Cvm.id gpa pa;
+          check
+            (Hashtbl.find_opt t.page_owner pa = Some cvm.Cvm.id)
+            "CVM %d maps PA 0x%Lx it does not own" cvm.Cvm.id pa;
+          (match Hashtbl.find_opt seen_pa pa with
+          | Some other ->
+              fail "PA 0x%Lx backs both CVM %d and CVM %d" pa other
+                cvm.Cvm.id
+          | None -> Hashtbl.add seen_pa pa cvm.Cvm.id);
+          incr checked)
+        ())
+    live;
+  (* 3. No CVM's page-table pages are guest-mapped anywhere. *)
+  let table_pages = Hashtbl.create 64 in
+  List.iter
+    (fun cvm ->
+      Hashtbl.replace table_pages (Spt.root cvm.Cvm.spt) cvm.Cvm.id;
+      List.iter
+        (fun pa -> Hashtbl.replace table_pages pa cvm.Cvm.id)
+        (Spt.table_pages cvm.Cvm.spt))
+    live;
+  Hashtbl.iter
+    (fun pa owner ->
+      incr checked;
+      match Hashtbl.find_opt table_pages pa with
+      | Some table_owner ->
+          fail "page-table page 0x%Lx of CVM %d is guest-mapped by CVM %d"
+            pa table_owner owner
+      | None -> ())
+    seen_pa;
+  (* 4. Shared subtrees never reference secure memory. *)
+  List.iter
+    (fun cvm ->
+      incr checked;
+      match Spt.validate_shared cvm.Cvm.spt ~is_secure:(Secmem.contains t.sm) with
+      | Ok _ -> ()
+      | Error msg -> fail "CVM %d shared subtree: %s" cvm.Cvm.id msg)
+    live;
+  (* 5. Allocator structural invariants. *)
+  incr checked;
+  (match Secmem.check_invariants t.sm with
+  | Ok () -> ()
+  | Error msg -> fail "secure memory list: %s" msg);
+  if !findings = [] then Ok !checked else Error (List.rev !findings)

@@ -1,0 +1,171 @@
+(** The Secure Monitor (SM): ZION's M-mode trusted computing base.
+
+    The monitor owns the secure memory pool, every confidential VM's
+    secure vCPUs and G-stage page tables, the PMP/IOPMP guards and the
+    trap-delegation programming. It exposes the two ECALL interfaces of
+    the paper's Figure 1 as OCaml functions: in the simulation the
+    hypervisor library calls the host interface directly (standing in
+    for an [ecall] from HS) while guest code running on the simulated
+    hart reaches the guest interface through real [ecall] instructions
+    that trap to M.
+
+    {2 World switching}
+
+    [run_vcpu] is the short-path world switch: exactly one privilege
+    hop in each direction (host ↔ SM ↔ guest). Each entry and exit
+    charges a path composed from [Riscv.Cost] units; the composition
+    varies with the exit cause (timer vs MMIO), the shared-vCPU setting,
+    and the long-path option — those are the §V.B experiments. The
+    cycles of the most recent and all past switches are recorded for
+    the benchmark harness. *)
+
+type config = {
+  shared_vcpu : bool;
+      (** use the shared-vCPU fast path for MMIO state transfer
+          (paper §IV.B); when false, state moves through SM-mediated
+          GET/SET_REG calls *)
+  long_path : bool;
+      (** route switches through a secure-hypervisor hop, reproducing
+          the long-path baseline of §V.B.2 *)
+  validate_shared_on_entry : bool;
+      (** sweep the hypervisor's shared page-table subtree on every
+          entry (hardened mode; off to match the paper's measurements) *)
+}
+
+val default_config : config
+
+type exit_reason =
+  | Exit_timer  (** host timer quantum expired *)
+  | Exit_limit  (** step budget exhausted (simulation artifact) *)
+  | Exit_mmio of Vcpu.mmio  (** guest touched emulated-device space *)
+  | Exit_shared_fault of int64
+      (** guest touched an unmapped shared-region GPA; the hypervisor
+          must map it in its own subtree and re-run *)
+  | Exit_need_memory of { bytes : int64 }
+      (** stage-3 allocation: the pool is exhausted; register more
+          secure memory and re-run *)
+  | Exit_shutdown  (** guest requested shutdown *)
+  | Exit_error of string  (** unrecoverable guest or protocol error *)
+
+type t
+
+val create : ?config:config -> Riscv.Machine.t -> t
+val machine : t -> Riscv.Machine.t
+val config : t -> config
+val secmem : t -> Secmem.t
+
+(* {2 Host-side interface (hypervisor → SM)} *)
+
+val register_secure_region :
+  t -> base:int64 -> size:int64 -> (int, Ecall.error) result
+(** Donate normal memory to the secure pool. The SM verifies the range
+    is DRAM, carves blocks, and programs PMP/IOPMP guards on every
+    hart. Returns the number of blocks added. *)
+
+val create_cvm :
+  t -> nvcpus:int -> entry_pc:int64 -> (int, Ecall.error) result
+(** Allocate CVM bookkeeping, a table block, and the G-stage root.
+    Returns the new CVM id. *)
+
+val load_image :
+  t -> cvm:int -> gpa:int64 -> string -> (unit, Ecall.error) result
+(** Copy data into the CVM's private memory (allocating and mapping
+    pages) and extend the measurement. Only legal before
+    [finalize_cvm]. *)
+
+val finalize_cvm : t -> cvm:int -> (string, Ecall.error) result
+(** Seal the measurement and make the CVM runnable; returns the
+    32-byte measurement. *)
+
+val install_shared :
+  t -> cvm:int -> table_pa:int64 -> (unit, Ecall.error) result
+(** Hand the SM the hypervisor's shared-subtree root (must lie in
+    normal memory); the SM links it into the CVM's root table. *)
+
+val destroy_cvm : t -> cvm:int -> (unit, Ecall.error) result
+(** Scrub and reclaim every secure block the CVM owned. *)
+
+val export_cvm : t -> cvm:int -> (string, Ecall.error) result
+(** Snapshot a suspended (or not-yet-run) CVM into an encrypted,
+    authenticated migration blob (see [Migrate]) the untrusted
+    hypervisor can transport. The source CVM is left intact; the host
+    destroys it once the move commits. *)
+
+val import_cvm : t -> string -> (int, Ecall.error) result
+(** Rebuild a CVM from a migration blob: verify, decrypt, allocate fresh
+    secure memory, restore pages, vCPU state and measurement. Returns
+    the new CVM id, ready to resume. [Denied] on authentication
+    failure. *)
+
+val run_vcpu :
+  t ->
+  hart:int ->
+  cvm:int ->
+  vcpu:int ->
+  max_steps:int ->
+  (exit_reason, Ecall.error) result
+(** World-switch in, execute guest instructions on the simulated hart
+    until an exit condition, world-switch out. If the previous exit was
+    MMIO, the hypervisor's reply is absorbed from the shared vCPU
+    (Check-after-Load) — or from the staged SET_REG value when the
+    shared vCPU is disabled — before the guest resumes. *)
+
+val get_vcpu_reg : t -> cvm:int -> vcpu:int -> reg:int -> (int64, Ecall.error) result
+(** SM-mediated register read, used by the hypervisor when the shared
+    vCPU is disabled. Only the registers exposed by the pending exit
+    may be read; anything else is [Denied]. *)
+
+val set_vcpu_reg : t -> cvm:int -> vcpu:int -> reg:int -> int64 -> (unit, Ecall.error) result
+(** SM-mediated register write: only the pending MMIO destination
+    register may be written. *)
+
+val shared_vcpu_of : t -> cvm:int -> vcpu:int -> Vcpu.shared option
+(** The shared vCPU structure. It lives in hypervisor memory, so handing
+    the hypervisor a reference models exactly the paper's trust split:
+    the hypervisor reads and writes it freely; the SM re-validates
+    everything it loads from it. *)
+
+type path = Entry_plain | Entry_with_mmio | Exit_plain | Exit_with_mmio
+
+val path_cost : t -> path -> int
+(** Modeled cycle cost of one world-switch path under the monitor's
+    current configuration — the same compositions charged by
+    [run_vcpu], exported for the macro-benchmark event model. *)
+
+val cvm_state : t -> cvm:int -> Cvm.state option
+val cvm_count : t -> int
+val cvm_measurement : t -> cvm:int -> string option
+
+(* {2 Statistics for the benchmark harness} *)
+
+val entry_cycles : t -> int list
+(** Cycle cost of every CVM entry so far, most recent first. *)
+
+val exit_cycles : t -> int list
+
+val fault_log : t -> (Hier_alloc.stage * int) list
+(** (stage, cycles) per stage-2 fault handled, most recent first. *)
+
+val alloc_stats : t -> cvm:int -> Hier_alloc.stats option
+val reset_stats : t -> unit
+
+val console_output : t -> string
+(** Guest console bytes forwarded by the SM to the UART. *)
+
+val audit : t -> (int, string list) result
+(** Sweep the whole platform and verify the architecture's global
+    security invariants:
+
+    - the secure pool is PMP-closed on every hart that is not running a
+      CVM right now (all of them, whenever the host can call this);
+    - every private page mapped by any CVM lies inside the secure pool,
+      is recorded as owned by exactly that CVM, and backs no other CVM;
+    - no page-table page of any CVM is simultaneously mapped as data
+      into any CVM's guest-physical space;
+    - every hypervisor shared subtree is free of secure-memory leaves;
+    - the secure-memory free list is circular, ordered and consistent.
+
+    Returns the number of facts checked, or the list of violations.
+    Tests call this after every adversarial scenario; a violation means
+    an isolation property was broken {e somewhere}, whether or not a
+    specific attack test noticed. *)

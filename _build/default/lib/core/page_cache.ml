@@ -1,0 +1,31 @@
+type t = {
+  mutable current : Secmem.block option;
+  mutable history : Secmem.block list;
+  mutable allocations : int;
+}
+
+let create () = { current = None; history = []; allocations = 0 }
+
+let take_page t =
+  match t.current with
+  | None -> None
+  | Some block ->
+      let page = Secmem.block_take_page block in
+      if page <> None then t.allocations <- t.allocations + 1;
+      page
+
+let attach_block t block =
+  (match t.current with
+  | Some old -> t.history <- old :: t.history
+  | None -> ());
+  t.current <- Some block
+
+let blocks t =
+  match t.current with
+  | Some b -> b :: t.history
+  | None -> t.history
+
+let pages_left t =
+  match t.current with Some b -> Secmem.block_pages_left b | None -> 0
+
+let allocations t = t.allocations

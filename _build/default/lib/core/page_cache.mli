@@ -1,0 +1,28 @@
+(** Per-vCPU page cache (stage 1 of the hierarchical allocator).
+
+    Each vCPU owns at most one secure memory block at a time as its page
+    cache; pages for that vCPU's stage-2 faults are bump-allocated from
+    it without touching the global free list (and therefore without any
+    cross-vCPU locking — the paper's stated reason for the design). *)
+
+type t
+
+val create : unit -> t
+(** An empty cache (no block attached). *)
+
+val take_page : t -> int64 option
+(** Pop a page from the current block, if any. *)
+
+val attach_block : t -> Secmem.block -> unit
+(** Make [block] the cache's current block. Any residual pages of the
+    previous block are abandoned to the vCPU (they stay owned by the
+    CVM until teardown); teardown reclaims whole blocks. *)
+
+val blocks : t -> Secmem.block list
+(** Every block this cache has ever been handed (current first) — the
+    CVM's teardown list. *)
+
+val pages_left : t -> int
+
+val allocations : t -> int
+(** Pages handed out over the cache's lifetime. *)

@@ -1,0 +1,61 @@
+open Riscv
+
+type t = {
+  mutable programmed : (int64 * int64) list; (* PMP-programmed regions *)
+  mutable iopmp_done : (int64 * int64) list;
+}
+
+let create () = { programmed = []; iopmp_done = [] }
+let max_regions = 14
+let backdrop_entry = 15
+
+let is_pow2 v = Int64.logand v (Int64.sub v 1L) = 0L && v > 0L
+
+(* A pool region must be NAPOT-encodable (power-of-two sized and
+   size-aligned); the monitor's registration path enforces this. *)
+let check_region (base, size) =
+  if not (is_pow2 size) then
+    invalid_arg "Pmp_guard: region size must be a power of two";
+  if Int64.rem base size <> 0L then
+    invalid_arg "Pmp_guard: region base must be size-aligned"
+
+let sync_hart t hart secmem ~cvm_open =
+  let regions = Secmem.regions secmem in
+  if List.length regions > max_regions then
+    invalid_arg "Pmp_guard: too many secure regions for PMP entries";
+  List.iter check_region regions;
+  let pmp = hart.Hart.csr.Csr.pmp in
+  List.iteri
+    (fun i (base, size) ->
+      Pmp.set_napot_region pmp i ~base ~size ~r:cvm_open ~w:cvm_open
+        ~x:cvm_open)
+    regions;
+  (* Clear any leftover entries between the regions and the backdrop. *)
+  for i = List.length regions to backdrop_entry - 1 do
+    Pmp.clear pmp i
+  done;
+  (* Backdrop: whole address space RWX for lower privileges. *)
+  Pmp.set_napot_region pmp backdrop_entry ~base:0L
+    ~size:0x4000_0000_0000_0000L ~r:true ~w:true ~x:true;
+  t.programmed <- regions
+
+let set_world t hart ~cvm_open =
+  let pmp = hart.Hart.csr.Csr.pmp in
+  List.iteri
+    (fun i (_, _) ->
+      let cfg =
+        Pmp.cfg_bits ~r:cvm_open ~w:cvm_open ~x:cvm_open Pmp.Napot
+      in
+      Pmp.set_cfg pmp i cfg)
+    t.programmed
+
+let guard_iopmp t iopmp secmem =
+  List.iter
+    (fun (base, size) ->
+      if not (List.mem (base, size) t.iopmp_done) then begin
+        Iopmp.add_deny iopmp ~base ~size;
+        t.iopmp_done <- (base, size) :: t.iopmp_done
+      end)
+    (Secmem.regions secmem)
+
+let regions_programmed t = List.length t.programmed

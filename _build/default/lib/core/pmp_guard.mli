@@ -1,0 +1,35 @@
+(** PMP/IOPMP choreography for the secure memory pool (paper §IV.C).
+
+    Each secure-pool region occupies one PMP entry per hart. In Normal
+    mode the entry matches with no permissions, so the first-match rule
+    makes the pool unreachable below M; before entering CVM mode the
+    Secure Monitor rewrites the entry to grant access (stage-2 paging
+    then confines the CVM within the pool). A final backdrop entry
+    grants lower privileges access to everything else.
+
+    The IOPMP receives a standing deny entry per region, so DMA-capable
+    devices can never reach the pool in either world. *)
+
+type t
+
+val create : unit -> t
+
+val max_regions : int
+(** Pool regions representable before PMP entries run out (14: entry 15
+    is the backdrop and entry 14 is kept in reserve for firmware). *)
+
+val sync_hart : t -> Riscv.Hart.t -> Secmem.t -> cvm_open:bool -> unit
+(** Program all pool regions into the hart's PMP, with permissions
+    according to [cvm_open], plus the backdrop entry. Raises
+    [Invalid_argument] when regions exceed [max_regions] or a region is
+    not NAPOT-encodable. *)
+
+val set_world : t -> Riscv.Hart.t -> cvm_open:bool -> unit
+(** Fast path used on world switches: toggle only the permission bytes
+    of the already-programmed region entries. *)
+
+val guard_iopmp : t -> Riscv.Iopmp.t -> Secmem.t -> unit
+(** Install deny entries over every pool region (idempotent per
+    region). *)
+
+val regions_programmed : t -> int

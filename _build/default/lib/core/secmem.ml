@@ -1,0 +1,164 @@
+(* Blocks form a genuine doubly-linked circular list through a sentinel
+   node, as in the paper's figure: head insertion-point at the sentinel's
+   next, address-ordered. *)
+
+type node = {
+  base : int64;
+  npages : int;
+  mutable next : node;
+  mutable prev : node;
+  mutable linked : bool;
+}
+
+type block = { node : node; mutable next_page : int }
+
+type t = {
+  blk_size : int64;
+  mutable sentinel : node option; (* lazily created; base = -1 *)
+  mutable regions : (int64 * int64) list;
+  mutable free_count : int;
+  mutable total_count : int;
+}
+
+let create ?(block_size = Layout.default_block_size) () =
+  if block_size <= 0L || Int64.rem block_size 4096L <> 0L then
+    invalid_arg "Secmem.create: block size must be a positive page multiple";
+  {
+    blk_size = block_size;
+    sentinel = None;
+    regions = [];
+    free_count = 0;
+    total_count = 0;
+  }
+
+let block_size t = t.blk_size
+
+let sentinel t =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      let rec s = { base = -1L; npages = 0; next = s; prev = s; linked = true } in
+      t.sentinel <- Some s;
+      s
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev;
+  node.linked <- false
+
+(* Insert in address order, scanning from the head. Registration and
+   frees are rare (allocation itself is O(1) head pop). *)
+let insert_ordered t node =
+  let s = sentinel t in
+  let rec find_after cur =
+    if cur == s then s
+    else if Riscv.Xword.ult node.base cur.base then cur
+    else find_after cur.next
+  in
+  let after = find_after s.next in
+  node.next <- after;
+  node.prev <- after.prev;
+  after.prev.next <- node;
+  after.prev <- node;
+  node.linked <- true
+
+let overlaps (b1, s1) (b2, s2) =
+  Riscv.Xword.ult b1 (Int64.add b2 s2) && Riscv.Xword.ult b2 (Int64.add b1 s1)
+
+let register_region t ~base ~size =
+  if Int64.rem base t.blk_size <> 0L then
+    Error "secure region base must be block-aligned"
+  else if size <= 0L || Int64.rem size t.blk_size <> 0L then
+    Error "secure region size must be a positive multiple of the block size"
+  else if List.exists (fun r -> overlaps r (base, size)) t.regions then
+    Error "secure region overlaps an already-registered region"
+  else begin
+    let nblocks = Int64.to_int (Int64.div size t.blk_size) in
+    let npages = Layout.pages_per_block t.blk_size in
+    for i = nblocks - 1 downto 0 do
+      let b = Int64.add base (Int64.mul (Int64.of_int i) t.blk_size) in
+      let s = sentinel t in
+      let node = { base = b; npages; next = s; prev = s; linked = false } in
+      insert_ordered t node
+    done;
+    t.regions <- t.regions @ [ (base, size) ];
+    t.free_count <- t.free_count + nblocks;
+    t.total_count <- t.total_count + nblocks;
+    Ok nblocks
+  end
+
+let regions t = t.regions
+
+let contains t pa =
+  List.exists
+    (fun (base, size) ->
+      (not (Riscv.Xword.ult pa base))
+      && Riscv.Xword.ult pa (Int64.add base size))
+    t.regions
+
+let free_blocks t = t.free_count
+let total_blocks t = t.total_count
+
+let alloc_block t =
+  let s = sentinel t in
+  let head = s.next in
+  if head == s then None
+  else begin
+    unlink head;
+    t.free_count <- t.free_count - 1;
+    Some { node = head; next_page = 0 }
+  end
+
+let free_block t block =
+  if block.node.linked then invalid_arg "Secmem.free_block: already free";
+  block.next_page <- block.node.npages (* poison: no further page takes *);
+  insert_ordered t block.node;
+  t.free_count <- t.free_count + 1
+
+let block_base b = b.node.base
+let block_npages b = b.node.npages
+
+let block_take_page b =
+  if b.node.linked then invalid_arg "Secmem.block_take_page: block is free";
+  if b.next_page >= b.node.npages then None
+  else begin
+    let page =
+      Int64.add b.node.base (Int64.of_int (b.next_page * 4096))
+    in
+    b.next_page <- b.next_page + 1;
+    Some page
+  end
+
+let block_pages_left b = b.node.npages - b.next_page
+
+let check_invariants t =
+  match t.sentinel with
+  | None -> if t.free_count = 0 then Ok () else Error "count without list"
+  | Some s ->
+      let rec walk cur n acc =
+        if n > t.free_count + 1 then Error "list longer than free count"
+        else if cur == s then
+          if n = t.free_count then Ok (List.rev acc)
+          else Error "free count mismatch"
+        else if cur.next.prev != cur then Error "broken back link"
+        else walk cur.next (n + 1) (cur.base :: acc)
+      in
+      (match walk s.next 0 [] with
+      | Error e -> Error e
+      | Ok bases ->
+          let rec ordered = function
+            | a :: b :: rest ->
+                if Riscv.Xword.ult a b then ordered (b :: rest)
+                else Error "free list not address-ordered"
+            | [ _ ] | [] -> Ok ()
+          in
+          ordered bases)
+
+let free_list_bases t =
+  match t.sentinel with
+  | None -> []
+  | Some s ->
+      let rec walk cur acc =
+        if cur == s then List.rev acc else walk cur.next (cur.base :: acc)
+      in
+      walk s.next []

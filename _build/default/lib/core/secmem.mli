@@ -1,0 +1,62 @@
+(** The secure memory pool (paper §IV.D).
+
+    Privileged software registers contiguous physical regions with the
+    Secure Monitor; each region is carved into fixed-size {e secure
+    memory blocks} (256 KiB by default) that are linked into a
+    bidirectional circular list ordered by address. Allocation pops from
+    the head in O(1); freed blocks are scrubbed and re-inserted in
+    address order.
+
+    Blocks serve two roles: as per-vCPU page caches (see [Page_cache])
+    and as backing for the Secure Monitor's own page-table pages. *)
+
+type t
+
+type block
+(** A block of contiguous secure pages handed to one owner. *)
+
+val create : ?block_size:int64 -> unit -> t
+(** [block_size] defaults to [Layout.default_block_size]; it must be a
+    positive multiple of 4 KiB. *)
+
+val block_size : t -> int64
+
+val register_region : t -> base:int64 -> size:int64 -> (int, string) result
+(** Carve [size] bytes at [base] into blocks and link them in. Returns
+    the number of blocks added. Fails when the region is misaligned,
+    not a whole number of blocks, or overlaps a registered region. *)
+
+val regions : t -> (int64 * int64) list
+(** Registered (base, size) regions, in registration order. *)
+
+val contains : t -> int64 -> bool
+(** Is this physical address inside the secure pool? The PMP/IOPMP
+    guards and the split-page-table validator use this as ground
+    truth. *)
+
+val free_blocks : t -> int
+val total_blocks : t -> int
+
+val alloc_block : t -> block option
+(** Pop the block at the head of the free list; [None] when exhausted. *)
+
+val free_block : t -> block -> unit
+(** Return a block to the list (address-ordered re-insertion). The
+    caller must have scrubbed or must not care; the monitor scrubs. *)
+
+val block_base : block -> int64
+val block_npages : block -> int
+
+val block_take_page : block -> int64 option
+(** Next unused 4 KiB page of the block; [None] when the block is
+    full. *)
+
+val block_pages_left : block -> int
+
+(* {2 Introspection for tests} *)
+
+val check_invariants : t -> (unit, string) result
+(** Verify list circularity, address ordering and block accounting. *)
+
+val free_list_bases : t -> int64 list
+(** Bases of free blocks in list order starting at the head. *)

@@ -1,0 +1,219 @@
+open Riscv
+
+type t = {
+  bus : Bus.t;
+  root : int64;
+  alloc_table_page : unit -> int64 option;
+  mutable tables : int64 list;
+  mutable shared_root : int64 option;
+  mutable mapped : int;
+}
+
+let pte_size = 8
+
+let read_pte t table index =
+  Bus.read t.bus (Int64.add table (Int64.of_int (index * pte_size))) 8
+
+let write_pte t table index pte =
+  Bus.write t.bus (Int64.add table (Int64.of_int (index * pte_size))) 8 pte
+
+let zero_table t pa nbytes =
+  let zeros = String.make nbytes '\x00' in
+  Bus.write_bytes t.bus pa zeros
+
+let create ~bus ~root ~alloc_table_page =
+  if Int64.rem root 0x4000L <> 0L then
+    invalid_arg "Spt.create: root must be 16 KiB aligned";
+  let t =
+    { bus; root; alloc_table_page; tables = []; shared_root = None; mapped = 0 }
+  in
+  zero_table t root 0x4000;
+  t
+
+let root t = t.root
+let table_pages t = t.tables
+
+let root_index gpa = Int64.to_int (Xword.bits gpa ~hi:40 ~lo:30)
+let l1_index gpa = Int64.to_int (Xword.bits gpa ~hi:29 ~lo:21)
+let l0_index gpa = Int64.to_int (Xword.bits gpa ~hi:20 ~lo:12)
+
+(* Fetch (or create) the next-level table under [table].(index). *)
+let ensure_table t table index =
+  let pte = read_pte t table index in
+  if Pte.is_pointer pte then Ok (Int64.shift_left (Pte.ppn pte) 12)
+  else if Pte.v pte then Error "Spt: superpage in the way"
+  else begin
+    match t.alloc_table_page () with
+    | None -> Error "Spt: out of secure table pages"
+    | Some page ->
+        zero_table t page 4096;
+        t.tables <- page :: t.tables;
+        write_pte t table index
+          (Pte.make_pointer ~ppn:(Int64.shift_right_logical page 12));
+        Ok page
+  end
+
+let map_private t ~gpa ~pa ~writable =
+  if not (Layout.is_private_gpa gpa) then
+    Error "Spt.map_private: GPA is in the shared region"
+  else if Int64.rem gpa 4096L <> 0L || Int64.rem pa 4096L <> 0L then
+    Error "Spt.map_private: addresses must be page-aligned"
+  else begin
+    match ensure_table t t.root (root_index gpa) with
+    | Error e -> Error e
+    | Ok l1 -> begin
+        match ensure_table t l1 (l1_index gpa) with
+        | Error e -> Error e
+        | Ok l0 ->
+            let existing = read_pte t l0 (l0_index gpa) in
+            if Pte.v existing then Error "Spt.map_private: already mapped"
+            else begin
+              (* G-stage leaves carry U=1 per the privileged spec. *)
+              write_pte t l0 (l0_index gpa)
+                (Pte.make
+                   ~ppn:(Int64.shift_right_logical pa 12)
+                   ~r:true ~w:writable ~x:true ~u:true ~valid:true ());
+              t.mapped <- t.mapped + 1;
+              Ok ()
+            end
+      end
+  end
+
+let unmap_private t ~gpa =
+  if not (Layout.is_private_gpa gpa) then
+    Error "Spt.unmap_private: GPA is in the shared region"
+  else begin
+    let r = read_pte t t.root (root_index gpa) in
+    if not (Pte.is_pointer r) then Error "Spt.unmap_private: not mapped"
+    else begin
+      let l1 = Int64.shift_left (Pte.ppn r) 12 in
+      let p1 = read_pte t l1 (l1_index gpa) in
+      if not (Pte.is_pointer p1) then Error "Spt.unmap_private: not mapped"
+      else begin
+        let l0 = Int64.shift_left (Pte.ppn p1) 12 in
+        let leaf = read_pte t l0 (l0_index gpa) in
+        if not (Pte.is_leaf leaf) then Error "Spt.unmap_private: not mapped"
+        else begin
+          write_pte t l0 (l0_index gpa) Pte.invalid;
+          t.mapped <- t.mapped - 1;
+          Ok (Int64.shift_left (Pte.ppn leaf) 12)
+        end
+      end
+    end
+  end
+
+let lookup t ~gpa =
+  let r = read_pte t t.root (root_index gpa) in
+  if not (Pte.is_pointer r) then None
+  else begin
+    let l1 = Int64.shift_left (Pte.ppn r) 12 in
+    let p1 = read_pte t l1 (l1_index gpa) in
+    if Pte.is_leaf p1 then
+      Some
+        (Int64.logor
+           (Int64.shift_left (Pte.ppn p1) 12)
+           (Xword.bits gpa ~hi:20 ~lo:0))
+    else if not (Pte.is_pointer p1) then None
+    else begin
+      let l0 = Int64.shift_left (Pte.ppn p1) 12 in
+      let leaf = read_pte t l0 (l0_index gpa) in
+      if Pte.is_leaf leaf then
+        Some
+          (Int64.logor
+             (Int64.shift_left (Pte.ppn leaf) 12)
+             (Xword.bits gpa ~hi:11 ~lo:0))
+      else None
+    end
+  end
+
+let install_shared_root t ~is_secure ~table_pa =
+  if Int64.rem table_pa 4096L <> 0L then
+    Error "Spt.install_shared_root: table must be page-aligned"
+  else if is_secure table_pa then
+    Error "Spt.install_shared_root: shared subtree must be in normal memory"
+  else begin
+    write_pte t t.root Layout.shared_root_index
+      (Pte.make_pointer ~ppn:(Int64.shift_right_logical table_pa 12));
+    t.shared_root <- Some table_pa;
+    Ok ()
+  end
+
+let shared_root t = t.shared_root
+
+let validate_shared t ~is_secure =
+  match t.shared_root with
+  | None -> Ok 0
+  | Some l1 ->
+      let checked = ref 0 in
+      let exception Bad of string in
+      (try
+         for i1 = 0 to 511 do
+           let p1 = read_pte t l1 i1 in
+           incr checked;
+           if Pte.is_leaf p1 then begin
+             (* 2 MiB shared superpage *)
+             let pa = Int64.shift_left (Pte.ppn p1) 12 in
+             if is_secure pa || is_secure (Int64.add pa 0x1FFFFFL) then
+               raise
+                 (Bad
+                    (Printf.sprintf "shared superpage %d maps secure memory"
+                       i1))
+           end
+           else if Pte.is_pointer p1 then begin
+             let l0 = Int64.shift_left (Pte.ppn p1) 12 in
+             if is_secure l0 then
+               raise (Bad "shared subtree table lives in secure memory");
+             for i0 = 0 to 511 do
+               let leaf = read_pte t l0 i0 in
+               if Pte.is_leaf leaf then begin
+                 incr checked;
+                 let pa = Int64.shift_left (Pte.ppn leaf) 12 in
+                 if is_secure pa then
+                   raise
+                     (Bad
+                        (Printf.sprintf
+                           "shared leaf (%d,%d) maps secure memory" i1 i0))
+               end
+             done
+           end
+         done;
+         Ok !checked
+       with
+      | Bad msg -> Error msg
+      | Bus.Fault pa ->
+          Error
+            (Printf.sprintf "shared subtree points outside memory (0x%Lx)" pa))
+
+let mapped_private_pages t = t.mapped
+
+let fold_private t f acc =
+  let acc = ref acc in
+  for i2 = 0 to 2047 do
+    if i2 <> Layout.shared_root_index then begin
+      let p2 = read_pte t t.root i2 in
+      if Pte.is_pointer p2 then begin
+        let l1 = Int64.shift_left (Pte.ppn p2) 12 in
+        for i1 = 0 to 511 do
+          let p1 = read_pte t l1 i1 in
+          if Pte.is_pointer p1 then begin
+            let l0 = Int64.shift_left (Pte.ppn p1) 12 in
+            for i0 = 0 to 511 do
+              let leaf = read_pte t l0 i0 in
+              if Pte.is_leaf leaf then begin
+                let gpa =
+                  Int64.logor
+                    (Int64.shift_left (Int64.of_int i2) 30)
+                    (Int64.logor
+                       (Int64.shift_left (Int64.of_int i1) 21)
+                       (Int64.shift_left (Int64.of_int i0) 12))
+                in
+                acc :=
+                  f ~gpa ~pa:(Int64.shift_left (Pte.ppn leaf) 12) !acc
+              end
+            done
+          end
+        done
+      end
+    end
+  done;
+  !acc

@@ -1,0 +1,68 @@
+(** Split G-stage page tables (paper §IV.E).
+
+    Each confidential VM has one Sv39x4 G-stage table whose root lives
+    in secure memory and is written only by the Secure Monitor. The
+    guest-physical space divides at [Layout.shared_gpa_base]:
+
+    - {e private} GPAs are mapped by the SM through intermediate tables
+      allocated from secure memory;
+    - the {e shared} 1 GiB slot's root entry points at a subtree the
+      hypervisor owns in normal memory and edits directly, without SM
+      synchronisation.
+
+    The SM never follows hypervisor pointers while editing; it only
+    writes the single root slot, after checking the subtree root is in
+    normal memory. [validate_shared] additionally sweeps the subtree and
+    rejects any PTE that references secure memory — this is the check
+    the monitor runs when entering CVM mode, closing the attack where a
+    malicious hypervisor points shared mappings at another CVM's
+    secrets. *)
+
+type t
+
+val create :
+  bus:Riscv.Bus.t ->
+  root:int64 ->
+  alloc_table_page:(unit -> int64 option) ->
+  t
+(** [root] must be a 16 KiB-aligned physical address of 16 KiB of secure
+    memory (the Sv39x4 root is 2048 entries); the constructor zeroes it.
+    [alloc_table_page] supplies 4 KiB secure pages for intermediate
+    tables. *)
+
+val root : t -> int64
+
+val table_pages : t -> int64 list
+(** All intermediate table pages allocated so far (teardown list). *)
+
+val map_private :
+  t -> gpa:int64 -> pa:int64 -> writable:bool -> (unit, string) result
+(** Install a 4 KiB leaf for a private GPA. Fails on shared-region GPAs,
+    misalignment, an existing mapping, or table-page exhaustion. *)
+
+val unmap_private : t -> gpa:int64 -> (int64, string) result
+(** Remove a leaf; returns the physical page that was mapped. *)
+
+val lookup : t -> gpa:int64 -> int64 option
+(** Current mapping of a GPA (private or shared), for tests. *)
+
+val install_shared_root :
+  t -> is_secure:(int64 -> bool) -> table_pa:int64 -> (unit, string) result
+(** Point the shared slot at a hypervisor-owned level-1 table. Rejects
+    roots inside secure memory ([is_secure]). *)
+
+val shared_root : t -> int64 option
+
+val validate_shared :
+  t -> is_secure:(int64 -> bool) -> (int, string) result
+(** Sweep the shared subtree; [Ok n] gives the number of PTEs checked,
+    [Error] describes the first violation (a table or leaf in secure
+    memory). *)
+
+val mapped_private_pages : t -> int
+
+val fold_private :
+  t -> (gpa:int64 -> pa:int64 -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every mapped private 4 KiB leaf (migration/export uses
+    this to enumerate the CVM's memory image). The shared slot is
+    skipped. *)

@@ -1,0 +1,1 @@
+lib/crypto/norx.ml: Array Bytes Char Int64 String

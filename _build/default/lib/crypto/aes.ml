@@ -1,0 +1,200 @@
+(* AES-128, byte-oriented implementation (no lookup tables beyond the
+   S-boxes, which are generated at load time from the field inverse). *)
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then b lxor 0x11b else b
+
+(* GF(2^8) multiply, Russian-peasant style. *)
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go (xtime a) (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+let sbox, inv_sbox =
+  let s = Array.make 256 0 and inv = Array.make 256 0 in
+  (* Field inverses by brute force; 256*256 products once at startup. *)
+  let inverse = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inverse.(a) <- b
+    done
+  done;
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  for a = 0 to 255 do
+    let x = inverse.(a) in
+    let y =
+      x lxor rotl8 x 1 lxor rotl8 x 2 lxor rotl8 x 3 lxor rotl8 x 4
+      lxor 0x63
+    in
+    s.(a) <- y;
+    inv.(y) <- a
+  done;
+  (s, inv)
+
+type key = int array array (* 11 round keys of 16 bytes *)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand_key ks =
+  if String.length ks <> 16 then invalid_arg "Aes.expand_key: need 16 bytes";
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code ks.[(i * 4) + j]
+    done
+  done;
+  for i = 4 to 43 do
+    let t = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      let t0 = t.(0) in
+      t.(0) <- sbox.(t.(1)) lxor rcon.((i / 4) - 1);
+      t.(1) <- sbox.(t.(2));
+      t.(2) <- sbox.(t.(3));
+      t.(3) <- sbox.(t0)
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor t.(j)
+    done
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun b -> w.((r * 4) + (b / 4)).(b mod 4)))
+
+let add_round_key st rk =
+  for i = 0 to 15 do
+    st.(i) <- st.(i) lxor rk.(i)
+  done
+
+let sub_bytes st box =
+  for i = 0 to 15 do
+    st.(i) <- box.(st.(i))
+  done
+
+(* State is column-major: byte [4*c + r] is row r, column c. *)
+let shift_rows st =
+  let t = Array.copy st in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      st.((4 * c) + r) <- t.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows st =
+  let t = Array.copy st in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      st.((4 * ((c + r) mod 4)) + r) <- t.((4 * c) + r)
+    done
+  done
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = st.(o) and a1 = st.(o + 1) and a2 = st.(o + 2) and a3 = st.(o + 3) in
+    st.(o) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    st.(o + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    st.(o + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    st.(o + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let o = 4 * c in
+    let a0 = st.(o) and a1 = st.(o + 1) and a2 = st.(o + 2) and a3 = st.(o + 3) in
+    st.(o) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    st.(o + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    st.(o + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    st.(o + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let load st buf off =
+  for i = 0 to 15 do
+    st.(i) <- Char.code (Bytes.get buf (off + i))
+  done
+
+let store st buf off =
+  for i = 0 to 15 do
+    Bytes.set buf (off + i) (Char.chr st.(i))
+  done
+
+let encrypt_block rks buf off =
+  let st = Array.make 16 0 in
+  load st buf off;
+  add_round_key st rks.(0);
+  for round = 1 to 9 do
+    sub_bytes st sbox;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st rks.(round)
+  done;
+  sub_bytes st sbox;
+  shift_rows st;
+  add_round_key st rks.(10);
+  store st buf off
+
+let decrypt_block rks buf off =
+  let st = Array.make 16 0 in
+  load st buf off;
+  add_round_key st rks.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    sub_bytes st inv_sbox;
+    add_round_key st rks.(round);
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  sub_bytes st inv_sbox;
+  add_round_key st rks.(0);
+  store st buf off
+
+let check_cbc_args ~key ~iv msg =
+  if String.length key <> 16 then invalid_arg "Aes: key must be 16 bytes";
+  if String.length iv <> 16 then invalid_arg "Aes: iv must be 16 bytes";
+  if String.length msg mod 16 <> 0 then
+    invalid_arg "Aes: message length must be a multiple of 16"
+
+let cbc_encrypt ~key ~iv msg =
+  check_cbc_args ~key ~iv msg;
+  let rks = expand_key key in
+  let buf = Bytes.of_string msg in
+  let prev = Bytes.of_string iv in
+  let nblocks = Bytes.length buf / 16 in
+  for b = 0 to nblocks - 1 do
+    let off = b * 16 in
+    for i = 0 to 15 do
+      Bytes.set buf (off + i)
+        (Char.chr
+           (Char.code (Bytes.get buf (off + i))
+           lxor Char.code (Bytes.get prev i)))
+    done;
+    encrypt_block rks buf off;
+    Bytes.blit buf off prev 0 16
+  done;
+  Bytes.to_string buf
+
+let cbc_decrypt ~key ~iv msg =
+  check_cbc_args ~key ~iv msg;
+  let rks = expand_key key in
+  let buf = Bytes.of_string msg in
+  let prev = Bytes.of_string iv in
+  let nblocks = Bytes.length buf / 16 in
+  let cipher = Bytes.create 16 in
+  for b = 0 to nblocks - 1 do
+    let off = b * 16 in
+    Bytes.blit buf off cipher 0 16;
+    decrypt_block rks buf off;
+    for i = 0 to 15 do
+      Bytes.set buf (off + i)
+        (Char.chr
+           (Char.code (Bytes.get buf (off + i))
+           lxor Char.code (Bytes.get prev i)))
+    done;
+    Bytes.blit cipher 0 prev 0 16
+  done;
+  Bytes.to_string buf

@@ -1,0 +1,23 @@
+(** AES-128 block cipher (FIPS 197).
+
+    ECB single-block primitives plus a CBC mode used by the RV8 [aes]
+    benchmark kernel. Keys are 16 bytes; blocks are 16 bytes. *)
+
+type key
+
+val expand_key : string -> key
+(** Expand a 16-byte key into round keys.
+    Raises [Invalid_argument] on any other length. *)
+
+val encrypt_block : key -> bytes -> int -> unit
+(** [encrypt_block k buf off] encrypts 16 bytes of [buf] at [off] in
+    place. *)
+
+val decrypt_block : key -> bytes -> int -> unit
+(** Inverse of [encrypt_block]. *)
+
+val cbc_encrypt : key:string -> iv:string -> string -> string
+(** CBC-encrypt a message whose length is a multiple of 16. *)
+
+val cbc_decrypt : key:string -> iv:string -> string -> string
+(** Inverse of [cbc_encrypt]. *)

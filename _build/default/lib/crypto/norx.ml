@@ -1,0 +1,240 @@
+let key_bytes = 32
+let nonce_bytes = 32
+let tag_bytes = 32
+let rounds = 4
+let rate_words = 12 (* words s0..s11 form the rate; s12..s15 the capacity *)
+
+let ( ^% ) = Int64.logxor
+let ( &% ) = Int64.logand
+
+let rotr x n =
+  Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+
+(* The non-linear H function: x ^ y ^ ((x & y) << 1). *)
+let h x y = x ^% y ^% Int64.shift_left (x &% y) 1
+
+(* Rotation offsets for NORX64. *)
+let r0 = 8
+let r1 = 19
+let r2 = 40
+let r3 = 63
+
+let g s a b c d =
+  s.(a) <- h s.(a) s.(b);
+  s.(d) <- rotr (s.(a) ^% s.(d)) r0;
+  s.(c) <- h s.(c) s.(d);
+  s.(b) <- rotr (s.(b) ^% s.(c)) r1;
+  s.(a) <- h s.(a) s.(b);
+  s.(d) <- rotr (s.(a) ^% s.(d)) r2;
+  s.(c) <- h s.(c) s.(d);
+  s.(b) <- rotr (s.(b) ^% s.(c)) r3
+
+let permute s =
+  if Array.length s <> 16 then invalid_arg "Norx.permute: need 16 words";
+  for _ = 1 to rounds do
+    (* Columns. *)
+    g s 0 4 8 12;
+    g s 1 5 9 13;
+    g s 2 6 10 14;
+    g s 3 7 11 15;
+    (* Diagonals. *)
+    g s 0 5 10 15;
+    g s 1 6 11 12;
+    g s 2 7 8 13;
+    g s 3 4 9 14
+  done;
+  rounds * 8
+
+(* Initialisation constants u8..u15 (domain-separation words of NORX v3). *)
+let u =
+  [|
+    0xb15e641748de5e6bL; 0xaa95e955e10f8410L; 0x28d1034441a9dd40L;
+    0x7f31bbf964e93bf5L; 0xb5e9e22493dffb96L; 0xb980c852479fafbdL;
+    0xda24516bf55eafd4L; 0x86026ae8536f1501L;
+  |]
+
+(* Domain-separation tags. *)
+let tag_header = 0x01L
+let tag_payload = 0x02L
+let tag_final = 0x08L
+
+let word_of_string s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let word_to_bytes b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let initialise ~key ~nonce =
+  if String.length key <> key_bytes then invalid_arg "Norx: bad key length";
+  if String.length nonce <> nonce_bytes then
+    invalid_arg "Norx: bad nonce length";
+  let s = Array.make 16 0L in
+  for i = 0 to 3 do
+    s.(i) <- word_of_string nonce (i * 8)
+  done;
+  let k = Array.init 4 (fun i -> word_of_string key (i * 8)) in
+  for i = 0 to 3 do
+    s.(4 + i) <- k.(i)
+  done;
+  for i = 0 to 7 do
+    s.(8 + i) <- u.(i)
+  done;
+  (* Mix in the parameters w=64, l=4, p=1, t=256. *)
+  s.(12) <- s.(12) ^% 64L;
+  s.(13) <- s.(13) ^% Int64.of_int rounds;
+  s.(14) <- s.(14) ^% 1L;
+  s.(15) <- s.(15) ^% 256L;
+  ignore (permute s);
+  for i = 0 to 3 do
+    s.(12 + i) <- s.(12 + i) ^% k.(i)
+  done;
+  (s, k)
+
+(* Pad a trailing partial block with 0x01 ... 0x80 (multi-rate padding). *)
+let padded_block msg off =
+  let rate_bytes = rate_words * 8 in
+  let b = Bytes.make rate_bytes '\x00' in
+  let n = min rate_bytes (String.length msg - off) in
+  Bytes.blit_string msg off b 0 n;
+  Bytes.set b n '\x01';
+  Bytes.set b (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get b (rate_bytes - 1)) lor 0x80));
+  b
+
+let absorb s domain msg =
+  if String.length msg > 0 then begin
+    let rate_bytes = rate_words * 8 in
+    let nfull = String.length msg / rate_bytes in
+    for blk = 0 to nfull - 1 do
+      s.(15) <- s.(15) ^% domain;
+      ignore (permute s);
+      for w = 0 to rate_words - 1 do
+        s.(w) <- s.(w) ^% word_of_string msg ((blk * rate_bytes) + (w * 8))
+      done
+    done;
+    let rem = String.length msg - (nfull * rate_bytes) in
+    if rem > 0 || nfull = 0 then begin
+      s.(15) <- s.(15) ^% domain;
+      ignore (permute s);
+      let b = Bytes.to_string (padded_block msg (nfull * rate_bytes)) in
+      for w = 0 to rate_words - 1 do
+        s.(w) <- s.(w) ^% word_of_string b (w * 8)
+      done
+    end
+  end
+
+let rate_bytes = rate_words * 8
+
+(* One duplex step over a full rate block.
+   Encrypt: s ^= m, ciphertext = new s. Decrypt: m = s ^ c, s = c. *)
+let crypt_full_block s ~decrypt msg pos out =
+  s.(15) <- s.(15) ^% tag_payload;
+  ignore (permute s);
+  let blk = Bytes.create rate_bytes in
+  for w = 0 to rate_words - 1 do
+    let inw = word_of_string msg (pos + (w * 8)) in
+    let outw = s.(w) ^% inw in
+    word_to_bytes blk (w * 8) outw;
+    s.(w) <- (if decrypt then inw else outw)
+  done;
+  Bytes.blit blk 0 out pos rate_bytes
+
+(* Final partial block: plaintext is padded before the XOR so encryption
+   and decryption leave the state in the identical configuration. *)
+let crypt_last_block s ~decrypt msg pos out =
+  let n = String.length msg - pos in
+  s.(15) <- s.(15) ^% tag_payload;
+  ignore (permute s);
+  if decrypt then begin
+    (* Recover the plaintext tail from the keystream... *)
+    let ptail = Bytes.create n in
+    for i = 0 to n - 1 do
+      let ks =
+        Int64.to_int (Int64.shift_right_logical s.(i / 8) (8 * (i mod 8)))
+        land 0xff
+      in
+      Bytes.set ptail i (Char.chr (ks lxor Char.code msg.[pos + i]))
+    done;
+    (* ...then advance the state with the re-padded plaintext. *)
+    let mpad = padded_block (Bytes.to_string ptail) 0 in
+    for w = 0 to rate_words - 1 do
+      s.(w) <- s.(w) ^% word_of_string (Bytes.to_string mpad) (w * 8)
+    done;
+    Bytes.blit ptail 0 out pos n
+  end
+  else begin
+    let mpad = padded_block msg pos in
+    for w = 0 to rate_words - 1 do
+      s.(w) <- s.(w) ^% word_of_string (Bytes.to_string mpad) (w * 8)
+    done;
+    for i = 0 to n - 1 do
+      let c =
+        Int64.to_int (Int64.shift_right_logical s.(i / 8) (8 * (i mod 8)))
+        land 0xff
+      in
+      Bytes.set out (pos + i) (Char.chr c)
+    done
+  end
+
+(* Encrypt (or decrypt) the payload in duplex mode. *)
+let crypt_payload s ~decrypt msg =
+  let len = String.length msg in
+  if len = 0 then ""
+  else begin
+    let out = Bytes.create len in
+    let nfull = len / rate_bytes in
+    for blk = 0 to nfull - 1 do
+      crypt_full_block s ~decrypt msg (blk * rate_bytes) out
+    done;
+    if len mod rate_bytes <> 0 then
+      crypt_last_block s ~decrypt msg (nfull * rate_bytes) out;
+    Bytes.to_string out
+  end
+
+let finalise s k =
+  s.(15) <- s.(15) ^% tag_final;
+  ignore (permute s);
+  for i = 0 to 3 do
+    s.(12 + i) <- s.(12 + i) ^% k.(i)
+  done;
+  ignore (permute s);
+  for i = 0 to 3 do
+    s.(12 + i) <- s.(12 + i) ^% k.(i)
+  done;
+  let tag = Bytes.create tag_bytes in
+  for i = 0 to 3 do
+    word_to_bytes tag (i * 8) s.(12 + i)
+  done;
+  Bytes.to_string tag
+
+let encrypt ~key ~nonce ~header plaintext =
+  let s, k = initialise ~key ~nonce in
+  absorb s tag_header header;
+  let ciphertext = crypt_payload s ~decrypt:false plaintext in
+  let tag = finalise s k in
+  (ciphertext, tag)
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri
+         (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i]))
+         a;
+       !acc = 0
+     end
+
+let decrypt ~key ~nonce ~header ~tag ciphertext =
+  let s, k = initialise ~key ~nonce in
+  absorb s tag_header header;
+  let plaintext = crypt_payload s ~decrypt:true ciphertext in
+  let tag' = finalise s k in
+  if constant_time_eq tag tag' then Some plaintext else None

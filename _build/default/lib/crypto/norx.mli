@@ -1,0 +1,29 @@
+(** NORX64-4-1 authenticated encryption (CAESAR candidate, v3 structure).
+
+    This is the RV8 [norx] benchmark kernel: a 16-word (64-bit) LRX
+    permutation with 4 rounds, used in a monkeyDuplex AEAD mode. Keys and
+    nonces are 32 bytes; tags are 32 bytes. Correctness is validated by
+    round-trip and tamper-detection properties in the test suite. *)
+
+val key_bytes : int
+val nonce_bytes : int
+val tag_bytes : int
+
+val permute : int64 array -> int
+(** Apply the 4-round F permutation in place to a 16-word state.
+    Returns the number of G-function applications performed (used by the
+    workload instrumentation). Raises [Invalid_argument] if the state is
+    not 16 words. *)
+
+val encrypt :
+  key:string -> nonce:string -> header:string -> string -> string * string
+(** [encrypt ~key ~nonce ~header plaintext] is [(ciphertext, tag)]. *)
+
+val decrypt :
+  key:string ->
+  nonce:string ->
+  header:string ->
+  tag:string ->
+  string ->
+  string option
+(** Authenticated decryption; [None] when the tag does not verify. *)

@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used by the Secure Monitor for confidential-VM measurement
+    (attestation reports). Incremental interface plus one-shot helpers. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** 32-byte binary digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte binary digest. *)
+
+val hex : string -> string
+(** One-shot digest rendered as 64 lowercase hex characters. *)
+
+val to_hex : string -> string
+(** Render an arbitrary binary string as lowercase hex. *)

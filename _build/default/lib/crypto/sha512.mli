@@ -1,0 +1,17 @@
+(** SHA-512 (FIPS 180-4).
+
+    One of the RV8 benchmark kernels; also usable for measurement. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** 64-byte binary digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 64-byte binary digest. *)
+
+val hex : string -> string
+(** One-shot digest rendered as 128 lowercase hex characters. *)

@@ -1,0 +1,1 @@
+lib/guest/gprog.ml: Asm Char Decode Int64 List Riscv String Swiotlb Zion

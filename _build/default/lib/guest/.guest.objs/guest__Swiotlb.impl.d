@@ -1,0 +1,1 @@
+lib/guest/swiotlb.ml: Int64 Riscv Zion

@@ -1,0 +1,166 @@
+open Riscv
+open Decode
+
+(* Register discipline inside builders: t0..t2 are scratch; a0/a6/a7 are
+   SBI argument registers. Builders are concatenative — each sequence
+   leaves no live state behind. *)
+
+let putchar c =
+  Asm.li Asm.a0 (Int64.of_int (Char.code c))
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+let print s = List.concat_map putchar (List.init (String.length s) (String.get s))
+
+let shutdown = Asm.li Asm.a7 Zion.Ecall.sbi_legacy_shutdown @ [ Ecall ]
+let hello s = print s @ shutdown
+
+let fill_bytes ~gpa ~byte ~len =
+  if len <= 0 then []
+  else
+    Asm.li Asm.t0 gpa
+    @ Asm.li Asm.t1 (Int64.of_int len)
+    @ Asm.li Asm.t2 (Int64.of_int (Char.code byte))
+    @ [
+        (* loop: *)
+        Store { rs1 = Asm.t0; rs2 = Asm.t2; imm = 0L; width = B };
+        Op_imm (Add, Asm.t0, Asm.t0, 1L);
+        Op_imm (Add, Asm.t1, Asm.t1, -1L);
+        Branch (Bne, Asm.t1, 0, -12L);
+      ]
+
+let store_u64 ~gpa v =
+  Asm.li Asm.t0 gpa
+  @ Asm.li Asm.t1 v
+  @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = D } ]
+
+let store_u32 ~gpa v =
+  Asm.li Asm.t0 gpa
+  @ Asm.li Asm.t1 v
+  @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = W } ]
+
+let touch_pages ~start_gpa ~pages =
+  if pages <= 0 then []
+  else
+    Asm.li Asm.t0 start_gpa
+    @ Asm.li Asm.t1 (Int64.of_int pages)
+    @ [
+        (* loop: write a doubleword, advance one page (4096 = 2*2047+2) *)
+        Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = D };
+        Op_imm (Add, Asm.t0, Asm.t0, 2047L);
+        Op_imm (Add, Asm.t0, Asm.t0, 2047L);
+        Op_imm (Add, Asm.t0, Asm.t0, 2L);
+        Op_imm (Add, Asm.t1, Asm.t1, -1L);
+        Branch (Bne, Asm.t1, 0, -20L);
+      ]
+
+(* Device MMIO helpers. *)
+let blk_reg off = Int64.add Zion.Layout.virtio_mmio_gpa off
+let net_reg off = Int64.add Zion.Layout.virtio_mmio_gpa (Int64.add 0x100L off)
+
+let mmio_store_u64 addr v =
+  Asm.li Asm.t0 addr
+  @ Asm.li Asm.t1 v
+  @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = D } ]
+
+let mmio_store_u32 addr v =
+  Asm.li Asm.t0 addr
+  @ Asm.li Asm.t1 v
+  @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = W } ]
+
+(* Load a device register into t2. *)
+let mmio_load_u32 addr =
+  Asm.li Asm.t0 addr
+  @ [ Load { rd = Asm.t2; rs1 = Asm.t0; imm = 0L; width = W; unsigned = false } ]
+
+(* Build a blk descriptor at the SWIOTLB descriptor page:
+   sector(8) | len(4) | op(4) | data_gpa(8). *)
+let blk_descriptor ~sector ~len ~op ~data_gpa =
+  store_u64 ~gpa:Swiotlb.desc_gpa (Int64.of_int sector)
+  @ store_u32 ~gpa:(Int64.add Swiotlb.desc_gpa 8L) (Int64.of_int len)
+  @ store_u32 ~gpa:(Int64.add Swiotlb.desc_gpa 12L) (Int64.of_int op)
+  @ store_u64 ~gpa:(Int64.add Swiotlb.desc_gpa 16L) data_gpa
+
+(* Print '0' + t2 (assumes t2 holds a small status). *)
+let print_status_in_t2 =
+  Asm.li Asm.a0 (Int64.of_int (Char.code '0'))
+  @ [ Op (Add, Asm.a0, Asm.a0, Asm.t2) ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+let blk_write ~sector ~len ~byte =
+  fill_bytes ~gpa:(Swiotlb.slot_gpa 0) ~byte ~len
+  @ blk_descriptor ~sector ~len ~op:1 ~data_gpa:(Swiotlb.slot_gpa 0)
+  @ mmio_store_u64 (blk_reg 0x00L) Swiotlb.desc_gpa
+  @ mmio_store_u32 (blk_reg 0x08L) 1L
+  @ mmio_load_u32 (blk_reg 0x10L)
+  @ print_status_in_t2
+
+let blk_read_first_byte ~sector ~len =
+  blk_descriptor ~sector ~len ~op:0 ~data_gpa:(Swiotlb.slot_gpa 1)
+  @ mmio_store_u64 (blk_reg 0x00L) Swiotlb.desc_gpa
+  @ mmio_store_u32 (blk_reg 0x08L) 1L
+  @ mmio_load_u32 (blk_reg 0x10L)
+  (* load first byte of the bounce slot and print it *)
+  @ Asm.li Asm.t0 (Swiotlb.slot_gpa 1)
+  @ [ Load { rd = Asm.a0; rs1 = Asm.t0; imm = 0L; width = B; unsigned = true } ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+(* Net TX descriptor: len(4) | pad(4) | data_gpa(8) at tx_desc_gpa. *)
+let net_send pkt =
+  let len = String.length pkt in
+  let stores =
+    List.concat
+      (List.init len (fun i ->
+           Asm.li Asm.t0 (Int64.add (Swiotlb.slot_gpa 2) (Int64.of_int i))
+           @ Asm.li Asm.t1 (Int64.of_int (Char.code pkt.[i]))
+           @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = B } ]))
+  in
+  stores
+  @ store_u32 ~gpa:Swiotlb.tx_desc_gpa (Int64.of_int len)
+  @ store_u64 ~gpa:(Int64.add Swiotlb.tx_desc_gpa 8L) (Swiotlb.slot_gpa 2)
+  @ mmio_store_u64 (net_reg 0x00L) Swiotlb.tx_desc_gpa
+  @ mmio_store_u32 (net_reg 0x08L) 1L
+
+let net_recv_putchar =
+  (* Branchy code must use fixed-length encodings, not [Asm.li] (whose
+     length depends on the constant); slot 3's GPA has zero low bits, so
+     a single lui loads it. *)
+  assert (Int64.logand (Swiotlb.slot_gpa 3) 0xFFFL = 0L);
+  mmio_store_u64 (net_reg 0x18L) (Swiotlb.slot_gpa 3)
+  @ mmio_store_u32 (net_reg 0x08L) 2L
+  @ mmio_load_u32 (net_reg 0x10L)
+  @ [
+      (* +0: if no packet (t2 = 0), jump to the '!' case at +16 *)
+      Branch (Beq, Asm.t2, 0, 16L);
+      (* +4 *) Lui (Asm.t0, Swiotlb.slot_gpa 3);
+      (* +8 *)
+      Load { rd = Asm.a0; rs1 = Asm.t0; imm = 0L; width = B; unsigned = true };
+      (* +12: skip the '!' case *) Jal (0, 8L);
+      (* +16 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code '!'));
+      (* +20: fallthrough *)
+    ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+let attest_report ~nonce_byte =
+  let report_gpa = 0x200000L and nonce_gpa = 0x201000L in
+  fill_bytes ~gpa:nonce_gpa ~byte:nonce_byte ~len:32
+  (* touch the report buffer so it is mapped before the SM writes it *)
+  @ store_u64 ~gpa:report_gpa 0L
+  @ Asm.li Asm.a0 report_gpa
+  @ Asm.li Asm.a1 nonce_gpa
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_report
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+  (* a0 = 0 on success *)
+  @ [
+      (* +0: on error jump to the 'E' case at +12 *)
+      Branch (Bne, Asm.a0, 0, 12L);
+      (* +4 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code 'R'));
+      (* +8: skip the 'E' case *) Jal (0, 8L);
+      (* +12 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code 'E'));
+    ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]

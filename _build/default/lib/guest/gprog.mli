@@ -1,0 +1,44 @@
+(** Bare-metal guest program builders.
+
+    Small RISC-V programs, assembled with [Riscv.Asm], that tests and
+    examples load into (confidential or normal) VMs: console output,
+    demand-paging memory touchers, virtio-blk and virtio-net exercisers
+    using the SWIOTLB bounce layout, and an attestation requester. All
+    programs end with an SBI shutdown unless noted. *)
+
+val putchar : char -> Riscv.Decode.t list
+val print : string -> Riscv.Decode.t list
+val shutdown : Riscv.Decode.t list
+val hello : string -> Riscv.Decode.t list
+
+val fill_bytes : gpa:int64 -> byte:char -> len:int -> Riscv.Decode.t list
+(** Store [len] copies of [byte] at [gpa] (byte store loop). *)
+
+val store_u64 : gpa:int64 -> int64 -> Riscv.Decode.t list
+val store_u32 : gpa:int64 -> int64 -> Riscv.Decode.t list
+
+val touch_pages : start_gpa:int64 -> pages:int -> Riscv.Decode.t list
+(** Write one doubleword to each of [pages] consecutive pages —
+    the §V.C fault-storm workload. Does not shut down. *)
+
+val blk_write :
+  sector:int -> len:int -> byte:char -> Riscv.Decode.t list
+(** Fill bounce slot 0, build a write descriptor, kick virtio-blk, and
+    print '0' + status ('0' on success). Does not shut down. *)
+
+val blk_read_first_byte : sector:int -> len:int -> Riscv.Decode.t list
+(** Read into bounce slot 1 and print the first byte read. Does not
+    shut down. *)
+
+val net_send : string -> Riscv.Decode.t list
+(** Copy a packet into bounce slot 2 and transmit it. Does not shut
+    down. *)
+
+val net_recv_putchar : Riscv.Decode.t list
+(** Ask the device to fill bounce slot 3 with the next RX packet and
+    print its first byte (or '!' when none). Does not shut down. *)
+
+val attest_report : nonce_byte:char -> Riscv.Decode.t list
+(** Write a 32-byte nonce into private memory, request a measurement
+    report from the SM, and print 'R' on success / 'E' on failure.
+    Does not shut down. *)

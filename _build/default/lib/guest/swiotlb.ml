@@ -1,0 +1,13 @@
+let base = Zion.Layout.shared_gpa_base
+let desc_gpa = base
+let tx_desc_gpa = Int64.add base 0x800L
+let slot_size = 4096
+let slots = 64
+
+let slot_gpa i =
+  if i < 0 || i >= slots then invalid_arg "Swiotlb.slot_gpa: out of range";
+  Int64.add base (Int64.of_int ((1 + i) * slot_size))
+
+let bounce_copy_cycles (c : Riscv.Cost.t) n =
+  let words = (n + 7) / 8 in
+  words * (c.Riscv.Cost.load + c.Riscv.Cost.store)

@@ -1,0 +1,32 @@
+(** Guest-side SWIOTLB layout.
+
+    A confidential VM cannot let devices touch its private memory, so —
+    exactly as the paper's prototype configures Linux — all virtio
+    traffic bounces through buffers inside the shared GPA window. This
+    module fixes the layout that the guest programs and the examples
+    use:
+
+    - descriptor area: one 4 KiB page at the base of the shared window;
+    - bounce slots: fixed-size slots following it. *)
+
+val base : int64
+(** First GPA of the SWIOTLB area ([Zion.Layout.shared_gpa_base]). *)
+
+val desc_gpa : int64
+(** Where guest drivers place device descriptors. *)
+
+val tx_desc_gpa : int64
+(** Descriptor slot for net TX (second half of the descriptor page). *)
+
+val slot_size : int
+(** 4 KiB. *)
+
+val slots : int
+(** Number of bounce slots laid out. *)
+
+val slot_gpa : int -> int64
+(** GPA of bounce slot [i]. Raises [Invalid_argument] out of range. *)
+
+val bounce_copy_cycles : Riscv.Cost.t -> int -> int
+(** Modeled cycles to copy [n] bytes through a bounce buffer (one
+    direction): doubleword loads + stores. *)

@@ -1,0 +1,1 @@
+lib/hypervisor/attacks.ml: Bus Cause Hart Machine Printf Priv Riscv Shared_map Zion

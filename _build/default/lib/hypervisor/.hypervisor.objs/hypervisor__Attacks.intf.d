@@ -1,0 +1,1 @@
+lib/hypervisor/attacks.mli: Riscv Shared_map Zion

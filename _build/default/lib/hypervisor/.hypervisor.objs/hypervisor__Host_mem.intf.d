@@ -1,0 +1,1 @@
+lib/hypervisor/host_mem.mli:

@@ -1,0 +1,1 @@
+lib/hypervisor/kvm.ml: Array Bus Cause Clint Cost Csr Exec Guest Hart Host_mem Int64 Machine Metrics Mmio_emul Printf Priv Riscv Shared_map String Sv39 Xword Zion

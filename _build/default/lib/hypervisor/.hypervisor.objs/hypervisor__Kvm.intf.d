@@ -1,0 +1,1 @@
+lib/hypervisor/kvm.mli: Host_mem Mmio_emul Riscv Shared_map Zion

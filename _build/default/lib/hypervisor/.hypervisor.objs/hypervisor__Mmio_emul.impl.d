@@ -1,0 +1,1 @@
+lib/hypervisor/mmio_emul.ml: Int64 Riscv Virtio_blk Virtio_net Zion

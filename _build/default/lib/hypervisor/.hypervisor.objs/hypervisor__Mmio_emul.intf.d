@@ -1,0 +1,1 @@
+lib/hypervisor/mmio_emul.mli: Riscv Virtio_blk Virtio_net Zion

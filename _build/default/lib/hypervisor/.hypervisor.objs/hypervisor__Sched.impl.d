@@ -1,0 +1,1 @@
+lib/hypervisor/sched.ml: Array Bus Clint Csr Hart Int64 Kvm List Machine Metrics Option Riscv

@@ -1,0 +1,1 @@
+lib/hypervisor/secure_hyp.ml: Hashtbl Option

@@ -1,0 +1,1 @@
+lib/hypervisor/shared_map.ml: Bus Host_mem Int64 Pte Riscv String Xword Zion

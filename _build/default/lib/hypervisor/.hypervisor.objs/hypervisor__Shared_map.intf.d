@@ -1,0 +1,1 @@
+lib/hypervisor/shared_map.mli: Host_mem Riscv

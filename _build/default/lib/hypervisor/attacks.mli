@@ -1,0 +1,35 @@
+(** Malicious-hypervisor behaviours, packaged for the threat-model test
+    suite. Every function attempts an attack the paper's design must
+    stop and reports what happened; the tests assert the architectural
+    defence (PMP fault, IOPMP fault, Check-after-Load rejection, SM
+    validation) fired. *)
+
+type outcome =
+  | Blocked of string  (** the defence that stopped it *)
+  | Leaked of string  (** attack succeeded — a test failure *)
+
+val read_secure_memory : Riscv.Machine.t -> pool_pa:int64 -> outcome
+(** HS-mode load from the secure pool; must die on PMP. *)
+
+val write_secure_memory : Riscv.Machine.t -> pool_pa:int64 -> outcome
+
+val dma_into_pool : Riscv.Machine.t -> pool_pa:int64 -> outcome
+(** Device-initiated write; must die on IOPMP. *)
+
+val tamper_mmio_reply_register :
+  Zion.Monitor.t -> cvm:int -> outcome
+(** Redirect a pending MMIO load's destination register in the shared
+    vCPU, then resume; the SM's Check-after-Load must refuse. *)
+
+val tamper_mmio_pc_advance : Zion.Monitor.t -> cvm:int -> outcome
+(** Set a bogus pc advance in the shared vCPU. *)
+
+val map_foreign_secure_page :
+  Zion.Monitor.t -> Shared_map.t -> victim_page:int64 -> gpa:int64 -> outcome
+(** Point a shared-subtree PTE at another CVM's secure page. Caught by
+    the SM's entry validation when enabled; otherwise the device DMA
+    path still dies on the IOPMP. *)
+
+val steal_vcpu_state : Zion.Monitor.t -> cvm:int -> outcome
+(** Try to read a guest register through the SM-mediated interface with
+    no pending exit. *)

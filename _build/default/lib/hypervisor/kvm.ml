@@ -1,0 +1,489 @@
+open Riscv
+
+type t = {
+  machine : Machine.t;
+  monitor : Zion.Monitor.t;
+  mem : Host_mem.t;
+  devices : Mmio_emul.t;
+  cost : Cost.t;
+  mutable nvm_faults : int list;
+  mutable ticks : int;
+  mutable mmio_serviced : int;
+  mutable expansions : int;
+  mutable next_nvm_id : int;
+}
+
+let kernel_reserve = 0x100_0000L (* 16 MiB host kernel image *)
+
+let create ~machine ~monitor ?(disk_sectors = 262144) () =
+  let bus = machine.Machine.bus in
+  let base = Int64.add Bus.dram_base kernel_reserve in
+  let size = Int64.sub (Bus.dram_size bus) kernel_reserve in
+  {
+    machine;
+    monitor;
+    mem = Host_mem.create ~base ~size;
+    devices = Mmio_emul.create ~bus ~disk_sectors;
+    cost = machine.Machine.cost;
+    nvm_faults = [];
+    ticks = 0;
+    mmio_serviced = 0;
+    expansions = 0;
+    next_nvm_id = 1;
+  }
+
+let machine t = t.machine
+let monitor t = t.monitor
+let host_mem t = t.mem
+let devices t = t.devices
+let ledger t = t.machine.Machine.ledger
+let charge t cat cycles = Metrics.Ledger.charge (ledger t) cat cycles
+
+let block_size = Zion.Layout.default_block_size
+
+let donate_secure_pool t ~mib =
+  let bytes = Int64.mul (Int64.of_int mib) 0x100000L in
+  let npages = Int64.to_int (Int64.div bytes 4096L) in
+  match Host_mem.alloc_pages t.mem ~align:bytes npages with
+  | None -> Error "not enough contiguous host memory for the pool"
+  | Some base -> begin
+      match
+        Zion.Monitor.register_secure_region t.monitor ~base ~size:bytes
+      with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Zion.Ecall.error_to_string e)
+    end
+
+(* ---------- normal VMs ---------- *)
+
+type nvm = {
+  nid : int;
+  spt : Zion.Spt.t;
+  nvm_shared : Shared_map.t;
+      (** normal VMs use the same >=1 GiB window for device buffers *)
+  sv : Zion.Vcpu.secure;
+  mutable alive : bool;
+}
+
+type normal_exit = N_timer | N_shutdown | N_limit | N_error of string
+
+let zero_page t pa = Bus.write_bytes t.machine.Machine.bus pa (String.make 4096 '\x00')
+
+let create_normal_vm t ~entry_pc ~image =
+  match Host_mem.alloc_pages t.mem ~align:0x4000L 4 with
+  | None -> Error "out of host memory for stage-2 root"
+  | Some root ->
+      let spt =
+        Zion.Spt.create ~bus:t.machine.Machine.bus ~root
+          ~alloc_table_page:(fun () -> Host_mem.alloc_pages t.mem 1)
+      in
+      let nvm_shared =
+        match Shared_map.create ~bus:t.machine.Machine.bus t.mem with
+        | Ok m -> m
+        | Error e -> failwith e
+      in
+      (match
+         Zion.Spt.install_shared_root spt
+           ~is_secure:(fun _ -> false)
+           ~table_pa:(Shared_map.root nvm_shared)
+       with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      let nvm =
+        {
+          nid = t.next_nvm_id;
+          spt;
+          nvm_shared;
+          sv = Zion.Vcpu.fresh_secure ~entry_pc;
+          alive = true;
+        }
+      in
+      t.next_nvm_id <- t.next_nvm_id + 1;
+      (* Eagerly populate the image pages. *)
+      let load (gpa, data) =
+        let len = String.length data in
+        let npages = (len + 4095) / 4096 in
+        let rec go i =
+          if i >= npages then Ok ()
+          else begin
+            let page_gpa = Int64.add gpa (Int64.of_int (i * 4096)) in
+            match Host_mem.alloc_pages t.mem 1 with
+            | None -> Error "out of host memory for guest image"
+            | Some pa -> begin
+                zero_page t pa;
+                match
+                  Zion.Spt.map_private nvm.spt ~gpa:page_gpa ~pa
+                    ~writable:true
+                with
+                | Error e -> Error e
+                | Ok () ->
+                    Bus.write_bytes t.machine.Machine.bus pa
+                      (String.sub data (i * 4096)
+                         (min 4096 (len - (i * 4096))));
+                    go (i + 1)
+              end
+          end
+        in
+        go 0
+      in
+      let rec load_all = function
+        | [] -> Ok nvm
+        | chunk :: rest -> begin
+            match load chunk with Error e -> Error e | Ok () -> load_all rest
+          end
+      in
+      load_all image
+
+(* KVM's stage-2 fault path for a normal VM: the 39,607-cycle
+   composition of §V.C's baseline column. *)
+let kvm_fault_cost c =
+  c.Cost.trap_entry + c.Cost.kvm_save + c.Cost.kvm_dispatch
+  + c.Cost.kvm_memslot + c.Cost.kvm_host_alloc + c.Cost.page_scrub
+  + c.Cost.kvm_map + (3 * c.Cost.page_walk_step) + c.Cost.kvm_fence
+  + c.Cost.kvm_restore + c.Cost.xret
+
+let handle_nvm_fault t nvm gpa =
+  let page_gpa = Xword.align_down gpa 4096L in
+  if Zion.Layout.is_shared_gpa page_gpa then begin
+    (* device-buffer window: backed like any other guest RAM, but kept
+       in the hypervisor's subtree so the layout matches the CVM case *)
+    match Shared_map.map_fresh nvm.nvm_shared ~gpa:page_gpa with
+    | Ok _ ->
+        let cycles = kvm_fault_cost t.cost in
+        charge t "kvm_fault" (cycles - t.cost.Cost.trap_entry);
+        t.nvm_faults <- cycles :: t.nvm_faults;
+        Ok ()
+    | Error e -> Error e
+  end
+  else
+  match Host_mem.alloc_pages t.mem 1 with
+  | None -> Error "host out of memory"
+  | Some pa -> begin
+      zero_page t pa;
+      match Zion.Spt.map_private nvm.spt ~gpa:page_gpa ~pa ~writable:true with
+      | Error e -> Error e
+      | Ok () ->
+          let cycles = kvm_fault_cost t.cost in
+          charge t "kvm_fault" (cycles - t.cost.Cost.trap_entry);
+          t.nvm_faults <- cycles :: t.nvm_faults;
+          Ok ()
+    end
+
+(* Resume a normal VM's guest after an HS-level trap. *)
+let resume_nvm t (hart : Hart.t) ~skip =
+  let csr = hart.Hart.csr in
+  hart.Hart.mode <- Priv.VS;
+  hart.Hart.pc <- (if skip then Int64.add csr.Csr.sepc 4L else csr.Csr.sepc);
+  charge t "xret" t.cost.Cost.xret
+
+let in_virtio_window gpa =
+  (not (Xword.ult gpa Zion.Layout.virtio_mmio_gpa))
+  && Xword.ult gpa
+       (Int64.add Zion.Layout.virtio_mmio_gpa Zion.Layout.virtio_mmio_size)
+
+let handle_nvm_sbi t (hart : Hart.t) =
+  let a7 = Hart.get_reg hart 17 and a0 = Hart.get_reg hart 10 in
+  if a7 = Zion.Ecall.sbi_legacy_putchar then begin
+    Bus.write t.machine.Machine.bus Bus.uart_base 1 (Int64.logand a0 0xFFL);
+    Hart.set_reg hart 10 0L;
+    `Resume
+  end
+  else if a7 = Zion.Ecall.sbi_legacy_shutdown then `Shutdown
+  else begin
+    Hart.set_reg hart 10 (Zion.Ecall.error_code Zion.Ecall.Not_found);
+    `Resume
+  end
+
+let run_normal_vm t nvm ~hart:hart_id ~max_steps =
+  if not nvm.alive then N_error "vm is dead"
+  else begin
+    let hart = t.machine.Machine.harts.(hart_id) in
+    (* Devices resolve guest addresses through this VM's tables. *)
+    Mmio_emul.set_translate t.devices (fun gpa ->
+        if Zion.Layout.is_shared_gpa gpa then
+          Shared_map.lookup nvm.nvm_shared ~gpa
+        else Zion.Spt.lookup nvm.spt ~gpa);
+    (* Host-side world switch into the guest: normal KVM entry. *)
+    Zion.Deleg_policy.apply_normal hart;
+    hart.Hart.csr.Csr.hgatp <-
+      Sv39.hgatp_of ~vmid:(1000 + nvm.nid) ~root:(Zion.Spt.root nvm.spt);
+    Zion.Vcpu.restore_to_hart nvm.sv hart;
+    hart.Hart.mode <- Priv.VS;
+    hart.Hart.wfi_stalled <- false;
+    charge t "nvm_entry" (t.cost.Cost.kvm_restore + t.cost.Cost.xret);
+    let save_back () =
+      Zion.Vcpu.save_from_hart hart nvm.sv;
+      if hart.Hart.mode <> Priv.VS && hart.Hart.mode <> Priv.VU then begin
+        (* exited through a trap: resume point is in sepc or mepc *)
+        let csr = hart.Hart.csr in
+        nvm.sv.Zion.Vcpu.pc <-
+          (if hart.Hart.mode = Priv.M then csr.Csr.mepc else csr.Csr.sepc)
+      end;
+      hart.Hart.mode <- Priv.HS
+    in
+    let rec loop steps =
+      if steps >= max_steps then begin
+        save_back ();
+        N_limit
+      end
+      else begin
+        Machine.sync_time t.machine;
+        Exec.step hart;
+        match hart.Hart.mode with
+        | Priv.VS | Priv.VU -> loop (steps + 1)
+        | Priv.HS -> handle_hs_trap steps
+        | Priv.M ->
+            (* Timer interrupts land in M (mideleg cannot delegate MTI). *)
+            let cause = hart.Hart.csr.Csr.mcause in
+            if Int64.compare cause 0L < 0 then begin
+              charge t "hs_timer_tick"
+                (t.cost.Cost.hs_timer_tick - t.cost.Cost.trap_entry);
+              t.ticks <- t.ticks + 1;
+              save_back ();
+              N_timer
+            end
+            else begin
+              save_back ();
+              N_error
+                (Printf.sprintf "unexpected M trap: %Ld"
+                   hart.Hart.csr.Csr.mcause)
+            end
+        | Priv.U -> loop (steps + 1)
+      end
+    and handle_hs_trap steps =
+      let csr = hart.Hart.csr in
+      let code = Int64.to_int (Int64.logand csr.Csr.scause 0xFFL) in
+      let is_interrupt = Int64.compare csr.Csr.scause 0L < 0 in
+      if is_interrupt then begin
+        charge t "hs_timer_tick"
+          (t.cost.Cost.hs_timer_tick - t.cost.Cost.trap_entry);
+        t.ticks <- t.ticks + 1;
+        save_back ();
+        N_timer
+      end
+      else begin
+        match Cause.exception_of_code code with
+        | Some Cause.Ecall_from_vs -> begin
+            match handle_nvm_sbi t hart with
+            | `Resume ->
+                resume_nvm t hart ~skip:true;
+                loop (steps + 1)
+            | `Shutdown ->
+                nvm.alive <- false;
+                save_back ();
+                N_shutdown
+          end
+        | Some
+            (Cause.Load_guest_page_fault | Cause.Store_guest_page_fault
+            | Cause.Instr_guest_page_fault) ->
+            let gpa =
+              Int64.logor
+                (Int64.shift_left csr.Csr.htval 2)
+                (Int64.logand csr.Csr.stval 3L)
+            in
+            if in_virtio_window gpa then begin
+              (* Direct MMIO emulation in HS: the 5,000-cycle path. *)
+              match
+                Zion.Vcpu.decode_mmio
+                  {
+                    (Zion.Vcpu.fresh_secure ~entry_pc:0L) with
+                    Zion.Vcpu.regs = Array.copy hart.Hart.regs;
+                  }
+                  ~htinst:csr.Csr.htinst ~gpa
+              with
+              | Error e ->
+                  save_back ();
+                  N_error e
+              | Ok mmio ->
+                  let result = Mmio_emul.handle t.devices mmio in
+                  charge t "hs_mmio"
+                    (t.cost.Cost.hs_mmio_exit - t.cost.Cost.trap_entry);
+                  t.mmio_serviced <- t.mmio_serviced + 1;
+                  if not mmio.Zion.Vcpu.mmio_write then
+                    Hart.set_reg hart mmio.Zion.Vcpu.mmio_reg result;
+                  resume_nvm t hart ~skip:true;
+                  loop (steps + 1)
+            end
+            else begin
+              match handle_nvm_fault t nvm gpa with
+              | Ok () ->
+                  resume_nvm t hart ~skip:false;
+                  loop (steps + 1)
+              | Error e ->
+                  save_back ();
+                  N_error e
+            end
+        | Some e ->
+            save_back ();
+            N_error (Cause.to_string (Cause.Exception e))
+        | None ->
+            save_back ();
+            N_error "unknown scause"
+      end
+    in
+    loop 0
+  end
+
+let nvm_fault_log t = t.nvm_faults
+let nvm_timer_ticks t = t.ticks
+
+(* ---------- confidential VMs ---------- *)
+
+type cvm_handle = { cid : int; shared : Shared_map.t }
+
+let cvm_id h = h.cid
+let cvm_shared_map h = h.shared
+
+let create_cvm_guest t ~entry_pc ~image =
+  match Zion.Monitor.create_cvm t.monitor ~nvcpus:1 ~entry_pc with
+  | Error e -> Error (Zion.Ecall.error_to_string e)
+  | Ok cid ->
+      let rec load = function
+        | [] -> Ok ()
+        | (gpa, data) :: rest -> begin
+            match Zion.Monitor.load_image t.monitor ~cvm:cid ~gpa data with
+            | Ok () -> load rest
+            | Error e -> Error (Zion.Ecall.error_to_string e)
+          end
+      in
+      (match load image with
+      | Error e -> Error e
+      | Ok () -> begin
+          match Zion.Monitor.finalize_cvm t.monitor ~cvm:cid with
+          | Error e -> Error (Zion.Ecall.error_to_string e)
+          | Ok _measurement -> begin
+              match Shared_map.create ~bus:t.machine.Machine.bus t.mem with
+              | Error e -> Error e
+              | Ok shared -> begin
+                  match
+                    Zion.Monitor.install_shared t.monitor ~cvm:cid
+                      ~table_pa:(Shared_map.root shared)
+                  with
+                  | Error e -> Error (Zion.Ecall.error_to_string e)
+                  | Ok () ->
+                      (* Pre-map the SWIOTLB window (descriptor page +
+                         bounce slots), as the guest kernel does at
+                         boot, so device DMA never hits an unmapped
+                         bounce page. *)
+                      let premap_err = ref None in
+                      for i = 0 to Guest.Swiotlb.slots do
+                        let gpa =
+                          Int64.add Guest.Swiotlb.base
+                            (Int64.of_int (i * Guest.Swiotlb.slot_size))
+                        in
+                        match Shared_map.map_fresh shared ~gpa with
+                        | Ok _ -> ()
+                        | Error e -> premap_err := Some e
+                      done;
+                      (match !premap_err with
+                      | Some e -> Error e
+                      | None ->
+                          Mmio_emul.set_translate t.devices (fun gpa ->
+                              Shared_map.lookup shared ~gpa);
+                          Ok { cid; shared })
+                end
+            end
+        end)
+
+type cvm_outcome = C_timer | C_shutdown | C_limit | C_denied | C_error of string
+
+let expand_pool t bytes =
+  (* Round up to whole blocks and allocate block-aligned. *)
+  let bytes =
+    let b = block_size in
+    Int64.mul (Int64.div (Int64.add bytes (Int64.sub b 1L)) b) b
+  in
+  let npages = Int64.to_int (Int64.div bytes 4096L) in
+  match Host_mem.alloc_pages t.mem ~align:block_size npages with
+  | None -> Error "host cannot expand the secure pool"
+  | Some base -> begin
+      charge t "expand_host_work" t.cost.Cost.expand_host_work;
+      t.expansions <- t.expansions + 1;
+      match
+        Zion.Monitor.register_secure_region t.monitor ~base ~size:bytes
+      with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Zion.Ecall.error_to_string e)
+    end
+
+let reply_mmio t h mmio result =
+  if (Zion.Monitor.config t.monitor).Zion.Monitor.shared_vcpu then begin
+    match Zion.Monitor.shared_vcpu_of t.monitor ~cvm:h.cid ~vcpu:0 with
+    | None -> Error "no shared vcpu"
+    | Some sh ->
+        sh.Zion.Vcpu.s_data <- result;
+        sh.Zion.Vcpu.s_pc_advance <- 4L;
+        Ok ()
+  end
+  else if mmio.Zion.Vcpu.mmio_write then Ok ()
+  else begin
+    match
+      Zion.Monitor.set_vcpu_reg t.monitor ~cvm:h.cid ~vcpu:0
+        ~reg:mmio.Zion.Vcpu.mmio_reg result
+    with
+    | Ok () -> Ok ()
+    | Error e -> Error (Zion.Ecall.error_to_string e)
+  end
+
+let run_cvm t h ~hart ~max_steps =
+  Mmio_emul.set_translate t.devices (fun gpa ->
+      Shared_map.lookup h.shared ~gpa);
+  let rec drive budget =
+    if budget <= 0 then C_limit
+    else begin
+      match
+        Zion.Monitor.run_vcpu t.monitor ~hart ~cvm:h.cid ~vcpu:0
+          ~max_steps:budget
+      with
+      | Error Zion.Ecall.Denied -> C_denied
+      | Error e -> C_error (Zion.Ecall.error_to_string e)
+      | Ok reason -> begin
+          match reason with
+          | Zion.Monitor.Exit_timer -> C_timer
+          | Zion.Monitor.Exit_limit -> C_limit
+          | Zion.Monitor.Exit_shutdown -> C_shutdown
+          | Zion.Monitor.Exit_error e -> C_error e
+          | Zion.Monitor.Exit_mmio mmio -> begin
+              let result = Mmio_emul.handle t.devices mmio in
+              t.mmio_serviced <- t.mmio_serviced + 1;
+              match reply_mmio t h mmio result with
+              | Ok () -> drive (budget - 1)
+              | Error e -> C_error e
+            end
+          | Zion.Monitor.Exit_shared_fault gpa -> begin
+              match
+                Shared_map.map_fresh h.shared
+                  ~gpa:(Xword.align_down gpa 4096L)
+              with
+              | Ok _ -> drive (budget - 1)
+              | Error e -> C_error e
+            end
+          | Zion.Monitor.Exit_need_memory { bytes } -> begin
+              match expand_pool t bytes with
+              | Ok () -> drive (budget - 1)
+              | Error e -> C_error e
+            end
+        end
+    end
+  in
+  drive max_steps
+
+let run_cvm_to_completion t h ~hart ~quantum ~max_slices =
+  let clint = Bus.clint t.machine.Machine.bus in
+  let hart_obj = t.machine.Machine.harts.(hart) in
+  hart_obj.Hart.csr.Csr.mie <-
+    Int64.logor hart_obj.Hart.csr.Csr.mie (Int64.shift_left 1L 7);
+  let rec go slice =
+    if slice >= max_slices then C_limit
+    else begin
+      Clint.set_mtimecmp clint hart
+        (Int64.of_int (Metrics.Ledger.now (ledger t) + quantum));
+      match run_cvm t h ~hart ~max_steps:10_000_000 with
+      | C_timer -> go (slice + 1)
+      | other -> other
+    end
+  in
+  go 0
+
+let mmio_exits_serviced t = t.mmio_serviced
+let expansions t = t.expansions

@@ -1,0 +1,90 @@
+(** The untrusted host virtualization stack: KVM run loops for normal
+    VMs and the driver that controls confidential VMs through the Secure
+    Monitor's ECALL interface, plus the QEMU-side device emulation.
+
+    Normal VMs are the paper's baseline: KVM owns their stage-2 tables
+    (in normal memory), handles their stage-2 faults (§V.C's 39,607-cycle
+    path), their timer ticks, and their MMIO directly in HS mode.
+
+    Confidential VMs are driven through [Zion.Monitor]: KVM sees only
+    the exit reasons and the shared vCPU, and services MMIO, shared-
+    region faults and pool expansion. *)
+
+type t
+
+val create :
+  machine:Riscv.Machine.t ->
+  monitor:Zion.Monitor.t ->
+  ?disk_sectors:int ->
+  unit ->
+  t
+(** Sets up the host allocator over DRAM above the 16 MiB kernel image
+    and the emulated virtio devices. *)
+
+val machine : t -> Riscv.Machine.t
+val monitor : t -> Zion.Monitor.t
+val host_mem : t -> Host_mem.t
+val devices : t -> Mmio_emul.t
+
+val donate_secure_pool : t -> mib:int -> (unit, string) result
+(** Allocate a contiguous, block-aligned region from host memory and
+    register it with the Secure Monitor as the initial secure pool. *)
+
+(* {2 Normal VMs (baseline)} *)
+
+type nvm
+
+val create_normal_vm :
+  t -> entry_pc:int64 -> image:(int64 * string) list -> (nvm, string) result
+(** Build a normal VM: stage-2 tables in normal memory, image pages
+    allocated and mapped eagerly by the host. *)
+
+type normal_exit = N_timer | N_shutdown | N_limit | N_error of string
+
+val run_normal_vm :
+  t -> nvm -> hart:int -> max_steps:int -> normal_exit
+(** KVM vCPU loop: runs the guest, servicing stage-2 faults, MMIO and
+    SBI calls in HS mode; returns on timer, shutdown, or step budget. *)
+
+val nvm_fault_log : t -> int list
+(** Cycles charged per normal-VM stage-2 fault, most recent first. *)
+
+val nvm_timer_ticks : t -> int
+
+(* {2 Confidential VMs} *)
+
+type cvm_handle
+
+val cvm_id : cvm_handle -> int
+val cvm_shared_map : cvm_handle -> Shared_map.t
+
+val create_cvm_guest :
+  t ->
+  entry_pc:int64 ->
+  image:(int64 * string) list ->
+  (cvm_handle, string) result
+(** Full CVM setup: create through the SM, load and measure the image,
+    finalize, build the hypervisor's shared subtree and hand its root to
+    the SM. *)
+
+type cvm_outcome =
+  | C_timer
+  | C_shutdown
+  | C_limit
+  | C_denied  (** the SM refused a resume (Check-after-Load etc.) *)
+  | C_error of string
+
+val run_cvm :
+  t -> cvm_handle -> hart:int -> max_steps:int -> cvm_outcome
+(** Drive the CVM until a scheduling-relevant event: MMIO exits are
+    emulated and resumed internally (through the shared vCPU or
+    GET/SET_REG according to the monitor's configuration), shared-region
+    faults are mapped, pool exhaustion triggers expansion. *)
+
+val run_cvm_to_completion :
+  t -> cvm_handle -> hart:int -> quantum:int -> max_slices:int -> cvm_outcome
+(** Keep scheduling the CVM (reprogramming the timer each slice) until
+    it shuts down or the slice budget runs out. *)
+
+val mmio_exits_serviced : t -> int
+val expansions : t -> int

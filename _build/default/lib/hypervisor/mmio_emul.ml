@@ -1,0 +1,39 @@
+type t = { blk : Virtio_blk.t; net : Virtio_net.t }
+
+let blk_slot = 0x000L
+let net_slot = 0x100L
+
+let create ~bus ~disk_sectors =
+  {
+    blk = Virtio_blk.create ~bus ~capacity_sectors:disk_sectors;
+    net = Virtio_net.create ~bus;
+  }
+
+let blk t = t.blk
+let net t = t.net
+
+let set_translate t f =
+  Virtio_blk.set_translate t.blk f;
+  Virtio_net.set_translate t.net f
+
+let handle t (mmio : Zion.Vcpu.mmio) =
+  let off = Int64.sub mmio.Zion.Vcpu.mmio_gpa Zion.Layout.virtio_mmio_gpa in
+  if off < 0L || off >= 0x1000L then 0L
+  else if Riscv.Xword.ult off net_slot then begin
+    let dev_off = Int64.sub off blk_slot in
+    if mmio.Zion.Vcpu.mmio_write then begin
+      Virtio_blk.mmio_write t.blk dev_off mmio.Zion.Vcpu.mmio_size
+        mmio.Zion.Vcpu.mmio_data;
+      0L
+    end
+    else Virtio_blk.mmio_read t.blk dev_off mmio.Zion.Vcpu.mmio_size
+  end
+  else begin
+    let dev_off = Int64.sub off net_slot in
+    if mmio.Zion.Vcpu.mmio_write then begin
+      Virtio_net.mmio_write t.net dev_off mmio.Zion.Vcpu.mmio_size
+        mmio.Zion.Vcpu.mmio_data;
+      0L
+    end
+    else Virtio_net.mmio_read t.net dev_off mmio.Zion.Vcpu.mmio_size
+  end

@@ -1,0 +1,20 @@
+(** A round-robin scheduler over confidential VMs, used by the
+    multi-tenant example and the scalability bench: repeatedly gives
+    each runnable CVM one timer quantum until all have shut down. *)
+
+type t
+
+val create : Kvm.t -> quantum:int -> t
+val add : t -> Kvm.cvm_handle -> unit
+
+val run : t -> hart:int -> max_rounds:int -> (int * Kvm.cvm_outcome) list
+(** Schedule until every CVM finishes (or the round budget runs out);
+    returns each CVM's final outcome keyed by CVM id. *)
+
+val run_on_harts :
+  t -> harts:int list -> max_rounds:int -> (int * Kvm.cvm_outcome) list
+(** Like [run], but slices rotate across several harts (the simulator
+    interleaves them; each hart keeps its own PMP/CSR state, so this
+    exercises ZION's per-hart world-switch bookkeeping). *)
+
+val slices_run : t -> int

@@ -1,0 +1,24 @@
+type t = {
+  vcpu_table : (int * int, int) Hashtbl.t;
+  mutable n_entries : int;
+  mutable n_exits : int;
+}
+
+let create () =
+  { vcpu_table = Hashtbl.create 16; n_entries = 0; n_exits = 0 }
+
+let dispatch_entry t ~cvm ~vcpu =
+  let key = (cvm, vcpu) in
+  let gen = Option.value ~default:0 (Hashtbl.find_opt t.vcpu_table key) in
+  Hashtbl.replace t.vcpu_table key (gen + 1);
+  t.n_entries <- t.n_entries + 1
+
+let dispatch_exit t ~cvm ~vcpu ~cause =
+  ignore cause;
+  let key = (cvm, vcpu) in
+  if not (Hashtbl.mem t.vcpu_table key) then
+    invalid_arg "Secure_hyp.dispatch_exit: exit before any entry";
+  t.n_exits <- t.n_exits + 1
+
+let entries t = t.n_entries
+let exits t = t.n_exits

@@ -1,0 +1,23 @@
+(** The "simple secure hypervisor" of §V.B.2's long-path baseline.
+
+    Architectures like CoVE and TwinVisor interpose a thin trusted
+    hypervisor between the monitor and the confidential VM. To measure
+    what that extra hop costs, the paper builds a minimal one; so do we.
+    When [Zion.Monitor] runs with [long_path = true] it charges the hop
+    costs; this module provides the hop's functional shape — a dispatch
+    table the long-path bench drives so the code path actually executes
+    rather than being a pure constant. *)
+
+type t
+
+val create : unit -> t
+
+val dispatch_entry : t -> cvm:int -> vcpu:int -> unit
+(** Stand-in for the TSM's entry work: look up the vCPU descriptor,
+    validate the request, prepare the guest context. *)
+
+val dispatch_exit : t -> cvm:int -> vcpu:int -> cause:int -> unit
+(** Stand-in for the TSM's exit triage before bouncing to the host. *)
+
+val entries : t -> int
+val exits : t -> int

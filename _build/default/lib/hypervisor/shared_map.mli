@@ -1,0 +1,34 @@
+(** The hypervisor's shared-region page tables (paper §IV.E).
+
+    This is the subtree the split-page-table design puts under direct
+    hypervisor control: a level-1 table (one 1 GiB slot) plus level-0
+    tables, all in normal memory, mapping shared-region GPAs to normal
+    physical pages. The hypervisor edits it without any Secure Monitor
+    involvement — that's the whole point — and the SM only ever links
+    its root into a CVM's root table (after checking it isn't in the
+    secure pool). *)
+
+type t
+
+val create : bus:Riscv.Bus.t -> Host_mem.t -> (t, string) result
+(** Allocates and zeroes the level-1 root. *)
+
+val root : t -> int64
+(** Physical address of the level-1 table (hand this to
+    [Zion.Monitor.install_shared]). *)
+
+val map : t -> gpa:int64 -> pa:int64 -> (unit, string) result
+(** Map one shared-region GPA to a normal page, allocating level-0
+    tables on demand. Remapping an existing entry is allowed (the
+    hypervisor may swap pages freely — the SM doesn't care). *)
+
+val unmap : t -> gpa:int64 -> unit
+
+val map_fresh : t -> gpa:int64 -> (int64, string) result
+(** Allocate a fresh normal page and map it; returns the page. *)
+
+val lookup : t -> gpa:int64 -> int64 option
+
+val map_secure_page_for_attack : t -> gpa:int64 -> pa:int64 -> unit
+(** Deliberately map an arbitrary physical page (used by the
+    adversarial tests to verify the SM/PMP defences; no checks). *)

@@ -1,0 +1,130 @@
+open Riscv
+
+let sid = 3
+let sector_size = 512
+
+type t = {
+  bus : Bus.t;
+  disk : Bytes.t;
+  mutable translate : int64 -> int64 option;
+  mutable desc_gpa : int64;
+  mutable status : int64;
+  mutable requests : int;
+  mutable bytes_r : int;
+  mutable bytes_w : int;
+}
+
+let create ~bus ~capacity_sectors =
+  if capacity_sectors <= 0 then
+    invalid_arg "Virtio_blk.create: non-positive capacity";
+  {
+    bus;
+    disk = Bytes.make (capacity_sectors * sector_size) '\x00';
+    translate = (fun _ -> None);
+    desc_gpa = 0L;
+    status = 0L;
+    requests = 0;
+    bytes_r = 0;
+    bytes_w = 0;
+  }
+
+let set_translate t f = t.translate <- f
+
+(* Read [len] bytes of guest memory at a shared GPA, page by page,
+   through DMA (IOPMP-checked). *)
+let dma_read_gpa t gpa len =
+  let buf = Buffer.create len in
+  let rec go off =
+    if off >= len then Some (Buffer.contents buf)
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match t.translate g with
+      | None -> None
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Buffer.add_string buf (Bus.dma_read t.bus ~sid pa chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let dma_write_gpa t gpa data =
+  let len = String.length data in
+  let rec go off =
+    if off >= len then true
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match t.translate g with
+      | None -> false
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Bus.dma_write t.bus ~sid pa (String.sub data off chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let le_u64 s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let le_u32 s off = Int64.to_int (Int64.logand (le_u64 s off) 0xFFFFFFFFL)
+
+let process t =
+  t.status <- 1L (* error until proven otherwise *);
+  match dma_read_gpa t t.desc_gpa 24 with
+  | None -> ()
+  | Some desc ->
+      let sector = Int64.to_int (le_u64 desc 0) in
+      let len = le_u32 desc 8 in
+      let op = le_u32 desc 12 in
+      let data_gpa = le_u64 desc 16 in
+      let disk_off = sector * sector_size in
+      if
+        sector < 0 || len < 0
+        || disk_off + len > Bytes.length t.disk
+      then ()
+      else if op = 0 then begin
+        (* device -> guest *)
+        let data = Bytes.sub_string t.disk disk_off len in
+        if dma_write_gpa t data_gpa data then begin
+          t.requests <- t.requests + 1;
+          t.bytes_r <- t.bytes_r + len;
+          t.status <- 0L
+        end
+      end
+      else if op = 1 then begin
+        match dma_read_gpa t data_gpa len with
+        | None -> ()
+        | Some data ->
+            Bytes.blit_string data 0 t.disk disk_off len;
+            t.requests <- t.requests + 1;
+            t.bytes_w <- t.bytes_w + len;
+            t.status <- 0L
+      end
+
+let mmio_read t off _len =
+  match Int64.to_int off with 0x10 -> t.status | _ -> 0L
+
+let mmio_write t off _len v =
+  match Int64.to_int off with
+  | 0x00 -> t.desc_gpa <- v
+  | 0x08 -> process t
+  | _ -> ()
+
+let requests_served t = t.requests
+let bytes_read t = t.bytes_r
+let bytes_written t = t.bytes_w
+
+let read_backing t ~sector ~len =
+  Bytes.sub_string t.disk (sector * sector_size) len
+
+let write_backing t ~sector data =
+  Bytes.blit_string data 0 t.disk (sector * sector_size)
+    (String.length data)

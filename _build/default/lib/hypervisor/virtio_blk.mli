@@ -1,0 +1,39 @@
+(** Virtio-style block device (QEMU-side emulation).
+
+    The guest programs a fixed descriptor address, fills a 24-byte
+    descriptor in shared memory — sector, length, operation, data-buffer
+    GPA — and kicks the device with an MMIO write. The device translates
+    the shared GPAs through the hypervisor's shared-region map and moves
+    the data by DMA, which the IOPMP checks: a descriptor that smuggles a
+    secure-pool address faults instead of leaking.
+
+    Register map (offsets within the device's MMIO slot):
+    - [0x00] (write, 8 B): descriptor GPA
+    - [0x08] (write, 4 B): kick — process the descriptor synchronously
+    - [0x10] (read, 4 B): status of the last operation (0 = OK)
+
+    Descriptor layout: sector (8 B) | byte length (4 B) | op (4 B,
+    0 = read, 1 = write) | data GPA (8 B). *)
+
+type t
+
+val sid : int
+(** Bus-master source id used for IOPMP checks. *)
+
+val create : bus:Riscv.Bus.t -> capacity_sectors:int -> t
+
+val set_translate : t -> (int64 -> int64 option) -> unit
+(** Install the GPA→PA translation (the hypervisor's shared map for a
+    CVM; an identity-ish map for a normal VM). *)
+
+val mmio_read : t -> int64 -> int -> int64
+val mmio_write : t -> int64 -> int -> int64 -> unit
+
+val requests_served : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+
+val read_backing : t -> sector:int -> len:int -> string
+(** Inspect the disk contents (tests). *)
+
+val write_backing : t -> sector:int -> string -> unit

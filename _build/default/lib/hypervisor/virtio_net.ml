@@ -1,0 +1,112 @@
+open Riscv
+
+let sid = 4
+
+type t = {
+  bus : Bus.t;
+  mutable translate : int64 -> int64 option;
+  mutable peer : string -> string option;
+  mutable tx_desc_gpa : int64;
+  mutable rx_buf_gpa : int64;
+  mutable last_rx_len : int64;
+  rx : string Queue.t;
+  mutable tx : string list; (* newest first *)
+}
+
+let create ~bus =
+  {
+    bus;
+    translate = (fun _ -> None);
+    peer = (fun _ -> None);
+    tx_desc_gpa = 0L;
+    rx_buf_gpa = 0L;
+    last_rx_len = 0L;
+    rx = Queue.create ();
+    tx = [];
+  }
+
+let set_translate t f = t.translate <- f
+let set_peer t f = t.peer <- f
+let inject_rx t pkt = Queue.add pkt t.rx
+
+let dma_read_gpa t gpa len =
+  let buf = Buffer.create len in
+  let rec go off =
+    if off >= len then Some (Buffer.contents buf)
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match t.translate g with
+      | None -> None
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Buffer.add_string buf (Bus.dma_read t.bus ~sid pa chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let dma_write_gpa t gpa data =
+  let len = String.length data in
+  let rec go off =
+    if off >= len then true
+    else begin
+      let g = Int64.add gpa (Int64.of_int off) in
+      match t.translate g with
+      | None -> false
+      | Some pa ->
+          let in_page = 4096 - Int64.to_int (Int64.logand g 0xFFFL) in
+          let chunk = min in_page (len - off) in
+          Bus.dma_write t.bus ~sid pa (String.sub data off chunk);
+          go (off + chunk)
+    end
+  in
+  go 0
+
+let le_u64 s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let do_tx t =
+  match dma_read_gpa t t.tx_desc_gpa 16 with
+  | None -> ()
+  | Some desc ->
+      let len = Int64.to_int (Int64.logand (le_u64 desc 0) 0xFFFFFFFFL) in
+      let data_gpa = le_u64 desc 8 in
+      if len >= 0 && len <= 65536 then begin
+        match dma_read_gpa t data_gpa len with
+        | None -> ()
+        | Some pkt -> begin
+            t.tx <- pkt :: t.tx;
+            match t.peer pkt with
+            | Some reply -> Queue.add reply t.rx
+            | None -> ()
+          end
+      end
+
+let do_rx_fill t =
+  if Queue.is_empty t.rx then t.last_rx_len <- 0L
+  else begin
+    let pkt = Queue.pop t.rx in
+    if dma_write_gpa t t.rx_buf_gpa pkt then
+      t.last_rx_len <- Int64.of_int (String.length pkt)
+    else t.last_rx_len <- 0L
+  end
+
+let mmio_read t off _len =
+  match Int64.to_int off with 0x10 -> t.last_rx_len | _ -> 0L
+
+let mmio_write t off _len v =
+  match Int64.to_int off with
+  | 0x00 -> t.tx_desc_gpa <- v
+  | 0x08 -> if v = 1L then do_tx t else if v = 2L then do_rx_fill t
+  | 0x18 -> t.rx_buf_gpa <- v
+  | _ -> ()
+
+let tx_packets t = List.rev t.tx
+let tx_count t = List.length t.tx
+let rx_pending t = Queue.length t.rx

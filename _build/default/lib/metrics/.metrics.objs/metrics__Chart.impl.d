@@ -1,0 +1,1 @@
+lib/metrics/chart.ml: Array Buffer Float List Printf String

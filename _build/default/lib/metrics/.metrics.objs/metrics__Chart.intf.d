@@ -1,0 +1,1 @@
+lib/metrics/chart.mli:

@@ -1,0 +1,1 @@
+lib/metrics/ledger.ml: Hashtbl List

@@ -1,0 +1,108 @@
+let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0. xs
+
+let bars ?(width = 50) ?(unit_label = "") rows =
+  if rows = [] then ""
+  else begin
+    let vmax = max_by snd rows in
+    let vmax = if vmax <= 0. then 1. else vmax in
+    let label_w =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+    in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (label, v) ->
+        let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%s%s %.2f%s\n" label_w label
+             (String.make (max n 0) '#')
+             (String.make (width - max n 0) ' ')
+             v unit_label))
+      rows;
+    Buffer.contents buf
+  end
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '@'; '%' |]
+
+let series ?(width = 72) ?(height = 16) ~x_label ~y_label named_series =
+  let all_points = List.concat_map snd named_series in
+  if all_points = [] then ""
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let xmin = List.fold_left min (List.hd xs) xs in
+    let xmax = List.fold_left max (List.hd xs) xs in
+    let ymin = List.fold_left min (List.hd ys) ys in
+    let ymax = List.fold_left max (List.hd ys) ys in
+    let xspan = if xmax = xmin then 1. else xmax -. xmin in
+    let yspan = if ymax = ymin then 1. else ymax -. ymin in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, points) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              height - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- glyph)
+          points)
+      named_series;
+    let buf = Buffer.create 1024 in
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   x: %s in [%.4g, %.4g]   y: %s in [%.4g, %.4g]\n"
+         x_label xmin xmax y_label ymin ymax);
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c = %s\n" glyphs.(si mod Array.length glyphs)
+             name))
+      named_series;
+    Buffer.contents buf
+  end
+
+let grouped_bars ?(width = 40) ~group_labels rows =
+  if rows = [] then ""
+  else begin
+    let vmax =
+      List.fold_left
+        (fun acc (_, vs) -> List.fold_left max acc vs)
+        0. rows
+    in
+    let vmax = if vmax <= 0. then 1. else vmax in
+    let name_w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+    in
+    let group_w =
+      List.fold_left (fun acc g -> max acc (String.length g)) 0 group_labels
+    in
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (name, values) ->
+        List.iteri
+          (fun i v ->
+            let label = try List.nth group_labels i with _ -> "" in
+            let n =
+              int_of_float (Float.round (v /. vmax *. float_of_int width))
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%-*s %-*s |%s %.2f\n" name_w
+                 (if i = 0 then name else "")
+                 group_w label
+                 (String.make (max n 0) '#')
+                 v))
+          values;
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+  end

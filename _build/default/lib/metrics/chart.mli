@@ -1,0 +1,30 @@
+(** ASCII charts for the benchmark harness: render figure-style series
+    in the terminal so the paper's plots have a visual analogue in the
+    bench output. *)
+
+val bars :
+  ?width:int ->
+  ?unit_label:string ->
+  (string * float) list ->
+  string
+(** Horizontal bar chart, one row per (label, value); bars scale to the
+    maximum value over [width] columns (default 50). *)
+
+val series :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** Multi-series scatter/line plot on a character grid (default 72x16).
+    Each series gets a distinct glyph; x values may be log-spaced by the
+    caller. A legend and axis ranges are printed beneath. *)
+
+val grouped_bars :
+  ?width:int ->
+  group_labels:string list ->
+  (string * float list) list ->
+  string
+(** Rows of grouped bars: each (series, values) contributes one bar per
+    group; useful for normal-vs-CVM pairs across operations. *)

@@ -1,0 +1,29 @@
+type t = { mutable clock : int; totals : (string, int ref) Hashtbl.t }
+
+let create () = { clock = 0; totals = Hashtbl.create 32 }
+let now t = t.clock
+
+let charge t category cycles =
+  if cycles < 0 then invalid_arg "Ledger.charge: negative cycles";
+  t.clock <- t.clock + cycles;
+  match Hashtbl.find_opt t.totals category with
+  | Some r -> r := !r + cycles
+  | None -> Hashtbl.add t.totals category (ref cycles)
+
+let advance t cycles =
+  if cycles < 0 then invalid_arg "Ledger.advance: negative cycles";
+  t.clock <- t.clock + cycles
+
+let category_total t category =
+  match Hashtbl.find_opt t.totals category with Some r -> !r | None -> 0
+
+let categories t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.totals []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let mark t = t.clock
+let since t m = t.clock - m
+
+let reset t =
+  t.clock <- 0;
+  Hashtbl.reset t.totals

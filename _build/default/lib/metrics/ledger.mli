@@ -1,0 +1,36 @@
+(** Cycle ledger — the simulator's clock and cost accounting.
+
+    Every architectural component (trap logic, PMP reconfiguration, page
+    walks, instruction execution, workload op streams) charges cycles to a
+    ledger. A ledger tracks the global cycle counter plus per-category
+    totals so experiments can attribute where time went. Marks allow
+    measuring deltas (e.g. one world switch) without resetting. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current cycle count since creation (or last [reset]). *)
+
+val charge : t -> string -> int -> unit
+(** [charge t category cycles] advances the clock by [cycles] and adds
+    them to [category]'s total. [cycles] must be non-negative. *)
+
+val advance : t -> int -> unit
+(** Advance the clock without attributing a category (bulk compute). *)
+
+val category_total : t -> string -> int
+(** Cycles charged to a category so far; [0] for unknown categories. *)
+
+val categories : t -> (string * int) list
+(** All categories with their totals, sorted by descending total. *)
+
+val mark : t -> int
+(** Snapshot the clock; use with [since]. *)
+
+val since : t -> int -> int
+(** [since t m] is [now t - m]. *)
+
+val reset : t -> unit
+(** Zero the clock and all category totals. *)

@@ -1,0 +1,1 @@
+lib/platform/exp_ablation.ml: Char Guest Hypervisor Int64 List Riscv String Testbed Zion

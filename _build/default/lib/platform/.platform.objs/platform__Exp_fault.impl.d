@@ -1,0 +1,1 @@
+lib/platform/exp_fault.ml: Array Guest Hypervisor List Metrics Testbed Zion

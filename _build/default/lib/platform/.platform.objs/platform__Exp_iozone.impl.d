@@ -1,0 +1,1 @@
+lib/platform/exp_iozone.ml: List Macro_vm Testbed Workloads

@@ -1,0 +1,1 @@
+lib/platform/exp_redis.ml: Array Float List Macro_vm Metrics String Testbed Workloads

@@ -1,0 +1,1 @@
+lib/platform/exp_redis.mli:

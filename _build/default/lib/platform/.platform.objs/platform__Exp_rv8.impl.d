@@ -1,0 +1,1 @@
+lib/platform/exp_rv8.ml: Array List Macro_vm Metrics Riscv Testbed Workloads Zion

@@ -1,0 +1,1 @@
+lib/platform/exp_switch.ml: Array Asm Decode Guest Hypervisor Int64 List Metrics Riscv Testbed Zion

@@ -1,0 +1,1 @@
+lib/platform/macro_vm.ml: Riscv Testbed Workloads Zion

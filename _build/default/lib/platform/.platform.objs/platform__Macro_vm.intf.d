@@ -1,0 +1,1 @@
+lib/platform/macro_vm.mli: Workloads Zion

@@ -1,0 +1,1 @@
+lib/platform/testbed.ml: Asm Bus Clint Csr Hart Hypervisor Int64 Machine Metrics Riscv Zion

@@ -1,0 +1,1 @@
+lib/platform/testbed.mli: Hypervisor Riscv Zion

@@ -1,0 +1,25 @@
+(** Figure 4 — IOZone sequential read/write throughput across file sizes
+    (64 KiB – 512 MiB) and record sizes (8/128/512 KiB), normal vs
+    confidential VM.
+
+    The workload model performs the record processing for real and
+    emits the device-request stream after guest page-cache batching;
+    the event model prices each request's MMIO accesses, device service
+    time and, for the confidential arm, the SWIOTLB bounce copy. *)
+
+type point = {
+  op : Workloads.Iozone.op;
+  file_kb : int;
+  record_kb : int;
+  normal_mb_s : float;
+  cvm_mb_s : float;
+  overhead_pct : float;
+}
+
+val run : unit -> point list
+(** The full Figure 4 grid: 2 ops × 8 file sizes × 3 record sizes. *)
+
+val max_overhead : point list -> float
+val small_file_max_overhead : point list -> float
+(** Maximum overhead among files of at most 16 MiB (the paper: "for
+    smaller files, the performance difference is minimal"). *)

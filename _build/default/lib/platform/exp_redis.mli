@@ -1,0 +1,39 @@
+(** Figure 3 — Redis throughput and latency, normal VM vs confidential
+    VM.
+
+    A redis-benchmark-style client drives the real RESP server
+    ([Workloads.Redis]) with [rounds] × [requests] commands per
+    operation type. Every request's server-side instruction mix is
+    measured; the event model adds the guest kernel's network-stack
+    cost, the virtio-net MMIO accesses (with interrupt coalescing) and,
+    for the confidential VM, SWIOTLB bounce copies and post-switch
+    refills. *)
+
+type row = {
+  op : string;
+  normal_kqps : float;  (** thousand requests per second *)
+  cvm_kqps : float;
+  throughput_drop_pct : float;
+  normal_latency_ms : float;
+  cvm_latency_ms : float;
+  latency_increase_pct : float;
+}
+
+val run : ?rounds:int -> ?requests:int -> unit -> row list
+(** Defaults: 10 rounds × 10,000 requests, as in the paper. *)
+
+val average_throughput_drop : row list -> float
+val average_latency_increase : row list -> float
+
+val paper_avgs : float * float
+(** (−5.3 % throughput, +4 % latency). *)
+
+val kernel_stack_cycles : int
+(** Guest network-stack cost per request (socket, softirq, copies). *)
+
+val client_overhead_cycles : int
+(** Benchmark-client side of the measured round-trip latency. *)
+
+val mmio_accesses_per_request : float
+(** Effective virtio-net MMIO accesses per request after interrupt
+    coalescing/NAPI. *)

@@ -1,0 +1,31 @@
+(** §V.B — CVM mode-switching experiments.
+
+    Both experiments drive a real confidential VM on the simulated hart
+    and read the per-switch cycle record out of the Secure Monitor.
+
+    1. Shared-vCPU optimisation (§V.B.1): 200 MMIO-triggered entry/exit
+       pairs with the shared vCPU enabled vs disabled.
+    2. Short-path vs long-path (§V.B.2): 200 timer-triggered entry/exit
+       pairs under ZION's single-hop switch vs the secure-hypervisor
+       long path. *)
+
+type switch_stats = { entry_mean : float; exit_mean : float; samples : int }
+
+val measure_mmio_switches : shared_vcpu:bool -> iterations:int -> switch_stats
+(** MMIO-triggered switches under the given vCPU-transfer mechanism. *)
+
+val measure_timer_switches : long_path:bool -> iterations:int -> switch_stats
+(** Timer-triggered switches under the short or long path. *)
+
+type report = {
+  shared_on : switch_stats;
+  shared_off : switch_stats;
+  short_path : switch_stats;
+  long_path : switch_stats;
+}
+
+val run : ?iterations:int -> unit -> report
+(** Default 200 iterations, as in the paper. *)
+
+val paper : (string * float) list
+(** The paper's numbers for side-by-side printing. *)

@@ -1,0 +1,132 @@
+type kind = Normal | Confidential
+
+type t = {
+  kind : kind;
+  monitor : Zion.Monitor.t;
+  cost : Riscv.Cost.t;
+  locality : Workloads.Opcount.locality;
+  mutable work : float;  (** computation cycles *)
+  mutable fault : float;
+  mutable io : float;
+  mutable refill : float;  (** post-switch TLB/cache refill (CVM) *)
+}
+
+let quantum = float_of_int Testbed.quantum_cycles
+
+let create ~kind ~monitor ~locality =
+  {
+    kind;
+    monitor;
+    cost = (Zion.Monitor.machine monitor).Riscv.Machine.cost;
+    locality;
+    work = 0.;
+    fault = 0.;
+    io = 0.;
+    refill = 0.;
+  }
+
+let add_ops t ops =
+  t.work <- t.work +. float_of_int (Workloads.Opcount.cycles t.cost ops)
+
+let add_cycles t c = t.work <- t.work +. float_of_int c
+
+(* KVM's normal-VM fault path costs a fixed 39,607 cycles; ZION's
+   hierarchical allocator serves from the vCPU page cache except when a
+   fresh 64-page block must be grabbed. *)
+let add_faults t ~pages =
+  if pages > 0 then begin
+    let c = t.cost in
+    match t.kind with
+    | Normal ->
+        (* same composition as Hypervisor.Kvm.kvm_fault_cost *)
+        let kvm =
+          c.Riscv.Cost.trap_entry + c.Riscv.Cost.kvm_save
+          + c.Riscv.Cost.kvm_dispatch + c.Riscv.Cost.kvm_memslot
+          + c.Riscv.Cost.kvm_host_alloc + c.Riscv.Cost.page_scrub
+          + c.Riscv.Cost.kvm_map
+          + (3 * c.Riscv.Cost.page_walk_step)
+          + c.Riscv.Cost.kvm_fence + c.Riscv.Cost.kvm_restore
+          + c.Riscv.Cost.xret
+        in
+        t.fault <- t.fault +. (float_of_int pages *. float_of_int kvm)
+    | Confidential ->
+        let base =
+          c.Riscv.Cost.trap_entry + c.Riscv.Cost.sm_fault_decode
+          + c.Riscv.Cost.sm_fault_validate + c.Riscv.Cost.page_cache_alloc
+          + c.Riscv.Cost.page_scrub
+          + (3 * c.Riscv.Cost.page_walk_step)
+          + c.Riscv.Cost.gstage_map + c.Riscv.Cost.sm_fault_bookkeeping
+          + c.Riscv.Cost.xret
+        in
+        let block_grabs = pages / 64 in
+        t.fault <-
+          t.fault
+          +. (float_of_int pages *. float_of_int base)
+          +. (float_of_int block_grabs *. float_of_int c.Riscv.Cost.block_grab)
+  end
+
+let switch_refill t = Workloads.Opcount.refill_cycles t.cost t.locality
+
+(* One MMIO access round trip. *)
+let mmio_round_trip t =
+  match t.kind with
+  | Normal -> t.cost.Riscv.Cost.hs_mmio_exit
+  | Confidential ->
+      let r = switch_refill t in
+      t.refill <- t.refill +. float_of_int r;
+      Zion.Monitor.path_cost t.monitor Zion.Monitor.Exit_with_mmio
+      + Zion.Monitor.path_cost t.monitor Zion.Monitor.Entry_with_mmio
+      + r
+
+let bounce_word_cycles = 3
+
+let blk_service_cycles ~bytes = 20_000 + (2 * bytes)
+
+let add_blk_request t ~bytes =
+  let accesses = 2 (* kick write + status read *) in
+  let switches = accesses * mmio_round_trip t in
+  let copy =
+    match t.kind with
+    | Normal -> 0
+    | Confidential -> (bytes + 7) / 8 * bounce_word_cycles
+  in
+  t.io <-
+    t.io
+    +. float_of_int (switches + copy + blk_service_cycles ~bytes)
+
+let add_net_access t ~copied_bytes =
+  let switch = mmio_round_trip t in
+  let copy =
+    match t.kind with
+    | Normal -> 0
+    | Confidential -> (copied_bytes + 7) / 8 * bounce_word_cycles
+  in
+  t.io <- t.io +. float_of_int (switch + copy)
+
+let tick_cost t =
+  match t.kind with
+  | Normal -> float_of_int t.cost.Riscv.Cost.hs_timer_tick
+  | Confidential ->
+      float_of_int
+        (Zion.Monitor.path_cost t.monitor Zion.Monitor.Exit_plain
+        + Zion.Monitor.path_cost t.monitor Zion.Monitor.Entry_plain
+        + switch_refill t)
+
+let total_cycles t =
+  let base = t.work +. t.fault +. t.io in
+  (* Every quantum of elapsed time costs one timer tick; the tick itself
+     consumes time, so the effective rate dilates. *)
+  let tick = tick_cost t in
+  base /. (1. -. (tick /. quantum))
+
+let breakdown t =
+  let tick = tick_cost t in
+  let total = total_cycles t in
+  let ticks = total /. quantum in
+  [
+    ("work", t.work);
+    ("faults", t.fault);
+    ("io", t.io);
+    ("ticks", ticks *. tick);
+    ("refill(io)", t.refill);
+  ]

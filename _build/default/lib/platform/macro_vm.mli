@@ -1,0 +1,59 @@
+(** Event-priced VM model for the macro benchmarks (Table I, CoreMark,
+    Figures 3 and 4).
+
+    The micro experiments run real guest instructions on the simulated
+    hart; the macro workloads execute their algorithms natively and
+    replay as an {e event stream} — instruction mixes, demand-paging
+    faults, device requests, timer ticks — priced by the same cost
+    compositions the live monitor charges ([Zion.Monitor.path_cost]) and
+    the same KVM fault/emulation constants. Both arms of every
+    comparison (normal VM vs confidential VM) share all constants;
+    they differ only in which paths their events take, mirroring the
+    real machines.
+
+    The confidential arm additionally pays, per world switch, the
+    microarchitectural refill implied by ZION's PMP/hgatp switching
+    (TLB and L1 flushes), sized by the workload's locality descriptor —
+    the effect the paper's §V.B.2 discussion attributes the residual
+    overhead to. *)
+
+type kind = Normal | Confidential
+
+type t
+
+val create :
+  kind:kind -> monitor:Zion.Monitor.t -> locality:Workloads.Opcount.locality -> t
+
+val add_ops : t -> Workloads.Opcount.t -> unit
+(** Account computed work (priced per instruction class). *)
+
+val add_cycles : t -> int -> unit
+(** Account pre-priced work (e.g. fixed kernel-stack costs). *)
+
+val add_faults : t -> pages:int -> unit
+(** Demand-paging events: normal VMs pay the KVM path, confidential VMs
+    the hierarchical-allocator mix (page-cache hits with a stage-2 block
+    grab every 64 pages). *)
+
+val add_blk_request : t -> bytes:int -> unit
+(** One virtio-blk request: two MMIO accesses (kick + status) plus
+    device service time; the confidential arm adds the SWIOTLB bounce
+    copy and the per-switch refill. *)
+
+val add_net_access : t -> copied_bytes:int -> unit
+(** One MMIO access on the net device with [copied_bytes] moved through
+    the bounce buffer (confidential arm only pays the copy). *)
+
+val total_cycles : t -> float
+(** Total modeled cycles including timer-tick overhead: every 10 ms
+    quantum of accumulated time costs one tick on the VM's tick path. *)
+
+val breakdown : t -> (string * float) list
+(** Named components of the total (work, faults, io, ticks, refill). *)
+
+val blk_service_cycles : bytes:int -> int
+(** Device-side service time for one block request (shared by both
+    arms): fixed command overhead plus streaming transfer. *)
+
+val bounce_word_cycles : int
+(** Effective cycles per 8-byte word of SWIOTLB copy. *)

@@ -1,0 +1,50 @@
+open Riscv
+
+type t = {
+  machine : Machine.t;
+  monitor : Zion.Monitor.t;
+  kvm : Hypervisor.Kvm.t;
+}
+
+let guest_entry = 0x10000L
+let quantum_cycles = 1_000_000
+
+let create ?config ?(dram_mib = 256) ?(pool_mib = 8) ?(nharts = 4) () =
+  let machine =
+    Machine.create ~nharts
+      ~dram_size:(Int64.mul (Int64.of_int dram_mib) 0x100000L)
+      ()
+  in
+  let monitor = Zion.Monitor.create ?config machine in
+  let kvm = Hypervisor.Kvm.create ~machine ~monitor () in
+  (match Hypervisor.Kvm.donate_secure_pool kvm ~mib:pool_mib with
+  | Ok () -> ()
+  | Error e -> failwith ("testbed: " ^ e));
+  { machine; monitor; kvm }
+
+let cvm t program =
+  match
+    Hypervisor.Kvm.create_cvm_guest t.kvm ~entry_pc:guest_entry
+      ~image:[ (guest_entry, Asm.program program) ]
+  with
+  | Ok h -> h
+  | Error e -> failwith ("testbed cvm: " ^ e)
+
+let nvm t program =
+  match
+    Hypervisor.Kvm.create_normal_vm t.kvm ~entry_pc:guest_entry
+      ~image:[ (guest_entry, Asm.program program) ]
+  with
+  | Ok v -> v
+  | Error e -> failwith ("testbed nvm: " ^ e)
+
+let enable_timer t ~hart =
+  let h = Machine.hart t.machine hart in
+  h.Hart.csr.Csr.mie <-
+    Int64.logor h.Hart.csr.Csr.mie (Int64.shift_left 1L 7)
+
+let set_quantum t ~hart cycles =
+  Clint.set_mtimecmp
+    (Bus.clint t.machine.Machine.bus)
+    hart
+    (Int64.of_int (Metrics.Ledger.now t.machine.Machine.ledger + cycles))

@@ -1,0 +1,37 @@
+(** Canonical experiment platform: one simulated machine with its Secure
+    Monitor and hypervisor stack, configured like the paper's testbed
+    (four Rocket-class harts, 1 GiB DRAM scaled down to 256 MiB for
+    simulation, an 8 MiB initial secure pool). *)
+
+type t = {
+  machine : Riscv.Machine.t;
+  monitor : Zion.Monitor.t;
+  kvm : Hypervisor.Kvm.t;
+}
+
+val create :
+  ?config:Zion.Monitor.config ->
+  ?dram_mib:int ->
+  ?pool_mib:int ->
+  ?nharts:int ->
+  unit ->
+  t
+
+val guest_entry : int64
+(** Standard guest load/entry GPA (64 KiB). *)
+
+val cvm : t -> Riscv.Decode.t list -> Hypervisor.Kvm.cvm_handle
+(** Create a confidential VM running the given program. Raises
+    [Failure] on setup errors (experiment code wants loud failures). *)
+
+val nvm : t -> Riscv.Decode.t list -> Hypervisor.Kvm.nvm
+(** Create a normal VM running the given program. *)
+
+val enable_timer : t -> hart:int -> unit
+(** Allow machine-timer interrupts on a hart (hosts do this once). *)
+
+val set_quantum : t -> hart:int -> int -> unit
+(** Program the next timer deadline [cycles] from now. *)
+
+val quantum_cycles : int
+(** 1,000,000 — a 10 ms tick at 100 MHz. *)

@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Buffer Char Decode Int64 List Printf Xword

@@ -1,0 +1,1 @@
+lib/riscv/bus.ml: Clint Int64 Iopmp List Physmem Printf String Uart Xword

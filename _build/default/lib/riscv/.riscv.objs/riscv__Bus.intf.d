@@ -1,0 +1,1 @@
+lib/riscv/bus.mli: Clint Iopmp Physmem Uart

@@ -1,0 +1,1 @@
+lib/riscv/cause.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/riscv/clint.ml: Array Int64 Xword

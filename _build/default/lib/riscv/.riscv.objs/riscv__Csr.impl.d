@@ -1,0 +1,1 @@
+lib/riscv/csr.ml: Char Int64 List Pmp Priv Xword

@@ -1,0 +1,1 @@
+lib/riscv/decode.ml: Int64 List Xword

@@ -1,0 +1,1 @@
+lib/riscv/exec.ml: Bus Cause Clint Cost Csr Decode Hart Int64 Metrics Printf Priv Tlb Trap Xword

@@ -1,0 +1,1 @@
+lib/riscv/hart.ml: Array Bus Cause Cost Csr Int64 Metrics Pmp Priv Sv39 Tlb Xword

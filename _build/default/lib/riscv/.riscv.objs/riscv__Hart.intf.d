@@ -1,0 +1,1 @@
+lib/riscv/hart.mli: Bus Cause Cost Csr Metrics Priv Sv39 Tlb

@@ -1,0 +1,1 @@
+lib/riscv/iopmp.ml: Int64 List Xword

@@ -1,0 +1,1 @@
+lib/riscv/machine.ml: Array Asm Bus Clint Cost Exec Hart Int64 Metrics Trap Uart

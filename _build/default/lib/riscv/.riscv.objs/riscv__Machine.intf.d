@@ -1,0 +1,1 @@
+lib/riscv/machine.mli: Bus Cost Decode Hart Metrics

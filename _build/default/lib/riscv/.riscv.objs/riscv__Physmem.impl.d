@@ -1,0 +1,1 @@
+lib/riscv/physmem.ml: Bytes Char Hashtbl Int64 Printf String Xword

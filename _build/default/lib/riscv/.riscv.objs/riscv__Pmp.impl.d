@@ -1,0 +1,1 @@
+lib/riscv/pmp.ml: Array Int64 Priv Xword

@@ -1,0 +1,1 @@
+lib/riscv/pte.ml: Format Int64 List Xword

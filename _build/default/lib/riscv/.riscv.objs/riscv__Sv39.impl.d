@@ -1,0 +1,1 @@
+lib/riscv/sv39.ml: Int64 Pte Xword

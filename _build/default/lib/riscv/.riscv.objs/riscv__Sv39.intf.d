@@ -1,0 +1,1 @@
+lib/riscv/sv39.mli: Pte Stdlib

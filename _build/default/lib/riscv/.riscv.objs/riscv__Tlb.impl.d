@@ -1,0 +1,1 @@
+lib/riscv/tlb.ml: Hashtbl Int64 List

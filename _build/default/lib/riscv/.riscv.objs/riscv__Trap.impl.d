@@ -1,0 +1,1 @@
+lib/riscv/trap.ml: Cause Cost Csr Hart Int64 List Metrics Priv Xword

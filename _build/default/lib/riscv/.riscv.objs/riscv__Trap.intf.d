@@ -1,0 +1,1 @@
+lib/riscv/trap.mli: Cause Hart

@@ -1,0 +1,1 @@
+lib/riscv/uart.ml: Buffer Char Int64

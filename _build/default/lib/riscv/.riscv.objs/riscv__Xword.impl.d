@@ -1,0 +1,1 @@
+lib/riscv/xword.ml: Int64 Printf

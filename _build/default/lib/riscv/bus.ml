@@ -1,0 +1,135 @@
+exception Fault of int64
+
+type device = {
+  name : string;
+  base : int64;
+  size : int64;
+  dev_read : int64 -> int -> int64;
+  dev_write : int64 -> int -> int64 -> unit;
+}
+
+type t = {
+  dram : Physmem.t;
+  clint : Clint.t;
+  uart : Uart.t;
+  iopmp : Iopmp.t;
+  mutable devices : device list;
+}
+
+let dram_base = 0x8000_0000L
+let clint_base = 0x0200_0000L
+let uart_base = 0x1000_0000L
+
+let create ~dram_size ~nharts =
+  {
+    dram = Physmem.create ~size:dram_size;
+    clint = Clint.create ~nharts;
+    uart = Uart.create ();
+    iopmp = Iopmp.create ();
+    devices = [];
+  }
+
+let dram t = t.dram
+let clint t = t.clint
+let uart t = t.uart
+let iopmp t = t.iopmp
+let dram_size t = Physmem.size t.dram
+let dram_end t = Int64.add dram_base (Physmem.size t.dram)
+
+let in_dram t addr =
+  (not (Xword.ult addr dram_base)) && Xword.ult addr (dram_end t)
+
+let in_window ~base ~size addr =
+  (not (Xword.ult addr base)) && Xword.ult addr (Int64.add base size)
+
+let overlaps b1 s1 b2 s2 =
+  Xword.ult b1 (Int64.add b2 s2) && Xword.ult b2 (Int64.add b1 s1)
+
+let register_device t ~name ~base ~size ~read ~write =
+  if size <= 0L then invalid_arg "Bus.register_device: non-positive size";
+  let clash =
+    overlaps base size dram_base (dram_size t)
+    || overlaps base size clint_base Clint.size
+    || overlaps base size uart_base Uart.size
+    || List.exists (fun d -> overlaps base size d.base d.size) t.devices
+  in
+  if clash then
+    invalid_arg
+      (Printf.sprintf "Bus.register_device: %s window overlaps" name);
+  t.devices <-
+    { name; base; size; dev_read = read; dev_write = write } :: t.devices
+
+let find_device t addr =
+  List.find_opt (fun d -> in_window ~base:d.base ~size:d.size addr) t.devices
+
+let is_mmio t addr =
+  in_window ~base:clint_base ~size:Clint.size addr
+  || in_window ~base:uart_base ~size:Uart.size addr
+  || find_device t addr <> None
+
+let check_width len =
+  match len with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Bus: access width must be 1, 2, 4 or 8"
+
+let read t addr len =
+  check_width len;
+  if in_dram t addr then begin
+    let off = Int64.sub addr dram_base in
+    match len with
+    | 1 -> Int64.of_int (Physmem.read_u8 t.dram off)
+    | 2 -> Int64.of_int (Physmem.read_u16 t.dram off)
+    | 4 -> Physmem.read_u32 t.dram off
+    | _ -> Physmem.read_u64 t.dram off
+  end
+  else if in_window ~base:clint_base ~size:Clint.size addr then
+    Clint.read t.clint (Int64.sub addr clint_base) len
+  else if in_window ~base:uart_base ~size:Uart.size addr then
+    Uart.read t.uart (Int64.sub addr uart_base) len
+  else begin
+    match find_device t addr with
+    | Some d -> d.dev_read (Int64.sub addr d.base) len
+    | None -> raise (Fault addr)
+  end
+
+let write t addr len v =
+  check_width len;
+  if in_dram t addr then begin
+    let off = Int64.sub addr dram_base in
+    match len with
+    | 1 -> Physmem.write_u8 t.dram off (Int64.to_int v land 0xff)
+    | 2 -> Physmem.write_u16 t.dram off (Int64.to_int v land 0xffff)
+    | 4 -> Physmem.write_u32 t.dram off v
+    | _ -> Physmem.write_u64 t.dram off v
+  end
+  else if in_window ~base:clint_base ~size:Clint.size addr then
+    Clint.write t.clint (Int64.sub addr clint_base) len v
+  else if in_window ~base:uart_base ~size:Uart.size addr then
+    Uart.write t.uart (Int64.sub addr uart_base) len v
+  else begin
+    match find_device t addr with
+    | Some d -> d.dev_write (Int64.sub addr d.base) len v
+    | None -> raise (Fault addr)
+  end
+
+let require_dram t addr len =
+  let last = Int64.add addr (Int64.of_int (max (len - 1) 0)) in
+  if not (in_dram t addr && in_dram t last) then raise (Fault addr)
+
+let read_bytes t addr len =
+  require_dram t addr len;
+  Physmem.read_bytes t.dram (Int64.sub addr dram_base) len
+
+let write_bytes t addr s =
+  require_dram t addr (String.length s);
+  Physmem.write_bytes t.dram (Int64.sub addr dram_base) s
+
+let dma_read t ~sid addr len =
+  if not (Iopmp.check t.iopmp ~sid Iopmp.Read addr len) then
+    raise (Fault addr);
+  read_bytes t addr len
+
+let dma_write t ~sid addr s =
+  if not (Iopmp.check t.iopmp ~sid Iopmp.Write addr (String.length s)) then
+    raise (Fault addr);
+  write_bytes t addr s

@@ -1,0 +1,186 @@
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+  csr : int;
+  fence : int;
+  trap_entry : int;
+  xret : int;
+  gpr_all : int;
+  csr_ctx_guest : int;
+  csr_ctx_host : int;
+  deleg_reprogram : int;
+  pmp_toggle : int;
+  hgatp_write : int;
+  tlb_full_flush : int;
+  tlb_refill_per_page : int;
+  cache_refill_per_line : int;
+  dcache_lines : int;
+  tlb_capacity : int;
+  page_walk_step : int;
+  page_scrub : int;
+  vcpu_integrity : int;
+  irq_scan : int;
+  timer_prog : int;
+  exit_cause_decode : int;
+  shared_item_store : int;
+  shared_item_load : int;
+  check_after_load : int;
+  shared_classify : int;
+  resume_merge : int;
+  ecall_roundtrip : int;
+  secure_copy_item : int;
+  unshared_validate : int;
+  sechyp_trap : int;
+  sechyp_xret : int;
+  sechyp_ctx : int;
+  sechyp_dispatch_entry : int;
+  sechyp_dispatch_exit : int;
+  sechyp_barrier : int;
+  sm_fault_decode : int;
+  sm_fault_validate : int;
+  sm_fault_bookkeeping : int;
+  page_cache_alloc : int;
+  block_grab : int;
+  expand_host_work : int;
+  gstage_map : int;
+  kvm_save : int;
+  kvm_dispatch : int;
+  kvm_memslot : int;
+  kvm_host_alloc : int;
+  kvm_map : int;
+  kvm_fence : int;
+  kvm_restore : int;
+  hs_timer_tick : int;
+  hs_mmio_exit : int;
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 4;
+    div = 24;
+    load = 2;
+    store = 1;
+    branch = 1;
+    jump = 2;
+    csr = 20;
+    fence = 12;
+    trap_entry = 300;
+    xret = 200;
+    gpr_all = 248; (* 31 registers, 8 cycles each *)
+    csr_ctx_guest = 320; (* 16 CSRs *)
+    csr_ctx_host = 160; (* 8 CSRs *)
+    deleg_reprogram = 120; (* 6 delegation CSR writes *)
+    pmp_toggle = 300; (* 2 pmpcfg writes incl. required fences *)
+    hgatp_write = 80;
+    tlb_full_flush = 400;
+    tlb_refill_per_page = 200;
+    cache_refill_per_line = 60;
+    dcache_lines = 256; (* 16 KiB / 64 B *)
+    tlb_capacity = 32;
+    page_walk_step = 200;
+    page_scrub = 4100; (* zero 4 KiB with cold lines *)
+    vcpu_integrity = 1492;
+    irq_scan = 120;
+    timer_prog = 40;
+    exit_cause_decode = 30;
+    shared_item_store = 22;
+    shared_item_load = 22;
+    check_after_load = 14;
+    shared_classify = 30;
+    resume_merge = 19;
+    ecall_roundtrip = 500;
+    secure_copy_item = 40;
+    unshared_validate = 41;
+    sechyp_trap = 300;
+    sechyp_xret = 200;
+    sechyp_ctx = 408; (* 31 GPRs + 8 CSRs at the extra hop *)
+    sechyp_dispatch_entry = 1146;
+    sechyp_dispatch_exit = 870;
+    sechyp_barrier = 1200;
+    sm_fault_decode = 400;
+    sm_fault_validate = 600;
+    sm_fault_bookkeeping = 22703;
+    page_cache_alloc = 800;
+    block_grab = 3626;
+    expand_host_work = 14989;
+    gstage_map = 1400;
+    kvm_save = 868;
+    kvm_dispatch = 2000;
+    kvm_memslot = 2800;
+    kvm_host_alloc = 25871;
+    kvm_map = 1400;
+    kvm_fence = 600;
+    kvm_restore = 868;
+    hs_timer_tick = 2000;
+    hs_mmio_exit = 5000;
+  }
+
+let scaled f =
+  let s v = int_of_float (Float.round (float_of_int v *. f)) in
+  let d = default in
+  {
+    alu = s d.alu;
+    mul = s d.mul;
+    div = s d.div;
+    load = s d.load;
+    store = s d.store;
+    branch = s d.branch;
+    jump = s d.jump;
+    csr = s d.csr;
+    fence = s d.fence;
+    trap_entry = s d.trap_entry;
+    xret = s d.xret;
+    gpr_all = s d.gpr_all;
+    csr_ctx_guest = s d.csr_ctx_guest;
+    csr_ctx_host = s d.csr_ctx_host;
+    deleg_reprogram = s d.deleg_reprogram;
+    pmp_toggle = s d.pmp_toggle;
+    hgatp_write = s d.hgatp_write;
+    tlb_full_flush = s d.tlb_full_flush;
+    tlb_refill_per_page = s d.tlb_refill_per_page;
+    cache_refill_per_line = s d.cache_refill_per_line;
+    dcache_lines = d.dcache_lines;
+    tlb_capacity = d.tlb_capacity;
+    page_walk_step = s d.page_walk_step;
+    page_scrub = s d.page_scrub;
+    vcpu_integrity = s d.vcpu_integrity;
+    irq_scan = s d.irq_scan;
+    timer_prog = s d.timer_prog;
+    exit_cause_decode = s d.exit_cause_decode;
+    shared_item_store = s d.shared_item_store;
+    shared_item_load = s d.shared_item_load;
+    check_after_load = s d.check_after_load;
+    shared_classify = s d.shared_classify;
+    resume_merge = s d.resume_merge;
+    ecall_roundtrip = s d.ecall_roundtrip;
+    secure_copy_item = s d.secure_copy_item;
+    unshared_validate = s d.unshared_validate;
+    sechyp_trap = s d.sechyp_trap;
+    sechyp_xret = s d.sechyp_xret;
+    sechyp_ctx = s d.sechyp_ctx;
+    sechyp_dispatch_entry = s d.sechyp_dispatch_entry;
+    sechyp_dispatch_exit = s d.sechyp_dispatch_exit;
+    sechyp_barrier = s d.sechyp_barrier;
+    sm_fault_decode = s d.sm_fault_decode;
+    sm_fault_validate = s d.sm_fault_validate;
+    sm_fault_bookkeeping = s d.sm_fault_bookkeeping;
+    page_cache_alloc = s d.page_cache_alloc;
+    block_grab = s d.block_grab;
+    expand_host_work = s d.expand_host_work;
+    gstage_map = s d.gstage_map;
+    kvm_save = s d.kvm_save;
+    kvm_dispatch = s d.kvm_dispatch;
+    kvm_memslot = s d.kvm_memslot;
+    kvm_host_alloc = s d.kvm_host_alloc;
+    kvm_map = s d.kvm_map;
+    kvm_fence = s d.kvm_fence;
+    kvm_restore = s d.kvm_restore;
+    hs_timer_tick = s d.hs_timer_tick;
+    hs_mmio_exit = s d.hs_mmio_exit;
+  }

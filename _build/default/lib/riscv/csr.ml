@@ -1,0 +1,322 @@
+type t = {
+  mutable mstatus : int64;
+  mutable misa : int64;
+  mutable medeleg : int64;
+  mutable mideleg : int64;
+  mutable mie : int64;
+  mutable mip : int64;
+  mutable mtvec : int64;
+  mutable mscratch : int64;
+  mutable mepc : int64;
+  mutable mcause : int64;
+  mutable mtval : int64;
+  mutable mtval2 : int64;
+  mutable mtinst : int64;
+  mutable mcycle : int64;
+  mutable minstret : int64;
+  mhartid : int64;
+  mutable stvec : int64;
+  mutable sscratch : int64;
+  mutable sepc : int64;
+  mutable scause : int64;
+  mutable stval : int64;
+  mutable satp : int64;
+  mutable hstatus : int64;
+  mutable hedeleg : int64;
+  mutable hideleg : int64;
+  mutable hie : int64;
+  mutable hip : int64;
+  mutable hvip : int64;
+  mutable htval : int64;
+  mutable htinst : int64;
+  mutable hgatp : int64;
+  mutable hcounteren : int64;
+  mutable vsstatus : int64;
+  mutable vstvec : int64;
+  mutable vsscratch : int64;
+  mutable vsepc : int64;
+  mutable vscause : int64;
+  mutable vstval : int64;
+  mutable vsatp : int64;
+  mutable vsie : int64;
+  mutable vsip : int64;
+  pmp : Pmp.t;
+}
+
+(* misa: RV64 (MXL=2) with extensions A, H, I, M, S, U. *)
+let reset_misa =
+  let ext c = Int64.shift_left 1L (Char.code c - Char.code 'a') in
+  Int64.logor
+    (Int64.shift_left 2L 62)
+    (List.fold_left
+       (fun acc c -> Int64.logor acc (ext c))
+       0L [ 'a'; 'h'; 'i'; 'm'; 's'; 'u' ])
+
+let create ~hartid =
+  {
+    mstatus = 0L;
+    misa = reset_misa;
+    medeleg = 0L;
+    mideleg = 0L;
+    mie = 0L;
+    mip = 0L;
+    mtvec = 0L;
+    mscratch = 0L;
+    mepc = 0L;
+    mcause = 0L;
+    mtval = 0L;
+    mtval2 = 0L;
+    mtinst = 0L;
+    mcycle = 0L;
+    minstret = 0L;
+    mhartid = Int64.of_int hartid;
+    stvec = 0L;
+    sscratch = 0L;
+    sepc = 0L;
+    scause = 0L;
+    stval = 0L;
+    satp = 0L;
+    hstatus = 0L;
+    hedeleg = 0L;
+    hideleg = 0L;
+    hie = 0L;
+    hip = 0L;
+    hvip = 0L;
+    htval = 0L;
+    htinst = 0L;
+    hgatp = 0L;
+    hcounteren = 0L;
+    vsstatus = 0L;
+    vstvec = 0L;
+    vsscratch = 0L;
+    vsepc = 0L;
+    vscause = 0L;
+    vstval = 0L;
+    vsatp = 0L;
+    vsie = 0L;
+    vsip = 0L;
+    pmp = Pmp.create ();
+  }
+
+exception Illegal_access of int
+
+(* --- Field helpers --- *)
+
+let get_bit v i = Xword.bit v i
+let set_bit v i b = Xword.set_bits v ~hi:i ~lo:i (if b then 1L else 0L)
+
+let get_mie t = get_bit t.mstatus 3
+let set_mie t b = t.mstatus <- set_bit t.mstatus 3 b
+let get_mpie t = get_bit t.mstatus 7
+let set_mpie t b = t.mstatus <- set_bit t.mstatus 7 b
+let get_mpp t = Int64.to_int (Xword.bits t.mstatus ~hi:12 ~lo:11)
+
+let set_mpp t v =
+  t.mstatus <- Xword.set_bits t.mstatus ~hi:12 ~lo:11 (Int64.of_int v)
+
+let get_mpv t = get_bit t.mstatus 39
+let set_mpv t b = t.mstatus <- set_bit t.mstatus 39 b
+let get_sie_bit t = get_bit t.mstatus 1
+let set_sie_bit t b = t.mstatus <- set_bit t.mstatus 1 b
+let get_spie t = get_bit t.mstatus 5
+let set_spie t b = t.mstatus <- set_bit t.mstatus 5 b
+let get_spp t = if get_bit t.mstatus 8 then 1 else 0
+let set_spp t v = t.mstatus <- set_bit t.mstatus 8 (v <> 0)
+let get_spv t = get_bit t.hstatus 7
+let set_spv t b = t.hstatus <- set_bit t.hstatus 7 b
+let get_vs_sie t = get_bit t.vsstatus 1
+let set_vs_sie t b = t.vsstatus <- set_bit t.vsstatus 1 b
+let get_vs_spie t = get_bit t.vsstatus 5
+let set_vs_spie t b = t.vsstatus <- set_bit t.vsstatus 5 b
+let get_vs_spp t = if get_bit t.vsstatus 8 then 1 else 0
+let set_vs_spp t v = t.vsstatus <- set_bit t.vsstatus 8 (v <> 0)
+
+(* sstatus is a masked view of mstatus: SIE, SPIE, SPP, SUM, MXR. *)
+let sstatus_mask = 0x00000000000C_0122L
+
+(* --- Numbered access --- *)
+
+let required_priv csrno =
+  match (csrno lsr 8) land 3 with
+  | 0 -> Priv.U
+  | 1 -> Priv.HS (* supervisor-level; VS access handled by aliasing *)
+  | 2 -> Priv.HS (* hypervisor/VS group *)
+  | _ -> Priv.M
+
+let is_hypervisor_csr csrno =
+  (csrno >= 0x600 && csrno <= 0x6ff) || (csrno >= 0x680 && csrno <= 0x68f)
+
+let is_vs_csr csrno = csrno >= 0x200 && csrno <= 0x2ff
+
+(* V-mode aliasing: when executing in VS with a supervisor CSR number,
+   the access is redirected to the vs* counterpart. *)
+let alias_for_vs csrno =
+  match csrno with
+  | 0x100 -> 0x200 (* sstatus -> vsstatus *)
+  | 0x104 -> 0x204 (* sie -> vsie *)
+  | 0x105 -> 0x205 (* stvec -> vstvec *)
+  | 0x140 -> 0x240 (* sscratch -> vsscratch *)
+  | 0x141 -> 0x241 (* sepc -> vsepc *)
+  | 0x142 -> 0x242 (* scause -> vscause *)
+  | 0x143 -> 0x243 (* stval -> vstval *)
+  | 0x144 -> 0x244 (* sip -> vsip *)
+  | 0x180 -> 0x280 (* satp -> vsatp *)
+  | n -> n
+
+let check_priv t ~priv csrno =
+  ignore t;
+  let req = required_priv csrno in
+  let ok =
+    match priv with
+    | Priv.M -> true
+    | Priv.HS -> req <> Priv.M
+    | Priv.U -> req = Priv.U
+    | Priv.VS ->
+        (* VS may reach supervisor CSRs (aliased) but neither hypervisor
+           nor machine CSRs, nor the vs* numbers directly. *)
+        req <> Priv.M
+        && (not (is_hypervisor_csr csrno))
+        && not (is_vs_csr csrno)
+    | Priv.VU -> req = Priv.U
+  in
+  if not ok then raise (Illegal_access csrno)
+
+let effective_csrno ~priv csrno =
+  if Priv.virtualized priv then alias_for_vs csrno else csrno
+
+let read t ~priv csrno =
+  check_priv t ~priv csrno;
+  let csrno = effective_csrno ~priv csrno in
+  match csrno with
+  | 0x100 -> Int64.logand t.mstatus sstatus_mask
+  | 0x104 -> Int64.logand t.mie t.mideleg
+  | 0x105 -> t.stvec
+  | 0x140 -> t.sscratch
+  | 0x141 -> t.sepc
+  | 0x142 -> t.scause
+  | 0x143 -> t.stval
+  | 0x144 -> Int64.logand t.mip t.mideleg
+  | 0x180 -> t.satp
+  | 0x200 -> t.vsstatus
+  | 0x204 -> t.vsie
+  | 0x205 -> t.vstvec
+  | 0x240 -> t.vsscratch
+  | 0x241 -> t.vsepc
+  | 0x242 -> t.vscause
+  | 0x243 -> t.vstval
+  | 0x244 -> t.vsip
+  | 0x280 -> t.vsatp
+  | 0x300 -> t.mstatus
+  | 0x301 -> t.misa
+  | 0x302 -> t.medeleg
+  | 0x303 -> t.mideleg
+  | 0x304 -> t.mie
+  | 0x305 -> t.mtvec
+  | 0x340 -> t.mscratch
+  | 0x341 -> t.mepc
+  | 0x342 -> t.mcause
+  | 0x343 -> t.mtval
+  | 0x344 -> t.mip
+  | 0x34a -> t.mtinst
+  | 0x34b -> t.mtval2
+  | 0x3a0 | 0x3a2 ->
+      let base = if csrno = 0x3a0 then 0 else 8 in
+      let v = ref 0L in
+      for i = 7 downto 0 do
+        v :=
+          Int64.logor
+            (Int64.shift_left !v 8)
+            (Int64.of_int (Pmp.get_cfg t.pmp (base + i)))
+      done;
+      !v
+  | n when n >= 0x3b0 && n <= 0x3bf -> Pmp.get_addr t.pmp (n - 0x3b0)
+  | 0x600 -> t.hstatus
+  | 0x602 -> t.hedeleg
+  | 0x603 -> t.hideleg
+  | 0x604 -> t.hie
+  | 0x606 -> t.hcounteren
+  | 0x643 -> t.htval
+  | 0x644 -> t.hip
+  | 0x645 -> t.hvip
+  | 0x64a -> t.htinst
+  | 0x680 -> t.hgatp
+  | 0xb00 -> t.mcycle
+  | 0xb02 -> t.minstret
+  | 0xc00 -> t.mcycle (* cycle: reads the hart clock *)
+  | 0xc01 -> t.mcycle (* time: same base in this model *)
+  | 0xc02 -> t.minstret
+  | 0xf11 -> 0L
+  | 0xf12 -> 0L
+  | 0xf13 -> 0L
+  | 0xf14 -> t.mhartid
+  | n -> raise (Illegal_access n)
+
+let write t ~priv csrno v =
+  check_priv t ~priv csrno;
+  let csrno = effective_csrno ~priv csrno in
+  match csrno with
+  | 0x100 ->
+      t.mstatus <-
+        Int64.logor
+          (Int64.logand t.mstatus (Int64.lognot sstatus_mask))
+          (Int64.logand v sstatus_mask)
+  | 0x104 ->
+      t.mie <-
+        Int64.logor
+          (Int64.logand t.mie (Int64.lognot t.mideleg))
+          (Int64.logand v t.mideleg)
+  | 0x105 -> t.stvec <- v
+  | 0x140 -> t.sscratch <- v
+  | 0x141 -> t.sepc <- Xword.align_down v 2L
+  | 0x142 -> t.scause <- v
+  | 0x143 -> t.stval <- v
+  | 0x144 ->
+      t.mip <-
+        Int64.logor
+          (Int64.logand t.mip (Int64.lognot t.mideleg))
+          (Int64.logand v t.mideleg)
+  | 0x180 -> t.satp <- v
+  | 0x200 -> t.vsstatus <- v
+  | 0x204 -> t.vsie <- v
+  | 0x205 -> t.vstvec <- v
+  | 0x240 -> t.vsscratch <- v
+  | 0x241 -> t.vsepc <- Xword.align_down v 2L
+  | 0x242 -> t.vscause <- v
+  | 0x243 -> t.vstval <- v
+  | 0x244 -> t.vsip <- v
+  | 0x280 -> t.vsatp <- v
+  | 0x300 -> t.mstatus <- v
+  | 0x301 -> () (* misa is WARL read-only here *)
+  | 0x302 -> t.medeleg <- v
+  | 0x303 -> t.mideleg <- v
+  | 0x304 -> t.mie <- v
+  | 0x305 -> t.mtvec <- v
+  | 0x340 -> t.mscratch <- v
+  | 0x341 -> t.mepc <- Xword.align_down v 2L
+  | 0x342 -> t.mcause <- v
+  | 0x343 -> t.mtval <- v
+  | 0x344 -> t.mip <- v
+  | 0x34a -> t.mtinst <- v
+  | 0x34b -> t.mtval2 <- v
+  | 0x3a0 | 0x3a2 ->
+      let base = if csrno = 0x3a0 then 0 else 8 in
+      for i = 0 to 7 do
+        Pmp.set_cfg t.pmp (base + i)
+          (Int64.to_int (Xword.bits v ~hi:((i * 8) + 7) ~lo:(i * 8)))
+      done
+  | n when n >= 0x3b0 && n <= 0x3bf -> Pmp.set_addr t.pmp (n - 0x3b0) v
+  | 0x600 -> t.hstatus <- v
+  | 0x602 -> t.hedeleg <- v
+  | 0x603 -> t.hideleg <- v
+  | 0x604 -> t.hie <- v
+  | 0x606 -> t.hcounteren <- v
+  | 0x643 -> t.htval <- v
+  | 0x644 -> t.hip <- v
+  | 0x645 -> t.hvip <- v
+  | 0x64a -> t.htinst <- v
+  | 0x680 -> t.hgatp <- v
+  | 0xb00 -> t.mcycle <- v
+  | 0xb02 -> t.minstret <- v
+  | 0xc00 | 0xc01 | 0xc02 -> raise (Illegal_access csrno)
+  | 0xf11 | 0xf12 | 0xf13 | 0xf14 -> raise (Illegal_access csrno)
+  | n -> raise (Illegal_access n)

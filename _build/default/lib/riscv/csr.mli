@@ -1,0 +1,102 @@
+(** Control and status registers of one hart, covering the M, HS
+    (supervisor), hypervisor and VS register groups plus PMP.
+
+    Two access paths are offered: typed accessors for the simulator's
+    firmware-level components (the Secure Monitor reads [hart.csr.mepc]
+    directly, exactly as M-mode software reads its own CSRs), and the
+    numbered [read]/[write] path used by [csrrw]-family instructions,
+    which applies privilege checks, V-mode aliasing of [s*] onto [vs*],
+    and WARL masking. *)
+
+type t = {
+  mutable mstatus : int64;
+  mutable misa : int64;
+  mutable medeleg : int64;
+  mutable mideleg : int64;
+  mutable mie : int64;
+  mutable mip : int64;
+  mutable mtvec : int64;
+  mutable mscratch : int64;
+  mutable mepc : int64;
+  mutable mcause : int64;
+  mutable mtval : int64;
+  mutable mtval2 : int64;
+  mutable mtinst : int64;
+  mutable mcycle : int64;
+  mutable minstret : int64;
+  mhartid : int64;
+  (* HS-level *)
+  mutable stvec : int64;
+  mutable sscratch : int64;
+  mutable sepc : int64;
+  mutable scause : int64;
+  mutable stval : int64;
+  mutable satp : int64;
+  (* Hypervisor *)
+  mutable hstatus : int64;
+  mutable hedeleg : int64;
+  mutable hideleg : int64;
+  mutable hie : int64;
+  mutable hip : int64;
+  mutable hvip : int64;
+  mutable htval : int64;
+  mutable htinst : int64;
+  mutable hgatp : int64;
+  mutable hcounteren : int64;
+  (* VS-level *)
+  mutable vsstatus : int64;
+  mutable vstvec : int64;
+  mutable vsscratch : int64;
+  mutable vsepc : int64;
+  mutable vscause : int64;
+  mutable vstval : int64;
+  mutable vsatp : int64;
+  mutable vsie : int64;
+  mutable vsip : int64;
+  pmp : Pmp.t;
+}
+
+val create : hartid:int -> t
+(** Reset state: RV64 misa with H/S/U, all delegation clear, PMP off. *)
+
+exception Illegal_access of int
+(** Raised by [read]/[write] on privilege violation or unknown CSR;
+    payload is the CSR number. The interpreter converts this into an
+    illegal-instruction (or virtual-instruction) trap. *)
+
+val read : t -> priv:Priv.t -> int -> int64
+(** Numbered CSR read with privilege check and V-mode aliasing. *)
+
+val write : t -> priv:Priv.t -> int -> int64 -> unit
+(** Numbered CSR write; silently applies WARL masks. *)
+
+(* {2 mstatus field helpers} *)
+
+val get_mie : t -> bool
+val set_mie : t -> bool -> unit
+val get_mpie : t -> bool
+val set_mpie : t -> bool -> unit
+val get_mpp : t -> int
+val set_mpp : t -> int -> unit
+val get_mpv : t -> bool
+val set_mpv : t -> bool -> unit
+val get_sie_bit : t -> bool
+val set_sie_bit : t -> bool -> unit
+val get_spie : t -> bool
+val set_spie : t -> bool -> unit
+val get_spp : t -> int
+val set_spp : t -> int -> unit
+
+(* {2 hstatus field helpers} *)
+
+val get_spv : t -> bool
+val set_spv : t -> bool -> unit
+
+(* {2 vsstatus field helpers (guest's view of sstatus)} *)
+
+val get_vs_sie : t -> bool
+val set_vs_sie : t -> bool -> unit
+val get_vs_spie : t -> bool
+val set_vs_spie : t -> bool -> unit
+val get_vs_spp : t -> int
+val set_vs_spp : t -> int -> unit

@@ -1,0 +1,242 @@
+type alu = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type muldiv = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type width = B | H | W | D
+type branch = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type amo =
+  | Lr
+  | Sc
+  | Amoswap
+  | Amoadd
+  | Amoxor
+  | Amoand
+  | Amoor
+  | Amomin
+  | Amomax
+  | Amominu
+  | Amomaxu
+
+type csrop = Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci
+
+type t =
+  | Lui of int * int64
+  | Auipc of int * int64
+  | Jal of int * int64
+  | Jalr of int * int * int64
+  | Branch of branch * int * int * int64
+  | Load of { rd : int; rs1 : int; imm : int64; width : width; unsigned : bool }
+  | Store of { rs1 : int; rs2 : int; imm : int64; width : width }
+  | Op_imm of alu * int * int * int64
+  | Op_imm_w of alu * int * int * int64
+  | Op of alu * int * int * int
+  | Op_w of alu * int * int * int
+  | Muldiv of muldiv * int * int * int
+  | Muldiv_w of muldiv * int * int * int
+  | Amo of { op : amo; rd : int; rs1 : int; rs2 : int; width : width }
+  | Csr of csrop * int * int * int
+  | Fence
+  | Fence_i
+  | Ecall
+  | Ebreak
+  | Sret
+  | Mret
+  | Wfi
+  | Sfence_vma of int * int
+  | Hfence_gvma of int * int
+  | Hfence_vvma of int * int
+  | Illegal of int64
+
+let field word ~hi ~lo = Int64.to_int (Xword.bits word ~hi ~lo)
+
+let imm_i word = Xword.sext (Xword.bits word ~hi:31 ~lo:20) 12
+
+let imm_s word =
+  Xword.sext
+    (Int64.logor
+       (Int64.shift_left (Xword.bits word ~hi:31 ~lo:25) 5)
+       (Xword.bits word ~hi:11 ~lo:7))
+    12
+
+let imm_b word =
+  let b12 = Xword.bits word ~hi:31 ~lo:31 in
+  let b10_5 = Xword.bits word ~hi:30 ~lo:25 in
+  let b4_1 = Xword.bits word ~hi:11 ~lo:8 in
+  let b11 = Xword.bits word ~hi:7 ~lo:7 in
+  Xword.sext
+    (List.fold_left Int64.logor 0L
+       [
+         Int64.shift_left b12 12; Int64.shift_left b11 11;
+         Int64.shift_left b10_5 5; Int64.shift_left b4_1 1;
+       ])
+    13
+
+let imm_u word = Xword.sext (Int64.logand word 0xFFFFF000L) 32
+
+let imm_j word =
+  let b20 = Xword.bits word ~hi:31 ~lo:31 in
+  let b10_1 = Xword.bits word ~hi:30 ~lo:21 in
+  let b11 = Xword.bits word ~hi:20 ~lo:20 in
+  let b19_12 = Xword.bits word ~hi:19 ~lo:12 in
+  Xword.sext
+    (List.fold_left Int64.logor 0L
+       [
+         Int64.shift_left b20 20; Int64.shift_left b19_12 12;
+         Int64.shift_left b11 11; Int64.shift_left b10_1 1;
+       ])
+    21
+
+let decode word =
+  let word = Xword.zext32 word in
+  let opcode = field word ~hi:6 ~lo:0 in
+  let rd = field word ~hi:11 ~lo:7 in
+  let rs1 = field word ~hi:19 ~lo:15 in
+  let rs2 = field word ~hi:24 ~lo:20 in
+  let funct3 = field word ~hi:14 ~lo:12 in
+  let funct7 = field word ~hi:31 ~lo:25 in
+  match opcode with
+  | 0x37 -> Lui (rd, imm_u word)
+  | 0x17 -> Auipc (rd, imm_u word)
+  | 0x6f -> Jal (rd, imm_j word)
+  | 0x67 when funct3 = 0 -> Jalr (rd, rs1, imm_i word)
+  | 0x63 -> begin
+      let imm = imm_b word in
+      match funct3 with
+      | 0 -> Branch (Beq, rs1, rs2, imm)
+      | 1 -> Branch (Bne, rs1, rs2, imm)
+      | 4 -> Branch (Blt, rs1, rs2, imm)
+      | 5 -> Branch (Bge, rs1, rs2, imm)
+      | 6 -> Branch (Bltu, rs1, rs2, imm)
+      | 7 -> Branch (Bgeu, rs1, rs2, imm)
+      | _ -> Illegal word
+    end
+  | 0x03 -> begin
+      let imm = imm_i word in
+      match funct3 with
+      | 0 -> Load { rd; rs1; imm; width = B; unsigned = false }
+      | 1 -> Load { rd; rs1; imm; width = H; unsigned = false }
+      | 2 -> Load { rd; rs1; imm; width = W; unsigned = false }
+      | 3 -> Load { rd; rs1; imm; width = D; unsigned = false }
+      | 4 -> Load { rd; rs1; imm; width = B; unsigned = true }
+      | 5 -> Load { rd; rs1; imm; width = H; unsigned = true }
+      | 6 -> Load { rd; rs1; imm; width = W; unsigned = true }
+      | _ -> Illegal word
+    end
+  | 0x23 -> begin
+      let imm = imm_s word in
+      match funct3 with
+      | 0 -> Store { rs1; rs2; imm; width = B }
+      | 1 -> Store { rs1; rs2; imm; width = H }
+      | 2 -> Store { rs1; rs2; imm; width = W }
+      | 3 -> Store { rs1; rs2; imm; width = D }
+      | _ -> Illegal word
+    end
+  | 0x13 -> begin
+      let imm = imm_i word in
+      let shamt = Int64.of_int (field word ~hi:25 ~lo:20) in
+      match funct3 with
+      | 0 -> Op_imm (Add, rd, rs1, imm)
+      | 1 when funct7 lsr 1 = 0 -> Op_imm (Sll, rd, rs1, shamt)
+      | 2 -> Op_imm (Slt, rd, rs1, imm)
+      | 3 -> Op_imm (Sltu, rd, rs1, imm)
+      | 4 -> Op_imm (Xor, rd, rs1, imm)
+      | 5 when funct7 lsr 1 = 0 -> Op_imm (Srl, rd, rs1, shamt)
+      | 5 when funct7 lsr 1 = 0x10 -> Op_imm (Sra, rd, rs1, shamt)
+      | 6 -> Op_imm (Or, rd, rs1, imm)
+      | 7 -> Op_imm (And, rd, rs1, imm)
+      | _ -> Illegal word
+    end
+  | 0x1b -> begin
+      let imm = imm_i word in
+      let shamt = Int64.of_int rs2 in
+      match funct3 with
+      | 0 -> Op_imm_w (Add, rd, rs1, imm)
+      | 1 when funct7 = 0 -> Op_imm_w (Sll, rd, rs1, shamt)
+      | 5 when funct7 = 0 -> Op_imm_w (Srl, rd, rs1, shamt)
+      | 5 when funct7 = 0x20 -> Op_imm_w (Sra, rd, rs1, shamt)
+      | _ -> Illegal word
+    end
+  | 0x33 -> begin
+      match (funct7, funct3) with
+      | 0x00, 0 -> Op (Add, rd, rs1, rs2)
+      | 0x20, 0 -> Op (Sub, rd, rs1, rs2)
+      | 0x00, 1 -> Op (Sll, rd, rs1, rs2)
+      | 0x00, 2 -> Op (Slt, rd, rs1, rs2)
+      | 0x00, 3 -> Op (Sltu, rd, rs1, rs2)
+      | 0x00, 4 -> Op (Xor, rd, rs1, rs2)
+      | 0x00, 5 -> Op (Srl, rd, rs1, rs2)
+      | 0x20, 5 -> Op (Sra, rd, rs1, rs2)
+      | 0x00, 6 -> Op (Or, rd, rs1, rs2)
+      | 0x00, 7 -> Op (And, rd, rs1, rs2)
+      | 0x01, 0 -> Muldiv (Mul, rd, rs1, rs2)
+      | 0x01, 1 -> Muldiv (Mulh, rd, rs1, rs2)
+      | 0x01, 2 -> Muldiv (Mulhsu, rd, rs1, rs2)
+      | 0x01, 3 -> Muldiv (Mulhu, rd, rs1, rs2)
+      | 0x01, 4 -> Muldiv (Div, rd, rs1, rs2)
+      | 0x01, 5 -> Muldiv (Divu, rd, rs1, rs2)
+      | 0x01, 6 -> Muldiv (Rem, rd, rs1, rs2)
+      | 0x01, 7 -> Muldiv (Remu, rd, rs1, rs2)
+      | _ -> Illegal word
+    end
+  | 0x3b -> begin
+      match (funct7, funct3) with
+      | 0x00, 0 -> Op_w (Add, rd, rs1, rs2)
+      | 0x20, 0 -> Op_w (Sub, rd, rs1, rs2)
+      | 0x00, 1 -> Op_w (Sll, rd, rs1, rs2)
+      | 0x00, 5 -> Op_w (Srl, rd, rs1, rs2)
+      | 0x20, 5 -> Op_w (Sra, rd, rs1, rs2)
+      | 0x01, 0 -> Muldiv_w (Mul, rd, rs1, rs2)
+      | 0x01, 4 -> Muldiv_w (Div, rd, rs1, rs2)
+      | 0x01, 5 -> Muldiv_w (Divu, rd, rs1, rs2)
+      | 0x01, 6 -> Muldiv_w (Rem, rd, rs1, rs2)
+      | 0x01, 7 -> Muldiv_w (Remu, rd, rs1, rs2)
+      | _ -> Illegal word
+    end
+  | 0x2f -> begin
+      let width = match funct3 with 2 -> Some W | 3 -> Some D | _ -> None in
+      let funct5 = funct7 lsr 2 in
+      let op =
+        match funct5 with
+        | 0x02 when rs2 = 0 -> Some Lr
+        | 0x03 -> Some Sc
+        | 0x01 -> Some Amoswap
+        | 0x00 -> Some Amoadd
+        | 0x04 -> Some Amoxor
+        | 0x0c -> Some Amoand
+        | 0x08 -> Some Amoor
+        | 0x10 -> Some Amomin
+        | 0x14 -> Some Amomax
+        | 0x18 -> Some Amominu
+        | 0x1c -> Some Amomaxu
+        | _ -> None
+      in
+      match (op, width) with
+      | Some op, Some width -> Amo { op; rd; rs1; rs2; width }
+      | _ -> Illegal word
+    end
+  | 0x0f -> begin
+      match funct3 with 0 -> Fence | 1 -> Fence_i | _ -> Illegal word
+    end
+  | 0x73 -> begin
+      let csrno = field word ~hi:31 ~lo:20 in
+      match funct3 with
+      | 0 -> begin
+          match (funct7, rs2, rs1, rd) with
+          | 0x00, 0, 0, 0 -> Ecall
+          | 0x00, 1, 0, 0 -> Ebreak
+          | 0x08, 2, 0, 0 -> Sret
+          | 0x18, 2, 0, 0 -> Mret
+          | 0x08, 5, 0, 0 -> Wfi
+          | 0x09, _, _, 0 -> Sfence_vma (rs1, rs2)
+          | 0x31, _, _, 0 -> Hfence_gvma (rs1, rs2)
+          | 0x11, _, _, 0 -> Hfence_vvma (rs1, rs2)
+          | _ -> Illegal word
+        end
+      | 1 -> Csr (Csrrw, rd, rs1, csrno)
+      | 2 -> Csr (Csrrs, rd, rs1, csrno)
+      | 3 -> Csr (Csrrc, rd, rs1, csrno)
+      | 5 -> Csr (Csrrwi, rd, rs1, csrno)
+      | 6 -> Csr (Csrrsi, rd, rs1, csrno)
+      | 7 -> Csr (Csrrci, rd, rs1, csrno)
+      | _ -> Illegal word
+    end
+  | _ -> Illegal word

@@ -1,0 +1,59 @@
+(** RV64IMA + Zicsr + privileged instruction decoding.
+
+    The decoded form is shared by the interpreter ([Exec]), the
+    assembler ([Asm]) and the disassembler ([Disasm]). Only 32-bit
+    encodings are supported (no compressed instructions), matching the
+    Rocket configuration the paper evaluates on when built without C. *)
+
+type alu = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type muldiv = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type width = B | H | W | D
+type branch = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type amo =
+  | Lr
+  | Sc
+  | Amoswap
+  | Amoadd
+  | Amoxor
+  | Amoand
+  | Amoor
+  | Amomin
+  | Amomax
+  | Amominu
+  | Amomaxu
+
+type csrop = Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci
+
+type t =
+  | Lui of int * int64
+  | Auipc of int * int64
+  | Jal of int * int64
+  | Jalr of int * int * int64
+  | Branch of branch * int * int * int64
+  | Load of { rd : int; rs1 : int; imm : int64; width : width; unsigned : bool }
+  | Store of { rs1 : int; rs2 : int; imm : int64; width : width }
+  | Op_imm of alu * int * int * int64
+  | Op_imm_w of alu * int * int * int64
+  | Op of alu * int * int * int
+  | Op_w of alu * int * int * int
+  | Muldiv of muldiv * int * int * int
+  | Muldiv_w of muldiv * int * int * int
+  | Amo of { op : amo; rd : int; rs1 : int; rs2 : int; width : width }
+  | Csr of csrop * int * int * int
+      (** (op, rd, rs1-or-zimm, csr number) *)
+  | Fence
+  | Fence_i
+  | Ecall
+  | Ebreak
+  | Sret
+  | Mret
+  | Wfi
+  | Sfence_vma of int * int
+  | Hfence_gvma of int * int
+  | Hfence_vvma of int * int
+  | Illegal of int64
+
+val decode : int64 -> t
+(** Decode one 32-bit instruction word (low 32 bits of the argument).
+    Unknown encodings decode to [Illegal]. *)

@@ -1,0 +1,9 @@
+(** Disassembler for decoded instructions (debugging and test
+    diagnostics). *)
+
+val reg_name : int -> string
+(** ABI register name, e.g. [reg_name 10 = "a0"]. *)
+
+val to_string : Decode.t -> string
+val of_word : int64 -> string
+(** Decode then render a raw instruction word. *)

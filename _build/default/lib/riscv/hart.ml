@@ -1,0 +1,233 @@
+exception Trap_exn of Cause.exception_t * int64 * int64
+
+type t = {
+  id : int;
+  regs : int64 array;
+  mutable pc : int64;
+  mutable mode : Priv.t;
+  csr : Csr.t;
+  tlb : Tlb.t;
+  bus : Bus.t;
+  ledger : Metrics.Ledger.t;
+  cost : Cost.t;
+  mutable reservation : int64 option;
+  mutable wfi_stalled : bool;
+}
+
+let create ?(cost = Cost.default) ?ledger ~id bus =
+  let ledger =
+    match ledger with Some l -> l | None -> Metrics.Ledger.create ()
+  in
+  {
+    id;
+    regs = Array.make 32 0L;
+    pc = 0L;
+    mode = Priv.M;
+    csr = Csr.create ~hartid:id;
+    tlb = Tlb.create ();
+    bus;
+    ledger;
+    cost;
+    reservation = None;
+    wfi_stalled = false;
+  }
+
+let get_reg t r = if r = 0 then 0L else t.regs.(r)
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let page_fault_cause (access : Sv39.access) =
+  match access with
+  | Sv39.Fetch -> Cause.Instr_page_fault
+  | Sv39.Load -> Cause.Load_page_fault
+  | Sv39.Store -> Cause.Store_page_fault
+
+let guest_page_fault_cause (access : Sv39.access) =
+  match access with
+  | Sv39.Fetch -> Cause.Instr_guest_page_fault
+  | Sv39.Load -> Cause.Load_guest_page_fault
+  | Sv39.Store -> Cause.Store_guest_page_fault
+
+let access_fault_cause (access : Sv39.access) =
+  match access with
+  | Sv39.Fetch -> Cause.Instr_access_fault
+  | Sv39.Load -> Cause.Load_access_fault
+  | Sv39.Store -> Cause.Store_access_fault
+
+let pmp_access (access : Sv39.access) =
+  match access with
+  | Sv39.Fetch -> Pmp.Exec
+  | Sv39.Load -> Pmp.Read
+  | Sv39.Store -> Pmp.Write
+
+(* PTE reads during walks are physical accesses: they must pass PMP at
+   the walker's effective privilege (the translation privilege, not M),
+   and land in DRAM. *)
+let make_env t ~user =
+  let csr = t.csr in
+  let sum = Xword.bit csr.Csr.mstatus 18 in
+  let mxr = Xword.bit csr.Csr.mstatus 19 in
+  let read_pte pa =
+    if not (Pmp.check csr.Csr.pmp t.mode Pmp.Read pa 8) then None
+    else begin
+      match Bus.read t.bus pa 8 with
+      | v -> Some v
+      | exception Bus.Fault _ -> None
+    end
+  in
+  { Sv39.read_pte; sum; mxr; user }
+
+let asid t =
+  let csr = t.csr in
+  if Priv.virtualized t.mode then Sv39.asid_of_satp csr.Csr.vsatp
+  else Sv39.asid_of_satp csr.Csr.satp
+
+let vmid t =
+  if Priv.virtualized t.mode then Sv39.vmid_of_hgatp t.csr.Csr.hgatp else 0
+
+(* Translate one stage; [kind] distinguishes the fault type raised. *)
+let walk_stage t env ~root ~widened access va ~on_fault =
+  match Sv39.walk env ~root ~widened access va with
+  | Ok r ->
+      Metrics.Ledger.charge t.ledger "page_walk"
+        (r.Sv39.steps * t.cost.Cost.page_walk_step);
+      r.Sv39.pa
+  | Error Sv39.Page_fault -> on_fault `Page
+  | Error Sv39.Access_fault -> on_fault `Access
+
+let translate_uncached t access va =
+  let csr = t.csr in
+  let mode = t.mode in
+  let raise_stage1 kind =
+    match kind with
+    | `Page -> raise (Trap_exn (page_fault_cause access, va, 0L))
+    | `Access -> raise (Trap_exn (access_fault_cause access, va, 0L))
+  in
+  let raise_stage2 gpa kind =
+    match kind with
+    | `Page ->
+        raise
+          (Trap_exn
+             ( guest_page_fault_cause access,
+               va,
+               Int64.shift_right_logical gpa 2 ))
+    | `Access -> raise (Trap_exn (access_fault_cause access, va, 0L))
+  in
+  let gpa =
+    if Priv.virtualized mode then begin
+      (* VS-stage translation via vsatp. *)
+      match Sv39.root_of_satp csr.Csr.vsatp with
+      | None -> va
+      | Some root ->
+          let env = make_env t ~user:(mode = Priv.VU) in
+          walk_stage t env ~root ~widened:false access va
+            ~on_fault:raise_stage1
+    end
+    else begin
+      match mode with
+      | Priv.M -> va
+      | Priv.HS | Priv.U -> begin
+          match Sv39.root_of_satp csr.Csr.satp with
+          | None -> va
+          | Some root ->
+              let env = make_env t ~user:(mode = Priv.U) in
+              walk_stage t env ~root ~widened:false access va
+                ~on_fault:raise_stage1
+        end
+      | Priv.VS | Priv.VU -> assert false
+    end
+  in
+  let pa =
+    if Priv.virtualized mode then begin
+      (* G-stage translation via hgatp (Sv39x4). *)
+      match Sv39.root_of_satp csr.Csr.hgatp with
+      | None -> gpa
+      | Some root ->
+          let env = make_env t ~user:true in
+          walk_stage t env ~root ~widened:true access gpa
+            ~on_fault:(raise_stage2 gpa)
+    end
+    else gpa
+  in
+  pa
+
+let translate t access va =
+  (* TLB hit path: permissions were validated when the entry was
+     inserted; the stored flags gate the access kind. *)
+  let key_asid = asid t and key_vmid = vmid t in
+  let needs_translation =
+    Priv.virtualized t.mode
+    || (t.mode <> Priv.M && Sv39.root_of_satp t.csr.Csr.satp <> None)
+  in
+  if not needs_translation then begin
+    let pa = va in
+    if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1) then
+      raise (Trap_exn (access_fault_cause access, va, 0L));
+    pa
+  end
+  else begin
+    match Tlb.lookup t.tlb ~asid:key_asid ~vmid:key_vmid va with
+    | Some e
+      when (match access with
+           | Sv39.Fetch -> e.Tlb.executable
+           | Sv39.Load -> e.Tlb.readable
+           | Sv39.Store -> e.Tlb.writable) ->
+        let pa = Int64.logor e.Tlb.pa_page (Int64.logand va 0xFFFL) in
+        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1)
+        then raise (Trap_exn (access_fault_cause access, va, 0L));
+        pa
+    | Some _ | None ->
+        let pa = translate_uncached t access va in
+        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1)
+        then raise (Trap_exn (access_fault_cause access, va, 0L));
+        (* Re-derive page permissions for the TLB entry by probing the
+           three access kinds; insert with whatever succeeds. *)
+        let probe a =
+          match translate_uncached t a (Xword.align_down va 4096L) with
+          | _ -> true
+          | exception Trap_exn _ -> false
+        in
+        let entry =
+          {
+            Tlb.pa_page = Xword.align_down pa 4096L;
+            readable = (match access with Sv39.Load -> true | _ -> probe Sv39.Load);
+            writable =
+              (match access with Sv39.Store -> true | _ -> probe Sv39.Store);
+            executable =
+              (match access with Sv39.Fetch -> true | _ -> probe Sv39.Fetch);
+          }
+        in
+        Tlb.insert t.tlb ~asid:key_asid ~vmid:key_vmid va entry;
+        pa
+  end
+
+let check_align access va len =
+  if not (Xword.is_aligned va len) then begin
+    match access with
+    | Sv39.Fetch -> raise (Trap_exn (Cause.Instr_addr_misaligned, va, 0L))
+    | Sv39.Load -> raise (Trap_exn (Cause.Load_addr_misaligned, va, 0L))
+    | Sv39.Store -> raise (Trap_exn (Cause.Store_addr_misaligned, va, 0L))
+  end
+
+let read_mem t va len =
+  check_align Sv39.Load va len;
+  let pa = translate t Sv39.Load va in
+  match Bus.read t.bus pa len with
+  | v -> v
+  | exception Bus.Fault _ ->
+      raise (Trap_exn (Cause.Load_access_fault, va, 0L))
+
+let write_mem t va len v =
+  check_align Sv39.Store va len;
+  let pa = translate t Sv39.Store va in
+  match Bus.write t.bus pa len v with
+  | () -> ()
+  | exception Bus.Fault _ ->
+      raise (Trap_exn (Cause.Store_access_fault, va, 0L))
+
+let fetch t =
+  check_align Sv39.Fetch t.pc 4;
+  let pa = translate t Sv39.Fetch t.pc in
+  match Bus.read t.bus pa 4 with
+  | v -> v
+  | exception Bus.Fault _ ->
+      raise (Trap_exn (Cause.Instr_access_fault, t.pc, 0L))

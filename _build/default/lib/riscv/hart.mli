@@ -1,0 +1,53 @@
+(** One hardware thread: register file, program counter, privilege mode,
+    CSR file, TLB and its connection to the system bus.
+
+    Memory accessors perform the full architectural path — one- or
+    two-stage address translation according to the current mode and
+    [satp]/[vsatp]/[hgatp], PMP checks on the resulting physical
+    address — and charge the cycle ledger for walks and refills.
+    Architectural failures raise [Trap_exn], which the interpreter turns
+    into a trap via [Trap.take]. *)
+
+exception
+  Trap_exn of Cause.exception_t * int64 * int64
+      (** (cause, tval, tval2). [tval2] carries the guest-physical
+          address (pre-shifted right by 2) for guest-page faults, else 0. *)
+
+type t = {
+  id : int;
+  regs : int64 array;  (** x0..x31; x0 is forced to zero on read *)
+  mutable pc : int64;
+  mutable mode : Priv.t;
+  csr : Csr.t;
+  tlb : Tlb.t;
+  bus : Bus.t;
+  ledger : Metrics.Ledger.t;
+  cost : Cost.t;
+  mutable reservation : int64 option;  (** LR/SC reservation address *)
+  mutable wfi_stalled : bool;
+}
+
+val create :
+  ?cost:Cost.t -> ?ledger:Metrics.Ledger.t -> id:int -> Bus.t -> t
+(** A hart in M mode at pc 0 with a fresh CSR file. *)
+
+val get_reg : t -> int -> int64
+val set_reg : t -> int -> int64 -> unit
+
+val translate : t -> Sv39.access -> int64 -> int64
+(** Translate a virtual address under the hart's current configuration
+    and verify PMP. Raises [Trap_exn] on any architectural fault. *)
+
+val read_mem : t -> int64 -> int -> int64
+(** Translated, PMP-checked read of 1/2/4/8 bytes. *)
+
+val write_mem : t -> int64 -> int -> int64 -> unit
+
+val fetch : t -> int64
+(** Fetch the 32-bit instruction at the current pc. *)
+
+val asid : t -> int
+(** Current ASID from (v)satp. *)
+
+val vmid : t -> int
+(** Current VMID from hgatp. *)

@@ -1,0 +1,63 @@
+type access = Read | Write
+
+type entry = {
+  sid : int option; (* None = match any source *)
+  base : int64;
+  size : int64;
+  r : bool;
+  w : bool;
+  deny : bool;
+}
+
+type t = { mutable entries : entry list; mutable default_allow : bool }
+
+let create () = { entries = []; default_allow = false }
+let allow_all_default t v = t.default_allow <- v
+
+let add_allow t ~sid ~base ~size ~r ~w =
+  if size <= 0L then invalid_arg "Iopmp.add_allow: non-positive size";
+  t.entries <- t.entries @ [ { sid = Some sid; base; size; r; w; deny = false } ]
+
+let add_deny t ~base ~size =
+  if size <= 0L then invalid_arg "Iopmp.add_deny: non-positive size";
+  t.entries <-
+    { sid = None; base; size; r = false; w = false; deny = true } :: t.entries
+
+let remove_deny t ~base ~size =
+  t.entries <-
+    List.filter
+      (fun e -> not (e.deny && e.base = base && e.size = size))
+      t.entries
+
+let range_overlaps e addr len =
+  let a_end = Int64.add addr (Int64.of_int len) in
+  let e_end = Int64.add e.base e.size in
+  Xword.ult addr e_end && Xword.ult e.base a_end
+
+let range_contains e addr len =
+  let a_end = Int64.add addr (Int64.of_int len) in
+  let e_end = Int64.add e.base e.size in
+  (not (Xword.ult addr e.base))
+  && (Xword.ult a_end e_end || a_end = e_end)
+
+let check t ~sid acc addr len =
+  if len <= 0 then invalid_arg "Iopmp.check: non-positive length";
+  (* Deny entries veto any overlapping access regardless of source. *)
+  let vetoed =
+    List.exists (fun e -> e.deny && range_overlaps e addr len) t.entries
+  in
+  if vetoed then false
+  else begin
+    let allowed =
+      List.exists
+        (fun e ->
+          (not e.deny)
+          && (match e.sid with Some s -> s = sid | None -> true)
+          && range_contains e addr len
+          && match acc with Read -> e.r | Write -> e.w)
+        t.entries
+    in
+    allowed || t.default_allow
+  end
+
+let entry_count t = List.length t.entries

@@ -1,0 +1,38 @@
+(** IOPMP — physical-memory protection for bus masters (DMA-capable
+    devices), after the RISC-V IOPMP specification's source-enforcement
+    model.
+
+    Each DMA-capable device carries a source id (SID). An IOPMP instance
+    holds entries binding an SID set to an address range with R/W
+    permissions. A DMA access passes only if some entry matches both the
+    SID and the full byte range with the required permission. ZION
+    programs the IOPMP so that no device may touch the secure memory
+    pool. *)
+
+type access = Read | Write
+
+type t
+
+val create : unit -> t
+(** No entries: all DMA accesses fail (deny-by-default). *)
+
+val allow_all_default : t -> bool -> unit
+(** Toggle a permissive default for addresses matched by no entry. ZION
+    runs with the default ON for normal memory usability but installs
+    explicit deny entries over the secure pool (deny entries take
+    priority). *)
+
+val add_allow : t -> sid:int -> base:int64 -> size:int64 -> r:bool -> w:bool -> unit
+(** Append an allow entry for one source id. *)
+
+val add_deny : t -> base:int64 -> size:int64 -> unit
+(** Append a deny entry matching every source id. Deny entries are
+    checked before allow entries and before the permissive default. *)
+
+val remove_deny : t -> base:int64 -> size:int64 -> unit
+(** Remove a previously installed deny entry (exact match). *)
+
+val check : t -> sid:int -> access -> int64 -> int -> bool
+(** [check t ~sid acc addr len] — may device [sid] perform the access? *)
+
+val entry_count : t -> int

@@ -1,0 +1,39 @@
+type t = {
+  bus : Bus.t;
+  harts : Hart.t array;
+  ledger : Metrics.Ledger.t;
+  cost : Cost.t;
+}
+
+let create ?(cost = Cost.default) ?(nharts = 1) ~dram_size () =
+  if nharts <= 0 then invalid_arg "Machine.create: need at least one hart";
+  let bus = Bus.create ~dram_size ~nharts in
+  let ledger = Metrics.Ledger.create () in
+  let harts = Array.init nharts (fun id -> Hart.create ~cost ~ledger ~id bus) in
+  { bus; harts; ledger; cost }
+
+let hart t i =
+  if i < 0 || i >= Array.length t.harts then
+    invalid_arg "Machine.hart: out of range";
+  t.harts.(i)
+
+let sync_time t =
+  Clint.set_mtime (Bus.clint t.bus) (Int64.of_int (Metrics.Ledger.now t.ledger))
+
+let load_program t addr instrs = Bus.write_bytes t.bus addr (Asm.program instrs)
+
+let run_hart t i ~max_steps =
+  let h = hart t i in
+  let steps = ref 0 in
+  (try
+     while !steps < max_steps do
+       sync_time t;
+       Exec.step h;
+       incr steps;
+       if h.Hart.wfi_stalled && Trap.pending_interrupt h = None then
+         raise Exit
+     done
+   with Exit -> ());
+  !steps
+
+let console_output t = Uart.output (Bus.uart t.bus)

@@ -1,0 +1,27 @@
+(** A whole machine: bus (DRAM, CLINT, UART, devices) plus one or more
+    harts sharing it, with a shared cycle ledger that doubles as the
+    platform's [mtime] source — one ledger cycle is one timer tick,
+    matching a 100 MHz Rocket where [mtime] counts core cycles. *)
+
+type t = {
+  bus : Bus.t;
+  harts : Hart.t array;
+  ledger : Metrics.Ledger.t;
+  cost : Cost.t;
+}
+
+val create : ?cost:Cost.t -> ?nharts:int -> dram_size:int64 -> unit -> t
+(** Default [nharts] is 1. All harts share the ledger and the bus. *)
+
+val hart : t -> int -> Hart.t
+
+val sync_time : t -> unit
+(** Propagate the ledger clock into the CLINT's [mtime]. *)
+
+val load_program : t -> int64 -> Decode.t list -> unit
+(** Assemble and write a program at a physical address. *)
+
+val run_hart : t -> int -> max_steps:int -> int
+(** Step one hart, keeping [mtime] in sync each step. *)
+
+val console_output : t -> string

@@ -1,0 +1,105 @@
+let page_size = 4096
+let page_bits = 12
+
+type t = { size : int64; pages : (int, Bytes.t) Hashtbl.t }
+
+let create ~size =
+  if size <= 0L then invalid_arg "Physmem.create: non-positive size";
+  { size; pages = Hashtbl.create 1024 }
+
+let size t = t.size
+
+let check t off len =
+  if off < 0L || Xword.ult t.size (Int64.add off (Int64.of_int len)) then
+    invalid_arg
+      (Printf.sprintf "Physmem: access %s+%d out of range" (Xword.to_hex off)
+         len)
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\x00' in
+      Hashtbl.add t.pages idx p;
+      p
+
+(* Split an access at page granularity; most accesses stay in one page. *)
+let rec write_raw t off s pos len =
+  if len > 0 then begin
+    let idx = Int64.to_int (Int64.shift_right_logical off page_bits) in
+    let in_page = Int64.to_int (Int64.logand off 0xFFFL) in
+    let chunk = min len (page_size - in_page) in
+    Bytes.blit_string s pos (page t idx) in_page chunk;
+    write_raw t
+      (Int64.add off (Int64.of_int chunk))
+      s (pos + chunk) (len - chunk)
+  end
+
+let rec read_raw t off buf pos len =
+  if len > 0 then begin
+    let idx = Int64.to_int (Int64.shift_right_logical off page_bits) in
+    let in_page = Int64.to_int (Int64.logand off 0xFFFL) in
+    let chunk = min len (page_size - in_page) in
+    (match Hashtbl.find_opt t.pages idx with
+    | Some p -> Bytes.blit p in_page buf pos chunk
+    | None -> Bytes.fill buf pos chunk '\x00');
+    read_raw t (Int64.add off (Int64.of_int chunk)) buf (pos + chunk)
+      (len - chunk)
+  end
+
+let read_bytes t off len =
+  check t off len;
+  let buf = Bytes.create len in
+  read_raw t off buf 0 len;
+  Bytes.to_string buf
+
+let write_bytes t off s =
+  check t off (String.length s);
+  write_raw t off s 0 (String.length s)
+
+let read_u8 t off =
+  check t off 1;
+  Char.code (read_bytes t off 1).[0]
+
+let write_u8 t off v =
+  check t off 1;
+  write_bytes t off (String.make 1 (Char.chr (v land 0xff)))
+
+let read_uint t off n =
+  let s = read_bytes t off n in
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[i]))
+  done;
+  !v
+
+let write_uint t off n v =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done;
+  write_bytes t off (Bytes.to_string b)
+
+let read_u16 t off = Int64.to_int (read_uint t off 2)
+let write_u16 t off v = write_uint t off 2 (Int64.of_int (v land 0xffff))
+let read_u32 t off = read_uint t off 4
+let write_u32 t off v = write_uint t off 4 (Int64.logand v 0xFFFFFFFFL)
+let read_u64 t off = read_uint t off 8
+let write_u64 t off v = write_uint t off 8 v
+
+let zero_range t off len =
+  check t off (Int64.to_int len);
+  let zeros = String.make (min (Int64.to_int len) page_size) '\x00' in
+  let rec go off remaining =
+    if remaining > 0L then begin
+      let chunk = Int64.to_int (min remaining (Int64.of_int page_size)) in
+      write_raw t off zeros 0 chunk;
+      go (Int64.add off (Int64.of_int chunk))
+        (Int64.sub remaining (Int64.of_int chunk))
+    end
+  in
+  go off len
+
+let allocated_pages t = Hashtbl.length t.pages

@@ -1,0 +1,34 @@
+(** Sparse physical memory.
+
+    Backing store for the machine's DRAM: 4 KiB pages allocated on first
+    touch, so a multi-gigabyte address space costs only what is used.
+    All multi-byte accesses are little-endian, as on RISC-V. *)
+
+type t
+
+val page_size : int
+(** 4096. *)
+
+val create : size:int64 -> t
+(** A memory of [size] bytes starting at offset 0 (the bus adds the DRAM
+    base). Accesses beyond [size] raise [Invalid_argument]. *)
+
+val size : t -> int64
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u16 : t -> int64 -> int
+val write_u16 : t -> int64 -> int -> unit
+val read_u32 : t -> int64 -> int64
+val write_u32 : t -> int64 -> int64 -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+
+val read_bytes : t -> int64 -> int -> string
+val write_bytes : t -> int64 -> string -> unit
+
+val zero_range : t -> int64 -> int64 -> unit
+(** [zero_range t off len] clears a byte range (page scrubbing on
+    confidential-VM memory reclamation). *)
+
+val allocated_pages : t -> int
+(** Number of 4 KiB pages materialised so far. *)

@@ -1,0 +1,138 @@
+type access = Read | Write | Exec
+type mode = Off | Tor | Na4 | Napot
+
+let num_entries = 16
+
+type t = {
+  cfg : int array; (* 8-bit configuration per entry *)
+  addr : int64 array; (* pmpaddr registers (address >> 2) *)
+  mutable writes : int;
+}
+
+let create () =
+  { cfg = Array.make num_entries 0; addr = Array.make num_entries 0L; writes = 0 }
+
+let bit_r = 0x01
+let bit_w = 0x02
+let bit_x = 0x04
+let bit_l = 0x80
+
+let mode_of_cfg c =
+  match (c lsr 3) land 3 with
+  | 0 -> Off
+  | 1 -> Tor
+  | 2 -> Na4
+  | _ -> Napot
+
+let locked t i = t.cfg.(i) land bit_l <> 0
+
+let check_index i =
+  if i < 0 || i >= num_entries then invalid_arg "Pmp: entry out of range"
+
+let set_cfg t i byte =
+  check_index i;
+  if not (locked t i) then begin
+    t.cfg.(i) <- byte land 0xff;
+    t.writes <- t.writes + 1
+  end
+
+let get_cfg t i =
+  check_index i;
+  t.cfg.(i)
+
+let set_addr t i v =
+  check_index i;
+  let next_locked_tor =
+    i + 1 < num_entries && locked t (i + 1) && mode_of_cfg t.cfg.(i + 1) = Tor
+  in
+  if (not (locked t i)) && not next_locked_tor then begin
+    t.addr.(i) <- Int64.logand v 0x3F_FFFF_FFFF_FFFFL (* 54-bit WARL *);
+    t.writes <- t.writes + 1
+  end
+
+let get_addr t i =
+  check_index i;
+  t.addr.(i)
+
+let cfg_bits ?(r = false) ?(w = false) ?(x = false) ?(locked = false) mode =
+  let a = match mode with Off -> 0 | Tor -> 1 | Na4 -> 2 | Napot -> 3 in
+  (if r then bit_r else 0)
+  lor (if w then bit_w else 0)
+  lor (if x then bit_x else 0)
+  lor (a lsl 3)
+  lor if locked then bit_l else 0
+
+let is_pow2 v = Int64.logand v (Int64.sub v 1L) = 0L && v > 0L
+
+let set_napot_region t i ~base ~size ~r ~w ~x =
+  check_index i;
+  if not (is_pow2 size) || Xword.ult size 8L then
+    invalid_arg "Pmp.set_napot_region: size must be a power of two >= 8";
+  if Int64.rem base size <> 0L then
+    invalid_arg "Pmp.set_napot_region: base must be size-aligned";
+  (* NAPOT encoding: addr = (base >> 2) | ((size/2 - 1) >> 2)
+     i.e. low bits 0111..1 select the region size. *)
+  let napot_bits =
+    Int64.shift_right_logical (Int64.sub (Int64.div size 2L) 1L) 2
+  in
+  set_addr t i
+    (Int64.logor (Int64.shift_right_logical base 2) napot_bits);
+  set_cfg t i (cfg_bits ~r ~w ~x Napot)
+
+let clear t i = set_cfg t i (cfg_bits Off)
+
+(* Entry match for a single byte address. *)
+let entry_matches t i addr =
+  let word = Int64.shift_right_logical addr 2 in
+  match mode_of_cfg t.cfg.(i) with
+  | Off -> false
+  | Tor ->
+      let lo = if i = 0 then 0L else t.addr.(i - 1) in
+      let hi = t.addr.(i) in
+      (Xword.ult lo word || lo = word) && Xword.ult word hi
+  | Na4 -> word = t.addr.(i)
+  | Napot ->
+      (* The count of trailing ones in pmpaddr gives the region size:
+         2^(g+3) bytes based at (pmpaddr & ~ones) << 2. *)
+      let a = t.addr.(i) in
+      let rec trailing_ones n v =
+        if Int64.logand v 1L = 1L then
+          trailing_ones (n + 1) (Int64.shift_right_logical v 1)
+        else n
+      in
+      let g = trailing_ones 0 a in
+      (* g trailing ones encode a region of 2^(g+1) words (2^(g+3)
+         bytes); bits 0..g of the word address are "don't care". *)
+      let mask = Int64.shift_left (-1L) (g + 1) in
+      Int64.logand word mask = Int64.logand a mask
+
+let perm_ok cfg acc =
+  match acc with
+  | Read -> cfg land bit_r <> 0
+  | Write -> cfg land bit_w <> 0
+  | Exec -> cfg land bit_x <> 0
+
+(* Find the first entry matching the byte at [addr]; None if no match. *)
+let first_match t addr =
+  let rec go i =
+    if i >= num_entries then None
+    else if entry_matches t i addr then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let check t priv acc addr len =
+  if len <= 0 then invalid_arg "Pmp.check: non-positive length";
+  let last = Int64.add addr (Int64.of_int (len - 1)) in
+  match (first_match t addr, first_match t last) with
+  | Some i, Some j when i = j ->
+      let cfg = t.cfg.(i) in
+      if priv = Priv.M && cfg land bit_l = 0 then true else perm_ok cfg acc
+  | Some _, Some _ | Some _, None | None, Some _ ->
+      (* Access straddles entries: fails for non-M; for M it fails only if
+         any matched entry is locked without permission. Simplify per spec
+         intent: deny unless M-mode and no locked entry is involved. *)
+      priv = Priv.M
+  | None, None -> priv = Priv.M
+
+let reconfig_writes t = t.writes

@@ -1,0 +1,59 @@
+(** Physical Memory Protection (privileged spec §3.7).
+
+    A per-hart array of 16 entries. Each entry pairs a configuration byte
+    (R/W/X permissions, address-matching mode, lock bit) with an address
+    register holding bits \[55:2\] of a physical address. M-mode accesses
+    bypass unlocked entries; all lower-privilege accesses must match an
+    entry granting the required permission, and fail when no entry
+    matches.
+
+    The Secure Monitor flips the secure-memory-pool entries on every
+    world switch, so this module is on ZION's hottest path. *)
+
+type access = Read | Write | Exec
+
+type mode = Off | Tor | Na4 | Napot
+(** Address-matching modes of the A field. *)
+
+type t
+
+val num_entries : int
+(** 16, as on Rocket and most commodity parts. *)
+
+val create : unit -> t
+(** All entries OFF: no protection; only M-mode may access anything. *)
+
+val set_cfg : t -> int -> int -> unit
+(** [set_cfg t i byte] writes configuration byte [i] (R=bit0, W=bit1,
+    X=bit2, A=bits3:4, L=bit7). Writes to locked entries are ignored, as
+    in hardware. Raises [Invalid_argument] for an entry out of range. *)
+
+val get_cfg : t -> int -> int
+
+val set_addr : t -> int -> int64 -> unit
+(** [set_addr t i v] writes [pmpaddr_i] (the spec's word-address form,
+    i.e. physical address >> 2). Ignored when entry [i] is locked, or
+    when entry [i+1] is a locked TOR entry. *)
+
+val get_addr : t -> int -> int64
+
+val cfg_bits :
+  ?r:bool -> ?w:bool -> ?x:bool -> ?locked:bool -> mode -> int
+(** Assemble a configuration byte. *)
+
+val set_napot_region :
+  t -> int -> base:int64 -> size:int64 -> r:bool -> w:bool -> x:bool -> unit
+(** Program entry [i] as a NAPOT region covering [base, base+size).
+    [size] must be a power of two ≥ 8 and [base] must be size-aligned.
+    Raises [Invalid_argument] otherwise. *)
+
+val clear : t -> int -> unit
+(** Switch entry [i] off (unless locked). *)
+
+val check : t -> Priv.t -> access -> int64 -> int -> bool
+(** [check t priv acc addr len] — does the access pass PMP? All bytes of
+    the access must lie within the first matching entry. *)
+
+val reconfig_writes : t -> int
+(** Number of CSR writes performed since creation — the world-switch
+    cost model charges per write. *)

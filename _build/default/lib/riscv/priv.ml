@@ -1,0 +1,32 @@
+type t = M | HS | U | VS | VU
+
+let virtualized = function VS | VU -> true | M | HS | U -> false
+let level = function M -> 3 | HS | VS -> 1 | U | VU -> 0
+
+let of_level ~virt lvl =
+  match (virt, lvl) with
+  | false, 3 -> M
+  | false, 1 -> HS
+  | false, 0 -> U
+  | true, 1 -> VS
+  | true, 0 -> VU
+  | _ -> invalid_arg "Priv.of_level: invalid privilege encoding"
+
+let rank = function M -> 4 | HS -> 3 | VS -> 2 | U -> 1 | VU -> 0
+
+let can_access cur required =
+  match (cur, required) with
+  | _, _ when cur = required -> true
+  | M, _ -> true
+  | HS, (VS | VU | U) -> true
+  | VS, VU -> true
+  | _ -> rank cur >= rank required && virtualized cur = virtualized required
+
+let to_string = function
+  | M -> "M"
+  | HS -> "HS"
+  | U -> "U"
+  | VS -> "VS"
+  | VU -> "VU"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

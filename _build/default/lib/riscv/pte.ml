@@ -1,0 +1,37 @@
+type t = int64
+
+let v t = Xword.bit t 0
+let r t = Xword.bit t 1
+let w t = Xword.bit t 2
+let x t = Xword.bit t 3
+let u t = Xword.bit t 4
+let g t = Xword.bit t 5
+let a t = Xword.bit t 6
+let d t = Xword.bit t 7
+let is_leaf t = v t && (r t || w t || x t)
+let is_pointer t = v t && (not (r t)) && (not (w t)) && not (x t)
+let ppn t = Xword.bits t ~hi:53 ~lo:10
+
+let make ~ppn ?(r = false) ?(w = false) ?(x = false) ?(u = false) ?(g = false)
+    ?(a = true) ?(d = true) ~valid () =
+  let bit b i = if b then Int64.shift_left 1L i else 0L in
+  List.fold_left Int64.logor
+    (Int64.shift_left ppn 10)
+    [
+      bit valid 0; bit r 1; bit w 2; bit x 3; bit u 4; bit g 5; bit a 6;
+      bit d 7;
+    ]
+
+let make_pointer ~ppn = make ~ppn ~valid:true ~a:false ~d:false ()
+let invalid = 0L
+
+let pp ppf t =
+  Format.fprintf ppf "pte{ppn=%Lx%s%s%s%s%s%s%s%s}" (ppn t)
+    (if v t then " V" else "")
+    (if r t then " R" else "")
+    (if w t then " W" else "")
+    (if x t then " X" else "")
+    (if u t then " U" else "")
+    (if g t then " G" else "")
+    (if a t then " A" else "")
+    (if d t then " D" else "")

@@ -1,0 +1,41 @@
+(** Sv39 page-table entries. *)
+
+type t = int64
+
+val v : t -> bool
+val r : t -> bool
+val w : t -> bool
+val x : t -> bool
+val u : t -> bool
+val g : t -> bool
+val a : t -> bool
+val d : t -> bool
+
+val is_leaf : t -> bool
+(** Valid and at least one of R/W/X set. *)
+
+val is_pointer : t -> bool
+(** Valid with R=W=X=0: points to the next level. *)
+
+val ppn : t -> int64
+(** Physical page number (bits 53:10). *)
+
+val make :
+  ppn:int64 ->
+  ?r:bool ->
+  ?w:bool ->
+  ?x:bool ->
+  ?u:bool ->
+  ?g:bool ->
+  ?a:bool ->
+  ?d:bool ->
+  valid:bool ->
+  unit ->
+  t
+
+val make_pointer : ppn:int64 -> t
+(** Valid non-leaf entry. *)
+
+val invalid : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+type access = Fetch | Load | Store
+type fault = Page_fault | Access_fault
+
+type result = { pa : int64; level : int; pte : Pte.t; steps : int }
+
+type env = {
+  read_pte : int64 -> int64 option;
+  sum : bool;
+  mxr : bool;
+  user : bool;
+}
+
+let page_size = 4096L
+let levels = 3
+
+let canonical va =
+  (* Bits 63:39 must replicate bit 38. *)
+  let top = Int64.shift_right va 38 in
+  top = 0L || top = -1L
+
+let vpn va lvl = Int64.to_int (Xword.bits va ~hi:(12 + (9 * lvl) + 8) ~lo:(12 + (9 * lvl)))
+
+let perm_ok env access pte =
+  let readable = Pte.r pte || (env.mxr && Pte.x pte) in
+  let base =
+    match access with
+    | Fetch -> Pte.x pte
+    | Load -> readable
+    | Store -> Pte.w pte
+  in
+  let user_ok =
+    if env.user then Pte.u pte
+    else if Pte.u pte then
+      (* supervisor touching a user page: only with SUM, and never fetch *)
+      env.sum && access <> Fetch
+    else true
+  in
+  base && user_ok
+
+let walk env ~root ?(widened = false) access va =
+  if (not widened) && not (canonical va) then Error Page_fault
+  else begin
+    (* Sv39x4 widens the root index by 2 bits (2048 entries). *)
+    let env = if widened then { env with user = true } else env in
+    let top_index =
+      if widened then Int64.to_int (Xword.bits va ~hi:40 ~lo:30)
+      else vpn va 2
+    in
+    let rec step table_base lvl steps =
+      let index = if lvl = 2 then top_index else vpn va lvl in
+      let pte_addr = Int64.add table_base (Int64.of_int (index * 8)) in
+      match env.read_pte pte_addr with
+      | None -> Error Access_fault
+      | Some pte ->
+          let steps = steps + 1 in
+          if not (Pte.v pte) then Error Page_fault
+          else if Pte.is_leaf pte then begin
+            (* Misaligned superpage check: low PPN bits must be zero. *)
+            let ppn = Pte.ppn pte in
+            let low_bits = 9 * lvl in
+            if low_bits > 0 && Xword.bits ppn ~hi:(low_bits - 1) ~lo:0 <> 0L
+            then Error Page_fault
+            else if not (perm_ok env access pte) then Error Page_fault
+            else if not (Pte.a pte) || (access = Store && not (Pte.d pte))
+            then
+              (* Hardware A/D updating is not implemented: fault, as on
+                 cores that trap for software A/D management. *)
+              Error Page_fault
+            else begin
+              let page_offset_bits = 12 + low_bits in
+              let base =
+                Int64.shift_left
+                  (Xword.bits ppn ~hi:43 ~lo:low_bits)
+                  page_offset_bits
+              in
+              let offset = Xword.bits va ~hi:(page_offset_bits - 1) ~lo:0 in
+              Ok { pa = Int64.add base offset; level = lvl; pte; steps }
+            end
+          end
+          else if Pte.is_pointer pte then begin
+            if lvl = 0 then Error Page_fault
+            else step (Int64.shift_left (Pte.ppn pte) 12) (lvl - 1) steps
+          end
+          else (* W without R, or other malformed encoding *)
+            Error Page_fault
+    in
+    step root 2 0
+  end
+
+let satp_mode_sv39 = 8L
+let hgatp_mode_sv39x4 = 8L
+
+let satp_of ~asid ~root =
+  Int64.logor
+    (Int64.shift_left satp_mode_sv39 60)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int (asid land 0xffff)) 44)
+       (Int64.shift_right_logical root 12))
+
+let hgatp_of ~vmid ~root =
+  Int64.logor
+    (Int64.shift_left hgatp_mode_sv39x4 60)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int (vmid land 0x3fff)) 44)
+       (Int64.shift_right_logical root 12))
+
+let root_of_satp satp =
+  if Xword.bits satp ~hi:63 ~lo:60 = 0L then None
+  else Some (Int64.shift_left (Xword.bits satp ~hi:43 ~lo:0) 12)
+
+let asid_of_satp satp = Int64.to_int (Xword.bits satp ~hi:59 ~lo:44)
+let vmid_of_hgatp hgatp = Int64.to_int (Xword.bits hgatp ~hi:57 ~lo:44)

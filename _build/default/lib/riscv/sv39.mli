@@ -1,0 +1,60 @@
+(** Sv39 and Sv39x4 page-table walks.
+
+    A single generic walker serves both translation stages: Sv39 for
+    VS-stage (and bare HS-stage) translation, Sv39x4 — the widened
+    variant whose root table has 2048 entries covering a 41-bit
+    guest-physical space — for G-stage translation.
+
+    The walker is pure with respect to the memory system: it reads PTEs
+    through a callback, so the Secure Monitor's page tables (kept in
+    secure memory) and KVM's (kept in normal memory) go through exactly
+    the same code. *)
+
+type access = Fetch | Load | Store
+
+type fault =
+  | Page_fault  (** invalid/malformed entry or permission denied *)
+  | Access_fault  (** PTE read failed (e.g. points outside DRAM) *)
+
+type result = {
+  pa : int64;  (** translated physical (or guest-physical) address *)
+  level : int;  (** 0 = 4 KiB leaf, 1 = 2 MiB, 2 = 1 GiB *)
+  pte : Pte.t;
+  steps : int;  (** PTE memory reads performed — drives the cost model *)
+}
+
+type env = {
+  read_pte : int64 -> int64 option;
+      (** read a 64-bit PTE at a physical address; [None] = access fault *)
+  sum : bool;  (** supervisor may access user pages *)
+  mxr : bool;  (** make executable readable *)
+  user : bool;  (** the access originates at user privilege *)
+}
+
+val page_size : int64
+val levels : int
+
+val walk :
+  env -> root:int64 -> ?widened:bool -> access -> int64 -> (result, fault) Stdlib.result
+(** [walk env ~root access va] translates [va]. [widened] selects Sv39x4
+    (2048-entry root) and additionally treats every access as a user-level
+    access per the two-stage rules (G-stage PTEs must have U=1). For plain
+    Sv39 the va must be canonical (bits 63:39 equal to bit 38), else
+    [Page_fault]. *)
+
+val satp_mode_sv39 : int64
+(** Value of the MODE field (8) selecting Sv39 in [satp]/[vsatp]. *)
+
+val hgatp_mode_sv39x4 : int64
+(** Value of the MODE field (8) selecting Sv39x4 in [hgatp]. *)
+
+val satp_of : asid:int -> root:int64 -> int64
+(** Assemble a [satp]/[vsatp] value for a root-table physical address. *)
+
+val hgatp_of : vmid:int -> root:int64 -> int64
+
+val root_of_satp : int64 -> int64 option
+(** Root-table physical address, or [None] when translation is Bare. *)
+
+val asid_of_satp : int64 -> int
+val vmid_of_hgatp : int64 -> int

@@ -1,0 +1,96 @@
+type entry = {
+  pa_page : int64;
+  readable : bool;
+  writable : bool;
+  executable : bool;
+}
+
+type key = { asid : int; vmid : int; vpage : int64 }
+
+type t = {
+  capacity : int;
+  entries : (key, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable victim_seed : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity <= 0 then invalid_arg "Tlb.create: non-positive capacity";
+  {
+    capacity;
+    entries = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+    victim_seed = 0x9e3779b9;
+  }
+
+let page_of va = Int64.shift_right_logical va 12
+
+let lookup t ~asid ~vmid va =
+  let key = { asid; vmid; vpage = page_of va } in
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Deterministic pseudo-random victim selection keeps runs reproducible. *)
+let evict_one t =
+  t.victim_seed <- (t.victim_seed * 1103515245) + 12345;
+  let n = Hashtbl.length t.entries in
+  if n > 0 then begin
+    let target = abs t.victim_seed mod n in
+    let i = ref 0 in
+    let victim = ref None in
+    (try
+       Hashtbl.iter
+         (fun k _ ->
+           if !i = target then begin
+             victim := Some k;
+             raise Exit
+           end;
+           incr i)
+         t.entries
+     with Exit -> ());
+    match !victim with Some k -> Hashtbl.remove t.entries k | None -> ()
+  end
+
+let insert t ~asid ~vmid va entry =
+  let key = { asid; vmid; vpage = page_of va } in
+  if (not (Hashtbl.mem t.entries key))
+     && Hashtbl.length t.entries >= t.capacity
+  then evict_one t;
+  Hashtbl.replace t.entries key entry
+
+let flush_all t =
+  Hashtbl.reset t.entries;
+  t.flushes <- t.flushes + 1
+
+let flush_matching t pred =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed;
+  t.flushes <- t.flushes + 1
+
+let flush_vmid t vmid = flush_matching t (fun k -> k.vmid = vmid)
+let flush_asid t asid = flush_matching t (fun k -> k.asid = asid)
+
+let flush_page t va =
+  let vpage = page_of va in
+  flush_matching t (fun k -> k.vpage = vpage)
+
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+let occupancy t = Hashtbl.length t.entries
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0

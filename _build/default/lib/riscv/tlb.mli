@@ -1,0 +1,43 @@
+(** Translation lookaside buffer model.
+
+    Caches completed two-stage (or single-stage) translations at 4 KiB
+    granularity, tagged by (ASID, VMID, virtual page). A world switch
+    that rewrites [hgatp] without VMID tagging must flush — that flush
+    and the subsequent refill walks are a measurable part of ZION's
+    world-switch cost, so the TLB keeps hit/miss statistics. Capacity is
+    bounded with random replacement, like Rocket's. *)
+
+type entry = {
+  pa_page : int64; (** physical page base of the final translation *)
+  readable : bool;
+  writable : bool;
+  executable : bool;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 32 entries, matching a Rocket DTLB. *)
+
+val lookup : t -> asid:int -> vmid:int -> int64 -> entry option
+(** [lookup t ~asid ~vmid va] — cached translation for the page of [va].
+    Counts a hit or a miss. *)
+
+val insert : t -> asid:int -> vmid:int -> int64 -> entry -> unit
+
+val flush_all : t -> unit
+(** sfence.vma/hfence.gvma with no arguments. Counts a flush. *)
+
+val flush_vmid : t -> int -> unit
+(** hfence.gvma with a VMID: drop entries of one guest. *)
+
+val flush_asid : t -> int -> unit
+
+val flush_page : t -> int64 -> unit
+(** Drop all entries for one virtual page across address spaces. *)
+
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+val occupancy : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,161 @@
+type destination = To_m | To_hs | To_vs
+
+let deleg_bit reg code = Xword.bit reg code
+
+let destination (hart : Hart.t) cause =
+  let csr = hart.Hart.csr in
+  let code = Cause.code cause in
+  let m_delegates =
+    match cause with
+    | Cause.Exception _ -> deleg_bit csr.Csr.medeleg code
+    | Cause.Interrupt _ -> deleg_bit csr.Csr.mideleg code
+  in
+  let h_delegates =
+    match cause with
+    | Cause.Exception _ -> deleg_bit csr.Csr.hedeleg code
+    | Cause.Interrupt _ -> deleg_bit csr.Csr.hideleg code
+  in
+  if hart.Hart.mode = Priv.M || not m_delegates then To_m
+  else if Priv.virtualized hart.Hart.mode && h_delegates then To_vs
+  else To_hs
+
+let vector_target tvec cause =
+  let base = Xword.align_down tvec 4L in
+  match cause with
+  | Cause.Interrupt i when Int64.logand tvec 3L = 1L ->
+      (* Vectored mode. *)
+      Int64.add base (Int64.of_int (4 * Cause.interrupt_code i))
+  | Cause.Interrupt _ | Cause.Exception _ -> base
+
+let take (hart : Hart.t) cause ~tval ~tval2 =
+  let csr = hart.Hart.csr in
+  Metrics.Ledger.charge hart.Hart.ledger "trap_entry"
+    hart.Hart.cost.Cost.trap_entry;
+  let dest = destination hart cause in
+  let xcause = Cause.to_xcause cause in
+  (match dest with
+  | To_m ->
+      csr.Csr.mepc <- hart.Hart.pc;
+      csr.Csr.mcause <- xcause;
+      csr.Csr.mtval <- tval;
+      csr.Csr.mtval2 <- tval2;
+      (* Stack mstatus: MPIE <- MIE, MIE <- 0, MPP <- prior level,
+         MPV <- prior virtualisation. *)
+      Csr.set_mpie csr (Csr.get_mie csr);
+      Csr.set_mie csr false;
+      Csr.set_mpp csr (Priv.level hart.Hart.mode);
+      Csr.set_mpv csr (Priv.virtualized hart.Hart.mode);
+      hart.Hart.mode <- Priv.M;
+      hart.Hart.pc <- vector_target csr.Csr.mtvec cause
+  | To_hs ->
+      csr.Csr.sepc <- hart.Hart.pc;
+      csr.Csr.scause <- xcause;
+      csr.Csr.stval <- tval;
+      csr.Csr.htval <- tval2;
+      Csr.set_spie csr (Csr.get_sie_bit csr);
+      Csr.set_sie_bit csr false;
+      Csr.set_spp csr (min (Priv.level hart.Hart.mode) 1);
+      Csr.set_spv csr (Priv.virtualized hart.Hart.mode);
+      hart.Hart.mode <- Priv.HS;
+      hart.Hart.pc <- vector_target csr.Csr.stvec cause
+  | To_vs ->
+      csr.Csr.vsepc <- hart.Hart.pc;
+      (* VS-level cause numbers fold the VS interrupt back to the
+         supervisor encoding (e.g. VS-timer 6 is seen as 5). *)
+      let folded =
+        match cause with
+        | Cause.Interrupt i ->
+            let c = Cause.interrupt_code i in
+            Int64.logor Int64.min_int (Int64.of_int (c - 1))
+        | Cause.Exception _ -> xcause
+      in
+      csr.Csr.vscause <- folded;
+      csr.Csr.vstval <- tval;
+      Csr.set_vs_spie csr (Csr.get_vs_sie csr);
+      Csr.set_vs_sie csr false;
+      Csr.set_vs_spp csr (min (Priv.level hart.Hart.mode) 1);
+      hart.Hart.mode <- Priv.VS;
+      hart.Hart.pc <- vector_target csr.Csr.vstvec cause);
+  ()
+
+let mret (hart : Hart.t) =
+  if hart.Hart.mode <> Priv.M then
+    raise (Hart.Trap_exn (Cause.Illegal_instruction, 0L, 0L));
+  let csr = hart.Hart.csr in
+  Metrics.Ledger.charge hart.Hart.ledger "xret" hart.Hart.cost.Cost.xret;
+  let target_level = Csr.get_mpp csr in
+  let target_virt = target_level <> 3 && Csr.get_mpv csr in
+  Csr.set_mie csr (Csr.get_mpie csr);
+  Csr.set_mpie csr true;
+  Csr.set_mpp csr 0;
+  Csr.set_mpv csr false;
+  hart.Hart.mode <- Priv.of_level ~virt:target_virt target_level;
+  hart.Hart.pc <- csr.Csr.mepc
+
+let sret (hart : Hart.t) =
+  let csr = hart.Hart.csr in
+  match hart.Hart.mode with
+  | Priv.HS ->
+      Metrics.Ledger.charge hart.Hart.ledger "xret" hart.Hart.cost.Cost.xret;
+      let target_level = Csr.get_spp csr in
+      let target_virt = Csr.get_spv csr in
+      Csr.set_sie_bit csr (Csr.get_spie csr);
+      Csr.set_spie csr true;
+      Csr.set_spp csr 0;
+      Csr.set_spv csr false;
+      hart.Hart.mode <- Priv.of_level ~virt:target_virt target_level;
+      hart.Hart.pc <- csr.Csr.sepc
+  | Priv.VS ->
+      Metrics.Ledger.charge hart.Hart.ledger "xret" hart.Hart.cost.Cost.xret;
+      let target_level = Csr.get_vs_spp csr in
+      Csr.set_vs_sie csr (Csr.get_vs_spie csr);
+      Csr.set_vs_spie csr true;
+      Csr.set_vs_spp csr 0;
+      hart.Hart.mode <- Priv.of_level ~virt:true target_level;
+      hart.Hart.pc <- csr.Csr.vsepc
+  | Priv.M | Priv.U | Priv.VU ->
+      raise (Hart.Trap_exn (Cause.Illegal_instruction, 0L, 0L))
+
+(* Interrupt priority order: external > software > timer, M before S
+   before VS, per the spec's recommendation. *)
+let priority_order =
+  [
+    Cause.Machine_external; Cause.Machine_software; Cause.Machine_timer;
+    Cause.Supervisor_external; Cause.Supervisor_software;
+    Cause.Supervisor_timer; Cause.Supervisor_guest_external;
+    Cause.Virtual_supervisor_external; Cause.Virtual_supervisor_software;
+    Cause.Virtual_supervisor_timer;
+  ]
+
+let pending_interrupt (hart : Hart.t) =
+  let csr = hart.Hart.csr in
+  let pending_and_enabled i =
+    let code = Cause.interrupt_code i in
+    let pending =
+      Xword.bit csr.Csr.mip code
+      || (Priv.virtualized hart.Hart.mode && Xword.bit csr.Csr.hvip code)
+    in
+    let enabled = Xword.bit csr.Csr.mie code in
+    pending && enabled
+  in
+  let globally_enabled i =
+    (* An interrupt destined for mode X is taken when running at lower
+       privilege than X, or at X with the X-level global enable set. *)
+    match destination hart (Cause.Interrupt i) with
+    | To_m -> hart.Hart.mode <> Priv.M || Csr.get_mie csr
+    | To_hs -> begin
+        match hart.Hart.mode with
+        | Priv.M -> false
+        | Priv.HS -> Csr.get_sie_bit csr
+        | Priv.U | Priv.VS | Priv.VU -> true
+      end
+    | To_vs -> begin
+        match hart.Hart.mode with
+        | Priv.M | Priv.HS | Priv.U -> false
+        | Priv.VS -> Csr.get_vs_sie csr
+        | Priv.VU -> true
+      end
+  in
+  List.find_opt
+    (fun i -> pending_and_enabled i && globally_enabled i)
+    priority_order

@@ -1,0 +1,32 @@
+(** Trap entry and privilege-return semantics, including the two-level
+    delegation ([medeleg]/[mideleg] then [hedeleg]/[hideleg]) that ZION's
+    trap-delegation control programs on every world switch.
+
+    [take] computes the destination mode per the privileged spec:
+    - traps not delegated by M land in M mode;
+    - traps delegated by M from non-M modes land in HS mode, unless the
+      hart was virtualised and the hypervisor further delegates the cause
+      to VS mode.
+
+    The [Machine] module drives [take]; the Secure Monitor observes its
+    effect through the CSR file exactly as firmware would. *)
+
+type destination = To_m | To_hs | To_vs
+
+val destination : Hart.t -> Cause.t -> destination
+(** Where would this trap go right now? (Pure; no state change.) *)
+
+val take : Hart.t -> Cause.t -> tval:int64 -> tval2:int64 -> unit
+(** Deliver the trap: write the destination's cause/epc/tval CSRs, stack
+    the interrupt-enable and previous-privilege bits, switch mode and
+    jump to the destination trap vector. Charges [trap_entry]. *)
+
+val mret : Hart.t -> unit
+(** Return from M: restores MPP/MPV/MPIE and jumps to [mepc]. *)
+
+val sret : Hart.t -> unit
+(** Return from HS (honouring [hstatus.SPV]) or from VS. *)
+
+val pending_interrupt : Hart.t -> Cause.interrupt_t option
+(** Highest-priority interrupt that is both pending and enabled for the
+    current mode, honouring the global MIE/SIE gates and delegation. *)

@@ -1,0 +1,15 @@
+type t = { buf : Buffer.t }
+
+let size = 0x100L
+let create () = { buf = Buffer.create 256 }
+
+let read _t off _len =
+  (* LSR at offset 5: THR empty + line idle. *)
+  if Int64.to_int off = 5 then 0x60L else 0L
+
+let write t off _len v =
+  if Int64.to_int off = 0 then
+    Buffer.add_char t.buf (Char.chr (Int64.to_int v land 0xff))
+
+let output t = Buffer.contents t.buf
+let clear_output t = Buffer.clear t.buf

@@ -1,0 +1,15 @@
+(** Minimal console UART. Byte writes to offset 0 append to an output
+    buffer; reads of offset 5 report "transmitter empty" like a 16550's
+    LSR so polling drivers terminate. *)
+
+type t
+
+val create : unit -> t
+val read : t -> int64 -> int -> int64
+val write : t -> int64 -> int -> int64 -> unit
+
+val output : t -> string
+(** Everything written so far. *)
+
+val clear_output : t -> unit
+val size : int64

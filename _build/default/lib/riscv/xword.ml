@@ -1,0 +1,34 @@
+let bit x i = Int64.logand (Int64.shift_right_logical x i) 1L = 1L
+
+let mask_width w =
+  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let bits x ~hi ~lo =
+  Int64.logand (Int64.shift_right_logical x lo) (mask_width (hi - lo + 1))
+
+let set_bits x ~hi ~lo v =
+  let w = hi - lo + 1 in
+  let m = Int64.shift_left (mask_width w) lo in
+  Int64.logor
+    (Int64.logand x (Int64.lognot m))
+    (Int64.logand (Int64.shift_left v lo) m)
+
+let sext x w =
+  if w >= 64 then x
+  else begin
+    let shift = 64 - w in
+    Int64.shift_right (Int64.shift_left x shift) shift
+  end
+
+let zext32 x = Int64.logand x 0xFFFFFFFFL
+let sext32 x = sext x 32
+
+let ult a b =
+  (* Unsigned comparison via sign-bit flip. *)
+  Int64.compare (Int64.add a Int64.min_int) (Int64.add b Int64.min_int) < 0
+
+let udiv = Int64.unsigned_div
+let urem = Int64.unsigned_rem
+let align_down x a = Int64.logand x (Int64.neg a)
+let is_aligned x n = Int64.rem x (Int64.of_int n) = 0L
+let to_hex x = Printf.sprintf "0x%Lx" x

@@ -1,0 +1,40 @@
+(** 64-bit word arithmetic helpers for the RV64 model.
+
+    All architectural values (registers, addresses, CSR contents) are
+    [int64]. These helpers provide the sign/zero extensions and bit-field
+    accessors the interpreter and page-table walkers need. *)
+
+val bit : int64 -> int -> bool
+(** [bit x i] is bit [i] (0 = LSB) of [x]. *)
+
+val bits : int64 -> hi:int -> lo:int -> int64
+(** [bits x ~hi ~lo] extracts the inclusive bit range as an unsigned value. *)
+
+val set_bits : int64 -> hi:int -> lo:int -> int64 -> int64
+(** [set_bits x ~hi ~lo v] overwrites the inclusive bit range with [v]
+    (truncated to the field width). *)
+
+val sext : int64 -> int -> int64
+(** [sext x w] sign-extends the low [w] bits of [x] to 64 bits. *)
+
+val zext32 : int64 -> int64
+(** Zero-extend the low 32 bits. *)
+
+val sext32 : int64 -> int64
+(** Sign-extend the low 32 bits. *)
+
+val ult : int64 -> int64 -> bool
+(** Unsigned comparison. *)
+
+val udiv : int64 -> int64 -> int64
+val urem : int64 -> int64 -> int64
+
+val align_down : int64 -> int64 -> int64
+(** [align_down x a] rounds [x] down to a multiple of [a] ([a] a power of
+    two). *)
+
+val is_aligned : int64 -> int -> bool
+(** [is_aligned x n] — is [x] a multiple of [n]? *)
+
+val to_hex : int64 -> string
+(** Render as [0x%Lx]. *)

@@ -1,0 +1,1 @@
+lib/workloads/coremark.ml: Array Opcount Prng Rv8_kernels String

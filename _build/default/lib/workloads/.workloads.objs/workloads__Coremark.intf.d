@@ -1,0 +1,1 @@
+lib/workloads/coremark.mli: Opcount

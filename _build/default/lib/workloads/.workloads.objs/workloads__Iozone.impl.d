@@ -1,0 +1,1 @@
+lib/workloads/iozone.ml: Char Crypto List Opcount Rv8_kernels String

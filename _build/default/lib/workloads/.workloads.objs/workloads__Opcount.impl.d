@@ -1,0 +1,1 @@
+lib/workloads/opcount.ml: Float Format Riscv

@@ -1,0 +1,1 @@
+lib/workloads/opcount.mli: Format Riscv

@@ -1,0 +1,1 @@
+lib/workloads/redis.ml: Hashtbl Int64 List Opcount Printf Resp Rv8_kernels Stdlib String

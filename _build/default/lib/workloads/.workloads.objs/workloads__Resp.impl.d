@@ -1,0 +1,1 @@
+lib/workloads/resp.ml: Format Int64 List Printf Stdlib String

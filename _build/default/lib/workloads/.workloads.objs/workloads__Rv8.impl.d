@@ -1,0 +1,1 @@
+lib/workloads/rv8.ml: List Opcount Rv8_kernels

@@ -1,0 +1,1 @@
+lib/workloads/rv8_kernels.ml: Array Buffer Bytes Char Crypto List Opcount Printf Prng String

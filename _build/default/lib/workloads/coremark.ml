@@ -1,0 +1,131 @@
+let mix = Rv8_kernels.mix
+
+type result = {
+  iterations : int;
+  ops : Opcount.t;
+  crc : int;
+  locality : Opcount.locality;
+}
+
+let locality = { Opcount.hot_pages = 20; hot_dlines = 220; hot_ilines = 89 }
+let target_score_normal = 2047.6
+
+(* CRC-16/CCITT update, as in core_util.c. *)
+let crc16_byte data crc =
+  let x = ref (((crc lsr 8) lxor data) land 0xff) in
+  x := !x lxor (!x lsr 4);
+  ((crc lsl 8) lxor (!x lsl 12) lxor (!x lsl 5) lxor !x) land 0xffff
+
+let crc16_int v crc =
+  let c = crc16_byte (v land 0xff) crc in
+  crc16_byte ((v lsr 8) land 0xff) c
+
+(* ---- list kernel: reverse + find + sort a small linked list ---- *)
+
+let per_list_node = mix ~alu:6 ~load:4 ~store:2 ~branch:3 ~jump:1 ()
+
+let list_kernel ops data =
+  let n = Array.length data in
+  (* "list" as index-linked cells, reversed then insertion-sorted by
+     value mod 16, like core_list_join's mergesort on short lists *)
+  let idx = Array.init n (fun i -> n - 1 - i) in
+  let keys = Array.map (fun v -> v land 0xf) data in
+  for i = 1 to n - 1 do
+    let k = keys.(idx.(i)) and v = idx.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && keys.(idx.(!j)) > k do
+      idx.(!j + 1) <- idx.(!j);
+      decr j
+    done;
+    idx.(!j + 1) <- v
+  done;
+  Opcount.add_scaled ops per_list_node (n * 4);
+  (* crc over the sorted order *)
+  Array.fold_left (fun crc i -> crc16_int keys.(i) crc) 0 idx
+
+(* ---- matrix kernel: A*B with add/shift variants ---- *)
+
+let per_matrix_elt = mix ~alu:4 ~mul:1 ~load:2 ~store:1 ~branch:1 ()
+
+let matrix_kernel ops m =
+  let n = Array.length m in
+  let r = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (m.(i).(k) * m.(k).(j))
+      done;
+      r.(i).(j) <- (!acc + (m.(i).(j) lsr 2)) land 0xffff
+    done
+  done;
+  Opcount.add_scaled ops per_matrix_elt (n * n * n);
+  let crc = ref 0 in
+  for i = 0 to n - 1 do
+    crc := crc16_int r.(i).(i) !crc
+  done;
+  !crc
+
+(* ---- state-machine kernel: scan a string of numbers/flags ---- *)
+
+type state = Start | Int_st | Float_st | Exponent | Scientific | Invalid
+
+let per_state_char = mix ~alu:5 ~load:2 ~branch:4 ~jump:1 ()
+
+let state_kernel ops input =
+  let counts = Array.make 6 0 in
+  let state_index = function
+    | Start -> 0
+    | Int_st -> 1
+    | Float_st -> 2
+    | Exponent -> 3
+    | Scientific -> 4
+    | Invalid -> 5
+  in
+  let st = ref Start in
+  String.iter
+    (fun c ->
+      let next =
+        match (!st, c) with
+        | Start, '0' .. '9' -> Int_st
+        | Start, ('+' | '-') -> Int_st
+        | Start, '.' -> Float_st
+        | (Int_st | Float_st | Exponent | Scientific), ',' -> Start
+        | Int_st, '0' .. '9' -> Int_st
+        | Int_st, '.' -> Float_st
+        | Int_st, ('e' | 'E') -> Exponent
+        | Float_st, '0' .. '9' -> Float_st
+        | Float_st, ('e' | 'E') -> Exponent
+        | Exponent, ('+' | '-') -> Scientific
+        | Exponent, '0' .. '9' -> Scientific
+        | Scientific, '0' .. '9' -> Scientific
+        | Invalid, ',' -> Start
+        | _ -> Invalid
+      in
+      counts.(state_index next) <- counts.(state_index next) + 1;
+      st := next)
+    input;
+  Opcount.add_scaled ops per_state_char (String.length input);
+  Array.fold_left (fun crc c -> crc16_int c crc) 0 counts
+
+(* ---- harness ---- *)
+
+let run ~iterations =
+  if iterations <= 0 then invalid_arg "Coremark.run: non-positive iterations";
+  let ops = Opcount.zero () in
+  let rng = Prng.create ~seed:0xC02EL in
+  let list_data = Array.init 128 (fun _ -> Prng.int_below rng 65536) in
+  let matrix =
+    Array.init 24 (fun _ -> Array.init 24 (fun _ -> Prng.int_below rng 256))
+  in
+  let numbers = "5012,1.2e5,-17,9.9,invalid,3e+4,0.5,+42,," in
+  let crc = ref 0 in
+  for _ = 1 to iterations do
+    let c1 = list_kernel ops (Array.copy list_data) in
+    let c2 = matrix_kernel ops matrix in
+    let c3 = state_kernel ops numbers in
+    crc := crc16_int c1 (crc16_int c2 (crc16_int c3 0))
+  done;
+  { iterations; ops; crc = !crc; locality }
+
+let reference_crc = (run ~iterations:1).crc

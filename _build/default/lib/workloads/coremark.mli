@@ -1,0 +1,24 @@
+(** CoreMark workload: the three EEMBC kernels — linked-list processing,
+    matrix operations, and a state machine — iterated with a CRC-16
+    running check, exactly like the reference harness validates its
+    seeds.
+
+    The experiment layer converts the priced instruction mix into the
+    CoreMark score (iterations per second at the platform's 100 MHz). *)
+
+type result = {
+  iterations : int;
+  ops : Opcount.t;
+  crc : int;  (** final 16-bit validation CRC *)
+  locality : Opcount.locality;
+}
+
+val run : iterations:int -> result
+
+val reference_crc : int
+(** CRC for the fixed input after any number of iterations of the
+    deterministic variant (iteration-independent by construction here,
+    used as the correctness check). *)
+
+val target_score_normal : float
+(** 2,047.6 — the paper's normal-VM CoreMark score. *)

@@ -1,0 +1,19 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Prng.int_below";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+let byte t = Char.chr (int_below t 256)
+let string t n = String.init n (fun _ -> byte t)

@@ -1,0 +1,12 @@
+(** Deterministic xorshift64* PRNG for workload inputs (the simulator
+    forbids ambient randomness so every run is reproducible). *)
+
+type t
+
+val create : seed:int64 -> t
+val next : t -> int64
+val int_below : t -> int -> int
+(** Uniform-ish in [0, n). Raises [Invalid_argument] for n <= 0. *)
+
+val byte : t -> char
+val string : t -> int -> string

@@ -1,0 +1,106 @@
+type value =
+  | Simple of string
+  | Error of string
+  | Integer of int64
+  | Bulk of string option
+  | Array of value list
+
+let rec encode = function
+  | Simple s -> "+" ^ s ^ "\r\n"
+  | Error s -> "-" ^ s ^ "\r\n"
+  | Integer i -> Printf.sprintf ":%Ld\r\n" i
+  | Bulk None -> "$-1\r\n"
+  | Bulk (Some s) -> Printf.sprintf "$%d\r\n%s\r\n" (String.length s) s
+  | Array vs ->
+      Printf.sprintf "*%d\r\n" (List.length vs)
+      ^ String.concat "" (List.map encode vs)
+
+let find_crlf s from =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i
+    else go (i + 1)
+  in
+  go from
+
+let parse_int s = try Some (int_of_string s) with Failure _ -> None
+
+let rec decode_at s pos =
+  if pos >= String.length s then Stdlib.Error "resp: empty input"
+  else begin
+    match find_crlf s (pos + 1) with
+    | None -> Stdlib.Error "resp: missing CRLF"
+    | Some eol -> begin
+        let line = String.sub s (pos + 1) (eol - pos - 1) in
+        let after = eol + 2 in
+        match s.[pos] with
+        | '+' -> Ok (Simple line, after)
+        | '-' ->
+            (* the RESP error value, not a parse failure *)
+            Ok (Error line, after)
+        | ':' -> begin
+            match Int64.of_string_opt line with
+            | Some i -> Ok (Integer i, after)
+            | None -> Stdlib.Error "resp: bad integer"
+          end
+        | '$' -> begin
+            match parse_int line with
+            | Some -1 -> Ok (Bulk None, after)
+            | Some len when len >= 0 ->
+                if after + len + 2 > String.length s then
+                  Stdlib.Error "resp: truncated bulk string"
+                else if
+                  s.[after + len] <> '\r' || s.[after + len + 1] <> '\n'
+                then Stdlib.Error "resp: bulk string missing terminator"
+                else
+                  Ok (Bulk (Some (String.sub s after len)), after + len + 2)
+            | _ -> Stdlib.Error "resp: bad bulk length"
+          end
+        | '*' -> begin
+            match parse_int line with
+            | Some n when n >= 0 ->
+                let rec items acc pos k =
+                  if k = 0 then Ok (Array (List.rev acc), pos)
+                  else begin
+                    match decode_at s pos with
+                    | Ok (v, pos') -> items (v :: acc) pos' (k - 1)
+                    | Stdlib.Error e -> Stdlib.Error e
+                  end
+                in
+                items [] after n
+            | _ -> Stdlib.Error "resp: bad array length"
+          end
+        | c -> Stdlib.Error (Printf.sprintf "resp: unknown type byte %C" c)
+      end
+  end
+
+let decode s =
+  match decode_at s 0 with
+  | Ok (v, consumed) -> Ok (v, consumed)
+  | Stdlib.Error e -> Stdlib.Error e
+
+let encode_command args = encode (Array (List.map (fun a -> Bulk (Some a)) args))
+
+let decode_command s =
+  match decode s with
+  | Ok (Array items, _) ->
+      let rec strings acc = function
+        | [] -> Ok (List.rev acc)
+        | Bulk (Some b) :: rest -> strings (b :: acc) rest
+        | _ -> Error "resp: command must be an array of bulk strings"
+      in
+      strings [] items
+  | Ok _ -> Error "resp: command must be an array"
+  | Error e -> Error e
+
+let rec pp ppf = function
+  | Simple s -> Format.fprintf ppf "+%s" s
+  | Error s -> Format.fprintf ppf "-%s" s
+  | Integer i -> Format.fprintf ppf ":%Ld" i
+  | Bulk None -> Format.fprintf ppf "$nil"
+  | Bulk (Some s) -> Format.fprintf ppf "%S" s
+  | Array vs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+        vs

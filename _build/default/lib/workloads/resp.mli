@@ -1,0 +1,26 @@
+(** RESP (REdis Serialization Protocol) version 2 codec.
+
+    The Redis benchmark speaks real RESP over the simulated virtio-net
+    path: requests are arrays of bulk strings; replies are simple
+    strings, errors, integers, bulk strings or arrays. *)
+
+type value =
+  | Simple of string
+  | Error of string
+  | Integer of int64
+  | Bulk of string option  (** [None] is the null bulk string *)
+  | Array of value list
+
+val encode : value -> string
+
+val decode : string -> (value * int, string) result
+(** [decode s] parses one value from the front of [s]; returns the value
+    and the number of bytes consumed. *)
+
+val encode_command : string list -> string
+(** Encode a client command (array of bulk strings). *)
+
+val decode_command : string -> (string list, string) result
+(** Parse a full client command. *)
+
+val pp : Format.formatter -> value -> unit

@@ -1,0 +1,45 @@
+type result = {
+  name : string;
+  ops : Opcount.t;
+  checksum : string;
+  locality : Opcount.locality;
+  target_gcycles : float;
+}
+
+let names =
+  [ "aes"; "bigint"; "dhrystone"; "miniz"; "norx"; "primes"; "qsort";
+    "sha512" ]
+
+let run name ~scale =
+  let make (ops, checksum) locality target_gcycles =
+    { name; ops; checksum; locality; target_gcycles }
+  in
+  match name with
+  | "aes" ->
+      make (Rv8_kernels.Aes.run ~scale) Rv8_kernels.Aes.locality
+        Rv8_kernels.Aes.target_gcycles
+  | "bigint" ->
+      make (Rv8_kernels.Bigint.run ~scale) Rv8_kernels.Bigint.locality
+        Rv8_kernels.Bigint.target_gcycles
+  | "dhrystone" ->
+      make
+        (Rv8_kernels.Dhrystone.run ~scale)
+        Rv8_kernels.Dhrystone.locality Rv8_kernels.Dhrystone.target_gcycles
+  | "miniz" ->
+      make (Rv8_kernels.Miniz.run ~scale) Rv8_kernels.Miniz.locality
+        Rv8_kernels.Miniz.target_gcycles
+  | "norx" ->
+      make (Rv8_kernels.Norx.run ~scale) Rv8_kernels.Norx.locality
+        Rv8_kernels.Norx.target_gcycles
+  | "primes" ->
+      make (Rv8_kernels.Primes.run ~scale) Rv8_kernels.Primes.locality
+        Rv8_kernels.Primes.target_gcycles
+  | "qsort" ->
+      make (Rv8_kernels.Qsort.run ~scale) Rv8_kernels.Qsort.locality
+        Rv8_kernels.Qsort.target_gcycles
+  | "sha512" ->
+      make (Rv8_kernels.Sha512k.run ~scale) Rv8_kernels.Sha512k.locality
+        Rv8_kernels.Sha512k.target_gcycles
+  | other -> invalid_arg ("Rv8.run: unknown kernel " ^ other)
+
+let run_all ~scale = List.map (fun n -> run n ~scale) names

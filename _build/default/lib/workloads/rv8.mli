@@ -1,0 +1,25 @@
+(** The RV8 benchmark suite (Table I).
+
+    Eight CPU-intensive kernels, each genuinely executed in OCaml with a
+    per-work-unit RV64 instruction-mix estimate accumulated alongside.
+    [run_all] executes every kernel at a standard simulation scale and
+    returns results the experiment layer prices and replicates up to the
+    paper's input sizes. *)
+
+type result = {
+  name : string;
+  ops : Opcount.t;  (** dynamic instruction mix at simulation scale *)
+  checksum : string;  (** correctness witness (hex digest or value) *)
+  locality : Opcount.locality;
+  target_gcycles : float;
+      (** Table I's normal-VM column for this kernel, in 10^9 cycles *)
+}
+
+val names : string list
+(** aes, bigint, dhrystone, miniz, norx, primes, qsort, sha512. *)
+
+val run : string -> scale:int -> result
+(** Run one kernel; [scale] multiplies the base input size. Raises
+    [Invalid_argument] for an unknown name. *)
+
+val run_all : scale:int -> result list

@@ -1,0 +1,421 @@
+(* The eight RV8 kernels. Each runs its algorithm for real (validated by
+   a checksum) and accumulates the RV64 instruction mix of the
+   equivalent inner loops: the mixes are static per unit of actual work
+   performed (per AES block, per sieve mark, per partition step, ...),
+   with unit compositions estimated from the RV64 assembly of the
+   reference implementations. *)
+
+let mix ?(alu = 0) ?(mul = 0) ?(div = 0) ?(load = 0) ?(store = 0)
+    ?(branch = 0) ?(jump = 0) () =
+  { Opcount.alu; mul; div; load; store; branch; jump }
+
+(* ---------- aes: AES-128-CBC over a buffer ---------- *)
+
+module Aes = struct
+  let locality = { Opcount.hot_pages = 32; hot_dlines = 200; hot_ilines = 111 }
+  let target_gcycles = 6.312
+
+  (* Per 16-byte block: 10 rounds of SubBytes (16 table loads), ShiftRows
+     (register moves), MixColumns (~60 xor/shift), AddRoundKey (16 ops);
+     byte-oriented RV64 code. *)
+  let per_block =
+    mix ~alu:560 ~load:204 ~store:36 ~branch:22 ~jump:4 ()
+
+  let run ~scale =
+    let kb = 16 * scale in
+    let key = String.init 16 (fun i -> Char.chr ((i * 7) land 0xff)) in
+    let iv = String.make 16 '\x3c' in
+    let rng = Prng.create ~seed:0xAE5L in
+    let plaintext = Prng.string rng (kb * 1024) in
+    let ciphertext = Crypto.Aes.cbc_encrypt ~key ~iv plaintext in
+    (* decrypt to validate the round trip, as the RV8 program does *)
+    let back = Crypto.Aes.cbc_decrypt ~key ~iv ciphertext in
+    assert (back = plaintext);
+    let blocks = kb * 1024 / 16 in
+    let ops = Opcount.zero () in
+    Opcount.add_scaled ops per_block (2 * blocks) (* encrypt + decrypt *);
+    (ops, Crypto.Sha256.hex ciphertext)
+end
+
+(* ---------- bigint: arbitrary-precision arithmetic ---------- *)
+
+module Bigint = struct
+  let locality = { Opcount.hot_pages = 28; hot_dlines = 200; hot_ilines = 88 }
+  let target_gcycles = 8.965
+
+  (* 30-bit limbs in int arrays; schoolbook multiply. Counting one limb
+     product step: load two limbs, multiply, add carry chain, store. *)
+  let per_limb_mul = mix ~alu:6 ~mul:1 ~load:3 ~store:1 ~branch:1 ()
+  let per_limb_add = mix ~alu:4 ~load:2 ~store:1 ~branch:1 ()
+
+  let base = 1 lsl 30
+
+  let bmul ops a b =
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let t = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- t land (base - 1);
+        carry := t lsr 30
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    Opcount.add_scaled ops per_limb_mul (la * lb);
+    r
+
+  let badd ops a b =
+    let la = Array.length a and lb = Array.length b in
+    let n = max la lb + 1 in
+    let r = Array.make n 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let x = if i < la then a.(i) else 0 in
+      let y = if i < lb then b.(i) else 0 in
+      let t = x + y + !carry in
+      r.(i) <- t land (base - 1);
+      carry := t lsr 30
+    done;
+    Opcount.add_scaled ops per_limb_add n;
+    r
+
+  let digest a =
+    let b = Buffer.create (Array.length a * 4) in
+    Array.iter (fun limb -> Buffer.add_string b (string_of_int limb)) a;
+    Crypto.Sha256.hex (Buffer.contents b)
+
+  let run ~scale =
+    let ops = Opcount.zero () in
+    (* Fibonacci-style chain of big multiplications: grows the numbers
+       so late iterations dominate, like RV8's bigint test. *)
+    let rng = Prng.create ~seed:0xB161L in
+    let fresh n = Array.init n (fun _ -> Prng.int_below rng base) in
+    let a = ref (fresh 8) and b = ref (fresh 8) in
+    for _ = 1 to 6 + scale do
+      let c = bmul ops !a !b in
+      let d = badd ops c !b in
+      a := !b;
+      b := d
+    done;
+    (ops, digest !b)
+end
+
+(* ---------- dhrystone: the classic integer/record/string mix ---------- *)
+
+module Dhrystone = struct
+  let locality = { Opcount.hot_pages = 24; hot_dlines = 230; hot_ilines = 99 }
+  let target_gcycles = 4.144
+
+  type record_t = {
+    mutable discr : int;
+    mutable enum_comp : int;
+    mutable int_comp : int;
+    mutable str_comp : string;
+    mutable next : record_t option;
+  }
+
+  (* One dhrystone iteration is ~330 RV64 instructions in the reference
+     build; the class split below follows the published breakdowns. *)
+  let per_iter =
+    mix ~alu:140 ~mul:2 ~div:1 ~load:80 ~store:45 ~branch:40 ~jump:20 ()
+
+  let run ~scale =
+    let iters = 20000 * scale in
+    let ops = Opcount.zero () in
+    let glob = ref 0 in
+    let rec_a =
+      { discr = 0; enum_comp = 2; int_comp = 0; str_comp = ""; next = None }
+    in
+    let rec_b =
+      { discr = 0; enum_comp = 1; int_comp = 0; str_comp = ""; next = Some rec_a }
+    in
+    let str_1 = "DHRYSTONE PROGRAM, 1'ST STRING" in
+    let str_2 = "DHRYSTONE PROGRAM, 2'ND STRING" in
+    for i = 1 to iters do
+      (* Proc_1/Proc_2-style record and integer churn. *)
+      rec_a.int_comp <- (i * 5) mod 97;
+      rec_a.str_comp <- (if i land 1 = 0 then str_1 else str_2);
+      (match rec_b.next with
+      | Some r ->
+          r.int_comp <- rec_a.int_comp + r.enum_comp;
+          r.discr <- (r.discr + 1) land 3
+      | None -> ());
+      (* Func_2-style string comparison. *)
+      if String.compare rec_a.str_comp str_1 = 0 then
+        glob := !glob + rec_a.int_comp
+      else glob := !glob - rec_b.enum_comp;
+      (* Proc_8-style array update. *)
+      glob := (!glob + (i / 3)) land 0xFFFFF
+    done;
+    Opcount.add_scaled ops per_iter iters;
+    (ops, string_of_int !glob)
+end
+
+(* ---------- miniz: LZ77 compression with hash chains ---------- *)
+
+module Miniz = struct
+  let locality = { Opcount.hot_pages = 32; hot_dlines = 100; hot_ilines = 40 }
+  let target_gcycles = 25.412
+
+  let per_literal = mix ~alu:8 ~load:4 ~store:2 ~branch:3 ()
+  let per_match_byte = mix ~alu:4 ~load:2 ~branch:1 ()
+  let per_hash_probe = mix ~alu:6 ~load:2 ~store:1 ~branch:2 ()
+
+  (* Generate compressible text: words drawn from a small dictionary. *)
+  let make_input rng n =
+    let words =
+      [| "the "; "quick "; "brown "; "fox "; "jumps "; "over "; "lazy ";
+         "dog "; "pack "; "my "; "box "; "with "; "five "; "dozen ";
+         "liquor "; "jugs " |]
+    in
+    let b = Buffer.create n in
+    while Buffer.length b < n do
+      Buffer.add_string b words.(Prng.int_below rng 16)
+    done;
+    Buffer.sub b 0 n
+
+  (* LZ77 with a 4096-entry hash of 3-byte prefixes; emits (op, ...)
+     tokens. *)
+  let compress ops input =
+    let n = String.length input in
+    let hash_tbl = Array.make 4096 (-1) in
+    let out = Buffer.create (n / 2) in
+    let hash i =
+      (Char.code input.[i] lxor (Char.code input.[i + 1] lsl 4)
+      lxor (Char.code input.[i + 2] lsl 8))
+      land 0xFFF
+    in
+    let pos = ref 0 in
+    while !pos < n - 3 do
+      let h = hash !pos in
+      Opcount.add ops per_hash_probe;
+      let cand = hash_tbl.(h) in
+      hash_tbl.(h) <- !pos;
+      let match_len =
+        if cand >= 0 && !pos - cand < 4096 then begin
+          let rec extend l =
+            if l < 255 && !pos + l < n && input.[cand + l] = input.[!pos + l]
+            then extend (l + 1)
+            else l
+          in
+          extend 0
+        end
+        else 0
+      in
+      if match_len >= 4 then begin
+        Buffer.add_char out '\x01';
+        Buffer.add_char out (Char.chr (match_len land 0xff));
+        Buffer.add_char out (Char.chr ((!pos - cand) lsr 8));
+        Buffer.add_char out (Char.chr ((!pos - cand) land 0xff));
+        Opcount.add_scaled ops per_match_byte match_len;
+        pos := !pos + match_len
+      end
+      else begin
+        Buffer.add_char out '\x00';
+        Buffer.add_char out input.[!pos];
+        Opcount.add ops per_literal;
+        incr pos
+      end
+    done;
+    while !pos < n do
+      Buffer.add_char out '\x00';
+      Buffer.add_char out input.[!pos];
+      Opcount.add ops per_literal;
+      incr pos
+    done;
+    Buffer.contents out
+
+  let decompress ops packed =
+    let out = Buffer.create (String.length packed * 2) in
+    let i = ref 0 in
+    let n = String.length packed in
+    while !i < n do
+      if packed.[!i] = '\x00' then begin
+        Buffer.add_char out packed.[!i + 1];
+        Opcount.add ops per_literal;
+        i := !i + 2
+      end
+      else begin
+        let len = Char.code packed.[!i + 1] in
+        let dist =
+          (Char.code packed.[!i + 2] lsl 8) lor Char.code packed.[!i + 3]
+        in
+        let start = Buffer.length out - dist in
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done;
+        Opcount.add_scaled ops per_match_byte len;
+        i := !i + 4
+      end
+    done;
+    Buffer.contents out
+
+  let run ~scale =
+    let rng = Prng.create ~seed:0x1234L in
+    let input = make_input rng (65536 * scale) in
+    let ops = Opcount.zero () in
+    let packed = compress ops input in
+    let back = decompress ops packed in
+    assert (back = input);
+    let ratio_permille = String.length packed * 1000 / String.length input in
+    (ops, Printf.sprintf "%s:%d" (Crypto.Sha256.hex packed) ratio_permille)
+end
+
+(* ---------- norx: AEAD encryption ---------- *)
+
+module Norx = struct
+  let locality = { Opcount.hot_pages = 16; hot_dlines = 240; hot_ilines = 98 }
+  let target_gcycles = 3.905
+
+  (* One G application: 8 H functions (3 ops each) + 4 rotations
+     (3 ops) + loads/stores of the state words. *)
+  let per_g = mix ~alu:40 ~load:8 ~store:4 ()
+  let per_block_xor = mix ~alu:24 ~load:24 ~store:12 ()
+
+  let run ~scale =
+    let key = String.init 32 (fun i -> Char.chr ((i * 11) land 0xff)) in
+    let nonce = String.init 32 (fun i -> Char.chr ((255 - i) land 0xff)) in
+    let rng = Prng.create ~seed:0x404L in
+    let msg = Prng.string rng (32768 * scale) in
+    let ops = Opcount.zero () in
+    let ct, tag = Crypto.Norx.encrypt ~key ~nonce ~header:"rv8" msg in
+    (match Crypto.Norx.decrypt ~key ~nonce ~header:"rv8" ~tag ct with
+    | Some back -> assert (back = msg)
+    | None -> assert false);
+    (* 2 directions * (blocks permutations + init/final) *)
+    let blocks = (String.length msg + 95) / 96 in
+    let g_apps = 2 * (blocks + 4) * 32 in
+    Opcount.add_scaled ops per_g g_apps;
+    Opcount.add_scaled ops per_block_xor (2 * blocks);
+    (ops, Crypto.Sha256.hex (ct ^ tag))
+end
+
+(* ---------- primes: sieve of Eratosthenes ---------- *)
+
+module Primes = struct
+  let locality = { Opcount.hot_pages = 32; hot_dlines = 80; hot_ilines = 41 }
+  let target_gcycles = 19.002
+
+  let per_mark = mix ~alu:2 ~store:1 ~branch:1 ()
+  let per_scan = mix ~alu:2 ~load:1 ~branch:2 ()
+
+  let run ~scale =
+    let n = 400000 * scale in
+    let sieve = Bytes.make (n + 1) '\x01' in
+    let ops = Opcount.zero () in
+    let marks = ref 0 and scans = ref 0 in
+    let i = ref 2 in
+    while !i * !i <= n do
+      incr scans;
+      if Bytes.get sieve !i = '\x01' then begin
+        let j = ref (!i * !i) in
+        while !j <= n do
+          Bytes.set sieve !j '\x00';
+          incr marks;
+          j := !j + !i
+        done
+      end;
+      incr i
+    done;
+    (* count primes *)
+    let count = ref 0 in
+    for k = 2 to n do
+      incr scans;
+      if Bytes.get sieve k = '\x01' then incr count
+    done;
+    Opcount.add_scaled ops per_mark !marks;
+    Opcount.add_scaled ops per_scan !scans;
+    (ops, string_of_int !count)
+end
+
+(* ---------- qsort ---------- *)
+
+module Qsort = struct
+  let locality = { Opcount.hot_pages = 32; hot_dlines = 180; hot_ilines = 81 }
+  let target_gcycles = 2.148
+
+  let per_compare = mix ~alu:2 ~load:2 ~branch:2 ()
+  let per_swap = mix ~alu:2 ~load:2 ~store:2 ()
+  let per_partition = mix ~alu:10 ~load:2 ~store:2 ~branch:2 ~jump:2 ()
+
+  let run ~scale =
+    let n = 100000 * scale in
+    let rng = Prng.create ~seed:0x9507L in
+    let a = Array.init n (fun _ -> Prng.int_below rng 1000000) in
+    let ops = Opcount.zero () in
+    let compares = ref 0 and swaps = ref 0 and partitions = ref 0 in
+    let swap i j =
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t;
+      incr swaps
+    in
+    let rec sort lo hi =
+      if lo < hi then begin
+        incr partitions;
+        (* median-of-three pivot, like the RV8 qsort *)
+        let mid = (lo + hi) / 2 in
+        if a.(mid) < a.(lo) then swap mid lo;
+        if a.(hi) < a.(lo) then swap hi lo;
+        if a.(hi) < a.(mid) then swap hi mid;
+        compares := !compares + 3;
+        let pivot = a.(mid) in
+        let i = ref lo and j = ref hi in
+        while !i <= !j do
+          while
+            incr compares;
+            a.(!i) < pivot
+          do
+            incr i
+          done;
+          while
+            incr compares;
+            a.(!j) > pivot
+          do
+            decr j
+          done;
+          if !i <= !j then begin
+            swap !i !j;
+            incr i;
+            decr j
+          end
+        done;
+        sort lo !j;
+        sort !i hi
+      end
+    in
+    sort 0 (n - 1);
+    (* validate sortedness *)
+    for k = 1 to n - 1 do
+      assert (a.(k - 1) <= a.(k))
+    done;
+    Opcount.add_scaled ops per_compare !compares;
+    Opcount.add_scaled ops per_swap !swaps;
+    Opcount.add_scaled ops per_partition !partitions;
+    let digest =
+      Crypto.Sha256.hex
+        (String.concat ","
+           (List.map string_of_int [ a.(0); a.(n / 2); a.(n - 1) ]))
+    in
+    (ops, digest)
+end
+
+(* ---------- sha512 ---------- *)
+
+module Sha512k = struct
+  let locality = { Opcount.hot_pages = 8; hot_dlines = 256; hot_ilines = 132 }
+  let target_gcycles = 3.947
+
+  (* Per 128-byte block: 80 rounds of ~32 ALU ops plus schedule loads. *)
+  let per_block = mix ~alu:2720 ~load:190 ~store:90 ~branch:82 ~jump:2 ()
+
+  let run ~scale =
+    let rng = Prng.create ~seed:0x512L in
+    let msg = Prng.string rng (65536 * scale) in
+    let ops = Opcount.zero () in
+    let digest = Crypto.Sha512.hex msg in
+    let blocks = (String.length msg + 127) / 128 in
+    Opcount.add_scaled ops per_block blocks;
+    (ops, digest)
+end

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Asm Bus Cause Char Clint Csr Decode Guest Hart Int64 List Machine Option Printf Result Riscv Uart Xword Zion

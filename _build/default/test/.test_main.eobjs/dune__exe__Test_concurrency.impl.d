@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Asm Bus Char Cost Csr Decode Float Guest Hart Hypervisor Int64 Machine Pmp Printf Priv Riscv String Zion

@@ -1,0 +1,1 @@
+test/test_csr_props.ml: Alcotest Array Bus Char Crypto Csr Gen Hashtbl Int64 List Machine Option Printf Priv QCheck QCheck_alcotest Riscv String Xword Zion

@@ -1,0 +1,1 @@
+test/test_exec_extra.ml: Alcotest Asm Bus Cause Csr Decode Exec Hart Int64 List Machine Pmp Priv Pte QCheck QCheck_alcotest Riscv Sv39 Tlb Trap

@@ -1,0 +1,1 @@
+test/test_ledger_accounting.ml: Alcotest Asm Bus Clint Cost Csr Decode Guest Hart Int64 List Machine Metrics Result Riscv Tlb Zion

@@ -1,0 +1,1 @@
+test/test_migrate.ml: Alcotest Array Asm Bus Bytes Char Clint Csr Decode Guest Hart Int64 List Machine Metrics Option Printf Result Riscv String Zion

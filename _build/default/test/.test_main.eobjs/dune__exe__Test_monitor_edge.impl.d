@@ -1,0 +1,1 @@
+test/test_monitor_edge.ml: Alcotest Asm Bus Decode Gen Guest Hypervisor Int64 List Machine Metrics Option QCheck QCheck_alcotest Result Riscv String Zion

@@ -1,0 +1,1 @@
+test/test_odds_ends.ml: Alcotest Bus Disasm Hypervisor Int64 List Metrics Printf Riscv String Zion

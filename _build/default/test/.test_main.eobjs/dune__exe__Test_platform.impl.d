@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Float List Platform Workloads

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Asm Bus Cause Char Clint Csr Decode Disasm Exec Hart Int64 Iopmp List Machine Physmem Pmp Printf Priv Pte QCheck QCheck_alcotest Riscv String Sv39 Tlb Trap Uart Xword

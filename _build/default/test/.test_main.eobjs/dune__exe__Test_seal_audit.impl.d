@@ -1,0 +1,1 @@
+test/test_seal_audit.ml: Alcotest Asm Buffer Bus Bytes Char Crypto Decode Gen Guest Hypervisor Int64 List Machine Pte QCheck QCheck_alcotest Result Riscv String Zion

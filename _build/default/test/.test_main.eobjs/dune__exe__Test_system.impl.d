@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Asm Bus Char Guest Hypervisor Int64 Iopmp List Machine Option Riscv String Xword Zion

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Format Gen List Printf QCheck QCheck_alcotest Result Riscv String Workloads

@@ -1,0 +1,1 @@
+test/test_zion.ml: Alcotest Asm Bus Cause Char Clint Crypto Csr Decode Gen Hart Int64 Iopmp List Machine Metrics Option Priv Pte QCheck QCheck_alcotest Result Riscv String Zion

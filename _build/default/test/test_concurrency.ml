@@ -1,0 +1,201 @@
+(* Multi-vCPU and multi-hart behaviour, plus calibration-invariance
+   properties of the cost model. *)
+
+open Riscv
+
+let mib n = Int64.mul (Int64.of_int n) 0x100000L
+
+let make_stack ?(pool_mib = 8) () =
+  let machine = Machine.create ~nharts:4 ~dram_size:(mib 256) () in
+  let monitor = Zion.Monitor.create machine in
+  let kvm = Hypervisor.Kvm.create ~machine ~monitor () in
+  (match Hypervisor.Kvm.donate_secure_pool kvm ~mib:pool_mib with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (machine, monitor, kvm)
+
+let guest_entry = 0x10000L
+
+(* Guest: old = amoadd(counter, 1); print '0' + old; shutdown. Runs
+   identically on every vCPU of the CVM; the shared counter hands each
+   one a distinct ticket. *)
+let ticket_guest =
+  let open Decode in
+  Asm.li Asm.t0 0x900000L
+  @ Asm.li Asm.t1 1L
+  @ [ Amo { op = Amoadd; rd = Asm.t2; rs1 = Asm.t0; rs2 = Asm.t1; width = D } ]
+  @ Asm.li Asm.a0 (Int64.of_int (Char.code '0'))
+  @ [ Op (Add, Asm.a0, Asm.a0, Asm.t2) ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+  @ Guest.Gprog.shutdown
+
+let multi_vcpu_tests =
+  [
+    Alcotest.test_case "two vCPUs of one CVM share private memory" `Quick
+      (fun () ->
+        let machine, monitor, _ = make_stack () in
+        let id =
+          match
+            Zion.Monitor.create_cvm monitor ~nvcpus:2 ~entry_pc:guest_entry
+          with
+          | Ok id -> id
+          | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e)
+        in
+        (match
+           Zion.Monitor.load_image monitor ~cvm:id ~gpa:guest_entry
+             (Asm.program ticket_guest)
+         with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e));
+        (match Zion.Monitor.finalize_cvm monitor ~cvm:id with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e));
+        (* vCPU 0 on hart 0, then vCPU 1 on hart 1. The second one
+           faults on a page the first already mapped (spurious fault)
+           and must still see the incremented counter. *)
+        let expect_shutdown hart vcpu =
+          match
+            Zion.Monitor.run_vcpu monitor ~hart ~cvm:id ~vcpu
+              ~max_steps:100_000
+          with
+          | Ok Zion.Monitor.Exit_shutdown -> ()
+          | Ok _ -> Alcotest.fail "expected shutdown"
+          | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e)
+        in
+        expect_shutdown 0 0;
+        (* shutdown suspends the CVM; re-mark runnable via state check *)
+        (match Zion.Monitor.cvm_state monitor ~cvm:id with
+        | Some Zion.Cvm.Suspended -> ()
+        | s ->
+            ignore s;
+            ());
+        expect_shutdown 1 1;
+        Alcotest.(check string)
+          "tickets 0 then 1" "01"
+          (Machine.console_output machine));
+    Alcotest.test_case "two CVMs interleave on two harts" `Quick (fun () ->
+        let machine, _, kvm = make_stack () in
+        let mk c =
+          match
+            Hypervisor.Kvm.create_cvm_guest kvm ~entry_pc:guest_entry
+              ~image:
+                [ (guest_entry, Asm.program (Guest.Gprog.hello (String.make 1 c))) ]
+          with
+          | Ok h -> h
+          | Error e -> Alcotest.fail e
+        in
+        let a = mk 'a' and b = mk 'b' in
+        (* Alternate single slices: a(h0) b(h1) a(h0) b(h1)... *)
+        let step h hart =
+          match Hypervisor.Kvm.run_cvm kvm h ~hart ~max_steps:40 with
+          | Hypervisor.Kvm.C_shutdown -> true
+          | Hypervisor.Kvm.C_limit -> false
+          | Hypervisor.Kvm.C_timer -> false
+          | Hypervisor.Kvm.C_denied -> Alcotest.fail "denied"
+          | Hypervisor.Kvm.C_error e -> Alcotest.fail e
+        in
+        let da = ref false and db = ref false in
+        let rounds = ref 0 in
+        while (not (!da && !db)) && !rounds < 100 do
+          incr rounds;
+          if not !da then da := step a 0;
+          if not !db then db := step b 1
+        done;
+        Alcotest.(check bool) "both finished" true (!da && !db);
+        (* both printed exactly once despite the interleaving *)
+        let out = Machine.console_output machine in
+        let count c =
+          String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 out
+        in
+        Alcotest.(check int) "one a" 1 (count 'a');
+        Alcotest.(check int) "one b" 1 (count 'b'));
+    Alcotest.test_case "per-hart PMP guards stay closed on idle harts"
+      `Quick (fun () ->
+        let machine, monitor, kvm = make_stack () in
+        ignore monitor;
+        let h =
+          match
+            Hypervisor.Kvm.create_cvm_guest kvm ~entry_pc:guest_entry
+              ~image:[ (guest_entry, Asm.program (Guest.Gprog.hello "x")) ]
+          with
+          | Ok h -> h
+          | Error e -> Alcotest.fail e
+        in
+        (match
+           Hypervisor.Kvm.run_cvm kvm h ~hart:0 ~max_steps:10_000_000
+         with
+        | Hypervisor.Kvm.C_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        (* While hart 0 was switching worlds, harts 1..3 must never have
+           had the pool opened. *)
+        let pool = Int64.add Bus.dram_base (mib 16) in
+        ignore pool;
+        let pool_base =
+          match
+            Zion.Secmem.regions
+              (Zion.Monitor.secmem (Hypervisor.Kvm.monitor kvm))
+          with
+          | (b, _) :: _ -> b
+          | [] -> Alcotest.fail "no pool"
+        in
+        for hart = 1 to 3 do
+          let hobj = Machine.hart machine hart in
+          Alcotest.(check bool)
+            (Printf.sprintf "hart %d blocked" hart)
+            false
+            (Pmp.check hobj.Hart.csr.Csr.pmp Priv.HS Pmp.Read pool_base 8)
+        done);
+  ]
+
+(* ---------- calibration invariance ---------- *)
+
+let relative_results_invariant_under_scaling () =
+  (* The paper's comparative claims must not depend on the absolute
+     calibration: scale every cost constant by 1.7x and check the
+     improvement percentages are unchanged. *)
+  let run_with cost =
+    let machine = Machine.create ~cost ~dram_size:(mib 256) () in
+    let monitor =
+      Zion.Monitor.create
+        ~config:{ Zion.Monitor.default_config with long_path = false }
+        machine
+    in
+    let short_entry = Zion.Monitor.path_cost monitor Zion.Monitor.Entry_plain in
+    let machine2 = Machine.create ~cost ~dram_size:(mib 256) () in
+    let monitor2 =
+      Zion.Monitor.create
+        ~config:{ Zion.Monitor.default_config with long_path = true }
+        machine2
+    in
+    let long_entry = Zion.Monitor.path_cost monitor2 Zion.Monitor.Entry_plain in
+    float_of_int (long_entry - short_entry) /. float_of_int long_entry
+  in
+  let base = run_with Cost.default in
+  let scaled = run_with (Cost.scaled 1.7) in
+  Float.abs (base -. scaled) < 0.005
+
+let invariance_tests =
+  [
+    Alcotest.test_case
+      "short-path improvement is calibration-scale invariant" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "invariant" true
+          (relative_results_invariant_under_scaling ()));
+    Alcotest.test_case "Cost.scaled scales linearly" `Quick (fun () ->
+        let c2 = Cost.scaled 2.0 in
+        Alcotest.(check int)
+          "trap" (2 * Cost.default.Cost.trap_entry) c2.Cost.trap_entry;
+        Alcotest.(check int)
+          "scrub" (2 * Cost.default.Cost.page_scrub) c2.Cost.page_scrub;
+        (* capacities are structural, not costs: unscaled *)
+        Alcotest.(check int)
+          "tlb capacity" Cost.default.Cost.tlb_capacity c2.Cost.tlb_capacity);
+  ]
+
+let suite =
+  [
+    ("concurrency.multi-vcpu", multi_vcpu_tests);
+    ("concurrency.invariance", invariance_tests);
+  ]

@@ -1,0 +1,206 @@
+(* Crypto substrate tests: published vectors for SHA-2 and AES, and
+   structural properties for NORX (round-trip, tamper detection). *)
+
+let check_hex name expected got = Alcotest.(check string) name expected got
+
+let sha256_tests =
+  [
+    Alcotest.test_case "empty" `Quick (fun () ->
+        check_hex "sha256(\"\")"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Crypto.Sha256.hex ""));
+    Alcotest.test_case "abc" `Quick (fun () ->
+        check_hex "sha256(abc)"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Crypto.Sha256.hex "abc"));
+    Alcotest.test_case "two-block message" `Quick (fun () ->
+        check_hex "sha256(abcdbcde...)"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Crypto.Sha256.hex
+             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+    Alcotest.test_case "million a (streaming)" `Slow (fun () ->
+        let ctx = Crypto.Sha256.init () in
+        let chunk = String.make 1000 'a' in
+        for _ = 1 to 1000 do
+          Crypto.Sha256.update ctx chunk
+        done;
+        check_hex "sha256(a*1e6)"
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Crypto.Sha256.to_hex (Crypto.Sha256.finalize ctx)));
+    Alcotest.test_case "incremental = one-shot across split points" `Quick
+      (fun () ->
+        let msg = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+        let whole = Crypto.Sha256.hex msg in
+        List.iter
+          (fun cut ->
+            let ctx = Crypto.Sha256.init () in
+            Crypto.Sha256.update ctx (String.sub msg 0 cut);
+            Crypto.Sha256.update ctx
+              (String.sub msg cut (String.length msg - cut));
+            check_hex
+              (Printf.sprintf "split at %d" cut)
+              whole
+              (Crypto.Sha256.to_hex (Crypto.Sha256.finalize ctx)))
+          [ 0; 1; 55; 56; 63; 64; 65; 128; 200; 300 ]);
+  ]
+
+let sha512_tests =
+  [
+    Alcotest.test_case "abc" `Quick (fun () ->
+        check_hex "sha512(abc)"
+          ("ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+         ^ "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f")
+          (Crypto.Sha512.hex "abc"));
+    Alcotest.test_case "empty" `Quick (fun () ->
+        check_hex "sha512(\"\")"
+          ("cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+         ^ "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e")
+          (Crypto.Sha512.hex ""));
+    Alcotest.test_case "112-byte two-block message" `Quick (fun () ->
+        check_hex "sha512(abcdef...)"
+          ("8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+         ^ "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909")
+          (Crypto.Sha512.hex
+             ("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+            ^ "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")));
+  ]
+
+let aes_tests =
+  let key =
+    String.init 16 (fun i -> Char.chr i) (* 000102...0f *)
+  in
+  let fips_plain =
+    String.init 16 (fun i -> Char.chr ((i * 0x11) land 0xff))
+    (* 00 11 22 ... ff *)
+  in
+  [
+    Alcotest.test_case "FIPS-197 C.1 encrypt" `Quick (fun () ->
+        let k = Crypto.Aes.expand_key key in
+        let buf = Bytes.of_string fips_plain in
+        Crypto.Aes.encrypt_block k buf 0;
+        check_hex "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a"
+          (Crypto.Sha256.to_hex (Bytes.to_string buf)));
+    Alcotest.test_case "FIPS-197 C.1 decrypt" `Quick (fun () ->
+        let k = Crypto.Aes.expand_key key in
+        let buf = Bytes.of_string fips_plain in
+        Crypto.Aes.encrypt_block k buf 0;
+        Crypto.Aes.decrypt_block k buf 0;
+        Alcotest.(check string) "round trip" fips_plain (Bytes.to_string buf));
+    Alcotest.test_case "CBC round trip" `Quick (fun () ->
+        let iv = String.make 16 '\x42' in
+        let msg = String.init 64 (fun i -> Char.chr ((i * 7) land 0xff)) in
+        let ct = Crypto.Aes.cbc_encrypt ~key ~iv msg in
+        Alcotest.(check bool) "ciphertext differs" true (ct <> msg);
+        Alcotest.(check string)
+          "decrypts" msg
+          (Crypto.Aes.cbc_decrypt ~key ~iv ct));
+    Alcotest.test_case "CBC chaining propagates" `Quick (fun () ->
+        let iv = String.make 16 '\x00' in
+        let msg = String.make 32 'A' in
+        let ct = Crypto.Aes.cbc_encrypt ~key ~iv msg in
+        Alcotest.(check bool)
+          "identical plaintext blocks yield distinct ciphertext blocks" true
+          (String.sub ct 0 16 <> String.sub ct 16 16));
+    Alcotest.test_case "bad key length rejected" `Quick (fun () ->
+        Alcotest.check_raises "short key"
+          (Invalid_argument "Aes.expand_key: need 16 bytes") (fun () ->
+            ignore (Crypto.Aes.expand_key "short")));
+  ]
+
+let norx_key = String.init 32 (fun i -> Char.chr ((i * 3) land 0xff))
+let norx_nonce = String.init 32 (fun i -> Char.chr ((255 - i) land 0xff))
+
+let norx_tests =
+  [
+    Alcotest.test_case "round trip (multi-block)" `Quick (fun () ->
+        let msg = String.init 500 (fun i -> Char.chr (i land 0xff)) in
+        let ct, tag =
+          Crypto.Norx.encrypt ~key:norx_key ~nonce:norx_nonce ~header:"hdr"
+            msg
+        in
+        match
+          Crypto.Norx.decrypt ~key:norx_key ~nonce:norx_nonce ~header:"hdr"
+            ~tag ct
+        with
+        | Some pt -> Alcotest.(check string) "plaintext" msg pt
+        | None -> Alcotest.fail "tag should verify");
+    Alcotest.test_case "tampered ciphertext rejected" `Quick (fun () ->
+        let msg = "attack at dawn, bring the keys" in
+        let ct, tag =
+          Crypto.Norx.encrypt ~key:norx_key ~nonce:norx_nonce ~header:"" msg
+        in
+        let ct' = Bytes.of_string ct in
+        Bytes.set ct' 3 (Char.chr (Char.code (Bytes.get ct' 3) lxor 1));
+        Alcotest.(check bool)
+          "rejected" true
+          (Crypto.Norx.decrypt ~key:norx_key ~nonce:norx_nonce ~header:""
+             ~tag (Bytes.to_string ct')
+          = None));
+    Alcotest.test_case "tampered header rejected" `Quick (fun () ->
+        let ct, tag =
+          Crypto.Norx.encrypt ~key:norx_key ~nonce:norx_nonce ~header:"h1"
+            "payload"
+        in
+        Alcotest.(check bool)
+          "rejected" true
+          (Crypto.Norx.decrypt ~key:norx_key ~nonce:norx_nonce ~header:"h2"
+             ~tag ct
+          = None));
+    Alcotest.test_case "empty payload authenticates header" `Quick (fun () ->
+        let ct, tag =
+          Crypto.Norx.encrypt ~key:norx_key ~nonce:norx_nonce
+            ~header:"only-header" ""
+        in
+        Alcotest.(check string) "no ciphertext" "" ct;
+        Alcotest.(check bool)
+          "verifies" true
+          (Crypto.Norx.decrypt ~key:norx_key ~nonce:norx_nonce
+             ~header:"only-header" ~tag ct
+          <> None));
+    Alcotest.test_case "permute diffuses a single bit" `Quick (fun () ->
+        (* All-zero is a fixed point of LRX permutations; a single set bit
+           must diffuse into (nearly) every word. *)
+        let s = Array.make 16 0L in
+        s.(0) <- 1L;
+        ignore (Crypto.Norx.permute s);
+        let nonzero =
+          Array.fold_left (fun n w -> if w <> 0L then n + 1 else n) 0 s
+        in
+        Alcotest.(check bool) "diffused" true (nonzero >= 14));
+  ]
+
+let norx_roundtrip_prop =
+  QCheck.Test.make ~name:"norx round-trips arbitrary payloads" ~count:50
+    QCheck.(string_of_size Gen.(0 -- 400))
+    (fun msg ->
+      let ct, tag =
+        Crypto.Norx.encrypt ~key:norx_key ~nonce:norx_nonce ~header:"p" msg
+      in
+      Crypto.Norx.decrypt ~key:norx_key ~nonce:norx_nonce ~header:"p" ~tag ct
+      = Some msg)
+
+let aes_cbc_prop =
+  QCheck.Test.make ~name:"aes-cbc round-trips block-aligned payloads"
+    ~count:50
+    QCheck.(pair (string_of_size Gen.(return 16)) small_nat)
+    (fun (key16, nblocks) ->
+      QCheck.assume (String.length key16 = 16);
+      let nblocks = (nblocks mod 8) + 1 in
+      let msg =
+        String.init (16 * nblocks) (fun i -> Char.chr ((i * 13) land 0xff))
+      in
+      let iv = String.make 16 '\x55' in
+      Crypto.Aes.cbc_decrypt ~key:key16 ~iv
+        (Crypto.Aes.cbc_encrypt ~key:key16 ~iv msg)
+      = msg)
+
+let suite =
+  [
+    ("crypto.sha256", sha256_tests);
+    ("crypto.sha512", sha512_tests);
+    ("crypto.aes", aes_tests);
+    ("crypto.norx", norx_tests);
+    ( "crypto.properties",
+      List.map QCheck_alcotest.to_alcotest [ norx_roundtrip_prop; aes_cbc_prop ]
+    );
+  ]

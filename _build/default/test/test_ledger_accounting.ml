@@ -1,0 +1,165 @@
+(* Cross-cutting accounting checks: the machine ledger, the monitor's
+   per-category charges, and end-to-end cycle bookkeeping consistency. *)
+
+open Riscv
+
+let mib n = Int64.mul (Int64.of_int n) 0x100000L
+let guest_entry = 0x10000L
+
+let make_platform () =
+  let machine = Machine.create ~dram_size:(mib 256) () in
+  let mon = Zion.Monitor.create machine in
+  (match
+     Zion.Monitor.register_secure_region mon
+       ~base:(Int64.add Bus.dram_base (mib 128))
+       ~size:(mib 8)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e));
+  (machine, mon)
+
+let make_cvm mon prog =
+  let id =
+    Result.get_ok (Zion.Monitor.create_cvm mon ~nvcpus:1 ~entry_pc:guest_entry)
+  in
+  Result.get_ok
+    (Zion.Monitor.load_image mon ~cvm:id ~gpa:guest_entry (Asm.program prog))
+  |> ignore;
+  ignore (Zion.Monitor.finalize_cvm mon ~cvm:id);
+  id
+
+let tests =
+  [
+    Alcotest.test_case "every guest run advances the shared clock" `Quick
+      (fun () ->
+        let machine, mon = make_platform () in
+        let before = Metrics.Ledger.now machine.Machine.ledger in
+        let id = make_cvm mon (Guest.Gprog.hello "t") in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        let after = Metrics.Ledger.now machine.Machine.ledger in
+        Alcotest.(check bool) "clock moved" true (after > before);
+        (* mtime tracks the ledger *)
+        Machine.sync_time machine;
+        Alcotest.(check int64)
+          "mtime = clock"
+          (Int64.of_int after)
+          (Clint.mtime (Bus.clint machine.Machine.bus)));
+    Alcotest.test_case
+      "cvm_entry charges equal recorded entry costs minus nothing" `Quick
+      (fun () ->
+        let machine, mon = make_platform () in
+        let id = make_cvm mon (Guest.Gprog.hello "t") in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        let charged =
+          Metrics.Ledger.category_total machine.Machine.ledger "cvm_entry"
+        in
+        let recorded =
+          List.fold_left ( + ) 0 (Zion.Monitor.entry_cycles mon)
+        in
+        (* Entry is charged in full (the host call is functional). *)
+        Alcotest.(check int) "entry charged" recorded charged);
+    Alcotest.test_case
+      "cvm_exit charges equal recorded costs minus the hardware trap"
+      `Quick (fun () ->
+        let machine, mon = make_platform () in
+        let id = make_cvm mon (Guest.Gprog.hello "t") in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        let charged =
+          Metrics.Ledger.category_total machine.Machine.ledger "cvm_exit"
+        in
+        let exits = Zion.Monitor.exit_cycles mon in
+        let recorded = List.fold_left ( + ) 0 exits in
+        let trap = machine.Machine.cost.Cost.trap_entry in
+        (* Trap.take charged trap_entry separately for each exit. *)
+        Alcotest.(check int)
+          "exit charged"
+          (recorded - (List.length exits * trap))
+          charged);
+    Alcotest.test_case "instruction classes appear in the ledger" `Quick
+      (fun () ->
+        let machine, mon = make_platform () in
+        let id =
+          make_cvm mon
+            (Guest.Gprog.touch_pages ~start_gpa:0x800000L ~pages:4
+            @ Guest.Gprog.shutdown)
+        in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        let cats = Metrics.Ledger.categories machine.Machine.ledger in
+        List.iter
+          (fun want ->
+            Alcotest.(check bool)
+              (want ^ " present") true
+              (List.mem_assoc want cats))
+          [ "alu"; "store"; "branch"; "trap_entry"; "sm_fault"; "page_walk" ]);
+    Alcotest.test_case "minstret counts retired guest instructions" `Quick
+      (fun () ->
+        let machine, mon = make_platform () in
+        (* 5 ALU instructions + 2 for shutdown's li + ecall (not retired:
+           traps) -> at least 6 retired *)
+        let id =
+          make_cvm mon
+            ([
+               Decode.Op_imm (Decode.Add, Asm.t0, 0, 1L);
+               Decode.Op_imm (Decode.Add, Asm.t0, Asm.t0, 1L);
+               Decode.Op_imm (Decode.Add, Asm.t0, Asm.t0, 1L);
+               Decode.Op_imm (Decode.Add, Asm.t0, Asm.t0, 1L);
+               Decode.Op_imm (Decode.Add, Asm.t0, Asm.t0, 1L);
+             ]
+            @ Guest.Gprog.shutdown)
+        in
+        let h = Machine.hart machine 0 in
+        let before = h.Hart.csr.Csr.minstret in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        let retired = Int64.sub h.Hart.csr.Csr.minstret before in
+        Alcotest.(check bool)
+          "at least the ALU ops" true
+          (Int64.compare retired 6L >= 0));
+    Alcotest.test_case "TLB statistics reflect guest locality" `Quick
+      (fun () ->
+        let machine, mon = make_platform () in
+        let id =
+          make_cvm mon
+            (Guest.Gprog.touch_pages ~start_gpa:0x800000L ~pages:8
+            @ Guest.Gprog.shutdown)
+        in
+        let h = Machine.hart machine 0 in
+        Tlb.reset_stats h.Hart.tlb;
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:100_000
+         with
+        | Ok Zion.Monitor.Exit_shutdown -> ()
+        | _ -> Alcotest.fail "no shutdown");
+        (* The fetch loop re-executes the same few pages: hits must
+           dominate misses. *)
+        Alcotest.(check bool)
+          "hits dominate" true
+          (Tlb.hits h.Hart.tlb > Tlb.misses h.Hart.tlb));
+  ]
+
+let suite = [ ("accounting", tests) ]
