@@ -89,7 +89,14 @@ let bench_switches () =
   in
   Printf.printf
     "short-path improvement: entry %.1f%% (paper 44.7%%), exit %.1f%% (paper 55.3%%)\n"
-    se sx
+    se sx;
+  Metrics.Table.section
+    "§V.B attribution — ledger cycle deltas over the shared-vCPU run";
+  Metrics.Table.print
+    ~header:[ "category"; "cycles" ]
+    (List.map
+       (fun (c, n) -> [ c; string_of_int n ])
+       r.Platform.Exp_switch.shared_on.Platform.Exp_switch.attribution)
 
 (* ---------- §V.C : stage-2 page-fault handling ---------- *)
 
@@ -121,7 +128,41 @@ let bench_faults () =
         (r.Platform.Exp_fault.stage1_count
         + r.Platform.Exp_fault.stage2_count
         + r.Platform.Exp_fault.stage3_count);
-    ]
+    ];
+  Metrics.Table.section
+    "§V.C attribution — ledger cycle deltas over the CVM arm";
+  Metrics.Table.print
+    ~header:[ "category"; "cycles" ]
+    (List.map
+       (fun (c, n) -> [ c; string_of_int n ])
+       r.Platform.Exp_fault.cvm_attribution)
+
+(* ---------- Observability: flight-recorder summary ---------- *)
+
+(* Re-run a small MMIO switch storm with the SM flight recorder enabled
+   and print the counters/histograms it collected — the per-experiment
+   summary the recorder produces for any traced run. *)
+let bench_observability () =
+  Metrics.Table.section
+    "Observability — SM flight recorder over a 50-switch MMIO storm";
+  let tb = Platform.Testbed.create () in
+  let mon = tb.Platform.Testbed.monitor in
+  Metrics.Trace.enable (Zion.Monitor.trace mon);
+  let handle =
+    Platform.Testbed.cvm tb (Platform.Exp_switch.mmio_program ~iterations:50)
+  in
+  (match
+     Hypervisor.Kvm.run_cvm tb.Platform.Testbed.kvm handle ~hart:0
+       ~max_steps:10_000_000
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> print_endline "warning: traced guest did not shut down");
+  print_string (Metrics.Registry.dump (Zion.Monitor.registry mon));
+  let tr = Zion.Monitor.trace mon in
+  Printf.printf "trace: %d events recorded, %d dropped (capacity %d)\n"
+    (Metrics.Trace.recorded tr)
+    (Metrics.Trace.dropped tr)
+    (Metrics.Trace.capacity tr)
 
 (* ---------- Table I : RV8 ---------- *)
 
@@ -449,6 +490,7 @@ let () =
      else "(full mode; pass --quick for a fast run)");
   bench_switches ();
   bench_faults ();
+  bench_observability ();
   bench_rv8 ();
   bench_coremark ();
   bench_redis ();

@@ -5,6 +5,10 @@
                   | redis | iozone, or "all")
      boot         boot a confidential VM that prints a message
      attacks      run the malicious-hypervisor suite
+     trace        run a workload under the SM flight recorder and export
+                  the event trace (Chrome trace_event or JSON lines)
+     stats        run a workload and print the SM's counters, histograms
+                  and cycle-ledger attribution
      costs        dump the calibrated cost model *)
 
 open Cmdliner
@@ -12,6 +16,14 @@ open Cmdliner
 let fixed = Metrics.Table.fixed
 
 (* ---------- experiments ---------- *)
+
+let print_attribution title categories =
+  if categories <> [] then begin
+    Metrics.Table.section title;
+    Metrics.Table.print
+      ~header:[ "category"; "cycles" ]
+      (List.map (fun (c, n) -> [ c; string_of_int n ]) categories)
+  end
 
 let run_switch () =
   let r = Platform.Exp_switch.run ~iterations:200 () in
@@ -31,7 +43,9 @@ let run_switch () =
       [ "long path";
         fixed 0 r.Platform.Exp_switch.long_path.Platform.Exp_switch.entry_mean;
         fixed 0 r.Platform.Exp_switch.long_path.Platform.Exp_switch.exit_mean ];
-    ]
+    ];
+  print_attribution "shared-vCPU run: where the cycles went"
+    r.Platform.Exp_switch.shared_on.Platform.Exp_switch.attribution
 
 let run_fault () =
   let r = Platform.Exp_fault.run () in
@@ -48,7 +62,9 @@ let run_fault () =
       [ "CVM stage 3"; fixed 0 r.Platform.Exp_fault.stage3_mean;
         string_of_int r.Platform.Exp_fault.stage3_count ];
       [ "CVM average"; fixed 0 r.Platform.Exp_fault.cvm_weighted_mean; "" ];
-    ]
+    ];
+  print_attribution "CVM arm: where the cycles went"
+    r.Platform.Exp_fault.cvm_attribution
 
 let run_rv8 () =
   let rows = Platform.Exp_rv8.run_table1 () in
@@ -266,11 +282,135 @@ let migrate_cmd =
        ~doc:"Demonstrate encrypted CVM migration between two hosts")
     Term.(const run $ out)
 
+(* ---------- trace / stats ---------- *)
+
+(* Run one of the small tracing workloads under an enabled flight
+   recorder and hand back the testbed for export. *)
+let traced_run exp iterations =
+  let pool_mib = match exp with `Fault -> 1 | `Switch | `Boot -> 8 in
+  let tb = Platform.Testbed.create ~pool_mib () in
+  let mon = tb.Platform.Testbed.monitor in
+  Metrics.Trace.enable (Zion.Monitor.trace mon);
+  let program =
+    match exp with
+    | `Switch -> Platform.Exp_switch.mmio_program ~iterations
+    | `Fault ->
+        Guest.Gprog.touch_pages ~start_gpa:0x800000L ~pages:iterations
+        @ Guest.Gprog.shutdown
+    | `Boot -> Guest.Gprog.hello "traced boot\n"
+  in
+  let handle = Platform.Testbed.cvm tb program in
+  (match
+     Hypervisor.Kvm.run_cvm_to_completion tb.Platform.Testbed.kvm handle
+       ~hart:0 ~quantum:Platform.Testbed.quantum_cycles ~max_slices:100
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> prerr_endline "warning: traced guest did not shut down");
+  tb
+
+let exp_arg =
+  Arg.(
+    value
+    & opt (enum [ ("switch", `Switch); ("fault", `Fault); ("boot", `Boot) ])
+        `Switch
+    & info [ "exp" ] ~docv:"WORKLOAD"
+        ~doc:
+          "Workload to trace: $(b,switch) (MMIO world-switch storm), \
+           $(b,fault) (page-touch storm over a small pool), or \
+           $(b,boot) (hello-world guest).")
+
+let iterations_arg =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"MMIO loads (switch) or pages touched (fault).")
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "$(b,chrome) for a chrome://tracing / Perfetto-loadable \
+             trace_event file, $(b,jsonl) for one JSON object per event.")
+  in
+  let run exp iterations format out =
+    let tb = traced_run exp iterations in
+    let tr = Zion.Monitor.trace tb.Platform.Testbed.monitor in
+    let data =
+      match format with
+      | `Chrome -> Metrics.Trace.to_chrome tr
+      | `Jsonl -> Metrics.Trace.to_jsonl tr
+    in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc data;
+        close_out oc;
+        Printf.printf "%d events (%d dropped) -> %s\n"
+          (List.length (Metrics.Trace.events tr))
+          (Metrics.Trace.dropped tr)
+          path
+    | None -> print_string data
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload under the SM flight recorder and export it")
+    Term.(const run $ exp_arg $ iterations_arg $ format $ out)
+
+let stats_cmd =
+  let run exp iterations =
+    let tb = traced_run exp iterations in
+    let mon = tb.Platform.Testbed.monitor in
+    let tr = Zion.Monitor.trace mon in
+    print_string (Metrics.Registry.dump (Zion.Monitor.registry mon));
+    Metrics.Table.section "cycle ledger (cycles by category)";
+    Metrics.Table.print
+      ~header:[ "category"; "cycles" ]
+      (List.map
+         (fun (c, n) -> [ c; string_of_int n ])
+         (Metrics.Ledger.categories
+            tb.Platform.Testbed.machine.Riscv.Machine.ledger));
+    Printf.printf "trace: %d events recorded, %d dropped (capacity %d)\n"
+      (Metrics.Trace.recorded tr)
+      (Metrics.Trace.dropped tr)
+      (Metrics.Trace.capacity tr)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a workload and print the SM's counters and histograms")
+    Term.(const run $ exp_arg $ iterations_arg)
+
 (* ---------- costs ---------- *)
 
 let costs_cmd =
-  let run () =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the full model as a JSON object instead of a table.")
+  in
+  let run json_out =
     let c = Riscv.Cost.default in
+    if json_out then begin
+      print_string "{\n";
+      print_string
+        (String.concat ",\n"
+           (List.map
+              (fun (k, v) -> Printf.sprintf "  %S: %d" k v)
+              (Riscv.Cost.to_assoc c)));
+      print_string "\n}\n"
+    end
+    else begin
     Metrics.Table.section "calibrated cost model (cycles)";
     Metrics.Table.print
       ~header:[ "unit"; "cycles" ]
@@ -293,14 +433,18 @@ let costs_cmd =
         [ "HS timer tick"; string_of_int c.Riscv.Cost.hs_timer_tick ];
         [ "HS MMIO emulation"; string_of_int c.Riscv.Cost.hs_mmio_exit ];
       ]
+    end
   in
   Cmd.v
     (Cmd.info "costs" ~doc:"Print the calibrated cycle-cost model")
-    Term.(const run $ const ())
+    Term.(const run $ json)
 
 let () =
   let doc = "ZION confidential-VM architecture — simulation toolkit" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "zionctl" ~doc)
-          [ experiments_cmd; boot_cmd; attacks_cmd; migrate_cmd; costs_cmd ]))
+          [
+            experiments_cmd; boot_cmd; attacks_cmd; migrate_cmd; trace_cmd;
+            stats_cmd; costs_cmd;
+          ]))

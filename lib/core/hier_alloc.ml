@@ -7,19 +7,27 @@ type stats = {
   mutable stage3 : int;
 }
 
-let allocate secmem cache ~after_expand =
+let trace_instant trace name =
+  match trace with
+  | Some tr when Metrics.Trace.is_enabled tr -> Metrics.Trace.instant tr name
+  | _ -> ()
+
+let allocate ?trace secmem cache ~after_expand =
   match Page_cache.take_page cache with
   | Some page -> Allocated (page, if after_expand then Stage3_retry else Stage1)
   | None -> begin
       match Secmem.alloc_block secmem with
       | Some block -> begin
           Page_cache.attach_block cache block;
+          trace_instant trace "page_cache.refill";
           match Page_cache.take_page cache with
           | Some page ->
               Allocated (page, if after_expand then Stage3_retry else Stage2)
           | None -> assert false (* a fresh block always has pages *)
         end
-      | None -> Need_expand
+      | None ->
+          trace_instant trace "alloc.need_expand";
+          Need_expand
     end
 
 let stage_to_string = function

@@ -24,9 +24,12 @@ type stats = {
   mutable stage3 : int;
 }
 
-val allocate : Secmem.t -> Page_cache.t -> after_expand:bool -> outcome
+val allocate :
+  ?trace:Metrics.Trace.t -> Secmem.t -> Page_cache.t -> after_expand:bool ->
+  outcome
 (** One allocation attempt for the vCPU owning [cache]. [after_expand]
     marks the retry following a pool expansion so the stage is recorded
-    as [Stage3_retry]. *)
+    as [Stage3_retry]. [trace], when given and enabled, receives an
+    instant event on a stage-2 cache refill and on pool exhaustion. *)
 
 val stage_to_string : stage -> string

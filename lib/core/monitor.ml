@@ -36,6 +36,8 @@ type t = {
   cost : Cost.t;
   sm : Secmem.t;
   guard : Pmp_guard.t;
+  trace : Metrics.Trace.t;
+  registry : Metrics.Registry.t;
   cvms : (int, Cvm.t) Hashtbl.t;
   mutable next_cvm_id : int;
   host : host_ctx array;
@@ -57,13 +59,19 @@ type t = {
 
 let create ?(config = default_config) machine =
   let nharts = Array.length machine.Machine.harts in
+  let ledger = machine.Machine.ledger in
+  let trace =
+    Metrics.Trace.create ~clock:(fun () -> Metrics.Ledger.now ledger) ()
+  in
   let t =
     {
       machine;
       cfg = config;
       cost = machine.Machine.cost;
       sm = Secmem.create ();
-      guard = Pmp_guard.create ();
+      guard = Pmp_guard.create ~trace ();
+      trace;
+      registry = Metrics.Registry.create ();
       cvms = Hashtbl.create 16;
       next_cvm_id = 1;
       host =
@@ -107,6 +115,37 @@ let config t = t.cfg
 let secmem t = t.sm
 let ledger t = t.machine.Machine.ledger
 let charge t cat cycles = Metrics.Ledger.charge (ledger t) cat cycles
+let trace t = t.trace
+let registry t = t.registry
+
+(* Observability is recorded only while the flight recorder is switched
+   on, so the disabled-path cost of every instrumentation site below is
+   one load and branch. *)
+let obs t = Metrics.Trace.is_enabled t.trace
+
+let exit_reason_label = function
+  | Exit_timer -> "timer"
+  | Exit_limit -> "limit"
+  | Exit_mmio _ -> "mmio"
+  | Exit_shared_fault _ -> "shared_fault"
+  | Exit_need_memory _ -> "need_memory"
+  | Exit_shutdown -> "shutdown"
+  | Exit_error _ -> "error"
+
+(* Span + counter around one host-interface ecall. *)
+let with_ecall_span t name ?cvm f =
+  if not (obs t) then f ()
+  else begin
+    let ev = "ecall." ^ name in
+    Metrics.Trace.span_begin t.trace ?cvm ev;
+    Metrics.Registry.inc t.registry ev;
+    let r = f () in
+    let status =
+      match r with Ok _ -> "ok" | Error e -> Ecall.error_to_string e
+    in
+    Metrics.Trace.span_end t.trace ?cvm ~args:[ ("status", status) ] ev;
+    r
+  end
 
 let find_cvm t id = Hashtbl.find_opt t.cvms id
 
@@ -184,7 +223,7 @@ let fault_cost t stage =
 
 (* ---------- host interface ---------- *)
 
-let register_secure_region t ~base ~size =
+let register_secure_region_impl t ~base ~size =
   let bus = t.machine.Machine.bus in
   let last = Int64.add base (Int64.sub size 1L) in
   if not (Bus.in_dram bus base && Bus.in_dram bus last) then
@@ -207,9 +246,16 @@ let register_secure_region t ~base ~size =
             Array.iter
               (fun hart -> Tlb.flush_all hart.Hart.tlb)
               t.machine.Machine.harts;
+            if obs t then
+              Metrics.Registry.inc t.registry
+                ~by:(Array.length t.machine.Machine.harts) "tlb.full_flush";
             Ok blocks
         | exception Invalid_argument _ -> Error Ecall.Invalid_param)
   end
+
+let register_secure_region t ~base ~size =
+  with_ecall_span t "register_secure_region" (fun () ->
+      register_secure_region_impl t ~base ~size)
 
 (* Allocate one 4 KiB secure page for page tables, growing the CVM's
    table-block list as needed. *)
@@ -229,7 +275,7 @@ let alloc_table_page t table_blocks () =
           Secmem.block_take_page blk
     end
 
-let create_cvm t ~nvcpus ~entry_pc =
+let create_cvm_impl t ~nvcpus ~entry_pc =
   if nvcpus <= 0 then Error Ecall.Invalid_param
   else begin
     (* The Sv39x4 root needs 16 KiB, 16 KiB-aligned: take the first four
@@ -256,6 +302,10 @@ let create_cvm t ~nvcpus ~entry_pc =
         Ok id
   end
 
+let create_cvm t ~nvcpus ~entry_pc =
+  with_ecall_span t "create_cvm" (fun () ->
+      create_cvm_impl t ~nvcpus ~entry_pc)
+
 (* Allocate and map one private page; returns its physical address.
    Pages the guest relinquished earlier are reused first — they are the
    cheapest source, equivalent to a page-cache hit. *)
@@ -273,7 +323,7 @@ let provide_private_page t cvm cache ~gpa ~after_expand =
         Hashtbl.remove t.page_owner pa;
         Hier_alloc.Allocated
           (pa, if after_expand then Hier_alloc.Stage3_retry else Hier_alloc.Stage1)
-    | None -> Hier_alloc.allocate t.sm cache ~after_expand
+    | None -> Hier_alloc.allocate ~trace:t.trace t.sm cache ~after_expand
   in
   match alloc_outcome with
   | Hier_alloc.Need_expand -> Error `Need_expand
@@ -296,7 +346,7 @@ let provide_private_page t cvm cache ~gpa ~after_expand =
           Ok (pa, stage)
     end
 
-let load_image t ~cvm:id ~gpa data =
+let load_image_impl t ~cvm:id ~gpa data =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
   | Some cvm when cvm.Cvm.state <> Cvm.Created -> Error Ecall.Bad_state
@@ -341,19 +391,24 @@ let load_image t ~cvm:id ~gpa data =
         go 0
       end
 
+let load_image t ~cvm ~gpa data =
+  with_ecall_span t "load_image" ~cvm (fun () ->
+      load_image_impl t ~cvm ~gpa data)
+
 let finalize_cvm t ~cvm:id =
-  match find_cvm t id with
-  | None -> Error Ecall.Not_found
-  | Some cvm -> begin
-      match (cvm.Cvm.state, cvm.Cvm.measurement_ctx) with
-      | Cvm.Created, Some m ->
-          let digest = Attest.seal m in
-          cvm.Cvm.measurement <- Some digest;
-          cvm.Cvm.measurement_ctx <- None;
-          cvm.Cvm.state <- Cvm.Runnable;
-          Ok digest
-      | _ -> Error Ecall.Bad_state
-    end
+  with_ecall_span t "finalize_cvm" ~cvm:id (fun () ->
+      match find_cvm t id with
+      | None -> Error Ecall.Not_found
+      | Some cvm -> begin
+          match (cvm.Cvm.state, cvm.Cvm.measurement_ctx) with
+          | Cvm.Created, Some m ->
+              let digest = Attest.seal m in
+              cvm.Cvm.measurement <- Some digest;
+              cvm.Cvm.measurement_ctx <- None;
+              cvm.Cvm.state <- Cvm.Runnable;
+              Ok digest
+          | _ -> Error Ecall.Bad_state
+        end)
 
 let install_shared t ~cvm:id ~table_pa =
   match find_cvm t id with
@@ -367,7 +422,7 @@ let install_shared t ~cvm:id ~table_pa =
       | Error _ -> Error Ecall.Denied
     end
 
-let destroy_cvm t ~cvm:id =
+let destroy_cvm_impl t ~cvm:id =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
   | Some cvm ->
@@ -394,6 +449,9 @@ let destroy_cvm t ~cvm:id =
       cvm.Cvm.state <- Cvm.Destroyed;
       Hashtbl.remove t.pending_mmio (id, 0);
       Ok ()
+
+let destroy_cvm t ~cvm =
+  with_ecall_span t "destroy_cvm" ~cvm (fun () -> destroy_cvm_impl t ~cvm)
 
 (* ---------- migration ---------- *)
 
@@ -423,7 +481,7 @@ let image_to_vcpu (vi : Migrate.vcpu_image) (sv : Vcpu.secure) =
       sv.Vcpu.hvip <- h
   | _ -> invalid_arg "image_to_vcpu: bad CSR image")
 
-let export_cvm t ~cvm:id =
+let export_cvm_impl t ~cvm:id =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
   | Some cvm -> begin
@@ -450,7 +508,10 @@ let export_cvm t ~cvm:id =
           Ok (Migrate.seal im)
     end
 
-let import_cvm t blob =
+let export_cvm t ~cvm =
+  with_ecall_span t "export_cvm" ~cvm (fun () -> export_cvm_impl t ~cvm)
+
+let import_cvm_impl t blob =
   match Migrate.unseal blob with
   | Error _ -> Error Ecall.Denied
   | Ok im -> begin
@@ -497,6 +558,9 @@ let import_cvm t blob =
               Ok id
         end
     end
+
+let import_cvm t blob =
+  with_ecall_span t "import_cvm" (fun () -> import_cvm_impl t blob)
 
 (* ---------- guest SBI handling ---------- *)
 
@@ -700,7 +764,19 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
   Tlb.flush_all hart.Hart.tlb;
   let cycles = exit_cost t ~mmio:mmio_kind in
   (* Trap.take already charged trap_entry when the guest trapped. *)
+  let observing = obs t in
+  if observing then
+    Metrics.Trace.span_begin t.trace ~hart:hart_id ~cvm:cvm.Cvm.id
+      ~vcpu:vcpu_idx "cvm_exit";
   charge t "cvm_exit" (cycles - t.cost.Cost.trap_entry);
+  if observing then begin
+    Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:cvm.Cvm.id
+      ~vcpu:vcpu_idx "cvm_exit";
+    let scope = Metrics.Registry.Cvm cvm.Cvm.id in
+    Metrics.Registry.inc t.registry ~scope "exits";
+    Metrics.Registry.observe t.registry ~scope "exit_cycles" cycles;
+    Metrics.Registry.inc t.registry "tlb.full_flush"
+  end;
   t.exit_hist <- cycles :: t.exit_hist;
   cvm.Cvm.exit_count <- cvm.Cvm.exit_count + 1;
   cvm.Cvm.state <- Cvm.Suspended
@@ -753,6 +829,13 @@ let record_fault t cvm stage =
     | Hier_alloc.Stage1 | Hier_alloc.Stage2 -> 0
   in
   charge t "sm_fault" (cycles - already);
+  if obs t then begin
+    let label = Hier_alloc.stage_to_string stage in
+    Metrics.Trace.instant t.trace ~cvm:cvm.Cvm.id ("fault." ^ label);
+    let scope = Metrics.Registry.Cvm cvm.Cvm.id in
+    Metrics.Registry.inc t.registry ~scope ("faults." ^ label);
+    Metrics.Registry.observe t.registry ~scope "fault_cycles" cycles
+  end;
   t.faults <- (stage, cycles) :: t.faults;
   cvm.Cvm.fault_count <- cvm.Cvm.fault_count + 1;
   let s = cvm.Cvm.alloc_stats in
@@ -772,6 +855,9 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
       match cvm.Cvm.state with
       | Cvm.Created | Cvm.Destroyed | Cvm.Running -> Error Ecall.Bad_state
       | Cvm.Runnable | Cvm.Suspended ->
+          if obs t then
+            Metrics.Trace.span_begin t.trace ~hart:hart_id ~cvm:id
+              ~vcpu:vcpu_idx "run_vcpu";
           let hart = t.machine.Machine.harts.(hart_id) in
           let sv = Cvm.vcpu cvm vcpu_idx in
           let sh = Cvm.shared_vcpu cvm vcpu_idx in
@@ -806,9 +892,26 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
           (match !absorb_error with
           | Some msg ->
               (* Check-after-Load rejected the reply: refuse to run. *)
-              ignore msg;
+              if obs t then begin
+                Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
+                  ~vcpu:vcpu_idx
+                  ~args:[ ("reason", msg) ]
+                  "check_after_load.reject";
+                Metrics.Registry.inc t.registry
+                  ~scope:(Metrics.Registry.Cvm id) "check_after_load.reject";
+                Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:id
+                  ~vcpu:vcpu_idx
+                  ~args:[ ("exit", "denied") ]
+                  "run_vcpu"
+              end;
               Error Ecall.Denied
           | None ->
+              if obs t && !mmio_kind <> No_mmio then begin
+                Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
+                  ~vcpu:vcpu_idx "check_after_load.accept";
+                Metrics.Registry.inc t.registry
+                  ~scope:(Metrics.Registry.Cvm id) "check_after_load.accept"
+              end;
               (* --- CVM entry --- *)
               save_host_ctx t hart_id;
               Deleg_policy.apply_cvm hart;
@@ -828,12 +931,32 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                      the entry before any guest instruction runs. *)
                   restore_host_ctx t hart_id;
                   Pmp_guard.set_world t.guard hart ~cvm_open:false;
+                  if obs t then begin
+                    Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
+                      ~vcpu:vcpu_idx "shared_subtree.reject";
+                    Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:id
+                      ~vcpu:vcpu_idx
+                      ~args:[ ("exit", "denied") ]
+                      "run_vcpu"
+                  end;
                   Error Ecall.Denied
               | Ok validated -> begin
                 let ec =
                   entry_cost t ~mmio:!mmio_kind ~validated_ptes:validated
                 in
+                let observing = obs t in
+                if observing then
+                  Metrics.Trace.span_begin t.trace ~hart:hart_id ~cvm:id
+                    ~vcpu:vcpu_idx "cvm_entry";
                 charge t "cvm_entry" ec;
+                if observing then begin
+                  Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:id
+                    ~vcpu:vcpu_idx "cvm_entry";
+                  let scope = Metrics.Registry.Cvm id in
+                  Metrics.Registry.inc t.registry ~scope "entries";
+                  Metrics.Registry.observe t.registry ~scope "entry_cycles" ec;
+                  Metrics.Registry.inc t.registry "tlb.full_flush"
+                end;
                 t.entry_hist <- ec :: t.entry_hist;
                 cvm.Cvm.entry_count <- cvm.Cvm.entry_count + 1;
                 Vcpu.restore_to_hart sv hart;
@@ -843,6 +966,16 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 (* --- guest execution loop --- *)
                 let finish ~mmio reason =
                   world_switch_out t hart_id cvm vcpu_idx ~mmio_kind:mmio;
+                  if obs t then begin
+                    let label = exit_reason_label reason in
+                    Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:id
+                      ~vcpu:vcpu_idx
+                      ~args:[ ("exit", label) ]
+                      "run_vcpu";
+                    Metrics.Registry.inc t.registry
+                      ~scope:(Metrics.Registry.Cvm id)
+                      ("exit_reason." ^ label)
+                  end;
                   Ok reason
                 in
                 let rec loop steps =

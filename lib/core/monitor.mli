@@ -54,6 +54,23 @@ val machine : t -> Riscv.Machine.t
 val config : t -> config
 val secmem : t -> Secmem.t
 
+(* {2 Observability} *)
+
+val trace : t -> Metrics.Trace.t
+(** The monitor's flight recorder. Disabled (and free) by default;
+    enable with [Metrics.Trace.enable] to capture structured events —
+    world-switch spans, host-interface ecall spans, fault instants,
+    PMP/IOPMP reprogramming, Check-after-Load verdicts — stamped with
+    the ledger's cycle clock. *)
+
+val registry : t -> Metrics.Registry.t
+(** Named counters and histograms, populated (per CVM and globally)
+    while the trace is enabled. *)
+
+val exit_reason_label : exit_reason -> string
+(** Short stable label ("timer", "mmio", ...) used in trace events and
+    counter names. *)
+
 (* {2 Host-side interface (hypervisor → SM)} *)
 
 val register_secure_region :

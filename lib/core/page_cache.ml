@@ -2,9 +2,10 @@ type t = {
   mutable current : Secmem.block option;
   mutable history : Secmem.block list;
   mutable allocations : int;
+  mutable refills : int;
 }
 
-let create () = { current = None; history = []; allocations = 0 }
+let create () = { current = None; history = []; allocations = 0; refills = 0 }
 
 let take_page t =
   match t.current with
@@ -18,7 +19,8 @@ let attach_block t block =
   (match t.current with
   | Some old -> t.history <- old :: t.history
   | None -> ());
-  t.current <- Some block
+  t.current <- Some block;
+  t.refills <- t.refills + 1
 
 let blocks t =
   match t.current with
@@ -29,3 +31,4 @@ let pages_left t =
   match t.current with Some b -> Secmem.block_pages_left b | None -> 0
 
 let allocations t = t.allocations
+let refills t = t.refills

@@ -26,3 +26,6 @@ val pages_left : t -> int
 
 val allocations : t -> int
 (** Pages handed out over the cache's lifetime. *)
+
+val refills : t -> int
+(** Blocks attached over the cache's lifetime (stage-2 refills). *)

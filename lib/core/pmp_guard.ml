@@ -3,9 +3,19 @@ open Riscv
 type t = {
   mutable programmed : (int64 * int64) list; (* PMP-programmed regions *)
   mutable iopmp_done : (int64 * int64) list;
+  trace : Metrics.Trace.t option;
+  mutable syncs : int;
+  mutable world_toggles : int;
 }
 
-let create () = { programmed = []; iopmp_done = [] }
+let create ?trace () =
+  { programmed = []; iopmp_done = []; trace; syncs = 0; world_toggles = 0 }
+
+let trace_instant t ~hart name args =
+  match t.trace with
+  | Some tr when Metrics.Trace.is_enabled tr ->
+      Metrics.Trace.instant tr ~hart ~args name
+  | _ -> ()
 let max_regions = 14
 let backdrop_entry = 15
 
@@ -37,7 +47,13 @@ let sync_hart t hart secmem ~cvm_open =
   (* Backdrop: whole address space RWX for lower privileges. *)
   Pmp.set_napot_region pmp backdrop_entry ~base:0L
     ~size:0x4000_0000_0000_0000L ~r:true ~w:true ~x:true;
-  t.programmed <- regions
+  t.programmed <- regions;
+  t.syncs <- t.syncs + 1;
+  trace_instant t ~hart:hart.Hart.id "pmp.sync"
+    [
+      ("regions", string_of_int (List.length regions));
+      ("cvm_open", string_of_bool cvm_open);
+    ]
 
 let set_world t hart ~cvm_open =
   let pmp = hart.Hart.csr.Csr.pmp in
@@ -47,15 +63,23 @@ let set_world t hart ~cvm_open =
         Pmp.cfg_bits ~r:cvm_open ~w:cvm_open ~x:cvm_open Pmp.Napot
       in
       Pmp.set_cfg pmp i cfg)
-    t.programmed
+    t.programmed;
+  t.world_toggles <- t.world_toggles + 1;
+  trace_instant t ~hart:hart.Hart.id "pmp.world"
+    [ ("cvm_open", string_of_bool cvm_open) ]
 
 let guard_iopmp t iopmp secmem =
   List.iter
     (fun (base, size) ->
       if not (List.mem (base, size) t.iopmp_done) then begin
         Iopmp.add_deny iopmp ~base ~size;
-        t.iopmp_done <- (base, size) :: t.iopmp_done
+        t.iopmp_done <- (base, size) :: t.iopmp_done;
+        trace_instant t ~hart:(-1) "iopmp.deny"
+          [ ("base", Printf.sprintf "0x%Lx" base);
+            ("size", Printf.sprintf "0x%Lx" size) ]
       end)
     (Secmem.regions secmem)
 
 let regions_programmed t = List.length t.programmed
+let sync_count t = t.syncs
+let world_toggle_count t = t.world_toggles

@@ -12,7 +12,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?trace:Metrics.Trace.t -> unit -> t
+(** [trace], when given, receives an instant event per PMP resync,
+    per-world permission toggle and per-IOPMP deny installation —
+    the reprogramming operations the paper's switch costs are made
+    of. Nothing is recorded while the trace is disabled. *)
 
 val max_regions : int
 (** Pool regions representable before PMP entries run out (14: entry 15
@@ -33,3 +37,9 @@ val guard_iopmp : t -> Riscv.Iopmp.t -> Secmem.t -> unit
     region). *)
 
 val regions_programmed : t -> int
+
+val sync_count : t -> int
+(** Full PMP reprogramming passes since creation. *)
+
+val world_toggle_count : t -> int
+(** Fast-path permission flips since creation. *)

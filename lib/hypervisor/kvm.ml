@@ -34,6 +34,8 @@ let create ~machine ~monitor ?(disk_sectors = 262144) () =
 
 let machine t = t.machine
 let monitor t = t.monitor
+let trace t = Zion.Monitor.trace t.monitor
+let obs t = Metrics.Trace.is_enabled (trace t)
 let host_mem t = t.mem
 let devices t = t.devices
 let ledger t = t.machine.Machine.ledger
@@ -397,13 +399,27 @@ let expand_pool t bytes =
   match Host_mem.alloc_pages t.mem ~align:block_size npages with
   | None -> Error "host cannot expand the secure pool"
   | Some base -> begin
+      let observing = obs t in
+      if observing then
+        Metrics.Trace.span_begin (trace t)
+          ~args:[ ("bytes", Printf.sprintf "0x%Lx" bytes) ]
+          "hyp.expand_pool";
       charge t "expand_host_work" t.cost.Cost.expand_host_work;
       t.expansions <- t.expansions + 1;
-      match
-        Zion.Monitor.register_secure_region t.monitor ~base ~size:bytes
-      with
-      | Ok _ -> Ok ()
-      | Error e -> Error (Zion.Ecall.error_to_string e)
+      let r =
+        match
+          Zion.Monitor.register_secure_region t.monitor ~base ~size:bytes
+        with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Zion.Ecall.error_to_string e)
+      in
+      if observing then begin
+        Metrics.Trace.span_end (trace t) "hyp.expand_pool";
+        Metrics.Registry.inc
+          (Zion.Monitor.registry t.monitor)
+          "pool.expansions"
+      end;
+      r
     end
 
 let reply_mmio t h mmio result =
@@ -446,6 +462,18 @@ let run_cvm t h ~hart ~max_steps =
           | Zion.Monitor.Exit_mmio mmio -> begin
               let result = Mmio_emul.handle t.devices mmio in
               t.mmio_serviced <- t.mmio_serviced + 1;
+              if obs t then begin
+                Metrics.Trace.instant (trace t) ~cvm:h.cid
+                  ~args:
+                    [
+                      ("gpa", Printf.sprintf "0x%Lx" mmio.Zion.Vcpu.mmio_gpa);
+                      ("write", string_of_bool mmio.Zion.Vcpu.mmio_write);
+                    ]
+                  "hyp.mmio_service";
+                Metrics.Registry.inc
+                  (Zion.Monitor.registry t.monitor)
+                  ~scope:(Metrics.Registry.Cvm h.cid) "mmio.serviced"
+              end;
               match reply_mmio t h mmio result with
               | Ok () -> drive (budget - 1)
               | Error e -> C_error e

@@ -1,0 +1,101 @@
+(* Log-linear binning: values below [sub_count] get exact unit buckets;
+   above that, each power-of-two octave is split into [sub_count]
+   equal-width sub-buckets, so bucket width / bucket value <= 1/32. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+let nbuckets = (63 - sub_bits + 1) * sub_count
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; total = 0; min_v = 0; max_v = 0 }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.n <- 0;
+  t.total <- 0;
+  t.min_v <- 0;
+  t.max_v <- 0
+
+(* Position of the most significant set bit (v > 0). *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then (r := !r + 32; v := !v lsr 32);
+  if !v lsr 16 <> 0 then (r := !r + 16; v := !v lsr 16);
+  if !v lsr 8 <> 0 then (r := !r + 8; v := !v lsr 8);
+  if !v lsr 4 <> 0 then (r := !r + 4; v := !v lsr 4);
+  if !v lsr 2 <> 0 then (r := !r + 2; v := !v lsr 2);
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let bucket_of v =
+  if v < sub_count then v
+  else begin
+    let m = msb v in
+    let octave = m - sub_bits + 1 in
+    let sub = (v lsr (m - sub_bits)) - sub_count in
+    (octave * sub_count) + sub
+  end
+
+(* Inclusive value range covered by bucket [i]. *)
+let bucket_bounds i =
+  if i < sub_count then (i, i)
+  else begin
+    let octave = i / sub_count and sub = i mod sub_count in
+    let width = 1 lsl (octave - 1) in
+    let low = (sub_count + sub) * width in
+    (low, low + width - 1)
+  end
+
+let observe t v =
+  let v = max 0 v in
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + v;
+  if t.n = 0 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  t.n <- t.n + 1
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else float_of_int t.total /. float_of_int t.n
+let min_value t = t.min_v
+let max_value t = t.max_v
+let max_rel_error = 1. /. 64.
+
+let quantile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.quantile: p out of range";
+  if t.n = 0 then 0.
+  else begin
+    (* Same rank convention as Stats.percentile: position p/100*(n-1)
+       among the sorted samples; we find the bucket holding that rank
+       and answer its midpoint. *)
+    let rank = p /. 100. *. float_of_int (t.n - 1) in
+    let target = int_of_float (Float.round rank) in
+    let rec find i seen =
+      let seen = seen + t.counts.(i) in
+      if seen > target then i else find (i + 1) seen
+    in
+    let i = find 0 0 in
+    let lo, hi = bucket_bounds i in
+    let mid = float_of_int (lo + hi) /. 2. in
+    Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) mid)
+  end
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%d" t.n (mean t)
+    (quantile t 50.) (quantile t 95.) (quantile t 99.) t.max_v

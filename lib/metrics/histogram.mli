@@ -1,0 +1,43 @@
+(** Log-bucketed histogram of non-negative integer samples.
+
+    Gives p50/p95/p99-style quantile estimates without retaining the
+    samples: values are binned into log-linear buckets (32 sub-buckets
+    per power of two, HdrHistogram-style), so any quantile is recovered
+    to within {!max_rel_error} relative error while memory stays
+    constant. Values 0–31 are binned exactly. Used by the
+    {!Registry} for per-CVM latency distributions (entry/exit/fault
+    cycles) on hot paths where keeping every sample would not scale. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one sample. Negative values are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val mean : t -> float
+(** [0.] when empty. *)
+
+val min_value : t -> int
+(** Exact minimum; [0] when empty. *)
+
+val max_value : t -> int
+(** Exact maximum; [0] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in \[0;100\]: the estimated value below which
+    [p]% of the samples fall (bucket-midpoint estimate, clamped to
+    \[min;max\]). [0.] when empty. Raises [Invalid_argument] for [p]
+    outside the range. *)
+
+val max_rel_error : float
+(** Worst-case relative error of {!quantile} vs the exact sample
+    quantile: half a bucket width, 1/64. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line [count/mean/p50/p95/p99/max] rendering. *)

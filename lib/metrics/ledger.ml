@@ -24,6 +24,32 @@ let categories t =
 let mark t = t.clock
 let since t m = t.clock - m
 
+type snapshot = { snap_clock : int; snap_totals : (string * int) list }
+
+let snapshot t =
+  {
+    snap_clock = t.clock;
+    snap_totals = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.totals [];
+  }
+
+let diff ~earlier ~later =
+  let before = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace before k v) earlier.snap_totals;
+  let deltas =
+    List.filter_map
+      (fun (k, v) ->
+        let d =
+          v - (match Hashtbl.find_opt before k with Some b -> b | None -> 0)
+        in
+        if d <> 0 then Some (k, d) else None)
+      later.snap_totals
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { snap_clock = later.snap_clock - earlier.snap_clock; snap_totals = deltas }
+
+let snapshot_clock s = s.snap_clock
+let snapshot_totals s = s.snap_totals
+
 let reset t =
   t.clock <- 0;
   Hashtbl.reset t.totals

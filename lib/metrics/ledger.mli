@@ -32,5 +32,20 @@ val mark : t -> int
 val since : t -> int -> int
 (** [since t m] is [now t - m]. *)
 
+type snapshot
+(** The clock plus every category total at one instant — a full-ledger
+    generalisation of [mark] that lets experiments attribute a single
+    operation's cycles per category instead of only cumulative totals. *)
+
+val snapshot : t -> snapshot
+
+val diff : earlier:snapshot -> later:snapshot -> snapshot
+(** Per-category deltas between two snapshots of the same ledger:
+    the clock delta plus every category whose total changed, sorted by
+    descending delta. *)
+
+val snapshot_clock : snapshot -> int
+val snapshot_totals : snapshot -> (string * int) list
+
 val reset : t -> unit
 (** Zero the clock and all category totals. *)

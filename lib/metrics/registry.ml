@@ -1,0 +1,90 @@
+type scope = Global | Cvm of int
+
+type t = {
+  counters : (scope * string, int ref) Hashtbl.t;
+  histograms : (scope * string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let inc ?(scope = Global) ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters (scope, name) with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters (scope, name) (ref by)
+
+let counter ?(scope = Global) t name =
+  match Hashtbl.find_opt t.counters (scope, name) with
+  | Some r -> !r
+  | None -> 0
+
+let observe ?(scope = Global) t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms (scope, name) with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.histograms (scope, name) h;
+        h
+  in
+  Histogram.observe h v
+
+let histogram ?(scope = Global) t name =
+  Hashtbl.find_opt t.histograms (scope, name)
+
+let scope_order = function Global -> -1 | Cvm id -> id
+
+let sorted fold tbl =
+  fold (fun (scope, name) v acc -> (scope, name, v) :: acc) tbl []
+  |> List.sort (fun (s1, n1, _) (s2, n2, _) ->
+         match compare (scope_order s1) (scope_order s2) with
+         | 0 -> compare n1 n2
+         | c -> c)
+
+let counters t =
+  List.map (fun (s, n, r) -> (s, n, !r)) (sorted Hashtbl.fold t.counters)
+
+let histograms t = sorted Hashtbl.fold t.histograms
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms
+
+let scope_label = function
+  | Global -> "global"
+  | Cvm id -> Printf.sprintf "cvm %d" id
+
+let dump t =
+  let b = Buffer.create 1024 in
+  let cs = counters t in
+  if cs <> [] then begin
+    Buffer.add_string b
+      (Table.render
+         ~header:[ "scope"; "counter"; "value" ]
+         (List.map
+            (fun (s, n, v) -> [ scope_label s; n; string_of_int v ])
+            cs));
+    Buffer.add_char b '\n'
+  end;
+  let hs = histograms t in
+  if hs <> [] then begin
+    if cs <> [] then Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Table.render
+         ~header:
+           [ "scope"; "histogram"; "n"; "mean"; "p50"; "p95"; "p99"; "max" ]
+         (List.map
+            (fun (s, n, h) ->
+              [
+                scope_label s; n;
+                string_of_int (Histogram.count h);
+                Printf.sprintf "%.0f" (Histogram.mean h);
+                Printf.sprintf "%.0f" (Histogram.quantile h 50.);
+                Printf.sprintf "%.0f" (Histogram.quantile h 95.);
+                Printf.sprintf "%.0f" (Histogram.quantile h 99.);
+                string_of_int (Histogram.max_value h);
+              ])
+            hs));
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b

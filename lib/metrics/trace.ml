@@ -1,0 +1,186 @@
+type phase = Span_begin | Span_end | Instant | Counter of int
+
+type event = {
+  ts : int;
+  name : string;
+  phase : phase;
+  hart : int;
+  cvm : int;
+  vcpu : int;
+  args : (string * string) list;
+}
+
+let dummy =
+  { ts = 0; name = ""; phase = Instant; hart = -1; cvm = -1; vcpu = -1;
+    args = [] }
+
+type t = {
+  mutable enabled : bool;
+  cap : int;
+  buf : event array;
+  mutable next : int; (* ring write cursor *)
+  mutable recorded : int;
+  clock : unit -> int;
+}
+
+let create ?(capacity = 65536) ~clock () =
+  if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
+  { enabled = false; cap = capacity; buf = Array.make capacity dummy;
+    next = 0; recorded = 0; clock }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let clear t =
+  Array.fill t.buf 0 t.cap dummy;
+  t.next <- 0;
+  t.recorded <- 0
+
+let record t phase ~hart ~cvm ~vcpu ~args name =
+  t.buf.(t.next) <- { ts = t.clock (); name; phase; hart; cvm; vcpu; args };
+  t.next <- (t.next + 1) mod t.cap;
+  t.recorded <- t.recorded + 1
+
+let span_begin t ?(hart = -1) ?(cvm = -1) ?(vcpu = -1) ?(args = []) name =
+  if t.enabled then record t Span_begin ~hart ~cvm ~vcpu ~args name
+
+let span_end t ?(hart = -1) ?(cvm = -1) ?(vcpu = -1) ?(args = []) name =
+  if t.enabled then record t Span_end ~hart ~cvm ~vcpu ~args name
+
+let instant t ?(hart = -1) ?(cvm = -1) ?(vcpu = -1) ?(args = []) name =
+  if t.enabled then record t Instant ~hart ~cvm ~vcpu ~args name
+
+let counter t ?(hart = -1) ?(cvm = -1) name value =
+  if t.enabled then
+    record t (Counter value) ~hart ~cvm ~vcpu:(-1) ~args:[] name
+
+let recorded t = t.recorded
+let dropped t = max 0 (t.recorded - t.cap)
+let capacity t = t.cap
+
+let events t =
+  let n = min t.recorded t.cap in
+  let start = if t.recorded <= t.cap then 0 else t.next in
+  List.init n (fun i -> t.buf.((start + i) mod t.cap))
+
+(* ---------- JSON emission ---------- *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Buffer.add_char b '"';
+  escape_into b s;
+  Buffer.add_char b '"'
+
+let add_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_str b k;
+      Buffer.add_char b ':';
+      add_str b v)
+    args;
+  Buffer.add_char b '}'
+
+let phase_letter = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+  | Counter _ -> "C"
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Printf.sprintf "{\"ts\":%d,\"ph\":\"" e.ts);
+      Buffer.add_string b (phase_letter e.phase);
+      Buffer.add_string b "\",\"name\":";
+      add_str b e.name;
+      Buffer.add_string b
+        (Printf.sprintf ",\"hart\":%d,\"cvm\":%d,\"vcpu\":%d" e.hart e.cvm
+           e.vcpu);
+      (match e.phase with
+      | Counter v -> Buffer.add_string b (Printf.sprintf ",\"value\":%d" v)
+      | _ -> ());
+      if e.args <> [] then begin
+        Buffer.add_string b ",\"args\":";
+        add_args b e.args
+      end;
+      Buffer.add_string b "}\n")
+    (events t);
+  Buffer.contents b
+
+let to_chrome ?(cycles_per_us = 100.) t =
+  let evs = events t in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit_sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n"
+  in
+  (* Process-name metadata: one entry per distinct pid. *)
+  let pids = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let pid = if e.cvm < 0 then 0 else e.cvm in
+      if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid ())
+    evs;
+  let named =
+    List.sort compare (Hashtbl.fold (fun pid () acc -> pid :: acc) pids [])
+  in
+  List.iter
+    (fun pid ->
+      emit_sep ();
+      let name = if pid = 0 then "host/secure-monitor" else
+          Printf.sprintf "cvm-%d" pid in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+            \"args\":{\"name\":\"%s\"}}"
+           pid name))
+    named;
+  List.iter
+    (fun e ->
+      emit_sep ();
+      let pid = if e.cvm < 0 then 0 else e.cvm in
+      let tid = if e.hart < 0 then 0 else e.hart in
+      let ts = float_of_int e.ts /. cycles_per_us in
+      Buffer.add_string b "{\"name\":";
+      add_str b e.name;
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"cat\":\"zion\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d"
+           (phase_letter e.phase) ts pid tid);
+      (match e.phase with Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | _ -> ());
+      (match e.phase with
+      | Counter v ->
+          Buffer.add_string b (Printf.sprintf ",\"args\":{\"value\":%d}" v)
+      | _ ->
+          let args =
+            if e.vcpu >= 0 then ("vcpu", string_of_int e.vcpu) :: e.args
+            else e.args
+          in
+          if args <> [] then begin
+            Buffer.add_string b ",\"args\":";
+            add_args b args
+          end);
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

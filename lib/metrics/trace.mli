@@ -1,0 +1,84 @@
+(** Flight recorder — a fixed-capacity ring buffer of structured events.
+
+    The trace is the event-level companion of the cycle {!Ledger}: where
+    the ledger answers "how many cycles went to category X in total",
+    the trace answers "show me {e one} world switch / stage-3 fault /
+    Check-after-Load rejection as an event in time". Events are stamped
+    with the ledger's cycle clock (injected as [clock] at creation) plus
+    hart / CVM / vCPU identity, and can be exported as JSON-lines or as
+    Chrome [trace_event] JSON loadable in [chrome://tracing] and
+    Perfetto.
+
+    Recording is disabled by default. While disabled every recording
+    function returns after a single mutable-field test and allocates
+    nothing; instrumented call sites that would build argument lists
+    should guard on {!is_enabled} first. When the ring is full the
+    oldest events are overwritten and counted in {!dropped}. *)
+
+type phase =
+  | Span_begin  (** start of a duration span (Chrome ["B"]) *)
+  | Span_end  (** end of a duration span (Chrome ["E"]) *)
+  | Instant  (** a point event (Chrome ["i"]) *)
+  | Counter of int  (** a sampled counter value (Chrome ["C"]) *)
+
+type event = {
+  ts : int;  (** ledger cycles at recording time *)
+  name : string;
+  phase : phase;
+  hart : int;  (** [-1] when not hart-specific *)
+  cvm : int;  (** [-1] for the host / Secure Monitor itself *)
+  vcpu : int;  (** [-1] when not vCPU-specific *)
+  args : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> clock:(unit -> int) -> unit -> t
+(** Default capacity is 65536 events. [clock] is sampled once per
+    recorded event; bind it to [Ledger.now] of the platform ledger. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val clear : t -> unit
+(** Drop all buffered events and zero {!recorded}/{!dropped}. *)
+
+val span_begin :
+  t -> ?hart:int -> ?cvm:int -> ?vcpu:int ->
+  ?args:(string * string) list -> string -> unit
+
+val span_end :
+  t -> ?hart:int -> ?cvm:int -> ?vcpu:int ->
+  ?args:(string * string) list -> string -> unit
+
+val instant :
+  t -> ?hart:int -> ?cvm:int -> ?vcpu:int ->
+  ?args:(string * string) list -> string -> unit
+
+val counter : t -> ?hart:int -> ?cvm:int -> string -> int -> unit
+(** [counter t name v] records a sampled counter value (a Perfetto
+    counter track). *)
+
+val events : t -> event list
+(** Buffered events, oldest first. *)
+
+val recorded : t -> int
+(** Total events recorded since creation (or [clear]), including any
+    that have since been overwritten. *)
+
+val dropped : t -> int
+(** Events lost to ring wraparound: [max 0 (recorded - capacity)]. *)
+
+val capacity : t -> int
+
+val to_jsonl : t -> string
+(** One JSON object per line:
+    [{"ts":..,"ph":"B","name":..,"hart":..,"cvm":..,"vcpu":..,"args":{..}}]. *)
+
+val to_chrome : ?cycles_per_us:float -> t -> string
+(** Chrome [trace_event] JSON (the [{"traceEvents":[...]}] object form).
+    Spans and instants land on [pid] = CVM id (pid 0 is the host /
+    Secure Monitor) and [tid] = hart; process-name metadata events label
+    each pid. [cycles_per_us] converts ledger cycles to the format's
+    microsecond timestamps and defaults to 100. (a 100 MHz clock). *)

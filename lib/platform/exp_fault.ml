@@ -8,6 +8,7 @@ type report = {
   stage2_count : int;
   stage3_count : int;
   normal_count : int;
+  cvm_attribution : (string * int) list;
 }
 
 let mean = function
@@ -32,6 +33,8 @@ let run ?(pages = 200) () =
      stage-3 expansion (1 MiB = 4 blocks). *)
   let tb_c = Testbed.create ~pool_mib:1 () in
   let handle = Testbed.cvm tb_c (touch_and_stop pages) in
+  let ledger = tb_c.Testbed.machine.Riscv.Machine.ledger in
+  let before = Metrics.Ledger.snapshot ledger in
   (match
      Hypervisor.Kvm.run_cvm_to_completion tb_c.Testbed.kvm handle ~hart:0
        ~quantum:Testbed.quantum_cycles ~max_slices:100
@@ -55,6 +58,10 @@ let run ?(pages = 200) () =
     stage2_count = List.length s2;
     stage3_count = List.length s3;
     normal_count = List.length normal_faults;
+    cvm_attribution =
+      Metrics.Ledger.snapshot_totals
+        (Metrics.Ledger.diff ~earlier:before
+           ~later:(Metrics.Ledger.snapshot ledger));
   }
 
 let paper =

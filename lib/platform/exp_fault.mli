@@ -16,6 +16,9 @@ type report = {
   stage2_count : int;
   stage3_count : int;
   normal_count : int;
+  cvm_attribution : (string * int) list;
+      (** per-category cycle deltas over the CVM arm (a [Metrics.Ledger]
+          snapshot diff), sorted by descending delta *)
 }
 
 val run : ?pages:int -> unit -> report

@@ -1,8 +1,20 @@
 open Riscv
 
-type switch_stats = { entry_mean : float; exit_mean : float; samples : int }
+type switch_stats = {
+  entry_mean : float;
+  exit_mean : float;
+  samples : int;
+  attribution : (string * int) list;
+}
 
 let mean xs = Metrics.Stats.mean (Array.of_list (List.map float_of_int xs))
+
+let attribution_of tb before =
+  let after =
+    Metrics.Ledger.snapshot tb.Testbed.machine.Machine.ledger
+  in
+  Metrics.Ledger.snapshot_totals
+    (Metrics.Ledger.diff ~earlier:before ~later:after)
 
 (* Guest that performs [n] MMIO loads from the virtio window. The loop
    body is fixed-size so the branch offset is static. *)
@@ -19,10 +31,13 @@ let mmio_load_loop n =
     ]
   @ Guest.Gprog.shutdown
 
+let mmio_program ~iterations = mmio_load_loop iterations
+
 let measure_mmio_switches ~shared_vcpu ~iterations =
   let config = { Zion.Monitor.default_config with shared_vcpu } in
   let tb = Testbed.create ~config () in
   let handle = Testbed.cvm tb (mmio_load_loop iterations) in
+  let before = Metrics.Ledger.snapshot tb.Testbed.machine.Machine.ledger in
   (match
      Hypervisor.Kvm.run_cvm tb.Testbed.kvm handle ~hart:0
        ~max_steps:10_000_000
@@ -47,12 +62,14 @@ let measure_mmio_switches ~shared_vcpu ~iterations =
     entry_mean = mean mmio_entries;
     exit_mean = mean mmio_exits;
     samples = List.length mmio_exits;
+    attribution = attribution_of tb before;
   }
 
 let measure_timer_switches ~long_path ~iterations =
   let config = { Zion.Monitor.default_config with long_path } in
   let tb = Testbed.create ~config () in
   let handle = Testbed.cvm tb [ Decode.Jal (0, 0L) ] in
+  let before = Metrics.Ledger.snapshot tb.Testbed.machine.Machine.ledger in
   Testbed.enable_timer tb ~hart:0;
   for _ = 1 to iterations do
     Testbed.set_quantum tb ~hart:0 20_000;
@@ -69,6 +86,7 @@ let measure_timer_switches ~long_path ~iterations =
     entry_mean = mean entries;
     exit_mean = mean exits;
     samples = List.length exits;
+    attribution = attribution_of tb before;
   }
 
 type report = {

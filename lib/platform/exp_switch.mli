@@ -9,7 +9,19 @@
        pairs under ZION's single-hop switch vs the secure-hypervisor
        long path. *)
 
-type switch_stats = { entry_mean : float; exit_mean : float; samples : int }
+type switch_stats = {
+  entry_mean : float;
+  exit_mean : float;
+  samples : int;
+  attribution : (string * int) list;
+      (** per-category cycle deltas over the measured run (a
+          [Metrics.Ledger] snapshot diff), sorted by descending delta —
+          where the switch cycles actually went *)
+}
+
+val mmio_program : iterations:int -> Riscv.Decode.t list
+(** The MMIO-load guest used by [measure_mmio_switches], exported so the
+    tracing front end can replay the same workload under a recorder. *)
 
 val measure_mmio_switches : shared_vcpu:bool -> iterations:int -> switch_stats
 (** MMIO-triggered switches under the given vCPU-transfer mechanism. *)

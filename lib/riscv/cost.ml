@@ -121,6 +121,68 @@ let default =
     hs_mmio_exit = 5000;
   }
 
+let to_assoc c =
+  [
+    ("alu", c.alu);
+    ("mul", c.mul);
+    ("div", c.div);
+    ("load", c.load);
+    ("store", c.store);
+    ("branch", c.branch);
+    ("jump", c.jump);
+    ("csr", c.csr);
+    ("fence", c.fence);
+    ("trap_entry", c.trap_entry);
+    ("xret", c.xret);
+    ("gpr_all", c.gpr_all);
+    ("csr_ctx_guest", c.csr_ctx_guest);
+    ("csr_ctx_host", c.csr_ctx_host);
+    ("deleg_reprogram", c.deleg_reprogram);
+    ("pmp_toggle", c.pmp_toggle);
+    ("hgatp_write", c.hgatp_write);
+    ("tlb_full_flush", c.tlb_full_flush);
+    ("tlb_refill_per_page", c.tlb_refill_per_page);
+    ("cache_refill_per_line", c.cache_refill_per_line);
+    ("dcache_lines", c.dcache_lines);
+    ("tlb_capacity", c.tlb_capacity);
+    ("page_walk_step", c.page_walk_step);
+    ("page_scrub", c.page_scrub);
+    ("vcpu_integrity", c.vcpu_integrity);
+    ("irq_scan", c.irq_scan);
+    ("timer_prog", c.timer_prog);
+    ("exit_cause_decode", c.exit_cause_decode);
+    ("shared_item_store", c.shared_item_store);
+    ("shared_item_load", c.shared_item_load);
+    ("check_after_load", c.check_after_load);
+    ("shared_classify", c.shared_classify);
+    ("resume_merge", c.resume_merge);
+    ("ecall_roundtrip", c.ecall_roundtrip);
+    ("secure_copy_item", c.secure_copy_item);
+    ("unshared_validate", c.unshared_validate);
+    ("sechyp_trap", c.sechyp_trap);
+    ("sechyp_xret", c.sechyp_xret);
+    ("sechyp_ctx", c.sechyp_ctx);
+    ("sechyp_dispatch_entry", c.sechyp_dispatch_entry);
+    ("sechyp_dispatch_exit", c.sechyp_dispatch_exit);
+    ("sechyp_barrier", c.sechyp_barrier);
+    ("sm_fault_decode", c.sm_fault_decode);
+    ("sm_fault_validate", c.sm_fault_validate);
+    ("sm_fault_bookkeeping", c.sm_fault_bookkeeping);
+    ("page_cache_alloc", c.page_cache_alloc);
+    ("block_grab", c.block_grab);
+    ("expand_host_work", c.expand_host_work);
+    ("gstage_map", c.gstage_map);
+    ("kvm_save", c.kvm_save);
+    ("kvm_dispatch", c.kvm_dispatch);
+    ("kvm_memslot", c.kvm_memslot);
+    ("kvm_host_alloc", c.kvm_host_alloc);
+    ("kvm_map", c.kvm_map);
+    ("kvm_fence", c.kvm_fence);
+    ("kvm_restore", c.kvm_restore);
+    ("hs_timer_tick", c.hs_timer_tick);
+    ("hs_mmio_exit", c.hs_mmio_exit);
+  ]
+
 let scaled f =
   let s v = int_of_float (Float.round (float_of_int v *. f)) in
   let d = default in

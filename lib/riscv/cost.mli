@@ -87,3 +87,7 @@ val default : t
 
 val scaled : float -> t
 (** [scaled f] multiplies every constant by [f] (sensitivity studies). *)
+
+val to_assoc : t -> (string * int) list
+(** Every field as a [(name, cycles)] pair, in declaration order — for
+    machine-readable dumps ([zionctl costs --json]). *)

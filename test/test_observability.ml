@@ -1,0 +1,506 @@
+(* Tests for the Secure Monitor flight recorder: the trace ring buffer
+   and its exporters, the log-bucketed histograms, the counter registry,
+   ledger snapshots, and the monitor instrumentation they feed. *)
+
+(* ---------- a minimal JSON validator ----------
+
+   The exporters hand-roll their JSON (no parser library in the build),
+   so well-formedness is checked with an equally hand-rolled
+   recursive-descent validator: it accepts exactly the RFC 8259 grammar
+   and raises [Bad] with a position otherwise. *)
+
+exception Bad of string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise (Bad "unexpected end of input") else s.[!pos] in
+  let adv () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> adv (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then
+      raise (Bad (Printf.sprintf "expected '%c' at offset %d" c !pos));
+    adv ()
+  in
+  let lit w =
+    String.iter
+      (fun c ->
+        if peek () <> c then raise (Bad ("bad literal, wanted " ^ w));
+        adv ())
+      w
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then adv ();
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      adv ()
+    done;
+    if !pos = start then raise (Bad "empty number");
+    try ignore (float_of_string (String.sub s start (!pos - start)))
+    with _ -> raise (Bad ("bad number at offset " ^ string_of_int start))
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match s.[!pos] with
+      | '"' -> adv ()
+      | '\\' -> (
+          adv ();
+          match peek () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+              adv ();
+              go ()
+          | 'u' ->
+              adv ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> adv ()
+                | _ -> raise (Bad "bad \\u escape"))
+              done;
+              go ()
+          | _ -> raise (Bad "bad escape"))
+      | c when Char.code c < 0x20 ->
+          raise (Bad "raw control character in string")
+      | _ ->
+          adv ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_lit ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | _ -> number ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then adv ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' -> adv (); members ()
+        | '}' -> adv ()
+        | _ -> raise (Bad ("bad object at offset " ^ string_of_int !pos))
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then adv ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' -> adv (); elems ()
+        | ']' -> adv ()
+        | _ -> raise (Bad ("bad array at offset " ^ string_of_int !pos))
+      in
+      elems ()
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then raise (Bad ("trailing data at offset " ^ string_of_int !pos))
+
+let check_json label s =
+  try validate_json s
+  with Bad why -> Alcotest.fail (label ^ ": invalid JSON (" ^ why ^ ")")
+
+(* ---------- helpers ---------- *)
+
+let manual_trace () =
+  let clock = ref 0 in
+  let t = Metrics.Trace.create ~capacity:8 ~clock:(fun () -> !clock) () in
+  (t, clock)
+
+(* Fold span begin/ends of [name] into durations; fails the test on an
+   unmatched end and reports leftover begins to the caller. *)
+let span_durations name evs =
+  let stack = ref [] in
+  let durs = ref [] in
+  List.iter
+    (fun e ->
+      if e.Metrics.Trace.name = name then
+        match e.Metrics.Trace.phase with
+        | Metrics.Trace.Span_begin ->
+            stack := e.Metrics.Trace.ts :: !stack
+        | Metrics.Trace.Span_end -> (
+            match !stack with
+            | t0 :: rest ->
+                stack := rest;
+                durs := (e.Metrics.Trace.ts - t0) :: !durs
+            | [] -> Alcotest.fail ("span_end without begin: " ^ name))
+        | _ -> ())
+    evs;
+  (List.rev !durs, List.length !stack)
+
+let traced_storm ~iterations =
+  let tb = Platform.Testbed.create () in
+  let mon = tb.Platform.Testbed.monitor in
+  Metrics.Trace.enable (Zion.Monitor.trace mon);
+  let handle =
+    Platform.Testbed.cvm tb (Platform.Exp_switch.mmio_program ~iterations)
+  in
+  (match
+     Hypervisor.Kvm.run_cvm tb.Platform.Testbed.kvm handle ~hart:0
+       ~max_steps:10_000_000
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> Alcotest.fail "MMIO storm did not shut down");
+  (tb, handle)
+
+(* ---------- trace ring buffer ---------- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
+        let t, clock = manual_trace () in
+        clock := 42;
+        Metrics.Trace.span_begin t "x";
+        Metrics.Trace.instant t ~args:[ ("k", "v") ] "y";
+        Metrics.Trace.counter t "c" 7;
+        Alcotest.(check int) "recorded" 0 (Metrics.Trace.recorded t);
+        Alcotest.(check (list reject)) "events" []
+          (List.map (fun _ -> ()) (Metrics.Trace.events t)));
+    Alcotest.test_case "ring wraparound keeps newest, counts dropped"
+      `Quick (fun () ->
+        let t, clock = manual_trace () in
+        Metrics.Trace.enable t;
+        for i = 1 to 20 do
+          clock := i;
+          Metrics.Trace.instant t (Printf.sprintf "e%d" i)
+        done;
+        let evs = Metrics.Trace.events t in
+        Alcotest.(check int) "kept = capacity" 8 (List.length evs);
+        Alcotest.(check int) "recorded" 20 (Metrics.Trace.recorded t);
+        Alcotest.(check int) "dropped" 12 (Metrics.Trace.dropped t);
+        Alcotest.(check (list string))
+          "oldest-first, newest kept"
+          [ "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]
+          (List.map (fun e -> e.Metrics.Trace.name) evs);
+        Alcotest.(check (list int))
+          "timestamps from the injected clock"
+          [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+          (List.map (fun e -> e.Metrics.Trace.ts) evs));
+    Alcotest.test_case "clear resets the ring" `Quick (fun () ->
+        let t, _ = manual_trace () in
+        Metrics.Trace.enable t;
+        Metrics.Trace.instant t "a";
+        Metrics.Trace.clear t;
+        Alcotest.(check int) "recorded" 0 (Metrics.Trace.recorded t);
+        Alcotest.(check int) "dropped" 0 (Metrics.Trace.dropped t));
+    Alcotest.test_case "chrome export is well-formed JSON" `Quick (fun () ->
+        let t, clock = manual_trace () in
+        Metrics.Trace.enable t;
+        clock := 100;
+        Metrics.Trace.span_begin t ~hart:0 ~cvm:1 ~vcpu:0 "run_vcpu";
+        clock := 350;
+        Metrics.Trace.instant t ~cvm:1
+          ~args:[ ("weird \"name\"\n", "tab\there\\done") ]
+          "escape\ttest";
+        Metrics.Trace.counter t "faults" 3;
+        clock := 500;
+        Metrics.Trace.span_end t ~hart:0 ~cvm:1 ~vcpu:0
+          ~args:[ ("exit", "timer") ]
+          "run_vcpu";
+        check_json "to_chrome" (Metrics.Trace.to_chrome t));
+    Alcotest.test_case "jsonl export: every line is a JSON object" `Quick
+      (fun () ->
+        let t, clock = manual_trace () in
+        Metrics.Trace.enable t;
+        clock := 7;
+        Metrics.Trace.span_begin t ~cvm:2 "s";
+        Metrics.Trace.instant t ~args:[ ("a", "b\"c") ] "i";
+        Metrics.Trace.span_end t ~cvm:2 "s";
+        let lines =
+          String.split_on_char '\n' (Metrics.Trace.to_jsonl t)
+          |> List.filter (fun l -> l <> "")
+        in
+        Alcotest.(check int) "one line per event" 3 (List.length lines);
+        List.iter (check_json "to_jsonl line") lines);
+  ]
+
+(* ---------- histogram ---------- *)
+
+let histogram_tests =
+  [
+    Alcotest.test_case "quantiles track Stats.percentile on a dense sample"
+      `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        let xs = Array.init 1000 (fun i -> i + 1) in
+        Array.iter (Metrics.Histogram.observe h) xs;
+        let floats = Array.map float_of_int xs in
+        List.iter
+          (fun p ->
+            let exact = Metrics.Stats.percentile p floats in
+            let est = Metrics.Histogram.quantile h p in
+            let tol =
+              (exact *. Metrics.Histogram.max_rel_error) +. 1.0
+            in
+            if Float.abs (est -. exact) > tol then
+              Alcotest.failf "p%.0f: estimate %.1f vs exact %.1f (tol %.2f)"
+                p est exact tol)
+          [ 10.; 25.; 50.; 75.; 90.; 95.; 99. ]);
+    Alcotest.test_case "exact min/max/count/sum and small-value bins"
+      `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        List.iter (Metrics.Histogram.observe h) [ 3; 3; 3; 17; 900_000 ];
+        Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+        Alcotest.(check int) "sum" 900_026 (Metrics.Histogram.sum h);
+        Alcotest.(check int) "min" 3 (Metrics.Histogram.min_value h);
+        Alcotest.(check int) "max" 900_000 (Metrics.Histogram.max_value h);
+        (* values below 32 are binned exactly *)
+        Alcotest.(check (float 1e-9))
+          "p50 exact for small values" 3.
+          (Metrics.Histogram.quantile h 50.));
+    Alcotest.test_case "empty and cleared histograms" `Quick (fun () ->
+        let h = Metrics.Histogram.create () in
+        Alcotest.(check (float 1e-9)) "empty p99" 0.
+          (Metrics.Histogram.quantile h 99.);
+        Metrics.Histogram.observe h 5;
+        Metrics.Histogram.clear h;
+        Alcotest.(check int) "cleared count" 0 (Metrics.Histogram.count h));
+  ]
+
+let histogram_props =
+  [
+    QCheck.Test.make
+      ~name:"histogram quantile within 1/64 of the nearest-rank percentile"
+      ~count:100
+      QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+      (fun xs ->
+        let h = Metrics.Histogram.create () in
+        List.iter (Metrics.Histogram.observe h) xs;
+        let sorted = Array.of_list (List.sort compare xs) in
+        let n = Array.length sorted in
+        List.for_all
+          (fun p ->
+            let rank =
+              int_of_float
+                (Float.round (p /. 100. *. float_of_int (n - 1)))
+            in
+            let exact = float_of_int sorted.(rank) in
+            let est = Metrics.Histogram.quantile h p in
+            Float.abs (est -. exact)
+            <= (exact *. Metrics.Histogram.max_rel_error) +. 1.0)
+          [ 0.; 50.; 95.; 100. ]);
+  ]
+
+(* ---------- registry ---------- *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "counters are scoped and ordered" `Quick (fun () ->
+        let r = Metrics.Registry.create () in
+        Metrics.Registry.inc r "pmp.sync";
+        Metrics.Registry.inc r ~by:4 "pmp.sync";
+        Metrics.Registry.inc r ~scope:(Metrics.Registry.Cvm 2) "exits";
+        Metrics.Registry.inc r ~scope:(Metrics.Registry.Cvm 1) "exits";
+        Alcotest.(check int) "global total" 5
+          (Metrics.Registry.counter r "pmp.sync");
+        Alcotest.(check int) "cvm 1" 1
+          (Metrics.Registry.counter r ~scope:(Metrics.Registry.Cvm 1) "exits");
+        Alcotest.(check int) "unknown name" 0
+          (Metrics.Registry.counter r "nope");
+        (match Metrics.Registry.counters r with
+        | (Metrics.Registry.Global, "pmp.sync", 5)
+          :: (Metrics.Registry.Cvm 1, "exits", 1)
+          :: (Metrics.Registry.Cvm 2, "exits", 1)
+          :: [] ->
+            ()
+        | _ -> Alcotest.fail "counters not Global-first / CVM-ordered"));
+    Alcotest.test_case "histograms accumulate per scope" `Quick (fun () ->
+        let r = Metrics.Registry.create () in
+        Metrics.Registry.observe r ~scope:(Metrics.Registry.Cvm 1)
+          "entry_cycles" 4000;
+        Metrics.Registry.observe r ~scope:(Metrics.Registry.Cvm 1)
+          "entry_cycles" 4200;
+        (match
+           Metrics.Registry.histogram r ~scope:(Metrics.Registry.Cvm 1)
+             "entry_cycles"
+         with
+        | Some h ->
+            Alcotest.(check int) "count" 2 (Metrics.Histogram.count h)
+        | None -> Alcotest.fail "histogram missing");
+        Alcotest.(check bool) "dump mentions the metric" true
+          (let dump = Metrics.Registry.dump r in
+           String.length dump > 0));
+  ]
+
+(* ---------- ledger snapshots ---------- *)
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "snapshot diff isolates the delta" `Quick (fun () ->
+        let l = Metrics.Ledger.create () in
+        Metrics.Ledger.charge l "cvm_entry" 4000;
+        Metrics.Ledger.charge l "sm_fault" 100;
+        let a = Metrics.Ledger.snapshot l in
+        Metrics.Ledger.charge l "cvm_entry" 500;
+        Metrics.Ledger.charge l "cvm_exit" 2400;
+        let b = Metrics.Ledger.snapshot l in
+        let d = Metrics.Ledger.diff ~earlier:a ~later:b in
+        Alcotest.(check int) "clock delta" 2900
+          (Metrics.Ledger.snapshot_clock d);
+        Alcotest.(check (list (pair string int)))
+          "per-category deltas, descending, unchanged omitted"
+          [ ("cvm_exit", 2400); ("cvm_entry", 500) ]
+          (Metrics.Ledger.snapshot_totals d));
+  ]
+
+(* ---------- monitor instrumentation (system level) ---------- *)
+
+let system_tests =
+  [
+    Alcotest.test_case "run_vcpu spans balance and carry exit reasons"
+      `Slow (fun () ->
+        let tb, handle = traced_storm ~iterations:25 in
+        let mon = tb.Platform.Testbed.monitor in
+        let id = Hypervisor.Kvm.cvm_id handle in
+        let evs = Metrics.Trace.events (Zion.Monitor.trace mon) in
+        let durs, open_spans = span_durations "run_vcpu" evs in
+        Alcotest.(check int) "no dangling run_vcpu span" 0 open_spans;
+        Alcotest.(check bool) "at least the 25 MMIO switches" true
+          (List.length durs >= 25);
+        List.iter
+          (fun e ->
+            if
+              e.Metrics.Trace.name = "run_vcpu"
+              && e.Metrics.Trace.phase = Metrics.Trace.Span_end
+            then (
+              Alcotest.(check bool) "exit reason tagged" true
+                (List.mem_assoc "exit" e.Metrics.Trace.args);
+              Alcotest.(check int) "cvm id stamped" id
+                e.Metrics.Trace.cvm))
+          evs;
+        (* MMIO-heavy storm: mmio must dominate the exit reasons. *)
+        let mmio_exits =
+          Metrics.Registry.counter
+            (Zion.Monitor.registry mon)
+            ~scope:(Metrics.Registry.Cvm id) "exit_reason.mmio"
+        in
+        Alcotest.(check int) "one mmio exit per load" 25 mmio_exits);
+    Alcotest.test_case
+      "cvm_entry span durations equal the ledger's switch total" `Slow
+      (fun () ->
+        let tb, _ = traced_storm ~iterations:25 in
+        let mon = tb.Platform.Testbed.monitor in
+        let evs = Metrics.Trace.events (Zion.Monitor.trace mon) in
+        let durs, open_spans = span_durations "cvm_entry" evs in
+        Alcotest.(check int) "no dangling cvm_entry span" 0 open_spans;
+        let span_sum = List.fold_left ( + ) 0 durs in
+        let ledger_total =
+          Metrics.Ledger.category_total
+            tb.Platform.Testbed.machine.Riscv.Machine.ledger "cvm_entry"
+        in
+        (* acceptance bound is 1%; the spans bracket exactly the charge,
+           so the agreement is in fact exact *)
+        Alcotest.(check int) "span sum = ledger cvm_entry cycles"
+          ledger_total span_sum);
+    Alcotest.test_case "tracing a run leaves the audit green" `Slow
+      (fun () ->
+        let tb, _ = traced_storm ~iterations:10 in
+        match Zion.Monitor.audit tb.Platform.Testbed.monitor with
+        | Ok _ -> ()
+        | Error v -> Alcotest.fail (String.concat "; " v));
+    Alcotest.test_case "disabled recorder adds no events or counters"
+      `Quick (fun () ->
+        let tb = Platform.Testbed.create () in
+        let mon = tb.Platform.Testbed.monitor in
+        let handle =
+          Platform.Testbed.cvm tb
+            (Platform.Exp_switch.mmio_program ~iterations:3)
+        in
+        (match
+           Hypervisor.Kvm.run_cvm tb.Platform.Testbed.kvm handle ~hart:0
+             ~max_steps:10_000_000
+         with
+        | Hypervisor.Kvm.C_shutdown -> ()
+        | _ -> Alcotest.fail "guest did not shut down");
+        Alcotest.(check int) "no events" 0
+          (Metrics.Trace.recorded (Zion.Monitor.trace mon));
+        Alcotest.(check (list reject)) "no counters" []
+          (List.map (fun _ -> ())
+             (Metrics.Registry.counters (Zion.Monitor.registry mon))));
+    Alcotest.test_case
+      "tampered shared-vCPU reply records a Check-after-Load rejection"
+      `Quick (fun () ->
+        let tb = Platform.Testbed.create () in
+        let mon = tb.Platform.Testbed.monitor in
+        Metrics.Trace.enable (Zion.Monitor.trace mon);
+        let handle =
+          Platform.Testbed.cvm tb
+            (Platform.Exp_switch.mmio_program ~iterations:5)
+        in
+        let id = Hypervisor.Kvm.cvm_id handle in
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:1_000_000
+         with
+        | Ok (Zion.Monitor.Exit_mmio _) -> ()
+        | _ -> Alcotest.fail "expected an MMIO exit");
+        (* Malicious hypervisor: reply with an out-of-protocol pc bump. *)
+        (match Zion.Monitor.shared_vcpu_of mon ~cvm:id ~vcpu:0 with
+        | Some sh ->
+            sh.Zion.Vcpu.s_data <- 0L;
+            sh.Zion.Vcpu.s_pc_advance <- 8L
+        | None -> Alcotest.fail "no shared vCPU");
+        (match
+           Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:id ~vcpu:0
+             ~max_steps:1_000_000
+         with
+        | Error Zion.Ecall.Denied -> ()
+        | _ -> Alcotest.fail "tampered reply must be Denied");
+        let evs = Metrics.Trace.events (Zion.Monitor.trace mon) in
+        Alcotest.(check bool) "rejection instant recorded" true
+          (List.exists
+             (fun e ->
+               e.Metrics.Trace.name = "check_after_load.reject"
+               && e.Metrics.Trace.phase = Metrics.Trace.Instant
+               && e.Metrics.Trace.cvm = id)
+             evs);
+        Alcotest.(check int) "rejection counter" 1
+          (Metrics.Registry.counter
+             (Zion.Monitor.registry mon)
+             ~scope:(Metrics.Registry.Cvm id) "check_after_load.reject");
+        let _, open_spans = span_durations "run_vcpu" evs in
+        Alcotest.(check int) "rejected run leaves no dangling span" 0
+          open_spans);
+    Alcotest.test_case "traced storm exports well-formed Chrome JSON"
+      `Slow (fun () ->
+        let tb, _ = traced_storm ~iterations:10 in
+        let tr = Zion.Monitor.trace tb.Platform.Testbed.monitor in
+        check_json "storm to_chrome" (Metrics.Trace.to_chrome tr);
+        String.split_on_char '\n' (Metrics.Trace.to_jsonl tr)
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (check_json "storm jsonl line"));
+  ]
+
+let suite =
+  [
+    ("observability:trace", trace_tests);
+    ("observability:histogram",
+     histogram_tests @ List.map QCheck_alcotest.to_alcotest histogram_props);
+    ("observability:registry", registry_tests);
+    ("observability:ledger-snapshot", snapshot_tests);
+    ("observability:monitor", system_tests);
+  ]
