@@ -214,6 +214,39 @@ let attacks_cmd =
     (Cmd.info "attacks" ~doc:"Run the malicious-hypervisor attack suite")
     Term.(const run $ const ())
 
+(* ---------- fuzz ---------- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed. Same seed, same build — same run.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~docv:"N" ~doc:"Number of fuzzing iterations.")
+  in
+  let pool_mib =
+    Arg.(
+      value & opt int 2
+      & info [ "pool-mib" ] ~docv:"MIB"
+          ~doc:"Initial secure pool size (small pools exercise the \
+                slow-path expansion protocol more).")
+  in
+  let run seed iters pool_mib =
+    let r = Hypervisor.Chaos.run ~pool_mib ~seed ~iters () in
+    Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
+    if not (Hypervisor.Chaos.survived r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fault-inject the Secure Monitor under a hostile fuzzing \
+          hypervisor and report survival")
+    Term.(const run $ seed $ iters $ pool_mib)
+
 (* ---------- migrate ---------- *)
 
 let migrate_cmd =
@@ -445,6 +478,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "zionctl" ~doc)
           [
-            experiments_cmd; boot_cmd; attacks_cmd; migrate_cmd; trace_cmd;
-            stats_cmd; costs_cmd;
+            experiments_cmd; boot_cmd; attacks_cmd; fuzz_cmd; migrate_cmd;
+            trace_cmd; stats_cmd; costs_cmd;
           ]))

@@ -1,4 +1,10 @@
-type state = Created | Runnable | Running | Suspended | Destroyed
+type state =
+  | Created
+  | Runnable
+  | Running
+  | Suspended
+  | Quarantined
+  | Destroyed
 
 type t = {
   id : int;
@@ -10,6 +16,7 @@ type t = {
   table_blocks : Secmem.block list ref;
   mutable measurement_ctx : Attest.measurement_ctx option;
   mutable measurement : string option;
+  mutable quarantine_reason : string option;
   alloc_stats : Hier_alloc.stats;
   mutable fault_count : int;
   mutable entry_count : int;
@@ -28,6 +35,7 @@ let create ~id ~nvcpus ~entry_pc ~spt ~table_blocks =
     table_blocks;
     measurement_ctx = Some (Attest.start ());
     measurement = None;
+    quarantine_reason = None;
     alloc_stats = { Hier_alloc.stage1 = 0; stage2 = 0; stage3 = 0 };
     fault_count = 0;
     entry_count = 0;
@@ -39,7 +47,10 @@ let state_to_string = function
   | Runnable -> "runnable"
   | Running -> "running"
   | Suspended -> "suspended"
+  | Quarantined -> "quarantined"
   | Destroyed -> "destroyed"
+
+let nvcpus t = Array.length t.vcpus
 
 let check_vcpu t i =
   if i < 0 || i >= Array.length t.vcpus then

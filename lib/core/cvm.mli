@@ -1,6 +1,15 @@
 (** Per-confidential-VM bookkeeping owned by the Secure Monitor. *)
 
-type state = Created | Runnable | Running | Suspended | Destroyed
+type state =
+  | Created
+  | Runnable
+  | Running
+  | Suspended
+  | Quarantined
+      (** the host violated the run protocol (tampered reply, hostile
+          shared subtree, in-guest monitor fault); only destruction is
+          accepted from here *)
+  | Destroyed
 
 type t = {
   id : int;
@@ -13,6 +22,8 @@ type t = {
       (** secure blocks backing page tables (root + intermediates) *)
   mutable measurement_ctx : Attest.measurement_ctx option;
   mutable measurement : string option;
+  mutable quarantine_reason : string option;
+      (** why the CVM was quarantined, for the survival report *)
   alloc_stats : Hier_alloc.stats;
   mutable fault_count : int;
   mutable entry_count : int;
@@ -28,6 +39,8 @@ val create :
   t
 
 val state_to_string : state -> string
+
+val nvcpus : t -> int
 
 val vcpu : t -> int -> Vcpu.secure
 (** Raises [Invalid_argument] on a bad index. *)

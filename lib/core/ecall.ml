@@ -20,18 +20,19 @@ let fid_guest_unseal = 24L
 let sbi_legacy_putchar = 1L
 let sbi_legacy_shutdown = 8L
 
-type error = Invalid_param | Denied | No_memory | Not_found | Bad_state
+(* The error type is owned by [Sm_error]; re-exported here so ABI
+   clients keep writing [Ecall.Invalid_param] etc. *)
+type error = Sm_error.t =
+  | Invalid_param
+  | Denied
+  | No_memory
+  | Not_found
+  | Bad_state
+  | Invalid_address
+  | Already_exists
+  | No_pending_exit
+  | Quarantined
+  | Internal of string
 
-let error_code = function
-  | Invalid_param -> -3L
-  | Denied -> -4L
-  | No_memory -> -5L
-  | Not_found -> -6L
-  | Bad_state -> -7L
-
-let error_to_string = function
-  | Invalid_param -> "invalid parameter"
-  | Denied -> "access denied"
-  | No_memory -> "out of secure memory"
-  | Not_found -> "no such object"
-  | Bad_state -> "object in wrong state"
+let error_code = Sm_error.code
+let error_to_string = Sm_error.to_string

@@ -36,14 +36,21 @@ val fid_guest_unseal : int64
 val sbi_legacy_putchar : int64
 val sbi_legacy_shutdown : int64
 
-type error =
+type error = Sm_error.t =
   | Invalid_param
   | Denied
   | No_memory
   | Not_found
   | Bad_state
+  | Invalid_address
+  | Already_exists
+  | No_pending_exit
+  | Quarantined
+  | Internal of string
+      (** See {!Sm_error} for the full fault-model contract: every
+          host-interface call returns one of these, never raises. *)
 
 val error_code : error -> int64
-(** Negative SBI-style error codes. *)
+(** Negative SBI-style error codes ({!Sm_error.code}). *)
 
 val error_to_string : error -> string

@@ -53,6 +53,8 @@ let serialize im =
   put_u32 b (List.length im.im_vcpus);
   List.iter
     (fun v ->
+      (* True internal invariants: the image is built by the SM from
+         its own vCPU structures, never from host-supplied data. *)
       assert (Array.length v.vi_regs = 32);
       assert (Array.length v.vi_csrs = 8);
       Array.iter (put_u64 b) v.vi_regs;
@@ -70,10 +72,18 @@ let serialize im =
     im.im_pages;
   Buffer.contents b
 
+(* [deserialize] parses hostile bytes: the payload only reaches it
+   authenticated, but the parser must still be total — a forged or
+   future-format payload lands in [Error], never an exception escaping
+   through the host ABI. *)
+exception Malformed of string
+
+let reject msg = raise (Malformed msg)
+
 let deserialize s =
   let pos = ref 0 in
   let need n =
-    if !pos + n > String.length s then failwith "truncated payload"
+    if n < 0 || !pos + n > String.length s then reject "truncated payload"
   in
   let u32 () =
     need 4;
@@ -93,9 +103,9 @@ let deserialize s =
     pos := !pos + n;
     v
   in
-  if bytes 4 <> payload_magic then failwith "bad payload magic";
+  if bytes 4 <> payload_magic then reject "bad payload magic";
   let nvcpus = u32 () in
-  if nvcpus <= 0 || nvcpus > 64 then failwith "implausible vcpu count";
+  if nvcpus <= 0 || nvcpus > 64 then reject "implausible vcpu count";
   let vcpus =
     List.init nvcpus (fun _ ->
         let regs = Array.init 32 (fun _ -> u64 ()) in
@@ -104,10 +114,10 @@ let deserialize s =
         { vi_regs = regs; vi_pc = pc; vi_csrs = csrs })
   in
   let mlen = u32 () in
-  if mlen > 64 then failwith "implausible measurement";
+  if mlen > 64 then reject "implausible measurement";
   let measurement = bytes mlen in
   let npages = u32 () in
-  if npages < 0 || npages > 1 lsl 20 then failwith "implausible page count";
+  if npages < 0 || npages > 1 lsl 20 then reject "implausible page count";
   let pages =
     List.init npages (fun _ ->
         let gpa = u64 () in
@@ -166,7 +176,10 @@ let unseal blob =
         else begin
           match deserialize (String.sub padded 0 payload_len) with
           | im -> Ok im
-          | exception Failure msg -> Error msg
+          | exception Malformed msg -> Error msg
+          | exception e ->
+              (* belt and braces: no parser bug may cross the ABI *)
+              Error ("malformed payload: " ^ Printexc.to_string e)
         end
       end
     end

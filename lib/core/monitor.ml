@@ -51,6 +51,9 @@ type t = {
   freed_pages : (int, int64 list ref) Hashtbl.t;
       (** per-CVM pages returned by the guest (relinquish), reused before
           the page cache *)
+  vcpu_seal : (int * int, int64) Hashtbl.t;
+      (** (CVM id, vCPU) -> checksum of the secure vCPU taken at the last
+          legitimate SM write; [audit] recomputes and compares *)
   mutable entry_hist : int list;
   mutable exit_hist : int list;
   mutable faults : (Hier_alloc.stage * int) list;
@@ -91,6 +94,7 @@ let create ?(config = default_config) machine =
       staged_reg = Hashtbl.create 8;
       page_owner = Hashtbl.create 1024;
       freed_pages = Hashtbl.create 8;
+      vcpu_seal = Hashtbl.create 8;
       entry_hist = [];
       exit_hist = [];
       faults = [];
@@ -132,22 +136,85 @@ let exit_reason_label = function
   | Exit_shutdown -> "shutdown"
   | Exit_error _ -> "error"
 
-(* Span + counter around one host-interface ecall. *)
-let with_ecall_span t name ?cvm f =
-  if not (obs t) then f ()
-  else begin
-    let ev = "ecall." ^ name in
+(* Record an internal fault the ABI boundary absorbed. Counted even with
+   the flight recorder off: a hardened SM never loses sight of these. *)
+let internal_fault t name e =
+  Metrics.Registry.inc t.registry "sm.internal_fault";
+  if obs t then
+    Metrics.Trace.instant t.trace
+      ~args:[ ("site", name); ("exn", Printexc.to_string e) ]
+      "sm.internal_fault";
+  Error (Ecall.Internal (Printexc.to_string e))
+
+(* The host-interface ABI boundary: span + counter around one ecall, and
+   the totality guard — no exception may escape to the hypervisor. *)
+let host_call t name ?cvm f =
+  let observing = obs t in
+  let ev = "ecall." ^ name in
+  if observing then begin
     Metrics.Trace.span_begin t.trace ?cvm ev;
-    Metrics.Registry.inc t.registry ev;
-    let r = f () in
+    Metrics.Registry.inc t.registry ev
+  end;
+  let r = try f () with e -> internal_fault t name e in
+  if observing then begin
     let status =
       match r with Ok _ -> "ok" | Error e -> Ecall.error_to_string e
     in
-    Metrics.Trace.span_end t.trace ?cvm ~args:[ ("status", status) ] ev;
-    r
-  end
+    Metrics.Trace.span_end t.trace ?cvm ~args:[ ("status", status) ] ev
+  end;
+  r
 
 let find_cvm t id = Hashtbl.find_opt t.cvms id
+
+(* ---------- vCPU seals and quarantine ---------- *)
+
+(* FNV-1a over the architectural fields. Not cryptographic — the host
+   cannot address secure vCPU memory at all; the seal catches SM logic
+   errors and simulation-harness tampering, and [audit] verifies it. *)
+let vcpu_checksum (sv : Vcpu.secure) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
+  Array.iter mix sv.Vcpu.regs;
+  mix sv.Vcpu.pc;
+  mix sv.Vcpu.vsstatus;
+  mix sv.Vcpu.vstvec;
+  mix sv.Vcpu.vsscratch;
+  mix sv.Vcpu.vsepc;
+  mix sv.Vcpu.vscause;
+  mix sv.Vcpu.vstval;
+  mix sv.Vcpu.vsatp;
+  mix sv.Vcpu.hvip;
+  mix (Int64.of_int sv.Vcpu.generation);
+  !h
+
+let seal_vcpu t cvm idx =
+  Hashtbl.replace t.vcpu_seal (cvm.Cvm.id, idx)
+    (vcpu_checksum (Cvm.vcpu cvm idx))
+
+let seal_all_vcpus t cvm =
+  for i = 0 to Cvm.nvcpus cvm - 1 do
+    seal_vcpu t cvm i
+  done
+
+(* A host protocol violation: park the CVM in [Quarantined] (only
+   destruction is accepted from there) and disown the hypervisor's
+   shared subtree so the hostile mappings drop out of the CVM's
+   guest-physical space. *)
+let quarantine t cvm ~reason =
+  if cvm.Cvm.state <> Cvm.Destroyed && cvm.Cvm.state <> Cvm.Quarantined
+  then begin
+    cvm.Cvm.state <- Cvm.Quarantined;
+    cvm.Cvm.quarantine_reason <- Some reason;
+    Spt.clear_shared_root cvm.Cvm.spt;
+    Metrics.Registry.inc t.registry "cvm.quarantined";
+    if obs t then
+      Metrics.Trace.instant t.trace ~cvm:cvm.Cvm.id
+        ~args:[ ("reason", reason) ]
+        "cvm.quarantine"
+  end
+
+let quarantine_reason t ~cvm:id =
+  Option.bind (find_cvm t id) (fun c -> c.Cvm.quarantine_reason)
 
 (* ---------- path-cost compositions (see DESIGN.md §5) ---------- *)
 
@@ -254,7 +321,7 @@ let register_secure_region_impl t ~base ~size =
   end
 
 let register_secure_region t ~base ~size =
-  with_ecall_span t "register_secure_region" (fun () ->
+  host_call t "register_secure_region" (fun () ->
       register_secure_region_impl t ~base ~size)
 
 (* Allocate one 4 KiB secure page for page tables, growing the CVM's
@@ -275,8 +342,11 @@ let alloc_table_page t table_blocks () =
           Secmem.block_take_page blk
     end
 
+(* Cap matches the migration format's plausibility bound. *)
+let max_nvcpus = 64
+
 let create_cvm_impl t ~nvcpus ~entry_pc =
-  if nvcpus <= 0 then Error Ecall.Invalid_param
+  if nvcpus <= 0 || nvcpus > max_nvcpus then Error Ecall.Invalid_param
   else begin
     (* The Sv39x4 root needs 16 KiB, 16 KiB-aligned: take the first four
        pages of a fresh block (blocks are 256 KiB-aligned). *)
@@ -296,6 +366,7 @@ let create_cvm_impl t ~nvcpus ~entry_pc =
         t.next_cvm_id <- id + 1;
         let cvm = Cvm.create ~id ~nvcpus ~entry_pc ~spt ~table_blocks in
         Hashtbl.replace t.cvms id cvm;
+        seal_all_vcpus t cvm;
         charge t "sm_cvm_create"
           (t.cost.Cost.page_scrub * 4 (* zero the root *)
           + t.cost.Cost.block_grab);
@@ -303,8 +374,7 @@ let create_cvm_impl t ~nvcpus ~entry_pc =
   end
 
 let create_cvm t ~nvcpus ~entry_pc =
-  with_ecall_span t "create_cvm" (fun () ->
-      create_cvm_impl t ~nvcpus ~entry_pc)
+  host_call t "create_cvm" (fun () -> create_cvm_impl t ~nvcpus ~entry_pc)
 
 (* Allocate and map one private page; returns its physical address.
    Pages the guest relinquished earlier are reused first — they are the
@@ -349,6 +419,7 @@ let provide_private_page t cvm cache ~gpa ~after_expand =
 let load_image_impl t ~cvm:id ~gpa data =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
+  | Some cvm when cvm.Cvm.state = Cvm.Quarantined -> Error Ecall.Quarantined
   | Some cvm when cvm.Cvm.state <> Cvm.Created -> Error Ecall.Bad_state
   | Some cvm ->
       if Int64.rem gpa 4096L <> 0L || not (Layout.is_private_gpa gpa) then
@@ -392,13 +463,14 @@ let load_image_impl t ~cvm:id ~gpa data =
       end
 
 let load_image t ~cvm ~gpa data =
-  with_ecall_span t "load_image" ~cvm (fun () ->
-      load_image_impl t ~cvm ~gpa data)
+  host_call t "load_image" ~cvm (fun () -> load_image_impl t ~cvm ~gpa data)
 
 let finalize_cvm t ~cvm:id =
-  with_ecall_span t "finalize_cvm" ~cvm:id (fun () ->
+  host_call t "finalize_cvm" ~cvm:id (fun () ->
       match find_cvm t id with
       | None -> Error Ecall.Not_found
+      | Some cvm when cvm.Cvm.state = Cvm.Quarantined ->
+          Error Ecall.Quarantined
       | Some cvm -> begin
           match (cvm.Cvm.state, cvm.Cvm.measurement_ctx) with
           | Cvm.Created, Some m ->
@@ -411,20 +483,35 @@ let finalize_cvm t ~cvm:id =
         end)
 
 let install_shared t ~cvm:id ~table_pa =
-  match find_cvm t id with
-  | None -> Error Ecall.Not_found
-  | Some cvm -> begin
-      match
-        Spt.install_shared_root cvm.Cvm.spt
-          ~is_secure:(Secmem.contains t.sm) ~table_pa
-      with
-      | Ok () -> Ok ()
-      | Error _ -> Error Ecall.Denied
-    end
+  host_call t "install_shared" ~cvm:id (fun () ->
+      match find_cvm t id with
+      | None -> Error Ecall.Not_found
+      | Some cvm when cvm.Cvm.state = Cvm.Quarantined ->
+          Error Ecall.Quarantined
+      | Some cvm ->
+          (* The subtree root must be a real normal-memory page before
+             the SM writes it into the CVM's root table; a wild pointer
+             would make every later walk fault inside the SM. *)
+          if
+            Int64.rem table_pa 4096L <> 0L
+            || not (Bus.in_dram t.machine.Machine.bus table_pa)
+          then Error Ecall.Invalid_address
+          else begin
+            match
+              Spt.install_shared_root cvm.Cvm.spt
+                ~is_secure:(Secmem.contains t.sm) ~table_pa
+            with
+            | Ok () -> Ok ()
+            | Error _ -> Error Ecall.Denied
+          end)
 
 let destroy_cvm_impl t ~cvm:id =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
+  (* Double-destroy must not reach the free list: the blocks were
+     already reinserted once and a second [free_block] would corrupt
+     the allocator every CVM shares. *)
+  | Some cvm when cvm.Cvm.state = Cvm.Destroyed -> Error Ecall.Bad_state
   | Some cvm ->
       let bus = t.machine.Machine.bus in
       (* Scrub every owned page, drop ownership, return blocks. *)
@@ -439,6 +526,9 @@ let destroy_cvm_impl t ~cvm:id =
       Hashtbl.filter_map_inplace
         (fun _ owner -> if owner = id then None else Some owner)
         t.page_owner;
+      (* Unlink the hypervisor subtree while the root table is still
+         live, then scrub and return every block. *)
+      Spt.clear_shared_root cvm.Cvm.spt;
       List.iter
         (fun blk ->
           Physmem.zero_range (Bus.dram bus)
@@ -446,12 +536,25 @@ let destroy_cvm_impl t ~cvm:id =
             (Int64.of_int (Secmem.block_npages blk * 4096));
           Secmem.free_block t.sm blk)
         (Cvm.owned_blocks cvm);
+      (* Drop every stale reference to the recycled blocks: the page
+         caches, the table-block list, and the relinquished-page pool.
+         Without this a destroyed CVM's cache still aliases blocks the
+         next CVM may own (reuse-after-destroy). *)
+      Array.iter Page_cache.reset cvm.Cvm.caches;
+      cvm.Cvm.table_blocks := [];
+      Hashtbl.remove t.freed_pages id;
       cvm.Cvm.state <- Cvm.Destroyed;
-      Hashtbl.remove t.pending_mmio (id, 0);
+      for v = 0 to Cvm.nvcpus cvm - 1 do
+        Hashtbl.remove t.pending_mmio (id, v);
+        Hashtbl.remove t.staged_reg (id, v);
+        Hashtbl.remove t.expand_retry (id, v);
+        Hashtbl.remove t.vcpu_seal (id, v)
+      done;
+      Metrics.Registry.inc t.registry "cvm.destroyed";
       Ok ()
 
 let destroy_cvm t ~cvm =
-  with_ecall_span t "destroy_cvm" ~cvm (fun () -> destroy_cvm_impl t ~cvm)
+  host_call t "destroy_cvm" ~cvm (fun () -> destroy_cvm_impl t ~cvm)
 
 (* ---------- migration ---------- *)
 
@@ -486,6 +589,7 @@ let export_cvm_impl t ~cvm:id =
   | None -> Error Ecall.Not_found
   | Some cvm -> begin
       match cvm.Cvm.state with
+      | Cvm.Quarantined -> Error Ecall.Quarantined
       | Cvm.Running | Cvm.Created | Cvm.Destroyed -> Error Ecall.Bad_state
       | Cvm.Runnable | Cvm.Suspended ->
           let bus = t.machine.Machine.bus in
@@ -509,7 +613,7 @@ let export_cvm_impl t ~cvm:id =
     end
 
 let export_cvm t ~cvm =
-  with_ecall_span t "export_cvm" ~cvm (fun () -> export_cvm_impl t ~cvm)
+  host_call t "export_cvm" ~cvm (fun () -> export_cvm_impl t ~cvm)
 
 let import_cvm_impl t blob =
   match Migrate.unseal blob with
@@ -548,6 +652,7 @@ let import_cvm_impl t blob =
               List.iteri
                 (fun i vi -> image_to_vcpu vi (Cvm.vcpu cvm i))
                 im.Migrate.im_vcpus;
+              seal_all_vcpus t cvm;
               cvm.Cvm.measurement <-
                 (if im.Migrate.im_measurement = "" then None
                  else Some im.Migrate.im_measurement);
@@ -560,7 +665,7 @@ let import_cvm_impl t blob =
     end
 
 let import_cvm t blob =
-  with_ecall_span t "import_cvm" (fun () -> import_cvm_impl t blob)
+  host_call t "import_cvm" (fun () -> import_cvm_impl t blob)
 
 (* ---------- guest SBI handling ---------- *)
 
@@ -779,7 +884,8 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
   end;
   t.exit_hist <- cycles :: t.exit_hist;
   cvm.Cvm.exit_count <- cvm.Cvm.exit_count + 1;
-  cvm.Cvm.state <- Cvm.Suspended
+  cvm.Cvm.state <- Cvm.Suspended;
+  seal_vcpu t cvm vcpu_idx
 
 (* Resume the guest after an SM-internal service (fault, SBI) without
    leaving CVM mode. [skip] advances past the trapping instruction. *)
@@ -849,12 +955,22 @@ let in_virtio_window gpa =
   && Xword.ult gpa (Int64.add Layout.virtio_mmio_gpa Layout.virtio_mmio_size)
 
 let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
+  host_call t "run_vcpu" ~cvm:id (fun () ->
+  if hart_id < 0 || hart_id >= Array.length t.machine.Machine.harts then
+    Error Ecall.Invalid_param
+  else if max_steps <= 0 then Error Ecall.Invalid_param
+  else
   match find_cvm t id with
   | None -> Error Ecall.Not_found
+  | Some cvm when vcpu_idx < 0 || vcpu_idx >= Cvm.nvcpus cvm ->
+      Error Ecall.Invalid_param
   | Some cvm -> begin
       match cvm.Cvm.state with
+      | Cvm.Quarantined -> Error Ecall.Quarantined
       | Cvm.Created | Cvm.Destroyed | Cvm.Running -> Error Ecall.Bad_state
       | Cvm.Runnable | Cvm.Suspended ->
+        let entered = ref false in
+        try
           if obs t then
             Metrics.Trace.span_begin t.trace ~hart:hart_id ~cvm:id
               ~vcpu:vcpu_idx "run_vcpu";
@@ -891,7 +1007,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
               end);
           (match !absorb_error with
           | Some msg ->
-              (* Check-after-Load rejected the reply: refuse to run. *)
+              (* Check-after-Load rejected the reply: refuse to run and
+                 quarantine — the hypervisor broke the exit protocol. *)
               if obs t then begin
                 Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
                   ~vcpu:vcpu_idx
@@ -904,6 +1021,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                   ~args:[ ("exit", "denied") ]
                   "run_vcpu"
               end;
+              quarantine t cvm ~reason:("check-after-load: " ^ msg);
+              seal_all_vcpus t cvm;
               Error Ecall.Denied
           | None ->
               if obs t && !mmio_kind <> No_mmio then begin
@@ -914,6 +1033,7 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
               end;
               (* --- CVM entry --- *)
               save_host_ctx t hart_id;
+              entered := true;
               Deleg_policy.apply_cvm hart;
               Pmp_guard.set_world t.guard hart ~cvm_open:true;
               hart.Hart.csr.Csr.hgatp <-
@@ -926,11 +1046,13 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 else Ok 0
               in
               match validated with
-              | Error _msg ->
+              | Error msg ->
                   (* Hypervisor planted a hostile shared subtree: abort
-                     the entry before any guest instruction runs. *)
+                     the entry before any guest instruction runs, and
+                     quarantine so the subtree is disowned. *)
                   restore_host_ctx t hart_id;
                   Pmp_guard.set_world t.guard hart ~cvm_open:false;
+                  Tlb.flush_all hart.Hart.tlb;
                   if obs t then begin
                     Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
                       ~vcpu:vcpu_idx "shared_subtree.reject";
@@ -939,6 +1061,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                       ~args:[ ("exit", "denied") ]
                       "run_vcpu"
                   end;
+                  quarantine t cvm ~reason:("hostile shared subtree: " ^ msg);
+                  seal_all_vcpus t cvm;
                   Error Ecall.Denied
               | Ok validated -> begin
                 let ec =
@@ -1075,7 +1199,27 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 in
                 loop 0
               end)
-    end
+        with e ->
+          (* A fault inside the SM must never leave the hart in CVM
+             mode with the PMP window open: restore the host world
+             first, then quarantine — the CVM's state may be
+             inconsistent, so it can only be destroyed from here. *)
+          if !entered then begin
+            let hart = t.machine.Machine.harts.(hart_id) in
+            restore_host_ctx t hart_id;
+            Pmp_guard.set_world t.guard hart ~cvm_open:false;
+            Tlb.flush_all hart.Hart.tlb
+          end;
+          quarantine t cvm
+            ~reason:("internal fault during run: " ^ Printexc.to_string e);
+          seal_all_vcpus t cvm;
+          if obs t then
+            Metrics.Trace.span_end t.trace ~hart:hart_id ~cvm:id
+              ~vcpu:vcpu_idx
+              ~args:[ ("exit", "internal_fault") ]
+              "run_vcpu";
+          internal_fault t "run_vcpu" e
+    end)
 
 (* After a fault-driven exit the guest's pc was reset to the faulting
    instruction, so on re-entry the retry fault is taken with the
@@ -1083,38 +1227,48 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
    exited with Need_memory. *)
 
 let get_vcpu_reg t ~cvm:id ~vcpu:vcpu_idx ~reg =
-  match find_cvm t id with
-  | None -> Error Ecall.Not_found
-  | Some cvm -> begin
-      match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
-      | None -> Error Ecall.Denied
-      | Some mmio ->
-          charge t "sm_getreg"
-            (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
-          ignore (Cvm.vcpu cvm vcpu_idx);
-          (* Only the value the pending exit legitimately exposes — the
-             store data, requested as register 0 — is readable. Every
-             other register stays secret. *)
-          if mmio.Vcpu.mmio_write && reg = 0 then Ok mmio.Vcpu.mmio_data
-          else Error Ecall.Denied
-    end
+  host_call t "get_vcpu_reg" ~cvm:id (fun () ->
+      match find_cvm t id with
+      | None -> Error Ecall.Not_found
+      | Some cvm when cvm.Cvm.state = Cvm.Quarantined ->
+          Error Ecall.Quarantined
+      | Some cvm when vcpu_idx < 0 || vcpu_idx >= Cvm.nvcpus cvm ->
+          Error Ecall.Invalid_param
+      | Some cvm -> begin
+          match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
+          | None -> Error Ecall.No_pending_exit
+          | Some mmio ->
+              charge t "sm_getreg"
+                (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
+              ignore (Cvm.vcpu cvm vcpu_idx);
+              (* Only the value the pending exit legitimately exposes —
+                 the store data, requested as register 0 — is readable.
+                 Every other register stays secret. *)
+              if mmio.Vcpu.mmio_write && reg = 0 then Ok mmio.Vcpu.mmio_data
+              else Error Ecall.Denied
+        end)
 
 let set_vcpu_reg t ~cvm:id ~vcpu:vcpu_idx ~reg value =
-  match find_cvm t id with
-  | None -> Error Ecall.Not_found
-  | Some _ -> begin
-      match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
-      | None -> Error Ecall.Denied
-      | Some mmio ->
-          charge t "sm_setreg"
-            (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
-          if mmio.Vcpu.mmio_write then Error Ecall.Denied
-          else if reg <> mmio.Vcpu.mmio_reg then Error Ecall.Denied
-          else begin
-            Hashtbl.replace t.staged_reg (id, vcpu_idx) (reg, value);
-            Ok ()
-          end
-    end
+  host_call t "set_vcpu_reg" ~cvm:id (fun () ->
+      match find_cvm t id with
+      | None -> Error Ecall.Not_found
+      | Some cvm when cvm.Cvm.state = Cvm.Quarantined ->
+          Error Ecall.Quarantined
+      | Some cvm when vcpu_idx < 0 || vcpu_idx >= Cvm.nvcpus cvm ->
+          Error Ecall.Invalid_param
+      | Some _ -> begin
+          match Hashtbl.find_opt t.pending_mmio (id, vcpu_idx) with
+          | None -> Error Ecall.No_pending_exit
+          | Some mmio ->
+              charge t "sm_setreg"
+                (t.cost.Cost.ecall_roundtrip + t.cost.Cost.secure_copy_item);
+              if mmio.Vcpu.mmio_write then Error Ecall.Denied
+              else if reg <> mmio.Vcpu.mmio_reg then Error Ecall.Denied
+              else begin
+                Hashtbl.replace t.staged_reg (id, vcpu_idx) (reg, value);
+                Ok ()
+              end
+        end)
 
 let shared_vcpu_of t ~cvm:id ~vcpu:vcpu_idx =
   Option.map (fun c -> Cvm.shared_vcpu c vcpu_idx) (find_cvm t id)
@@ -1229,4 +1383,35 @@ let audit t =
   (match Secmem.check_invariants t.sm with
   | Ok () -> ()
   | Error msg -> fail "secure memory list: %s" msg);
+  (* 6. No owned page lies inside a block the allocator considers free
+     (region bases are block-aligned, so the containing block's base is
+     just the page rounded down to the block size). *)
+  let blk = Secmem.block_size t.sm in
+  let free_bases = Hashtbl.create 64 in
+  List.iter
+    (fun b -> Hashtbl.replace free_bases b ())
+    (Secmem.free_list_bases t.sm);
+  Hashtbl.iter
+    (fun pa owner ->
+      incr checked;
+      let base = Int64.mul (Int64.div pa blk) blk in
+      if Hashtbl.mem free_bases base then
+        fail "PA 0x%Lx owned by CVM %d lies in free block 0x%Lx" pa owner
+          base)
+    t.page_owner;
+  (* 7. Secure vCPU state of every parked CVM matches its seal: nothing
+     outside the SM's own world switch has touched it. *)
+  List.iter
+    (fun cvm ->
+      if cvm.Cvm.state <> Cvm.Running then
+        for i = 0 to Cvm.nvcpus cvm - 1 do
+          incr checked;
+          match Hashtbl.find_opt t.vcpu_seal (cvm.Cvm.id, i) with
+          | None -> fail "CVM %d vCPU %d has no seal" cvm.Cvm.id i
+          | Some sealed ->
+              if vcpu_checksum (Cvm.vcpu cvm i) <> sealed then
+                fail "CVM %d vCPU %d secure state diverges from its seal"
+                  cvm.Cvm.id i
+        done)
+    live;
   if !findings = [] then Ok !checked else Error (List.rev !findings)

@@ -71,7 +71,17 @@ val exit_reason_label : exit_reason -> string
 (** Short stable label ("timer", "mmio", ...) used in trace events and
     counter names. *)
 
-(* {2 Host-side interface (hypervisor → SM)} *)
+(* {2 Host-side interface (hypervisor → SM)}
+
+   Every function below is {e total} with respect to host input: any
+   argument the hypervisor can invent — unknown ids, out-of-range
+   vCPU or hart indices, misaligned or wild addresses, calls in the
+   wrong lifecycle state — comes back as [Error (_ : Ecall.error)].
+   An exception escaping one of these entry points is an SM bug; the
+   boundary wrapper converts it to [Error (Internal _)], counts it
+   under [sm.internal_fault], and (for [run_vcpu]) restores the host
+   world and quarantines the CVM rather than unwinding with the PMP
+   window open. *)
 
 val register_secure_region :
   t -> base:int64 -> size:int64 -> (int, Ecall.error) result
@@ -153,6 +163,14 @@ val cvm_state : t -> cvm:int -> Cvm.state option
 val cvm_count : t -> int
 val cvm_measurement : t -> cvm:int -> string option
 
+val quarantine_reason : t -> cvm:int -> string option
+(** Why a CVM was quarantined, if it was. A quarantined CVM accepts
+    only [destroy_cvm]; every other call returns
+    [Ecall.Quarantined]. The SM quarantines a CVM when the hypervisor
+    breaks the exit protocol (Check-after-Load rejection), plants a
+    hostile shared subtree, or an internal fault interrupts a world
+    switch and the CVM's state can no longer be trusted. *)
+
 (* {2 Statistics for the benchmark harness} *)
 
 val entry_cycles : t -> int list
@@ -180,7 +198,10 @@ val audit : t -> (int, string list) result
     - no page-table page of any CVM is simultaneously mapped as data
       into any CVM's guest-physical space;
     - every hypervisor shared subtree is free of secure-memory leaves;
-    - the secure-memory free list is circular, ordered and consistent.
+    - the secure-memory free list is circular, ordered and consistent;
+    - no page owned by a live CVM lies inside a free block;
+    - the secure vCPU state of every parked CVM matches the checksum
+      seal taken at its last legitimate SM write.
 
     Returns the number of facts checked, or the list of violations.
     Tests call this after every adversarial scenario; a violation means

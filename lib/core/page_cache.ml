@@ -27,6 +27,10 @@ let blocks t =
   | Some b -> b :: t.history
   | None -> t.history
 
+let reset t =
+  t.current <- None;
+  t.history <- []
+
 let pages_left t =
   match t.current with Some b -> Secmem.block_pages_left b | None -> 0
 

@@ -22,6 +22,11 @@ val blocks : t -> Secmem.block list
 (** Every block this cache has ever been handed (current first) — the
     CVM's teardown list. *)
 
+val reset : t -> unit
+(** Drop every block reference (current and history). Teardown calls
+    this after returning the blocks to the free list so a destroyed
+    CVM's caches can never alias recycled blocks. *)
+
 val pages_left : t -> int
 
 val allocations : t -> int

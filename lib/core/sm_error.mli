@@ -1,0 +1,46 @@
+(** The Secure Monitor's typed error ABI.
+
+    Every host-interface entry point of the monitor is {e total}: no
+    hypervisor-supplied input — bad CVM ids, wild addresses, wrong
+    lifecycle order, garbage blobs — may raise through the SM. Instead
+    each failure maps to one of the codes below, mirroring the style of
+    the SBI specification and the CoVE TSM / Keystone SM error ABIs.
+
+    Codes [-3 .. -7] predate this module and stay wire-stable; the
+    remaining codes extend the ABI for the hostile-host hardening work
+    (see DESIGN.md "Fault model & SM survivability"). *)
+
+type t =
+  | Invalid_param  (** a malformed argument (count, size, flag) *)
+  | Denied  (** the caller may not perform this operation *)
+  | No_memory  (** the secure pool is exhausted *)
+  | Not_found  (** no object with that identifier *)
+  | Bad_state  (** the object exists but its lifecycle forbids the call *)
+  | Invalid_address  (** an address outside the legal range or misaligned *)
+  | Already_exists  (** the object or mapping is already present *)
+  | No_pending_exit  (** a resume/reg-transfer call with no exit pending *)
+  | Quarantined
+      (** the CVM was quarantined after a host protocol violation; only
+          [destroy_cvm] is accepted *)
+  | Internal of string
+      (** the SM caught an internal fault servicing the call and unwound
+          safely; the message is diagnostic only and not part of the
+          numeric ABI *)
+
+val code : t -> int64
+(** Negative SBI-style error code; [Internal] collapses to one code. *)
+
+val of_code : int64 -> t option
+(** Inverse of [code] ([Internal] decodes with an empty message). *)
+
+val to_string : t -> string
+
+val all : t list
+(** One representative of every constructor, for the ABI table in docs
+    and exhaustiveness tests. *)
+
+val guard : (unit -> ('a, t) result) -> ('a, t) result
+(** Run a host-interface body and convert any escaped exception into
+    [Error (Internal _)]. The last line of defence making the ABI total;
+    call sites should still validate inputs so that well-typed failures
+    carry precise codes. *)

@@ -138,6 +138,13 @@ let install_shared_root t ~is_secure ~table_pa =
     Ok ()
   end
 
+let clear_shared_root t =
+  match t.shared_root with
+  | None -> ()
+  | Some _ ->
+      write_pte t t.root Layout.shared_root_index Pte.invalid;
+      t.shared_root <- None
+
 let shared_root t = t.shared_root
 
 let validate_shared t ~is_secure =

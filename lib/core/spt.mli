@@ -51,6 +51,11 @@ val install_shared_root :
 (** Point the shared slot at a hypervisor-owned level-1 table. Rejects
     roots inside secure memory ([is_secure]). *)
 
+val clear_shared_root : t -> unit
+(** Invalidate the shared slot in the root table. Quarantine uses this
+    to disown a hostile hypervisor subtree: the subtree stays in normal
+    memory but no longer reaches the CVM's guest-physical space. *)
+
 val shared_root : t -> int64 option
 
 val validate_shared :

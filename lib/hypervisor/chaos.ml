@@ -1,0 +1,499 @@
+(* Hostile-host fault injection: a seeded, deterministic fuzzing
+   hypervisor that drives randomized ECALL sequences and shared-state
+   tampering against a live Secure Monitor, auditing the global
+   invariants after every injected fault. See DESIGN.md, "Fault model
+   & SM survivability". *)
+
+open Riscv
+
+(* ---------- deterministic PRNG (splitmix64) ---------- *)
+
+type rng = { mutable s : int64 }
+
+let rng seed = { s = Int64.of_int seed }
+
+let next_u64 r =
+  r.s <- Int64.add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, n). *)
+let rand_int r n =
+  if n <= 0 then 0
+  else
+    Int64.to_int (Int64.rem (Int64.logand (next_u64 r) Int64.max_int)
+                    (Int64.of_int n))
+
+let rand_i64 r = next_u64 r
+let one_of r l = List.nth l (rand_int r (List.length l))
+
+(* ---------- report ---------- *)
+
+type report = {
+  iterations : int;
+  calls : int;  (** host-interface calls issued *)
+  ok_calls : int;
+  error_calls : (string * int) list;  (** error label -> count *)
+  uncaught : int;  (** exceptions that escaped the host ABI; must be 0 *)
+  audits : int;
+  violations : string list;  (** distinct audit findings; must be [] *)
+  quarantines : int;  (** CVMs the SM quarantined *)
+  quarantines_reclaimed : int;  (** quarantined CVMs destroyed + reclaimed *)
+  cvms_created : int;
+  cvms_destroyed : int;
+  pool_clean : bool;  (** all blocks free and list well-formed at the end *)
+}
+
+let survived r =
+  r.uncaught = 0 && r.violations = [] && r.pool_clean
+  && r.quarantines_reclaimed = r.quarantines
+
+let pp_report ppf r =
+  let field fmt = Format.fprintf ppf fmt in
+  field "chaos: %d iterations, %d host calls (%d ok)@." r.iterations r.calls
+    r.ok_calls;
+  List.iter
+    (fun (label, n) -> field "  error %-16s %d@." label n)
+    (List.sort compare r.error_calls);
+  field "  uncaught exceptions    %d@." r.uncaught;
+  field "  audits run             %d@." r.audits;
+  field "  audit violations       %d@." (List.length r.violations);
+  List.iter (fun v -> field "    %s@." v) r.violations;
+  field "  CVMs created/destroyed %d/%d@." r.cvms_created r.cvms_destroyed;
+  field "  quarantined/reclaimed  %d/%d@." r.quarantines
+    r.quarantines_reclaimed;
+  field "  pool clean at end      %b@." r.pool_clean;
+  field "  verdict                %s@."
+    (if survived r then "SURVIVED" else "COMPROMISED")
+
+(* ---------- the hostile world ---------- *)
+
+type world = {
+  r : rng;
+  machine : Machine.t;
+  mon : Zion.Monitor.t;
+  kvm : Kvm.t;
+  mutable live : Kvm.cvm_handle list;
+  mutable orphans : int list;
+      (* ids created by raw create_cvm fuzzing, with no Kvm handle *)
+  mutable calls : int;
+  mutable ok_calls : int;
+  errors : (string, int) Hashtbl.t;
+  mutable uncaught : int;
+  mutable audits : int;
+  mutable violations : string list;
+  mutable quarantines : int;
+  mutable quarantines_reclaimed : int;
+  mutable created : int;
+  mutable destroyed : int;
+}
+
+let guest_entry = 0x10000L
+
+let mib n = Int64.mul (Int64.of_int n) 0x100000L
+
+let registry w = Zion.Monitor.registry w.mon
+
+let count_result w r =
+  w.calls <- w.calls + 1;
+  match r with
+  | Ok _ -> w.ok_calls <- w.ok_calls + 1
+  | Error e ->
+      let label = Zion.Ecall.error_to_string e in
+      Hashtbl.replace w.errors label
+        (1 + Option.value ~default:0 (Hashtbl.find_opt w.errors label))
+
+let record_exn w exn =
+  w.uncaught <- w.uncaught + 1;
+  w.calls <- w.calls + 1;
+  Metrics.Registry.inc (registry w) "chaos.uncaught";
+  let label = "EXN " ^ Printexc.to_string exn in
+  Hashtbl.replace w.errors label
+    (1 + Option.value ~default:0 (Hashtbl.find_opt w.errors label))
+
+(* Every monitor call the fuzzer makes goes through here: an exception
+   crossing the ABI is exactly what the typed error interface promises
+   cannot happen, so it is the headline failure we are hunting. *)
+let call : 'a. world -> (unit -> ('a, Zion.Ecall.error) result) -> unit =
+ fun w f ->
+  match f () with
+  | r -> count_result w r
+  | exception exn -> record_exn w exn
+
+(* ---------- argument fuzzers ---------- *)
+
+let fuzz_id w =
+  match rand_int w.r 5 with
+  | 0 when w.live <> [] -> Kvm.cvm_id (one_of w.r w.live)
+  | 1 when w.orphans <> [] -> one_of w.r w.orphans
+  | 2 -> rand_int w.r 32
+  | 3 -> -rand_int w.r 1000
+  | _ -> Int64.to_int (Int64.logand (rand_i64 w.r) 0xFFFFFFL)
+
+let fuzz_addr w =
+  match rand_int w.r 6 with
+  | 0 -> rand_i64 w.r (* wild *)
+  | 1 -> Int64.neg (Int64.logand (rand_i64 w.r) 0xFFFF_FFFFL)
+  | 2 -> Int64.add Bus.dram_base (Int64.logand (rand_i64 w.r) 0xFFF_FFFFL)
+  | 3 -> Int64.logor (Int64.logand (rand_i64 w.r) 0xFFFF_FFFFL) 1L
+  | 4 -> 0L
+  | _ -> Int64.logand (rand_i64 w.r) 0x7FFF_FFFF_FFFF_FFFFL
+
+let fuzz_string w =
+  let n = rand_int w.r 600 in
+  String.init n (fun _ -> Char.chr (rand_int w.r 256))
+
+(* One randomized call against a randomly chosen host-interface fid.
+   register_secure_region only ever sees invalid arguments here: a
+   randomly *valid* donation would hand the SM memory the host still
+   uses, which is self-sabotage rather than an attack on the SM. *)
+let fuzz_ecall w =
+  let mon = w.mon in
+  match rand_int w.r 11 with
+  | 0 ->
+      let base = Int64.logor (fuzz_addr w) 1L (* never block-aligned *) in
+      call w (fun () ->
+          Zion.Monitor.register_secure_region mon ~base
+            ~size:(fuzz_addr w))
+  | 1 -> (
+      let nvcpus = rand_int w.r 200 - 50 and entry_pc = fuzz_addr w in
+      match Zion.Monitor.create_cvm mon ~nvcpus ~entry_pc with
+      | r ->
+          count_result w r;
+          (match r with
+          | Ok id ->
+              w.created <- w.created + 1;
+              w.orphans <- id :: w.orphans
+          | Error _ -> ())
+      | exception exn -> record_exn w exn)
+  | 2 ->
+      call w (fun () ->
+          Zion.Monitor.load_image mon ~cvm:(fuzz_id w) ~gpa:(fuzz_addr w)
+            (fuzz_string w))
+  | 3 -> call w (fun () -> Zion.Monitor.finalize_cvm mon ~cvm:(fuzz_id w))
+  | 4 ->
+      (* Misaligned, non-DRAM or secure table roots: all must bounce. *)
+      let table_pa =
+        match rand_int w.r 3 with
+        | 0 -> Int64.logor (fuzz_addr w) 0xFFFL
+        | 1 -> Int64.logand (rand_i64 w.r) 0xFFFF_F000L (* below DRAM *)
+        | _ -> (
+            match Zion.Secmem.regions (Zion.Monitor.secmem mon) with
+            | (base, _) :: _ -> base (* inside the pool *)
+            | [] -> 0L)
+      in
+      call w (fun () -> Zion.Monitor.install_shared mon ~cvm:(fuzz_id w) ~table_pa)
+  | 5 ->
+      call w (fun () ->
+          Zion.Monitor.run_vcpu mon
+            ~hart:(rand_int w.r 6 - 2)
+            ~cvm:(fuzz_id w)
+            ~vcpu:(rand_int w.r 6 - 2)
+            ~max_steps:(rand_int w.r 2000 - 500))
+  | 6 ->
+      call w (fun () ->
+          Zion.Monitor.get_vcpu_reg mon ~cvm:(fuzz_id w)
+            ~vcpu:(rand_int w.r 6 - 2)
+            ~reg:(rand_int w.r 40 - 4))
+  | 7 ->
+      call w (fun () ->
+          Zion.Monitor.set_vcpu_reg mon ~cvm:(fuzz_id w)
+            ~vcpu:(rand_int w.r 6 - 2)
+            ~reg:(rand_int w.r 40 - 4)
+            (rand_i64 w.r))
+  | 8 -> call w (fun () -> Zion.Monitor.export_cvm mon ~cvm:(fuzz_id w))
+  | 9 -> call w (fun () -> Zion.Monitor.import_cvm mon (fuzz_string w))
+  | _ ->
+      let id = fuzz_id w in
+      let was_destroyed =
+        Zion.Monitor.cvm_state mon ~cvm:id = Some Zion.Cvm.Destroyed
+      in
+      call w (fun () -> Zion.Monitor.destroy_cvm mon ~cvm:id);
+      if
+        (not was_destroyed)
+        && Zion.Monitor.cvm_state mon ~cvm:id = Some Zion.Cvm.Destroyed
+      then begin
+        w.destroyed <- w.destroyed + 1;
+        w.orphans <- List.filter (fun o -> o <> id) w.orphans
+      end
+
+(* ---------- lifecycle actions ---------- *)
+
+let guest_program w =
+  match rand_int w.r 3 with
+  | 0 -> Guest.Gprog.hello "c"
+  | 1 ->
+      Guest.Gprog.touch_pages ~start_gpa:0x200000L
+        ~pages:(1 + rand_int w.r 24)
+      @ Guest.Gprog.shutdown
+  | _ -> Guest.Gprog.blk_read_first_byte ~sector:0 ~len:64 @ Guest.Gprog.shutdown
+
+let forget w h = w.live <- List.filter (fun x -> x != h) w.live
+
+(* Destroy [h] through the SM and drop it from the live set. *)
+let destroy w h =
+  let id = Kvm.cvm_id h in
+  let before = Zion.Monitor.cvm_state w.mon ~cvm:id in
+  let was_quarantined = before = Some Zion.Cvm.Quarantined in
+  call w (fun () -> Zion.Monitor.destroy_cvm w.mon ~cvm:id);
+  if
+    before <> Some Zion.Cvm.Destroyed
+    && Zion.Monitor.cvm_state w.mon ~cvm:id = Some Zion.Cvm.Destroyed
+  then begin
+    w.destroyed <- w.destroyed + 1;
+    if was_quarantined then begin
+      w.quarantines_reclaimed <- w.quarantines_reclaimed + 1;
+      Metrics.Registry.inc (registry w) "chaos.quarantine_reclaimed"
+    end
+  end;
+  forget w h
+
+(* Any CVM the SM parked in [Quarantined] must be reclaimable — tear
+   it down immediately so its blocks return to the pool. *)
+let reap_quarantined w =
+  List.iter
+    (fun h ->
+      if
+        Zion.Monitor.cvm_state w.mon ~cvm:(Kvm.cvm_id h)
+        = Some Zion.Cvm.Quarantined
+      then begin
+        w.quarantines <- w.quarantines + 1;
+        Metrics.Registry.inc (registry w) "chaos.quarantine";
+        destroy w h
+      end)
+    w.live
+
+let spawn w =
+  if List.length w.live < 4 then begin
+    match
+      Kvm.create_cvm_guest w.kvm ~entry_pc:guest_entry
+        ~image:[ (guest_entry, Asm.program (guest_program w)) ]
+    with
+    | Ok h ->
+        w.created <- w.created + 1;
+        w.live <- h :: w.live
+    | Error _ -> ()
+  end
+
+let step w =
+  match w.live with
+  | [] -> spawn w
+  | l -> begin
+      let h = one_of w.r l in
+      match
+        Kvm.run_cvm w.kvm h ~hart:(rand_int w.r 2)
+          ~max_steps:(500 + rand_int w.r 5000)
+      with
+      | Kvm.C_shutdown | Kvm.C_error _ -> destroy w h
+      | Kvm.C_denied -> () (* quarantined; the reaper collects it *)
+      | Kvm.C_timer | Kvm.C_limit -> ()
+      | exception _ ->
+          w.uncaught <- w.uncaught + 1;
+          Metrics.Registry.inc (registry w) "chaos.uncaught";
+          forget w h
+    end
+
+(* Corrupt the shared vCPU reply of a pending MMIO exit, then resume:
+   Check-after-Load must reject and the SM must quarantine. *)
+let tamper_reply w =
+  match w.live with
+  | [] -> ()
+  | l -> (
+      let h = one_of w.r l in
+      let id = Kvm.cvm_id h in
+      match
+        Zion.Monitor.run_vcpu w.mon ~hart:0 ~cvm:id ~vcpu:0 ~max_steps:4000
+      with
+      | Ok (Zion.Monitor.Exit_mmio _) -> (
+          (match Zion.Monitor.shared_vcpu_of w.mon ~cvm:id ~vcpu:0 with
+          | Some sh -> (
+              match rand_int w.r 3 with
+              | 0 -> sh.Zion.Vcpu.s_reg_index <- 1 + rand_int w.r 30
+              | 1 -> sh.Zion.Vcpu.s_pc_advance <- Int64.of_int (8 + rand_int w.r 4096)
+              | _ ->
+                  sh.Zion.Vcpu.s_gpa <- fuzz_addr w;
+                  sh.Zion.Vcpu.s_pc_advance <- 0L)
+          | None -> ());
+          call w (fun () ->
+              Zion.Monitor.run_vcpu w.mon ~hart:0 ~cvm:id ~vcpu:0
+                ~max_steps:100))
+      | Ok Zion.Monitor.Exit_shutdown -> destroy w h
+      | Ok _ | Error _ -> ()
+      | exception _ ->
+          w.uncaught <- w.uncaught + 1;
+          Metrics.Registry.inc (registry w) "chaos.uncaught")
+
+(* Point a leaf of the CVM's own shared subtree at secure memory, then
+   try to enter: the sweep must refuse and quarantine. The CVM is torn
+   down in the same iteration so the audit sees the defended state. *)
+let tamper_subtree w =
+  match (w.live, Zion.Secmem.regions (Zion.Monitor.secmem w.mon)) with
+  | h :: _, (pool_base, pool_size) :: _ ->
+      let victim =
+        Int64.add pool_base
+          (Int64.mul 4096L
+             (Int64.of_int
+                (rand_int w.r (Int64.to_int (Int64.div pool_size 4096L)))))
+      in
+      let gpa =
+        Int64.add Zion.Layout.shared_gpa_base
+          (Int64.mul 4096L (Int64.of_int (rand_int w.r 4096)))
+      in
+      Shared_map.map_secure_page_for_attack (Kvm.cvm_shared_map h) ~gpa
+        ~pa:victim;
+      call w (fun () ->
+          Zion.Monitor.run_vcpu w.mon ~hart:0 ~cvm:(Kvm.cvm_id h) ~vcpu:0
+            ~max_steps:100)
+  | _ -> ()
+
+let flip_expand_policy w =
+  Kvm.set_expand_policy w.kvm
+    (match rand_int w.r 4 with
+    | 0 -> Kvm.Expand_honest
+    | 1 -> Kvm.Expand_deny
+    | 2 -> Kvm.Expand_delay (1 + rand_int w.r 3)
+    | _ -> Kvm.Expand_short)
+
+(* Legitimate export → import → run → destroy round trip. *)
+let migrate_roundtrip w =
+  match w.live with
+  | [] -> ()
+  | l -> (
+      let h = one_of w.r l in
+      match Zion.Monitor.export_cvm w.mon ~cvm:(Kvm.cvm_id h) with
+      | Error _ -> ()
+      | Ok blob -> (
+          count_result w (Ok ());
+          let blob =
+            (* half the time, flip a byte: import must refuse *)
+            if rand_int w.r 2 = 0 then blob
+            else begin
+              let b = Bytes.of_string blob in
+              let i = rand_int w.r (Bytes.length b) in
+              Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+              Bytes.to_string b
+            end
+          in
+          match Zion.Monitor.import_cvm w.mon blob with
+          | exception _ ->
+              w.uncaught <- w.uncaught + 1;
+              Metrics.Registry.inc (registry w) "chaos.uncaught"
+          | Error _ -> ()
+          | Ok id ->
+              ignore
+                (Zion.Monitor.run_vcpu w.mon ~hart:0 ~cvm:id ~vcpu:0
+                   ~max_steps:2000);
+              call w (fun () -> Zion.Monitor.destroy_cvm w.mon ~cvm:id)))
+
+let audit w =
+  w.audits <- w.audits + 1;
+  match Zion.Monitor.audit w.mon with
+  | Ok _ -> ()
+  | Error findings ->
+      Metrics.Registry.inc (registry w) "chaos.audit_violation";
+      List.iter
+        (fun f ->
+          if not (List.mem f w.violations) then
+            w.violations <- f :: w.violations)
+        findings
+  | exception exn ->
+      w.uncaught <- w.uncaught + 1;
+      w.violations <-
+        ("audit itself raised: " ^ Printexc.to_string exn) :: w.violations
+
+(* ---------- driver ---------- *)
+
+let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
+  let r = rng seed in
+  let machine = Machine.create ~nharts ~dram_size:(mib dram_mib) () in
+  let config =
+    { Zion.Monitor.default_config with validate_shared_on_entry = true }
+  in
+  let mon = Zion.Monitor.create ~config machine in
+  let kvm = Kvm.create ~machine ~monitor:mon () in
+  (match Kvm.donate_secure_pool kvm ~mib:pool_mib with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.run: " ^ e));
+  let w =
+    {
+      r;
+      machine;
+      mon;
+      kvm;
+      live = [];
+      orphans = [];
+      calls = 0;
+      ok_calls = 0;
+      errors = Hashtbl.create 16;
+      uncaught = 0;
+      audits = 0;
+      violations = [];
+      quarantines = 0;
+      quarantines_reclaimed = 0;
+      created = 0;
+      destroyed = 0;
+    }
+  in
+  for i = 1 to iters do
+    Metrics.Registry.inc (registry w) "chaos.iterations";
+    (match rand_int w.r 100 with
+    | n when n < 8 -> spawn w
+    | n when n < 38 -> step w
+    | n when n < 78 -> fuzz_ecall w
+    | n when n < 86 -> tamper_reply w
+    | n when n < 92 -> tamper_subtree w
+    | n when n < 95 -> flip_expand_policy w
+    | n when n < 98 -> migrate_roundtrip w
+    | _ -> ( match w.live with [] -> spawn w | h :: _ -> destroy w h));
+    reap_quarantined w;
+    (* Audit on a sample of iterations plus always at the end: a full
+       sweep every iteration dominates runtime at high iteration
+       counts without finding anything a sampled sweep would not. *)
+    if i mod 7 = 0 || i = iters then audit w
+  done;
+  (* Drain: every remaining CVM must tear down cleanly. *)
+  List.iter (fun h -> destroy w h) w.live;
+  List.iter
+    (fun id ->
+      match Zion.Monitor.cvm_state w.mon ~cvm:id with
+      | None | Some Zion.Cvm.Destroyed -> ()
+      | Some st ->
+          if st = Zion.Cvm.Quarantined then
+            w.quarantines <- w.quarantines + 1;
+          call w (fun () -> Zion.Monitor.destroy_cvm w.mon ~cvm:id);
+          if
+            Zion.Monitor.cvm_state w.mon ~cvm:id = Some Zion.Cvm.Destroyed
+          then begin
+            w.destroyed <- w.destroyed + 1;
+            if st = Zion.Cvm.Quarantined then
+              w.quarantines_reclaimed <- w.quarantines_reclaimed + 1
+          end)
+    w.orphans;
+  audit w;
+  let sm = Zion.Monitor.secmem mon in
+  let pool_clean =
+    Zion.Secmem.free_blocks sm = Zion.Secmem.total_blocks sm
+    && Zion.Secmem.check_invariants sm = Ok ()
+  in
+  {
+    iterations = iters;
+    calls = w.calls;
+    ok_calls = w.ok_calls;
+    error_calls = Hashtbl.fold (fun k v acc -> (k, v) :: acc) w.errors [];
+    uncaught = w.uncaught;
+    audits = w.audits;
+    violations = List.rev w.violations;
+    quarantines = w.quarantines;
+    quarantines_reclaimed = w.quarantines_reclaimed;
+    cvms_created = w.created;
+    cvms_destroyed = w.destroyed;
+    pool_clean;
+  }

@@ -1,0 +1,50 @@
+(** Hostile-host fault injection (the fuzzing hypervisor).
+
+    A seeded, deterministic chaos engine that plays the paper's threat
+    model against a live Secure Monitor: randomized host-interface
+    calls with adversarial arguments, shared-vCPU reply tampering,
+    hostile shared-subtree planting, and dishonest answers to the
+    slow-path [Exit_need_memory] protocol — interleaved with
+    legitimate guest work so the attacks land on realistic state.
+
+    The engine checks three survivability properties and reports them:
+
+    - no exception ever escapes a host-interface call (the typed error
+      ABI is total);
+    - [Zion.Monitor.audit] finds no invariant violation after any
+      injected fault;
+    - every CVM the SM quarantines can still be destroyed, with all
+      its secure blocks returning to the pool. *)
+
+type report = {
+  iterations : int;
+  calls : int;  (** host-interface calls issued *)
+  ok_calls : int;
+  error_calls : (string * int) list;  (** error label -> count *)
+  uncaught : int;  (** exceptions that escaped the host ABI; must be 0 *)
+  audits : int;
+  violations : string list;  (** distinct audit findings; must be [] *)
+  quarantines : int;  (** CVMs the SM quarantined *)
+  quarantines_reclaimed : int;  (** quarantined CVMs destroyed + reclaimed *)
+  cvms_created : int;
+  cvms_destroyed : int;
+  pool_clean : bool;  (** all blocks free and list well-formed at the end *)
+}
+
+val survived : report -> bool
+(** No uncaught exception, no audit violation, every quarantined CVM
+    reclaimed, and the pool fully recovered. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?dram_mib:int ->
+  ?pool_mib:int ->
+  ?nharts:int ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  report
+(** Build a fresh machine/monitor/KVM stack and run [iters] fuzzing
+    iterations from [seed]. Same seed, same build — same sequence:
+    failures are replayable. *)

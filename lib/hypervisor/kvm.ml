@@ -1,5 +1,11 @@
 open Riscv
 
+type expand_policy =
+  | Expand_honest
+  | Expand_deny
+  | Expand_delay of int
+  | Expand_short
+
 type t = {
   machine : Machine.t;
   monitor : Zion.Monitor.t;
@@ -10,6 +16,8 @@ type t = {
   mutable ticks : int;
   mutable mmio_serviced : int;
   mutable expansions : int;
+  mutable expand_stalls : int;
+  mutable expand_policy : expand_policy;
   mutable next_nvm_id : int;
 }
 
@@ -29,8 +37,12 @@ let create ~machine ~monitor ?(disk_sectors = 262144) () =
     ticks = 0;
     mmio_serviced = 0;
     expansions = 0;
+    expand_stalls = 0;
+    expand_policy = Expand_honest;
     next_nvm_id = 1;
   }
+
+let set_expand_policy t p = t.expand_policy <- p
 
 let machine t = t.machine
 let monitor t = t.monitor
@@ -74,23 +86,21 @@ let zero_page t pa = Bus.write_bytes t.machine.Machine.bus pa (String.make 4096 
 let create_normal_vm t ~entry_pc ~image =
   match Host_mem.alloc_pages t.mem ~align:0x4000L 4 with
   | None -> Error "out of host memory for stage-2 root"
-  | Some root ->
+  | Some root -> (
       let spt =
         Zion.Spt.create ~bus:t.machine.Machine.bus ~root
           ~alloc_table_page:(fun () -> Host_mem.alloc_pages t.mem 1)
       in
-      let nvm_shared =
-        match Shared_map.create ~bus:t.machine.Machine.bus t.mem with
-        | Ok m -> m
-        | Error e -> failwith e
-      in
-      (match
-         Zion.Spt.install_shared_root spt
-           ~is_secure:(fun _ -> false)
-           ~table_pa:(Shared_map.root nvm_shared)
-       with
-      | Ok () -> ()
-      | Error e -> failwith e);
+      match Shared_map.create ~bus:t.machine.Machine.bus t.mem with
+      | Error e -> Error e
+      | Ok nvm_shared ->
+      match
+        Zion.Spt.install_shared_root spt
+          ~is_secure:(fun _ -> false)
+          ~table_pa:(Shared_map.root nvm_shared)
+      with
+      | Error e -> Error e
+      | Ok () ->
       let nvm =
         {
           nid = t.next_nvm_id;
@@ -134,7 +144,7 @@ let create_normal_vm t ~entry_pc ~image =
             match load chunk with Error e -> Error e | Ok () -> load_all rest
           end
       in
-      load_all image
+      load_all image)
 
 (* KVM's stage-2 fault path for a normal VM: the 39,607-cycle
    composition of §V.C's baseline column. *)
@@ -340,6 +350,15 @@ let create_cvm_guest t ~entry_pc ~image =
   match Zion.Monitor.create_cvm t.monitor ~nvcpus:1 ~entry_pc with
   | Error e -> Error (Zion.Ecall.error_to_string e)
   | Ok cid ->
+      (* Once the CVM exists inside the SM it holds secure blocks; any
+         failure on the remaining setup steps must tear it down again
+         or the pool leaks a half-built guest. *)
+      let abort e =
+        ignore
+          (Zion.Monitor.destroy_cvm t.monitor ~cvm:cid
+            : (unit, Zion.Ecall.error) result);
+        Error e
+      in
       let rec load = function
         | [] -> Ok ()
         | (gpa, data) :: rest -> begin
@@ -349,19 +368,19 @@ let create_cvm_guest t ~entry_pc ~image =
           end
       in
       (match load image with
-      | Error e -> Error e
+      | Error e -> abort e
       | Ok () -> begin
           match Zion.Monitor.finalize_cvm t.monitor ~cvm:cid with
-          | Error e -> Error (Zion.Ecall.error_to_string e)
+          | Error e -> abort (Zion.Ecall.error_to_string e)
           | Ok _measurement -> begin
               match Shared_map.create ~bus:t.machine.Machine.bus t.mem with
-              | Error e -> Error e
+              | Error e -> abort e
               | Ok shared -> begin
                   match
                     Zion.Monitor.install_shared t.monitor ~cvm:cid
                       ~table_pa:(Shared_map.root shared)
                   with
-                  | Error e -> Error (Zion.Ecall.error_to_string e)
+                  | Error e -> abort (Zion.Ecall.error_to_string e)
                   | Ok () ->
                       (* Pre-map the SWIOTLB window (descriptor page +
                          bounce slots), as the guest kernel does at
@@ -378,7 +397,7 @@ let create_cvm_guest t ~entry_pc ~image =
                         | Error e -> premap_err := Some e
                       done;
                       (match !premap_err with
-                      | Some e -> Error e
+                      | Some e -> abort e
                       | None ->
                           Mmio_emul.set_translate t.devices (fun gpa ->
                               Shared_map.lookup shared ~gpa);
@@ -389,12 +408,45 @@ let create_cvm_guest t ~entry_pc ~image =
 
 type cvm_outcome = C_timer | C_shutdown | C_limit | C_denied | C_error of string
 
+(* How the hypervisor answers [Exit_need_memory]. The non-honest
+   policies model a hostile or broken host for the fault-injection
+   harness: the registration is silently skipped (deny), skipped for
+   the first [n] requests (delay), or short-changed by a block. The
+   SM survives all of them — the driver below just retries with
+   backoff and eventually gives up. *)
+
 let expand_pool t bytes =
-  (* Round up to whole blocks and allocate block-aligned. *)
-  let bytes =
-    let b = block_size in
-    Int64.mul (Int64.div (Int64.add bytes (Int64.sub b 1L)) b) b
+  let round_up b =
+    Int64.mul
+      (Int64.div (Int64.add b (Int64.sub block_size 1L)) block_size)
+      block_size
   in
+  let effective =
+    match t.expand_policy with
+    | Expand_honest -> Some (round_up bytes)
+    | Expand_deny -> None
+    | Expand_delay n ->
+        if n > 0 then begin
+          t.expand_policy <- Expand_delay (n - 1);
+          None
+        end
+        else begin
+          t.expand_policy <- Expand_honest;
+          Some (round_up bytes)
+        end
+    | Expand_short ->
+        let want = Int64.sub (round_up bytes) block_size in
+        if Int64.compare want 0L <= 0 then None else Some want
+  in
+  match effective with
+  | None ->
+      (* Pretend to comply without registering anything. *)
+      if obs t then
+        Metrics.Registry.inc
+          (Zion.Monitor.registry t.monitor)
+          "pool.expand_refused";
+      Ok ()
+  | Some bytes ->
   let npages = Int64.to_int (Int64.div bytes 4096L) in
   match Host_mem.alloc_pages t.mem ~align:block_size npages with
   | None -> Error "host cannot expand the secure pool"
@@ -441,10 +493,16 @@ let reply_mmio t h mmio result =
     | Error e -> Error (Zion.Ecall.error_to_string e)
   end
 
+(* Exit_need_memory that an expansion did not actually satisfy (the
+   pool gained no block) is retried at most this many times, charging
+   an exponentially growing backoff, before the driver gives up. *)
+let max_expand_stalls = 5
+let expand_backoff_cycles = 1_000
+
 let run_cvm t h ~hart ~max_steps =
   Mmio_emul.set_translate t.devices (fun gpa ->
       Shared_map.lookup h.shared ~gpa);
-  let rec drive budget =
+  let rec drive budget stalls =
     if budget <= 0 then C_limit
     else begin
       match
@@ -475,7 +533,7 @@ let run_cvm t h ~hart ~max_steps =
                   ~scope:(Metrics.Registry.Cvm h.cid) "mmio.serviced"
               end;
               match reply_mmio t h mmio result with
-              | Ok () -> drive (budget - 1)
+              | Ok () -> drive (budget - 1) 0
               | Error e -> C_error e
             end
           | Zion.Monitor.Exit_shared_fault gpa -> begin
@@ -483,18 +541,30 @@ let run_cvm t h ~hart ~max_steps =
                 Shared_map.map_fresh h.shared
                   ~gpa:(Xword.align_down gpa 4096L)
               with
-              | Ok _ -> drive (budget - 1)
+              | Ok _ -> drive (budget - 1) 0
               | Error e -> C_error e
             end
           | Zion.Monitor.Exit_need_memory { bytes } -> begin
+              let sm = Zion.Monitor.secmem t.monitor in
+              let free_before = Zion.Secmem.free_blocks sm in
               match expand_pool t bytes with
-              | Ok () -> drive (budget - 1)
               | Error e -> C_error e
+              | Ok () ->
+                  if Zion.Secmem.free_blocks sm > free_before then
+                    drive (budget - 1) 0
+                  else if stalls >= max_expand_stalls then
+                    C_error "secure pool expansion stalled; giving up"
+                  else begin
+                    t.expand_stalls <- t.expand_stalls + 1;
+                    charge t "expand_backoff"
+                      (expand_backoff_cycles lsl stalls);
+                    drive (budget - 1) (stalls + 1)
+                  end
             end
         end
     end
   in
-  drive max_steps
+  drive max_steps 0
 
 let run_cvm_to_completion t h ~hart ~quantum ~max_slices =
   let clint = Bus.clint t.machine.Machine.bus in
@@ -515,3 +585,4 @@ let run_cvm_to_completion t h ~hart ~quantum ~max_slices =
 
 let mmio_exits_serviced t = t.mmio_serviced
 let expansions t = t.expansions
+let expand_stalls t = t.expand_stalls

@@ -79,7 +79,22 @@ val run_cvm :
 (** Drive the CVM until a scheduling-relevant event: MMIO exits are
     emulated and resumed internally (through the shared vCPU or
     GET/SET_REG according to the monitor's configuration), shared-region
-    faults are mapped, pool exhaustion triggers expansion. *)
+    faults are mapped, pool exhaustion triggers expansion. An expansion
+    that adds no block to the pool (see [expand_policy]) is retried
+    with exponential backoff at most a few times before the driver
+    returns [C_error]. *)
+
+type expand_policy =
+  | Expand_honest  (** register exactly what the SM asked for *)
+  | Expand_deny  (** never register; pretend to comply *)
+  | Expand_delay of int  (** skip the first [n] requests, then honest *)
+  | Expand_short  (** register one block less than asked *)
+
+val set_expand_policy : t -> expand_policy -> unit
+(** Fault injection for the slow path: control how [Exit_need_memory]
+    is answered. The dishonest policies model a hostile or broken host;
+    the SM must keep its invariants regardless (the guest simply cannot
+    make progress, and [run_cvm] gives up after bounded retries). *)
 
 val run_cvm_to_completion :
   t -> cvm_handle -> hart:int -> quantum:int -> max_slices:int -> cvm_outcome
@@ -88,3 +103,7 @@ val run_cvm_to_completion :
 
 val mmio_exits_serviced : t -> int
 val expansions : t -> int
+
+val expand_stalls : t -> int
+(** Expansion requests that added nothing to the pool (dishonest
+    policies) and were retried with backoff. *)

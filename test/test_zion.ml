@@ -577,7 +577,7 @@ let adversarial_tests =
         Alcotest.(check bool)
           "denied" true
           (Zion.Monitor.get_vcpu_reg mon ~cvm:id ~vcpu:0 ~reg:10
-          = Error Zion.Ecall.Denied));
+          = Error Zion.Ecall.No_pending_exit));
     Alcotest.test_case "destroy scrubs and reclaims secure pages" `Quick
       (fun () ->
         let machine, mon = make_platform () in
