@@ -250,17 +250,57 @@ let fuzz_cmd =
 (* ---------- migrate ---------- *)
 
 let migrate_cmd =
-  let out =
+  let prob name doc =
+    Arg.(
+      value & opt float 0.0
+      & info [ name ] ~docv:"P" ~doc:(doc ^ " probability on the courier channel, 0..1."))
+  in
+  let loss = prob "loss" "Per-message drop" in
+  let dup = prob "dup" "Per-message duplication" in
+  let reorder = prob "reorder" "Per-message hold-back (reorder)" in
+  let corrupt = prob "corrupt" "Per-message byte-flip" in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Channel fault-schedule seed. Same seed, same build — same \
+                delivery schedule.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 1024
+      & info [ "chunk" ] ~docv:"BYTES"
+          ~doc:"Chunk size the sealed image is streamed in.")
+  in
+  let crash_at =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-at" ] ~docv:"N"
+          ~doc:
+            "Kill one endpoint when its protocol-event counter reaches \
+             $(docv); it recovers from its monitor's durable session \
+             record a few ticks later.")
+  in
+  let crash_side =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "o"; "out" ]
-          ~doc:"Also write the encrypted migration image to $(docv)."
-          ~docv:"FILE")
+      & opt
+          (enum
+             [ ("source", Hypervisor.Migrator.Source);
+               ("dest", Hypervisor.Migrator.Dest) ])
+          Hypervisor.Migrator.Source
+      & info [ "crash-side" ] ~docv:"SIDE"
+          ~doc:"Which endpoint $(b,--crash-at) kills: source or dest.")
   in
-  let run out =
-    (* Source host: boot a guest, park it mid-loop, export. *)
+  let contains line sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let run loss dup reorder corrupt seed chunk crash_at crash_side =
+    (* Source host: boot a guest, park it mid-loop. *)
     let tb_a = Platform.Testbed.create () in
+    let src = tb_a.Platform.Testbed.monitor in
     let prog =
       Guest.Gprog.print "moved!"
       @ Riscv.Asm.li Riscv.Asm.t0 150_000L
@@ -275,45 +315,82 @@ let migrate_cmd =
     let id = Hypervisor.Kvm.cvm_id handle in
     Platform.Testbed.enable_timer tb_a ~hart:0;
     Platform.Testbed.set_quantum tb_a ~hart:0 100_000;
-    (match
-       Zion.Monitor.run_vcpu tb_a.Platform.Testbed.monitor ~hart:0 ~cvm:id
-         ~vcpu:0 ~max_steps:10_000_000
-     with
+    (match Zion.Monitor.run_vcpu src ~hart:0 ~cvm:id ~vcpu:0 ~max_steps:10_000_000 with
     | Ok Zion.Monitor.Exit_timer -> ()
     | _ -> failwith "expected a timer exit on the source");
-    let blob =
-      match Zion.Monitor.export_cvm tb_a.Platform.Testbed.monitor ~cvm:id with
-      | Ok b -> b
-      | Error e -> failwith (Zion.Ecall.error_to_string e)
-    in
-    Printf.printf "exported %d-byte encrypted image\n" (String.length blob);
-    (match out with
-    | Some path ->
-        let oc = open_out_bin path in
-        output_string oc blob;
-        close_out oc;
-        Printf.printf "wrote %s\n" path
-    | None -> ());
-    (* Destination host. *)
+    (* Destination host, linked by a pair of seeded lossy channels. *)
     let tb_b = Platform.Testbed.create () in
-    let id_b =
-      match Zion.Monitor.import_cvm tb_b.Platform.Testbed.monitor blob with
-      | Ok id -> id
-      | Error e -> failwith (Zion.Ecall.error_to_string e)
+    let dst = tb_b.Platform.Testbed.monitor in
+    let session = "zionctl" in
+    let faults =
+      {
+        Hypervisor.Channel.no_faults with
+        drop = loss;
+        dup;
+        reorder;
+        corrupt;
+      }
     in
-    (match
-       Zion.Monitor.run_vcpu tb_b.Platform.Testbed.monitor ~hart:0 ~cvm:id_b
-         ~vcpu:0 ~max_steps:10_000_000
-     with
-    | Ok Zion.Monitor.Exit_shutdown -> ()
-    | _ -> failwith "destination run failed");
-    print_string
-      (Zion.Monitor.console_output tb_b.Platform.Testbed.monitor)
+    let crash =
+      Option.map
+        (fun at -> { Hypervisor.Migrator.at; side = crash_side })
+        crash_at
+    in
+    let config =
+      { Zion.Migrate_proto.default_config with chunk_size = chunk }
+    in
+    match
+      Hypervisor.Migrator.run ~config ~faults ~seed ?crash ~src ~dst ~cvm:id
+        ~session ()
+    with
+    | Error msg ->
+        Printf.eprintf "migration failed to terminate: %s\n" msg;
+        exit 1
+    | Ok (outcome, stats) -> (
+        Format.printf "%a@." Hypervisor.Migrator.pp_stats stats;
+        (* per-CVM protocol counters and the chunk-RTT histogram *)
+        let dump =
+          Metrics.Registry.dump (Zion.Monitor.registry src)
+          ^ Metrics.Registry.dump (Zion.Monitor.registry dst)
+        in
+        List.iter
+          (fun line -> if contains line "migrate" then print_endline line)
+          (String.split_on_char '\n' dump);
+        (match Hypervisor.Migrator.handoff_clean ~src ~dst ~cvm:id ~session with
+        | Ok `Source -> print_endline "owner: source (guest resumable in place)"
+        | Ok `Dest -> print_endline "owner: destination"
+        | Error msg ->
+            Printf.eprintf "OWNERSHIP VIOLATION: %s\n" msg;
+            exit 1);
+        match outcome with
+        | Hypervisor.Migrator.Aborted reason ->
+            Printf.printf "aborted: %s — resuming on the source\n" reason;
+            (match
+               Hypervisor.Kvm.run_cvm_to_completion tb_a.Platform.Testbed.kvm
+                 handle ~hart:0 ~quantum:Platform.Testbed.quantum_cycles
+                 ~max_slices:400
+             with
+            | Hypervisor.Kvm.C_shutdown -> ()
+            | _ -> prerr_endline "warning: source guest did not shut down");
+            print_string (Zion.Monitor.console_output src)
+        | Hypervisor.Migrator.Committed id_b ->
+            Printf.printf "committed: destination CVM %d owns the guest\n" id_b;
+            (match
+               Zion.Monitor.run_vcpu dst ~hart:0 ~cvm:id_b ~vcpu:0
+                 ~max_steps:10_000_000
+             with
+            | Ok Zion.Monitor.Exit_shutdown -> ()
+            | _ -> failwith "destination run failed");
+            print_string (Zion.Monitor.console_output dst))
   in
   Cmd.v
     (Cmd.info "migrate"
-       ~doc:"Demonstrate encrypted CVM migration between two hosts")
-    Term.(const run $ out)
+       ~doc:
+         "Migrate a live CVM between two hosts over a lossy channel with \
+          the crash-safe chunked protocol")
+    Term.(
+      const run $ loss $ dup $ reorder $ corrupt $ seed $ chunk $ crash_at
+      $ crash_side)
 
 (* ---------- trace / stats ---------- *)
 

@@ -1,10 +1,17 @@
 (* Live migration: move a running confidential VM between two hosts
-   without the (untrusted) hypervisors ever seeing its contents.
+   without the (untrusted) hypervisors ever seeing its contents — over
+   an unreliable courier, with a host crash in the middle.
 
    The source monitor seals vCPU state, measurement, and every private
-   page into an encrypted+authenticated blob; the hypervisor carries the
-   blob; the destination monitor verifies and rebuilds the CVM, which
-   resumes exactly where it stopped.
+   page into an encrypted+authenticated image; the migration protocol
+   streams it as MAC'd chunks across a lossy channel, with ack/retry,
+   recovery from the monitors' durable session records after a crash,
+   and a two-phase ownership handoff: exactly one host owns the guest
+   at the end, no matter what the channel or a crash did.
+
+   This run injects both headline faults: a loss burst (a partition
+   window during which every message is dropped) and a source-side
+   crash with recovery.
 
    Run with: dune exec examples/migration.exe *)
 
@@ -26,7 +33,7 @@ let make_host name =
   (machine, mon)
 
 let () =
-  print_endline "=== ZION live migration ===";
+  print_endline "=== ZION live migration (lossy channel + source crash) ===";
   let machine_a, mon_a = make_host "host A" in
   let _, mon_b = make_host "host B" in
 
@@ -66,31 +73,64 @@ let () =
   | _ -> failwith "expected a timer exit");
   print_string (Zion.Monitor.console_output mon_a);
 
-  (* Export. The blob is all the hypervisor ever touches. *)
-  let blob = Result.get_ok (Zion.Monitor.export_cvm mon_a ~cvm:id_a) in
-  Printf.printf "[host A] exported %d-byte encrypted image\n"
-    (String.length blob);
-  Result.get_ok (Zion.Monitor.destroy_cvm mon_a ~cvm:id_a) |> ignore;
-  print_endline "[host A] source destroyed, pages scrubbed";
+  (* The courier is hostile weather: mild loss throughout, plus a
+     partition window (ticks 8-28) during which every message is lost.
+     And host A's hypervisor process dies at its 12th protocol event,
+     coming back a few ticks later to recover the session from the
+     monitor's durable record. *)
+  let faults =
+    {
+      Hypervisor.Channel.no_faults with
+      drop = 0.10;
+      partition = [ (8, 28) ];
+    }
+  in
+  let crash = { Hypervisor.Migrator.at = 12; side = Hypervisor.Migrator.Source } in
+  print_endline
+    "[courier] 10% loss, blackout ticks 8-28; host A will crash at event 12";
+  let outcome, stats =
+    match
+      Hypervisor.Migrator.run ~faults ~seed:3 ~crash ~src:mon_a ~dst:mon_b
+        ~cvm:id_a ~session:"example" ()
+    with
+    | Ok r -> r
+    | Error msg -> failwith ("migration did not terminate: " ^ msg)
+  in
+  Printf.printf "[protocol] %d ticks, %d chunks sent (%d retransmits), \
+                 %d crashes / %d recoveries\n"
+    stats.Hypervisor.Migrator.ticks stats.Hypervisor.Migrator.chunks_sent
+    stats.Hypervisor.Migrator.retransmits stats.Hypervisor.Migrator.crashes
+    stats.Hypervisor.Migrator.recoveries;
 
-  (* A tampering hypervisor is caught before any state lands. *)
-  let tampered = Bytes.of_string blob in
-  Bytes.set tampered 100 (Char.chr (Char.code (Bytes.get tampered 100) lxor 1));
-  (match Zion.Monitor.import_cvm mon_b (Bytes.to_string tampered) with
-  | Error Zion.Ecall.Denied ->
-      print_endline "[host B] tampered image rejected (authentication)"
-  | _ -> failwith "tampering was not detected!");
-
-  (* The genuine image imports and resumes. *)
-  let id_b = Result.get_ok (Zion.Monitor.import_cvm mon_b blob) in
-  Printf.printf "[host B] imported as CVM %d; measurement %s\n" id_b
-    (match Zion.Monitor.cvm_measurement mon_b ~cvm:id_b with
-    | Some m when m = measurement -> "matches the source"
-    | _ -> "MISMATCH");
+  (* Exactly one owner, whichever way it went. *)
   (match
-     Zion.Monitor.run_vcpu mon_b ~hart:0 ~cvm:id_b ~vcpu:0
-       ~max_steps:10_000_000
+     Hypervisor.Migrator.handoff_clean ~src:mon_a ~dst:mon_b ~cvm:id_a
+       ~session:"example"
    with
-  | Ok Zion.Monitor.Exit_shutdown -> ()
-  | _ -> failwith "destination run failed");
-  print_string (Zion.Monitor.console_output mon_b)
+  | Ok `Dest -> print_endline "[handoff] destination owns the guest; source scrubbed"
+  | Ok `Source -> print_endline "[handoff] source still owns the guest (aborted)"
+  | Error msg -> failwith ("ownership violation: " ^ msg));
+
+  match outcome with
+  | Hypervisor.Migrator.Aborted reason ->
+      (* Still safe: the guest is resumable in place on host A. *)
+      Printf.printf "[host A] migration aborted (%s); resuming locally\n" reason;
+      (match
+         Zion.Monitor.run_vcpu mon_a ~hart:0 ~cvm:id_a ~vcpu:0
+           ~max_steps:10_000_000
+       with
+      | Ok Zion.Monitor.Exit_shutdown -> ()
+      | _ -> failwith "source resume failed");
+      print_string (Zion.Monitor.console_output mon_a)
+  | Hypervisor.Migrator.Committed id_b ->
+      Printf.printf "[host B] committed as CVM %d; measurement %s\n" id_b
+        (match Zion.Monitor.cvm_measurement mon_b ~cvm:id_b with
+        | Some m when m = measurement -> "matches the source"
+        | _ -> "MISMATCH");
+      (match
+         Zion.Monitor.run_vcpu mon_b ~hart:0 ~cvm:id_b ~vcpu:0
+           ~max_steps:10_000_000
+       with
+      | Ok Zion.Monitor.Exit_shutdown -> ()
+      | _ -> failwith "destination run failed");
+      print_string (Zion.Monitor.console_output mon_b)

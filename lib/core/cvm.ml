@@ -3,6 +3,8 @@ type state =
   | Runnable
   | Running
   | Suspended
+  | Migrating_out
+  | Migrating_in
   | Quarantined
   | Destroyed
 
@@ -47,6 +49,8 @@ let state_to_string = function
   | Runnable -> "runnable"
   | Running -> "running"
   | Suspended -> "suspended"
+  | Migrating_out -> "migrating-out"
+  | Migrating_in -> "migrating-in"
   | Quarantined -> "quarantined"
   | Destroyed -> "destroyed"
 

@@ -5,6 +5,12 @@ type state =
   | Runnable
   | Running
   | Suspended
+  | Migrating_out
+      (** suspended and locked by an active outbound migration session:
+          not runnable, but fully resumable if the session aborts *)
+  | Migrating_in
+      (** rebuilt from a migration stream but not yet committed (2PC
+          prepared state): not runnable until the source's commit *)
   | Quarantined
       (** the host violated the run protocol (tampered reply, hostile
           shared subtree, in-guest monitor fault); only destruction is

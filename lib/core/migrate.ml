@@ -10,7 +10,7 @@ type image = {
   im_pages : (int64 * string) list;
 }
 
-let magic = "ZMIG1"
+let magic = "ZMIG2"
 let payload_magic = "ZCVM"
 
 let enc_key =
@@ -131,15 +131,41 @@ let pad16 s =
   let r = String.length s mod 16 in
   if r = 0 then s else s ^ String.make (16 - r) '\x00'
 
-let seal im =
+(* A purely plaintext-derived SIV is deterministic: two exports of an
+   unchanged CVM would yield byte-identical blobs, letting the host
+   correlate them (and detect that a guest made no progress between
+   snapshots). Every seal therefore mixes a fresh 16-byte session nonce
+   into both the IV and the tag; the nonce travels in the clear header
+   — it carries no secret, it only breaks determinism. *)
+let nonce_len = 16
+let export_epoch = ref 0
+
+let fresh_nonce () =
+  incr export_epoch;
+  String.sub
+    (Attest.hmac_sha256 ~key:mac_key
+       (Printf.sprintf "export-nonce:%d" !export_epoch))
+    0 nonce_len
+
+let seal ?nonce im =
+  let nonce =
+    match nonce with
+    | Some n when String.length n = nonce_len -> n
+    | Some n ->
+        String.sub (Attest.hmac_sha256 ~key:mac_key ("nonce:" ^ n)) 0 nonce_len
+    | None -> fresh_nonce ()
+  in
   let payload = serialize im in
-  (* SIV-style deterministic IV: MAC of the plaintext. *)
-  let iv = String.sub (Attest.hmac_sha256 ~key:mac_key payload) 0 16 in
+  (* SIV-style synthetic IV: MAC of nonce + plaintext. *)
+  let iv =
+    String.sub (Attest.hmac_sha256 ~key:mac_key (nonce ^ payload)) 0 16
+  in
   let ct = Crypto.Aes.cbc_encrypt ~key:enc_key ~iv (pad16 payload) in
-  let tag = Attest.hmac_sha256 ~key:mac_key (iv ^ ct) in
-  let b = Buffer.create (String.length ct + 64) in
+  let tag = Attest.hmac_sha256 ~key:mac_key (nonce ^ iv ^ ct) in
+  let b = Buffer.create (String.length ct + 80) in
   Buffer.add_string b magic;
   put_u32 b (String.length payload);
+  Buffer.add_string b nonce;
   Buffer.add_string b iv;
   Buffer.add_string b ct;
   Buffer.add_string b tag;
@@ -156,18 +182,22 @@ let constant_time_eq a b =
      end
 
 let unseal blob =
-  let hdr = 5 + 4 + 16 in
+  let hdr = 5 + 4 + nonce_len + 16 in
   if String.length blob < hdr + 32 then Error "migration blob truncated"
   else if String.sub blob 0 5 <> magic then Error "bad migration magic"
   else begin
     let payload_len = get_u32 blob 5 in
-    let iv = String.sub blob 9 16 in
+    let nonce = String.sub blob 9 nonce_len in
+    let iv = String.sub blob (9 + nonce_len) 16 in
     let ct_len = String.length blob - hdr - 32 in
     if ct_len <= 0 || ct_len mod 16 <> 0 then Error "bad ciphertext length"
     else begin
       let ct = String.sub blob hdr ct_len in
       let tag = String.sub blob (hdr + ct_len) 32 in
-      if not (constant_time_eq tag (Attest.hmac_sha256 ~key:mac_key (iv ^ ct)))
+      if
+        not
+          (constant_time_eq tag
+             (Attest.hmac_sha256 ~key:mac_key (nonce ^ iv ^ ct)))
       then Error "migration blob failed authentication"
       else begin
         let padded = Crypto.Aes.cbc_decrypt ~key:enc_key ~iv ct in

@@ -9,9 +9,13 @@
     [Monitor.import_cvm] on the destination verifies and decrypts the
     blob and rebuilds the CVM inside fresh secure memory.
 
-    Format (after the clear-text header "ZMIG1" + length):
-    SIV-style deterministic IV, AES-128-CBC ciphertext, HMAC-SHA256 tag
-    (encrypt-then-MAC). Keys: HKDF-like HMAC(platform_key, label). *)
+    Format (after the clear-text header "ZMIG2" + length): a 16-byte
+    per-export session nonce, SIV-style synthetic IV (MAC of
+    nonce + plaintext), AES-128-CBC ciphertext, HMAC-SHA256 tag over
+    nonce + IV + ciphertext (encrypt-then-MAC). Keys: HKDF-like
+    HMAC(platform_key, label). The nonce breaks export determinism:
+    without it two exports of an unchanged CVM are byte-identical and
+    the untrusted host can correlate them. *)
 
 type vcpu_image = {
   vi_regs : int64 array;  (** 32 GPRs *)
@@ -25,8 +29,10 @@ type image = {
   im_pages : (int64 * string) list;  (** (gpa, 4 KiB contents) *)
 }
 
-val seal : image -> string
-(** Serialize, encrypt, and authenticate. *)
+val seal : ?nonce:string -> image -> string
+(** Serialize, encrypt, and authenticate. [nonce] (16 bytes; longer or
+    shorter strings are compressed through the MAC key) defaults to a
+    fresh per-export value so repeated exports never collide. *)
 
 val unseal : string -> (image, string) result
 (** Verify and decrypt; [Error] on any tampering or truncation. *)

@@ -30,6 +30,27 @@ type host_ctx = {
   mutable h_pc : int64;
 }
 
+(* One end of a crash-safe migration session (see Migrate_proto). The
+   record lives in the SM so it survives crashes of the untrusted
+   courier endpoints: recovery re-derives everything from here. *)
+type migration_role = Mig_out | Mig_in
+type migration_phase = Mig_active | Mig_committed | Mig_aborted
+
+type migration_session = {
+  mg_role : migration_role;
+  mutable mg_phase : migration_phase;
+  mutable mg_cvm : int option;
+  mutable mg_epoch : int;
+  mutable mg_nonce : string;
+      (* export nonce, fixed for the session's lifetime so recovery
+         re-exports byte-identical chunks *)
+  mutable mg_blob_tag : string;  (* SHA-256 of the sealed blob *)
+  mutable mg_stalls : int;
+      (* consecutive unacknowledged retransmits, maintained by the
+         protocol endpoint; audited against the budget *)
+  mg_budget : int;
+}
+
 type t = {
   machine : Machine.t;
   cfg : config;
@@ -39,6 +60,9 @@ type t = {
   trace : Metrics.Trace.t;
   registry : Metrics.Registry.t;
   cvms : (int, Cvm.t) Hashtbl.t;
+  sessions : (string, migration_session) Hashtbl.t;
+      (** keyed by "out:<id>" / "in:<id>" so one monitor can hold both
+          ends of a loopback migration *)
   mutable next_cvm_id : int;
   host : host_ctx array;
   pending_mmio : (int * int, Vcpu.mmio) Hashtbl.t;
@@ -76,6 +100,7 @@ let create ?(config = default_config) machine =
       trace;
       registry = Metrics.Registry.create ();
       cvms = Hashtbl.create 16;
+      sessions = Hashtbl.create 8;
       next_cvm_id = 1;
       host =
         Array.init nharts (fun _ ->
@@ -551,10 +576,31 @@ let destroy_cvm_impl t ~cvm:id =
         Hashtbl.remove t.vcpu_seal (id, v)
       done;
       Metrics.Registry.inc t.registry "cvm.destroyed";
+      (* A migration session whose CVM disappears under it can never
+         complete: fold it to Aborted so the ownership audit stays
+         truthful. [migrate_out_commit] marks its session Committed
+         *before* destroying, so the legitimate handoff is untouched. *)
+      Hashtbl.iter
+        (fun _ s ->
+          if s.mg_phase = Mig_active && s.mg_cvm = Some id then
+            s.mg_phase <- Mig_aborted)
+        t.sessions;
       Ok ()
 
 let destroy_cvm t ~cvm =
   host_call t "destroy_cvm" ~cvm (fun () -> destroy_cvm_impl t ~cvm)
+
+let next_random t =
+  t.rand_counter <- t.rand_counter + 1;
+  let h =
+    Attest.hmac_sha256 ~key:Attest.platform_key
+      (Printf.sprintf "rng:%d" t.rand_counter)
+  in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code h.[i]))
+  done;
+  !v
 
 (* ---------- migration ---------- *)
 
@@ -584,88 +630,369 @@ let image_to_vcpu (vi : Migrate.vcpu_image) (sv : Vcpu.secure) =
       sv.Vcpu.hvip <- h
   | _ -> invalid_arg "image_to_vcpu: bad CSR image")
 
+(* Snapshot a CVM into a migration image: every secure vCPU, the sealed
+   measurement, and all mapped private pages. The caller has already
+   checked the state. *)
+let snapshot_image t cvm =
+  let bus = t.machine.Machine.bus in
+  let pages =
+    Spt.fold_private cvm.Cvm.spt
+      (fun ~gpa ~pa acc -> (gpa, Bus.read_bytes bus pa 4096) :: acc)
+      []
+  in
+  (* Per-page crypto work dominates the export path. *)
+  charge t "sm_migrate" (List.length pages * t.cost.Cost.page_scrub);
+  {
+    Migrate.im_vcpus = Array.to_list (Array.map vcpu_to_image cvm.Cvm.vcpus);
+    im_measurement = Option.value ~default:"" cvm.Cvm.measurement;
+    im_pages = List.rev pages;
+  }
+
+(* Fresh, unpredictable-to-the-host export nonce from the SM's DRBG. *)
+let fresh_export_nonce t =
+  Printf.sprintf "%Ld:%Ld" (next_random t) (next_random t)
+
 let export_cvm_impl t ~cvm:id =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
   | Some cvm -> begin
       match cvm.Cvm.state with
       | Cvm.Quarantined -> Error Ecall.Quarantined
-      | Cvm.Running | Cvm.Created | Cvm.Destroyed -> Error Ecall.Bad_state
+      | Cvm.Running | Cvm.Created | Cvm.Destroyed
+      | Cvm.Migrating_out | Cvm.Migrating_in ->
+          Error Ecall.Bad_state
       | Cvm.Runnable | Cvm.Suspended ->
-          let bus = t.machine.Machine.bus in
-          let pages =
-            Spt.fold_private cvm.Cvm.spt
-              (fun ~gpa ~pa acc -> (gpa, Bus.read_bytes bus pa 4096) :: acc)
-              []
-          in
-          (* Per-page crypto work dominates the export path. *)
-          charge t "sm_migrate" (List.length pages * t.cost.Cost.page_scrub);
-          let im =
-            {
-              Migrate.im_vcpus =
-                Array.to_list (Array.map vcpu_to_image cvm.Cvm.vcpus);
-              im_measurement =
-                Option.value ~default:"" cvm.Cvm.measurement;
-              im_pages = List.rev pages;
-            }
-          in
-          Ok (Migrate.seal im)
+          Ok (Migrate.seal ~nonce:(fresh_export_nonce t) (snapshot_image t cvm))
     end
 
 let export_cvm t ~cvm =
   host_call t "export_cvm" ~cvm (fun () -> export_cvm_impl t ~cvm)
 
+(* Rebuild a CVM from a verified image into fresh secure memory, landing
+   it in [state] ([Suspended] for the one-shot path, [Migrating_in] for
+   a 2PC prepare). Rolls the half-built CVM back on any failure. *)
+let build_cvm_from_image t im ~state =
+  let nvcpus = List.length im.Migrate.im_vcpus in
+  match create_cvm t ~nvcpus ~entry_pc:0L with
+  | Error e -> Error e
+  | Ok id -> begin
+      let cvm =
+        match find_cvm t id with Some c -> c | None -> assert false
+      in
+      let bus = t.machine.Machine.bus in
+      let cache = Cvm.cache cvm 0 in
+      let rec restore = function
+        | [] -> Ok ()
+        | (gpa, data) :: rest -> begin
+            match
+              provide_private_page t cvm cache ~gpa ~after_expand:false
+            with
+            | Ok (pa, _) ->
+                Bus.write_bytes bus pa data;
+                restore rest
+            | Error `Need_expand ->
+                (* roll back the half-built CVM *)
+                ignore (destroy_cvm_impl t ~cvm:id);
+                Error Ecall.No_memory
+            | Error (`Map_error _) ->
+                ignore (destroy_cvm_impl t ~cvm:id);
+                Error Ecall.Invalid_param
+          end
+      in
+      match restore im.Migrate.im_pages with
+      | Error e -> Error e
+      | Ok () ->
+          List.iteri
+            (fun i vi -> image_to_vcpu vi (Cvm.vcpu cvm i))
+            im.Migrate.im_vcpus;
+          seal_all_vcpus t cvm;
+          cvm.Cvm.measurement <-
+            (if im.Migrate.im_measurement = "" then None
+             else Some im.Migrate.im_measurement);
+          cvm.Cvm.measurement_ctx <- None;
+          cvm.Cvm.state <- state;
+          charge t "sm_migrate"
+            (List.length im.Migrate.im_pages * t.cost.Cost.page_scrub);
+          Ok id
+    end
+
 let import_cvm_impl t blob =
   match Migrate.unseal blob with
   | Error _ -> Error Ecall.Denied
-  | Ok im -> begin
-      let nvcpus = List.length im.Migrate.im_vcpus in
-      match create_cvm t ~nvcpus ~entry_pc:0L with
-      | Error e -> Error e
-      | Ok id -> begin
-          let cvm =
-            match find_cvm t id with Some c -> c | None -> assert false
-          in
-          let bus = t.machine.Machine.bus in
-          let cache = Cvm.cache cvm 0 in
-          let rec restore = function
-            | [] -> Ok ()
-            | (gpa, data) :: rest -> begin
-                match
-                  provide_private_page t cvm cache ~gpa ~after_expand:false
-                with
-                | Ok (pa, _) ->
-                    Bus.write_bytes bus pa data;
-                    restore rest
-                | Error `Need_expand ->
-                    (* roll back the half-built CVM *)
-                    ignore (destroy_cvm t ~cvm:id);
-                    Error Ecall.No_memory
-                | Error (`Map_error _) ->
-                    ignore (destroy_cvm t ~cvm:id);
-                    Error Ecall.Invalid_param
-              end
-          in
-          match restore im.Migrate.im_pages with
-          | Error e -> Error e
-          | Ok () ->
-              List.iteri
-                (fun i vi -> image_to_vcpu vi (Cvm.vcpu cvm i))
-                im.Migrate.im_vcpus;
-              seal_all_vcpus t cvm;
-              cvm.Cvm.measurement <-
-                (if im.Migrate.im_measurement = "" then None
-                 else Some im.Migrate.im_measurement);
-              cvm.Cvm.measurement_ctx <- None;
-              cvm.Cvm.state <- Cvm.Suspended;
-              charge t "sm_migrate"
-                (List.length im.Migrate.im_pages * t.cost.Cost.page_scrub);
-              Ok id
-        end
-    end
+  | Ok im -> build_cvm_from_image t im ~state:Cvm.Suspended
 
 let import_cvm t blob =
   host_call t "import_cvm" (fun () -> import_cvm_impl t blob)
+
+(* ---------- crash-safe migration sessions (2PC handoff) ---------- *)
+
+(* The session table is the protocol's durable truth: courier endpoints
+   (Migrate_proto) may crash and lose every timer and buffer, but the
+   decision state — who owns the guest — lives here and only moves
+   through the entry points below. *)
+
+let session_key role session =
+  (match role with Mig_out -> "out:" | Mig_in -> "in:") ^ session
+
+let find_session t role session =
+  Hashtbl.find_opt t.sessions (session_key role session)
+
+(* Session ids arrive from the untrusted host: bound and sanity-check
+   them before they become hash keys and trace labels. *)
+let valid_session_id s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all (fun c -> Char.code c >= 0x21 && Char.code c <= 0x7e) s
+
+(* Public, non-secret fingerprint of a sealed blob: lets both monitors
+   agree they are talking about the same bytes without trusting the
+   courier. Keyed hash only to reuse the primitive; the key is public. *)
+let blob_tag blob = Attest.hmac_sha256 ~key:"zion-migrate-blob-tag" blob
+
+let default_retry_budget = 12
+
+let migrate_out_begin_impl t ~cvm:id ~session ~budget =
+  if not (valid_session_id session) || budget <= 0 then
+    Error Ecall.Invalid_param
+  else
+    match find_cvm t id with
+    | None -> Error Ecall.Not_found
+    | Some cvm -> begin
+        match find_session t Mig_out session with
+        | Some s -> begin
+            (* Recovery re-begin: only the incumbent session may restart,
+               and only while the handoff is still undecided. The nonce
+               is reused so the re-export is byte-identical — chunks the
+               destination already holds stay valid. *)
+            match s.mg_phase with
+            | Mig_active
+              when s.mg_cvm = Some id && cvm.Cvm.state = Cvm.Migrating_out ->
+                s.mg_epoch <- s.mg_epoch + 1;
+                s.mg_stalls <- 0;
+                let blob =
+                  Migrate.seal ~nonce:s.mg_nonce (snapshot_image t cvm)
+                in
+                s.mg_blob_tag <- blob_tag blob;
+                Metrics.Registry.inc t.registry "migrate.out_rebegin";
+                Ok (blob, s.mg_epoch)
+            | _ -> Error Ecall.Already_exists
+          end
+        | None -> begin
+            match cvm.Cvm.state with
+            | Cvm.Quarantined -> Error Ecall.Quarantined
+            | Cvm.Created | Cvm.Destroyed | Cvm.Running
+            | Cvm.Migrating_out | Cvm.Migrating_in ->
+                Error Ecall.Bad_state
+            | Cvm.Runnable | Cvm.Suspended ->
+                let nonce = fresh_export_nonce t in
+                let blob = Migrate.seal ~nonce (snapshot_image t cvm) in
+                cvm.Cvm.state <- Cvm.Migrating_out;
+                Hashtbl.replace t.sessions
+                  (session_key Mig_out session)
+                  {
+                    mg_role = Mig_out;
+                    mg_phase = Mig_active;
+                    mg_cvm = Some id;
+                    mg_epoch = 1;
+                    mg_nonce = nonce;
+                    mg_blob_tag = blob_tag blob;
+                    mg_stalls = 0;
+                    mg_budget = budget;
+                  };
+                Metrics.Registry.inc t.registry "migrate.out_begin";
+                Ok (blob, 1)
+          end
+      end
+
+let migrate_out_begin ?(budget = default_retry_budget) t ~cvm ~session =
+  host_call t "migrate_out_begin" ~cvm (fun () ->
+      migrate_out_begin_impl t ~cvm ~session ~budget)
+
+let migrate_out_abort t ~session =
+  host_call t "migrate_out_abort" (fun () ->
+      match find_session t Mig_out session with
+      | None -> Error Ecall.Not_found
+      | Some s -> begin
+          match s.mg_phase with
+          (* past the commit point the handoff is irrevocable *)
+          | Mig_committed -> Error Ecall.Bad_state
+          | Mig_aborted -> Ok ()
+          | Mig_active ->
+              (match s.mg_cvm with
+              | Some id -> begin
+                  match find_cvm t id with
+                  | Some cvm when cvm.Cvm.state = Cvm.Migrating_out ->
+                      (* reactivate: the source stays the one owner *)
+                      cvm.Cvm.state <- Cvm.Suspended
+                  | _ -> ()
+                end
+              | None -> ());
+              s.mg_phase <- Mig_aborted;
+              Metrics.Registry.inc t.registry "migrate.out_abort";
+              Ok ()
+        end)
+
+let migrate_out_commit t ~session =
+  host_call t "migrate_out_commit" (fun () ->
+      match find_session t Mig_out session with
+      | None -> Error Ecall.Not_found
+      | Some s -> begin
+          match s.mg_phase with
+          | Mig_aborted -> Error Ecall.Bad_state
+          | Mig_committed -> Ok ()  (* idempotent: recovery retries land here *)
+          | Mig_active -> begin
+              match s.mg_cvm with
+              | None -> Error Ecall.Bad_state
+              | Some id ->
+                  (* The commit point of the whole handoff: flip the
+                     session first so the destroy sweep leaves it
+                     Committed, then scrub the source instance. *)
+                  s.mg_phase <- Mig_committed;
+                  ignore (destroy_cvm_impl t ~cvm:id);
+                  Metrics.Registry.inc t.registry "migrate.out_commit";
+                  Ok ()
+            end
+        end)
+
+let migrate_in_prepare t ~session ~epoch blob =
+  host_call t "migrate_in_prepare" (fun () ->
+      if not (valid_session_id session) || epoch <= 0 then
+        Error Ecall.Invalid_param
+      else
+        match find_session t Mig_in session with
+        (* Session ids are single-use: a committed (or aborted) session
+           never accepts another blob, which kills replay-of-committed-
+           session attacks outright. *)
+        | Some s when s.mg_phase <> Mig_active -> Error Ecall.Denied
+        | Some s when epoch < s.mg_epoch -> Error Ecall.Bad_state
+        | maybe -> begin
+            match Migrate.unseal blob with
+            | Error _ -> Error Ecall.Denied
+            | Ok im -> begin
+                (* A newer epoch replaces any earlier prepared instance
+                   of the same session. *)
+                (match maybe with
+                | Some s -> begin
+                    match s.mg_cvm with
+                    | Some old ->
+                        ignore (destroy_cvm_impl t ~cvm:old);
+                        (* the destroy sweep folded the session to
+                           Aborted; it is being re-prepared, not dying *)
+                        s.mg_phase <- Mig_active;
+                        s.mg_cvm <- None
+                    | None -> ()
+                  end
+                | None -> ());
+                match build_cvm_from_image t im ~state:Cvm.Migrating_in with
+                | Error e -> Error e
+                | Ok id ->
+                    let tag = blob_tag blob in
+                    (match maybe with
+                    | Some s ->
+                        s.mg_cvm <- Some id;
+                        s.mg_epoch <- epoch;
+                        s.mg_blob_tag <- tag
+                    | None ->
+                        Hashtbl.replace t.sessions
+                          (session_key Mig_in session)
+                          {
+                            mg_role = Mig_in;
+                            mg_phase = Mig_active;
+                            mg_cvm = Some id;
+                            mg_epoch = epoch;
+                            mg_nonce = "";
+                            mg_blob_tag = tag;
+                            mg_stalls = 0;
+                            mg_budget = 0;
+                          });
+                    Metrics.Registry.inc t.registry "migrate.in_prepare";
+                    Ok id
+              end
+          end)
+
+let migrate_in_commit t ~session =
+  host_call t "migrate_in_commit" (fun () ->
+      match find_session t Mig_in session with
+      | None -> Error Ecall.Not_found
+      | Some s -> begin
+          match s.mg_phase with
+          | Mig_aborted -> Error Ecall.Bad_state
+          | Mig_committed -> begin
+              match s.mg_cvm with
+              | Some id -> Ok id  (* idempotent *)
+              | None -> Error Ecall.Bad_state
+            end
+          | Mig_active -> begin
+              match s.mg_cvm with
+              | None -> Error Ecall.Bad_state
+              | Some id -> begin
+                  match find_cvm t id with
+                  | Some cvm when cvm.Cvm.state = Cvm.Migrating_in ->
+                      cvm.Cvm.state <- Cvm.Suspended;
+                      s.mg_phase <- Mig_committed;
+                      Metrics.Registry.inc t.registry "migrate.in_commit";
+                      Ok id
+                  | _ -> Error Ecall.Bad_state
+                end
+            end
+        end)
+
+let migrate_in_abort t ~session =
+  host_call t "migrate_in_abort" (fun () ->
+      match find_session t Mig_in session with
+      | None -> Error Ecall.Not_found
+      | Some s -> begin
+          match s.mg_phase with
+          (* a destination that voted Prepared and then committed can
+             never be talked back out of it *)
+          | Mig_committed -> Error Ecall.Bad_state
+          | Mig_aborted -> Ok ()
+          | Mig_active ->
+              (match s.mg_cvm with
+              | Some id -> ignore (destroy_cvm_impl t ~cvm:id)
+              | None -> ());
+              s.mg_phase <- Mig_aborted;
+              s.mg_cvm <- None;
+              Metrics.Registry.inc t.registry "migrate.in_abort";
+              Ok ()
+        end)
+
+type migration_info = {
+  mi_role : [ `Out | `In ];
+  mi_phase : [ `Active | `Committed | `Aborted ];
+  mi_cvm : int option;
+  mi_epoch : int;
+  mi_blob_tag : string;
+  mi_stalls : int;
+  mi_budget : int;
+}
+
+let migrate_session t ~role ~session =
+  let r = match role with `Out -> Mig_out | `In -> Mig_in in
+  Option.map
+    (fun s ->
+      {
+        mi_role = role;
+        mi_phase =
+          (match s.mg_phase with
+          | Mig_active -> `Active
+          | Mig_committed -> `Committed
+          | Mig_aborted -> `Aborted);
+        mi_cvm = s.mg_cvm;
+        mi_epoch = s.mg_epoch;
+        mi_blob_tag = s.mg_blob_tag;
+        mi_stalls = s.mg_stalls;
+        mi_budget = s.mg_budget;
+      })
+    (find_session t r session)
+
+let migrate_note_stalls t ~session n =
+  host_call t "migrate_note_stalls" (fun () ->
+      match find_session t Mig_out session with
+      | None -> Error Ecall.Not_found
+      | Some s ->
+          if s.mg_phase = Mig_active then s.mg_stalls <- max 0 n;
+          Ok ())
 
 (* ---------- guest SBI handling ---------- *)
 
@@ -708,18 +1035,6 @@ let read_guest t cvm ~gpa len =
     end
   in
   go 0
-
-let next_random t =
-  t.rand_counter <- t.rand_counter + 1;
-  let h =
-    Attest.hmac_sha256 ~key:Attest.platform_key
-      (Printf.sprintf "rng:%d" t.rand_counter)
-  in
-  let v = ref 0L in
-  for i = 0 to 7 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code h.[i]))
-  done;
-  !v
 
 type sbi_outcome = Resume | Stop of exit_reason
 
@@ -967,7 +1282,9 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
   | Some cvm -> begin
       match cvm.Cvm.state with
       | Cvm.Quarantined -> Error Ecall.Quarantined
-      | Cvm.Created | Cvm.Destroyed | Cvm.Running -> Error Ecall.Bad_state
+      | Cvm.Created | Cvm.Destroyed | Cvm.Running
+      | Cvm.Migrating_out | Cvm.Migrating_in ->
+          Error Ecall.Bad_state
       | Cvm.Runnable | Cvm.Suspended ->
         let entered = ref false in
         try
@@ -1413,5 +1730,95 @@ let audit t =
                 fail "CVM %d vCPU %d secure state diverges from its seal"
                   cvm.Cvm.id i
         done)
+    live;
+  (* 8. Migration-session ownership. An active session pins its CVM in
+     the matching Migrating state; a committed out-session left the
+     source scrubbed; a committed in-session activated its CVM; aborted
+     sessions stranded no lock; every migrating CVM is pinned by exactly
+     one active session; no source overran its retry budget. *)
+  let mig_owner = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun key s ->
+      let role = match s.mg_role with Mig_out -> "out" | Mig_in -> "in" in
+      let state_of id =
+        Option.map (fun c -> c.Cvm.state) (find_cvm t id)
+      in
+      (match (s.mg_phase, s.mg_cvm) with
+      | Mig_active, Some id -> begin
+          incr checked;
+          (match Hashtbl.find_opt mig_owner id with
+          | Some other ->
+              fail "CVM %d pinned by migration sessions %s and %s" id other
+                key
+          | None -> Hashtbl.add mig_owner id key);
+          let want =
+            match s.mg_role with
+            | Mig_out -> Cvm.Migrating_out
+            | Mig_in -> Cvm.Migrating_in
+          in
+          match state_of id with
+          | None ->
+              fail "active %s-session %s references unknown CVM %d" role key
+                id
+          | Some st when st <> want ->
+              fail "active %s-session %s: CVM %d is %s, expected %s" role
+                key id
+                (Cvm.state_to_string st)
+                (Cvm.state_to_string want)
+          | Some _ -> ()
+        end
+      | Mig_active, None ->
+          incr checked;
+          if s.mg_role = Mig_out then
+            fail "active out-session %s has no CVM" key
+      | Mig_committed, cvm_opt -> begin
+          incr checked;
+          match (s.mg_role, cvm_opt) with
+          | Mig_out, Some id -> begin
+              match state_of id with
+              | Some st when st <> Cvm.Destroyed ->
+                  fail "committed out-session %s left source CVM %d %s" key
+                    id (Cvm.state_to_string st)
+              | _ -> ()
+            end
+          | Mig_out, None -> ()
+          | Mig_in, Some id -> begin
+              match state_of id with
+              | Some Cvm.Migrating_in ->
+                  fail "committed in-session %s: CVM %d still prepared" key
+                    id
+              | None ->
+                  fail "committed in-session %s: CVM %d missing" key id
+              | Some _ -> ()
+            end
+          | Mig_in, None -> fail "committed in-session %s has no CVM" key
+        end
+      | Mig_aborted, Some id -> begin
+          incr checked;
+          match (s.mg_role, state_of id) with
+          | Mig_out, Some Cvm.Migrating_out ->
+              fail "aborted out-session %s left CVM %d locked" key id
+          | Mig_in, Some st when st <> Cvm.Destroyed ->
+              fail "aborted in-session %s left CVM %d %s" key id
+                (Cvm.state_to_string st)
+          | _ -> ()
+        end
+      | Mig_aborted, None -> ());
+      if s.mg_role = Mig_out && s.mg_phase = Mig_active then begin
+        incr checked;
+        if s.mg_stalls > s.mg_budget then
+          fail "out-session %s exceeded its retry budget (%d > %d)" key
+            s.mg_stalls s.mg_budget
+      end)
+    t.sessions;
+  List.iter
+    (fun cvm ->
+      match cvm.Cvm.state with
+      | Cvm.Migrating_out | Cvm.Migrating_in ->
+          incr checked;
+          if not (Hashtbl.mem mig_owner cvm.Cvm.id) then
+            fail "CVM %d is %s with no active migration session" cvm.Cvm.id
+              (Cvm.state_to_string cvm.Cvm.state)
+      | _ -> ())
     live;
   if !findings = [] then Ok !checked else Error (List.rev !findings)

@@ -124,6 +124,87 @@ val import_cvm : t -> string -> (int, Ecall.error) result
     the new CVM id, ready to resume. [Denied] on authentication
     failure. *)
 
+(* {2 Crash-safe migration sessions (2PC handoff)}
+
+   The one-shot [export_cvm]/[import_cvm] pair above remains as a
+   building block, but the migration story is the session API below,
+   driven by the [Migrate_proto] endpoints over an unreliable courier.
+   All decision state — who owns the guest — lives in the monitors'
+   session tables, so a crashed endpoint recovers by re-deriving its
+   protocol position from [migrate_session]. Ownership rules:
+
+   - [migrate_out_begin] locks the source CVM in [Migrating_out]: not
+     runnable, fully resumable via [migrate_out_abort].
+   - [migrate_in_prepare] builds the destination CVM in [Migrating_in]
+     (the 2PC prepared state): not runnable until commit.
+   - [migrate_out_commit] is the commit point of the whole handoff: it
+     scrubs the source instance. Until it runs, the source can abort;
+     after it, the handoff is irrevocable and the destination's
+     [migrate_in_commit] is the only way forward.
+   - Session ids are single-use per direction: a committed or aborted
+     in-session never accepts another blob ([Denied]), which rejects
+     replays of a committed session. *)
+
+val migrate_out_begin :
+  ?budget:int ->
+  t ->
+  cvm:int ->
+  session:string ->
+  (string * int, Ecall.error) result
+(** Open (or, after a source crash, re-open) an outbound session:
+    snapshot and seal the CVM, lock it in [Migrating_out], and record
+    the session. Returns the sealed blob and the session epoch (1 on
+    first begin, incremented on each recovery re-begin; the export
+    nonce is fixed per session so every epoch's blob is byte-identical).
+    [budget] is the retry budget audited against recorded stalls.
+    [Already_exists] if the session or CVM is already migrating under a
+    different identity. *)
+
+val migrate_out_abort : t -> session:string -> (unit, Ecall.error) result
+(** Abort an undecided outbound session: the CVM returns to [Suspended]
+    (the source stays the one owner). Idempotent. [Bad_state] after the
+    commit point. *)
+
+val migrate_out_commit : t -> session:string -> (unit, Ecall.error) result
+(** The handoff's commit point: mark the session committed and scrub the
+    source instance. Idempotent. [Bad_state] if already aborted. *)
+
+val migrate_in_prepare :
+  t -> session:string -> epoch:int -> string -> (int, Ecall.error) result
+(** Verify a reassembled blob and build the destination CVM in
+    [Migrating_in] (2PC prepared). Returns the CVM id. A later epoch of
+    the same session replaces an earlier prepared instance; [Denied] on
+    authentication failure or on replay of a committed/aborted session;
+    [Bad_state] on a stale epoch. *)
+
+val migrate_in_commit : t -> session:string -> (int, Ecall.error) result
+(** Activate a prepared CVM ([Migrating_in] → [Suspended], ready to
+    resume). Idempotent; returns the CVM id. *)
+
+val migrate_in_abort : t -> session:string -> (unit, Ecall.error) result
+(** Scrub a prepared-but-uncommitted destination CVM. Idempotent.
+    [Bad_state] once committed. *)
+
+type migration_info = {
+  mi_role : [ `Out | `In ];
+  mi_phase : [ `Active | `Committed | `Aborted ];
+  mi_cvm : int option;
+  mi_epoch : int;
+  mi_blob_tag : string;  (** public fingerprint of the session's blob *)
+  mi_stalls : int;
+  mi_budget : int;
+}
+
+val migrate_session :
+  t -> role:[ `Out | `In ] -> session:string -> migration_info option
+(** Read one side's durable view of a session — the recovery oracle for
+    crashed protocol endpoints. *)
+
+val migrate_note_stalls :
+  t -> session:string -> int -> (unit, Ecall.error) result
+(** Record the source endpoint's consecutive-timeout count so [audit]
+    can enforce the retry budget. *)
+
 val run_vcpu :
   t ->
   hart:int ->
@@ -201,7 +282,13 @@ val audit : t -> (int, string list) result
     - the secure-memory free list is circular, ordered and consistent;
     - no page owned by a live CVM lies inside a free block;
     - the secure vCPU state of every parked CVM matches the checksum
-      seal taken at its last legitimate SM write.
+      seal taken at its last legitimate SM write;
+    - migration-session ownership: every active session pins its CVM in
+      the matching [Migrating_out]/[Migrating_in] state and every
+      migrating CVM is pinned by exactly one active session; committed
+      out-sessions left the source scrubbed; committed in-sessions
+      activated their CVM; aborted sessions stranded no lock; no active
+      source session has exceeded its retry budget.
 
     Returns the number of facts checked, or the list of violations.
     Tests call this after every adversarial scenario; a violation means

@@ -1,0 +1,45 @@
+(** Deterministic lossy channel: the untrusted courier carrying
+    migration protocol messages between two monitors.
+
+    A seeded splitmix64 PRNG decides every fault — drop, duplicate,
+    reorder, corrupt, delay, partition — so a given (seed, faults) pair
+    replays the exact same delivery schedule. One channel carries one
+    direction; a migration uses a pair. *)
+
+type faults = {
+  drop : float;  (** per-message drop probability, [0,1] *)
+  dup : float;  (** per-message duplication probability *)
+  reorder : float;  (** probability a message is held back a few ticks *)
+  corrupt : float;  (** per-message byte-flip probability *)
+  delay_max : int;  (** extra delivery delay, uniform in [0, delay_max] *)
+  partition : (int * int) list;
+      (** inclusive tick windows during which every send is lost *)
+}
+
+val no_faults : faults
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable corrupted : int;
+  mutable partitioned : int;
+}
+
+type t
+
+val create : ?faults:faults -> seed:int -> unit -> t
+
+val send : t -> string -> unit
+(** Submit a message; it is lost, mangled or queued per the fault
+    schedule. Minimum delivery latency is one tick. *)
+
+val tick : t -> string list
+(** Advance the clock one tick and collect the messages due. *)
+
+val now : t -> int
+val pending : t -> int
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -49,6 +49,9 @@ type report = {
   quarantines_reclaimed : int;  (** quarantined CVMs destroyed + reclaimed *)
   cvms_created : int;
   cvms_destroyed : int;
+  migrations : int;  (** protocol migrations attempted (lossy + crashy) *)
+  migrations_committed : int;
+  migrations_aborted : int;
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 
@@ -68,6 +71,8 @@ let pp_report ppf r =
   field "  audit violations       %d@." (List.length r.violations);
   List.iter (fun v -> field "    %s@." v) r.violations;
   field "  CVMs created/destroyed %d/%d@." r.cvms_created r.cvms_destroyed;
+  field "  migrations c/a/total   %d/%d/%d@." r.migrations_committed
+    r.migrations_aborted r.migrations;
   field "  quarantined/reclaimed  %d/%d@." r.quarantines
     r.quarantines_reclaimed;
   field "  pool clean at end      %b@." r.pool_clean;
@@ -80,6 +85,8 @@ type world = {
   r : rng;
   machine : Machine.t;
   mon : Zion.Monitor.t;
+  dst_mon : Zion.Monitor.t;
+      (* a second platform, the far end of protocol migrations *)
   kvm : Kvm.t;
   mutable live : Kvm.cvm_handle list;
   mutable orphans : int list;
@@ -94,6 +101,10 @@ type world = {
   mutable quarantines_reclaimed : int;
   mutable created : int;
   mutable destroyed : int;
+  mutable migrations : int;
+  mutable mig_committed : int;
+  mutable mig_aborted : int;
+  mutable session_ctr : int;
 }
 
 let guest_entry = 0x10000L
@@ -151,13 +162,22 @@ let fuzz_string w =
   let n = rand_int w.r 600 in
   String.init n (fun _ -> Char.chr (rand_int w.r 256))
 
+(* Session ids for migration fuzzing: a small pool of valid names (so
+   calls sometimes hit a real session and exercise the state checks)
+   mixed with empty and garbage strings (which must all bounce). *)
+let fuzz_session w =
+  match rand_int w.r 4 with
+  | 0 | 1 -> "s" ^ string_of_int (rand_int w.r 4)
+  | 2 -> ""
+  | _ -> fuzz_string w
+
 (* One randomized call against a randomly chosen host-interface fid.
    register_secure_region only ever sees invalid arguments here: a
    randomly *valid* donation would hand the SM memory the host still
    uses, which is self-sabotage rather than an attack on the SM. *)
 let fuzz_ecall w =
   let mon = w.mon in
-  match rand_int w.r 11 with
+  match rand_int w.r 15 with
   | 0 ->
       let base = Int64.logor (fuzz_addr w) 1L (* never block-aligned *) in
       call w (fun () ->
@@ -211,6 +231,34 @@ let fuzz_ecall w =
             (rand_i64 w.r))
   | 8 -> call w (fun () -> Zion.Monitor.export_cvm mon ~cvm:(fuzz_id w))
   | 9 -> call w (fun () -> Zion.Monitor.import_cvm mon (fuzz_string w))
+  | 10 ->
+      (* A hostile host opening migration sessions on arbitrary ids:
+         at worst it parks its own CVM in [Migrating_out] (it could
+         equally destroy it), never anyone else's. *)
+      call w (fun () ->
+          Zion.Monitor.migrate_out_begin mon ~cvm:(fuzz_id w)
+            ~session:(fuzz_session w))
+  | 11 ->
+      let session = fuzz_session w in
+      if rand_int w.r 2 = 0 then
+        call w (fun () -> Zion.Monitor.migrate_out_abort mon ~session)
+      else call w (fun () -> Zion.Monitor.migrate_out_commit mon ~session)
+  | 12 ->
+      (* Random bytes never carry a valid seal, so prepare must refuse
+         without allocating anything. *)
+      call w (fun () ->
+          Zion.Monitor.migrate_in_prepare mon ~session:(fuzz_session w)
+            ~epoch:(rand_int w.r 6 - 2)
+            (fuzz_string w))
+  | 13 -> (
+      let session = fuzz_session w in
+      match rand_int w.r 3 with
+      | 0 -> call w (fun () -> Zion.Monitor.migrate_in_commit mon ~session)
+      | 1 -> call w (fun () -> Zion.Monitor.migrate_in_abort mon ~session)
+      | _ ->
+          call w (fun () ->
+              Zion.Monitor.migrate_note_stalls mon ~session
+                (rand_int w.r 50 - 10)))
   | _ ->
       let id = fuzz_id w in
       let was_destroyed =
@@ -393,21 +441,97 @@ let migrate_roundtrip w =
                    ~max_steps:2000);
               call w (fun () -> Zion.Monitor.destroy_cvm w.mon ~cvm:id)))
 
-let audit w =
-  w.audits <- w.audits + 1;
-  match Zion.Monitor.audit w.mon with
+(* Full protocol migration to the second platform, over a lossy channel
+   with random fault rates and, some of the time, a crash injected on a
+   random side at a random step. Whatever happens, the run must reach a
+   terminal state with exactly one owner. *)
+let proto_migrate w =
+  let movable h =
+    match Zion.Monitor.cvm_state w.mon ~cvm:(Kvm.cvm_id h) with
+    | Some Zion.Cvm.Runnable | Some Zion.Cvm.Suspended -> true
+    | _ -> false
+  in
+  match List.filter movable w.live with
+  | [] -> ()
+  | candidates ->
+      let h = one_of w.r candidates in
+      let cvm = Kvm.cvm_id h in
+      w.session_ctr <- w.session_ctr + 1;
+      let session = Printf.sprintf "chaos-mig-%d" w.session_ctr in
+      let pm () = float_of_int (rand_int w.r 200) /. 1000. (* 0..20% *) in
+      let faults =
+        {
+          Channel.no_faults with
+          drop = pm ();
+          dup = pm ();
+          reorder = pm ();
+          corrupt = pm ();
+          delay_max = rand_int w.r 3;
+        }
+      in
+      let crash =
+        if rand_int w.r 3 = 0 then
+          Some
+            {
+              Migrator.at = 1 + rand_int w.r 40;
+              side = (if rand_int w.r 2 = 0 then Migrator.Source else Migrator.Dest);
+            }
+        else None
+      in
+      let seed = 1 + Int64.to_int (Int64.logand (rand_i64 w.r) 0xFFFFFL) in
+      w.migrations <- w.migrations + 1;
+      let violation msg =
+        let msg = "migration " ^ session ^ ": " ^ msg in
+        if not (List.mem msg w.violations) then
+          w.violations <- msg :: w.violations
+      in
+      let check_handoff () =
+        (* Whichever way it ended, the handoff must be unambiguous. *)
+        match
+          Migrator.handoff_clean ~src:w.mon ~dst:w.dst_mon ~cvm ~session
+        with
+        | Ok _ -> ()
+        | Error msg -> violation msg
+      in
+      (match
+         Migrator.run ~faults ~seed ?crash ~src:w.mon ~dst:w.dst_mon ~cvm
+           ~session ()
+       with
+      | Ok (Migrator.Committed id, _) ->
+          w.mig_committed <- w.mig_committed + 1;
+          check_handoff ();
+          (* the source copy was scrubbed at the commit point *)
+          w.destroyed <- w.destroyed + 1;
+          forget w h;
+          (* retire the landed copy so the far pool drains to empty *)
+          ignore (Zion.Monitor.destroy_cvm w.dst_mon ~cvm:id)
+      | Ok (Migrator.Aborted _, _) ->
+          w.mig_aborted <- w.mig_aborted + 1;
+          check_handoff ()
+      | Error msg -> violation msg
+      | exception exn -> record_exn w exn)
+
+let audit_one w mon label =
+  match Zion.Monitor.audit mon with
   | Ok _ -> ()
   | Error findings ->
       Metrics.Registry.inc (registry w) "chaos.audit_violation";
       List.iter
         (fun f ->
+          let f = label ^ f in
           if not (List.mem f w.violations) then
             w.violations <- f :: w.violations)
         findings
   | exception exn ->
       w.uncaught <- w.uncaught + 1;
       w.violations <-
-        ("audit itself raised: " ^ Printexc.to_string exn) :: w.violations
+        (label ^ "audit itself raised: " ^ Printexc.to_string exn)
+        :: w.violations
+
+let audit w =
+  w.audits <- w.audits + 1;
+  audit_one w w.mon "";
+  audit_one w w.dst_mon "dst: "
 
 (* ---------- driver ---------- *)
 
@@ -422,11 +546,24 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
   (match Kvm.donate_secure_pool kvm ~mib:pool_mib with
   | Ok () -> ()
   | Error e -> invalid_arg ("Chaos.run: " ^ e));
+  (* The far end of protocol migrations: its own machine and monitor,
+     with a secure pool carved out of its own DRAM. *)
+  let dst_machine = Machine.create ~nharts ~dram_size:(mib dram_mib) () in
+  let dst_mon = Zion.Monitor.create dst_machine in
+  (match
+     Zion.Monitor.register_secure_region dst_mon
+       ~base:(Int64.add Bus.dram_base (mib (dram_mib / 2)))
+       ~size:(mib pool_mib)
+   with
+  | Ok _ -> ()
+  | Error e ->
+      invalid_arg ("Chaos.run (dst): " ^ Zion.Ecall.error_to_string e));
   let w =
     {
       r;
       machine;
       mon;
+      dst_mon;
       kvm;
       live = [];
       orphans = [];
@@ -440,6 +577,10 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
       quarantines_reclaimed = 0;
       created = 0;
       destroyed = 0;
+      migrations = 0;
+      mig_committed = 0;
+      mig_aborted = 0;
+      session_ctr = 0;
     }
   in
   for i = 1 to iters do
@@ -451,7 +592,8 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
     | n when n < 86 -> tamper_reply w
     | n when n < 92 -> tamper_subtree w
     | n when n < 95 -> flip_expand_policy w
-    | n when n < 98 -> migrate_roundtrip w
+    | n when n < 97 -> migrate_roundtrip w
+    | n when n < 99 -> proto_migrate w
     | _ -> ( match w.live with [] -> spawn w | h :: _ -> destroy w h));
     reap_quarantined w;
     (* Audit on a sample of iterations plus always at the end: a full
@@ -478,11 +620,12 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
           end)
     w.orphans;
   audit w;
-  let sm = Zion.Monitor.secmem mon in
-  let pool_clean =
+  let clean mon =
+    let sm = Zion.Monitor.secmem mon in
     Zion.Secmem.free_blocks sm = Zion.Secmem.total_blocks sm
     && Zion.Secmem.check_invariants sm = Ok ()
   in
+  let pool_clean = clean mon && clean dst_mon in
   {
     iterations = iters;
     calls = w.calls;
@@ -495,5 +638,8 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
     quarantines_reclaimed = w.quarantines_reclaimed;
     cvms_created = w.created;
     cvms_destroyed = w.destroyed;
+    migrations = w.migrations;
+    migrations_committed = w.mig_committed;
+    migrations_aborted = w.mig_aborted;
     pool_clean;
   }

@@ -3,9 +3,12 @@
     A seeded, deterministic chaos engine that plays the paper's threat
     model against a live Secure Monitor: randomized host-interface
     calls with adversarial arguments, shared-vCPU reply tampering,
-    hostile shared-subtree planting, and dishonest answers to the
-    slow-path [Exit_need_memory] protocol — interleaved with
-    legitimate guest work so the attacks land on realistic state.
+    hostile shared-subtree planting, dishonest answers to the
+    slow-path [Exit_need_memory] protocol, and full protocol
+    migrations to a second platform over a lossy channel with random
+    fault rates and injected endpoint crashes ({!Migrator}) —
+    interleaved with legitimate guest work so the attacks land on
+    realistic state.
 
     The engine checks three survivability properties and reports them:
 
@@ -14,7 +17,10 @@
     - [Zion.Monitor.audit] finds no invariant violation after any
       injected fault;
     - every CVM the SM quarantines can still be destroyed, with all
-      its secure blocks returning to the pool. *)
+      its secure blocks returning to the pool;
+    - every migration, however faulty the channel and whenever either
+      endpoint crashed, terminates with exactly one owner
+      ({!Migrator.handoff_clean}) and both monitors audit clean. *)
 
 type report = {
   iterations : int;
@@ -28,6 +34,9 @@ type report = {
   quarantines_reclaimed : int;  (** quarantined CVMs destroyed + reclaimed *)
   cvms_created : int;
   cvms_destroyed : int;
+  migrations : int;  (** protocol migrations attempted (lossy + crashy) *)
+  migrations_committed : int;
+  migrations_aborted : int;
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 

@@ -1,0 +1,252 @@
+(* Drives one crash-safe migration between two monitors over a pair of
+   lossy channels, with optional crash injection at a chosen protocol
+   step on either end. This is the harness half of the protocol: the
+   endpoints (Zion.Migrate_proto) never see the channels or the crash
+   schedule, exactly as a real courier process would be outside them. *)
+
+module Mp = Zion.Migrate_proto
+
+type side = Source | Dest
+
+let side_to_string = function Source -> "source" | Dest -> "dest"
+
+type crash = { at : int; side : side }
+
+type outcome =
+  | Committed of int  (* destination CVM id *)
+  | Aborted of string
+
+type stats = {
+  ticks : int;
+  src_events : int;
+  dst_events : int;
+  chunks_sent : int;
+  retransmits : int;
+  chunks_recv : int;
+  dup_chunks : int;
+  rejected : int;
+  crashes : int;
+  recoveries : int;
+  fwd : Channel.stats;  (* source -> dest *)
+  rev : Channel.stats;  (* dest -> source *)
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "ticks %d; src events %d, dst events %d; chunks sent %d (retx %d), recv \
+     %d (dup %d), rejected %d; crashes %d, recoveries %d@\n\
+     fwd: %a@\nrev: %a"
+    s.ticks s.src_events s.dst_events s.chunks_sent s.retransmits
+    s.chunks_recv s.dup_chunks s.rejected s.crashes s.recoveries
+    Channel.pp_stats s.fwd Channel.pp_stats s.rev
+
+(* Ground truth for the exactly-one-owner invariant, read from the
+   monitors (never from the endpoints): does each side hold a usable —
+   current or future-runnable — instance of the guest? *)
+let owners ~src ~dst ~cvm ~session =
+  let source_owns =
+    match Zion.Monitor.cvm_state src ~cvm with
+    | Some
+        ( Zion.Cvm.Created | Zion.Cvm.Runnable | Zion.Cvm.Running
+        | Zion.Cvm.Suspended | Zion.Cvm.Migrating_out ) ->
+        (* Migrating_out counts: the lock is resumable via abort *)
+        true
+    | Some (Zion.Cvm.Migrating_in | Zion.Cvm.Quarantined | Zion.Cvm.Destroyed)
+    | None ->
+        false
+  in
+  let dest_owns =
+    match Zion.Monitor.migrate_session dst ~role:`In ~session with
+    | Some { Zion.Monitor.mi_phase = `Committed; mi_cvm = Some id; _ } -> (
+        match Zion.Monitor.cvm_state dst ~cvm:id with
+        | Some
+            ( Zion.Cvm.Runnable | Zion.Cvm.Running | Zion.Cvm.Suspended
+            | Zion.Cvm.Migrating_out ) ->
+            true
+        | _ -> false)
+    | _ -> false
+  in
+  (source_owns, dest_owns)
+
+(* The sweep's stronger post-condition: besides exactly one owner, the
+   losing side must hold nothing live for this migration. *)
+let handoff_clean ~src ~dst ~cvm ~session =
+  match owners ~src ~dst ~cvm ~session with
+  | true, true -> Error "both sides own the guest"
+  | false, false -> Error "neither side owns the guest"
+  | true, false -> (
+      (* aborted handoff: any prepared destination instance must be gone *)
+      match Zion.Monitor.migrate_session dst ~role:`In ~session with
+      | Some { Zion.Monitor.mi_cvm = Some id; mi_phase; _ }
+        when mi_phase <> `Committed -> (
+          match Zion.Monitor.cvm_state dst ~cvm:id with
+          | Some Zion.Cvm.Destroyed | None -> Ok `Source
+          | Some st ->
+              Error
+                (Printf.sprintf "source owns but dest CVM %d is %s" id
+                   (Zion.Cvm.state_to_string st)))
+      | _ -> Ok `Source)
+  | false, true -> (
+      (* committed handoff: the source instance must be scrubbed *)
+      match Zion.Monitor.cvm_state src ~cvm with
+      | Some Zion.Cvm.Destroyed | None -> Ok `Dest
+      | Some st ->
+          Error
+            (Printf.sprintf "dest owns but source CVM %d is %s" cvm
+               (Zion.Cvm.state_to_string st)))
+
+let run ?(config = Mp.default_config) ?(faults = Channel.no_faults) ?(seed = 1)
+    ?crash ?(recover_after = 5) ?(max_ticks = 20_000) ?(grace = 200) ~src ~dst
+    ~cvm ~session () =
+  match Mp.source_start ~config src ~cvm ~session with
+  | Error e -> Error ("source_start: " ^ Zion.Ecall.error_to_string e)
+  | Ok s0 ->
+      let fwd = Channel.create ~faults ~seed () in
+      let rev = Channel.create ~faults ~seed:(seed + 0x5eed) () in
+      let source = ref (Some s0) in
+      let dest = ref (Some (Mp.dest_create ~config dst ~session)) in
+      let crashes = ref 0 in
+      let recoveries = ref 0 in
+      let src_recover_at = ref (-1) in
+      let dst_recover_at = ref (-1) in
+      let crash_pending = ref crash in
+      (* last observed endpoint stats, so a crash doesn't zero them *)
+      let s_sent = ref 0 and s_retx = ref 0 and s_rej = ref 0 in
+      let s_events = ref 0 and d_events = ref 0 in
+      let d_recv = ref 0 and d_dup = ref 0 and d_rej = ref 0 in
+      let base_s_sent = ref 0 and base_s_retx = ref 0 and base_s_rej = ref 0 in
+      let base_d_recv = ref 0 and base_d_dup = ref 0 and base_d_rej = ref 0 in
+      let base_s_events = ref 0 and base_d_events = ref 0 in
+      let snap_source s =
+        let sent, retx, rej = Mp.source_stats s in
+        s_sent := !base_s_sent + sent;
+        s_retx := !base_s_retx + retx;
+        s_rej := !base_s_rej + rej;
+        s_events := !base_s_events + Mp.source_events s
+      in
+      let snap_dest d =
+        let recv, dup, rej = Mp.dest_stats d in
+        d_recv := !base_d_recv + recv;
+        d_dup := !base_d_dup + dup;
+        d_rej := !base_d_rej + rej;
+        d_events := !base_d_events + Mp.dest_events d
+      in
+      let kill side now =
+        incr crashes;
+        (match side with
+        | Source ->
+            (match !source with Some s -> snap_source s | None -> ());
+            base_s_sent := !s_sent;
+            base_s_retx := !s_retx;
+            base_s_rej := !s_rej;
+            base_s_events := !s_events;
+            source := None;
+            src_recover_at := now + recover_after
+        | Dest ->
+            (match !dest with Some d -> snap_dest d | None -> ());
+            base_d_recv := !d_recv;
+            base_d_dup := !d_dup;
+            base_d_rej := !d_rej;
+            base_d_events := !d_events;
+            dest := None;
+            dst_recover_at := now + recover_after);
+        crash_pending := None
+      in
+      let finished = ref None in
+      let grace_left = ref grace in
+      let tick = ref 0 in
+      while !finished = None && !tick < max_ticks do
+        incr tick;
+        let now = !tick in
+        let to_dest = Channel.tick fwd in
+        let to_source = Channel.tick rev in
+        (* destination first: purely reactive *)
+        (match !dest with
+        | Some d ->
+            let out = Mp.dest_step d ~now ~inbox:to_dest in
+            (match !crash_pending with
+            | Some { at; side = Dest }
+              when !base_d_events + Mp.dest_events d >= at ->
+                (* crash swallows the step's unsent replies *)
+                kill Dest now
+            | _ -> List.iter (Channel.send rev) out);
+            (match !dest with Some d -> snap_dest d | None -> ())
+        | None ->
+            List.iter (fun _ -> ()) to_dest;
+            if !dst_recover_at >= 0 && now >= !dst_recover_at then begin
+              dest := Some (Mp.dest_recover ~config dst ~session);
+              dst_recover_at := -1;
+              incr recoveries
+            end);
+        (match !source with
+        | Some s ->
+            let out = Mp.source_step s ~now ~inbox:to_source in
+            (match !crash_pending with
+            | Some { at; side = Source }
+              when !base_s_events + Mp.source_events s >= at ->
+                kill Source now
+            | _ -> List.iter (Channel.send fwd) out);
+            (match !source with
+            | Some s ->
+                snap_source s;
+                (match Mp.source_phase s with
+                | Mp.S_done ->
+                    if !grace_left <= 0 then
+                      finished := Some (Ok (Committed 0))
+                    else decr grace_left
+                | Mp.S_aborted reason ->
+                    if !grace_left <= 0 then
+                      finished := Some (Ok (Aborted reason))
+                    else decr grace_left
+                | _ -> ())
+            | None -> ())
+        | None ->
+            List.iter (fun _ -> ()) to_source;
+            if !src_recover_at >= 0 && now >= !src_recover_at then begin
+              match Mp.source_recover ~config src ~session with
+              | Ok s ->
+                  source := Some s;
+                  src_recover_at := -1;
+                  incr recoveries
+              | Error e ->
+                  finished :=
+                    Some
+                      (Error
+                         ("source_recover: " ^ Zion.Ecall.error_to_string e))
+            end)
+      done;
+      let result =
+        match !finished with
+        | Some (Error e) -> Error e
+        | Some (Ok (Aborted r)) -> Ok (Aborted r)
+        | Some (Ok (Committed _)) | None -> (
+            (* resolve the destination CVM id (or a stall) from the
+               monitors, the only authority *)
+            match !finished with
+            | None -> Error "migration did not terminate within max_ticks"
+            | Some _ -> (
+                match
+                  Zion.Monitor.migrate_session dst ~role:`In ~session
+                with
+                | Some { Zion.Monitor.mi_phase = `Committed;
+                         mi_cvm = Some id; _ } ->
+                    Ok (Committed id)
+                | _ -> Error "source done but destination never committed"))
+      in
+      let stats =
+        {
+          ticks = !tick;
+          src_events = !s_events;
+          dst_events = !d_events;
+          chunks_sent = !s_sent;
+          retransmits = !s_retx;
+          chunks_recv = !d_recv;
+          dup_chunks = !d_dup;
+          rejected = !s_rej + !d_rej;
+          crashes = !crashes;
+          recoveries = !recoveries;
+          fwd = Channel.stats fwd;
+          rev = Channel.stats rev;
+        }
+      in
+      Result.map (fun o -> (o, stats)) result

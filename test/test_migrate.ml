@@ -98,6 +98,21 @@ let format_tests =
           "short" true
           (Result.is_error
              (Zion.Migrate.unseal (String.sub blob 0 (String.length blob / 2)))));
+    Alcotest.test_case "repeated exports are unlinkable" `Quick (fun () ->
+        (* Two seals of an unchanged image must not be byte-identical:
+           a deterministic export would let the host correlate
+           snapshots. Pinning the nonce restores determinism (the
+           migration protocol relies on that for crash recovery). *)
+        let im = sample_image () in
+        let b1 = Zion.Migrate.seal im and b2 = Zion.Migrate.seal im in
+        Alcotest.(check bool) "fresh nonces differ" false (String.equal b1 b2);
+        Alcotest.(check bool)
+          "both verify" true
+          (Result.is_ok (Zion.Migrate.unseal b1)
+          && Result.is_ok (Zion.Migrate.unseal b2));
+        let p1 = Zion.Migrate.seal ~nonce:"pin" im
+        and p2 = Zion.Migrate.seal ~nonce:"pin" im in
+        Alcotest.(check bool) "pinned nonce is stable" true (String.equal p1 p2));
   ]
 
 (* ---------- end-to-end migration ---------- *)
