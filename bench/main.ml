@@ -98,6 +98,92 @@ let bench_switches () =
        (fun (c, n) -> [ c; string_of_int n ])
        r.Platform.Exp_switch.shared_on.Platform.Exp_switch.attribution)
 
+(* ---------- TLB retention fast path vs paper-faithful flush ---------- *)
+
+(* Timer-switch storm under both TLB modes. Emits BENCH_switch.json so
+   CI can diff the fast path against the paper-faithful baseline, and
+   asserts the modeled saving: retention drops one tlb_full_flush from
+   each direction of the switch. *)
+let bench_tlb_retention () =
+  Metrics.Table.section
+    "TLB retention — VMID-tagged fast path vs flush-on-every-switch";
+  let iterations = 200 in
+  let faithful =
+    Platform.Exp_switch.measure_retention_switches ~tlb_retention:false
+      ~iterations
+  in
+  let retained =
+    Platform.Exp_switch.measure_retention_switches ~tlb_retention:true
+      ~iterations
+  in
+  let row name (m : Platform.Exp_switch.mode_stats) =
+    let sw = m.Platform.Exp_switch.sw and tlb = m.Platform.Exp_switch.tlb in
+    [
+      name;
+      fixed 0 sw.Platform.Exp_switch.entry_mean;
+      fixed 0 sw.Platform.Exp_switch.exit_mean;
+      string_of_int tlb.Platform.Exp_switch.tlb_hits;
+      string_of_int tlb.Platform.Exp_switch.tlb_misses;
+      string_of_int tlb.Platform.Exp_switch.tlb_flushes;
+      fixed 3 tlb.Platform.Exp_switch.tlb_hit_rate;
+    ]
+  in
+  Metrics.Table.print
+    ~header:
+      [ "mode"; "entry"; "exit"; "tlb hits"; "misses"; "flushes";
+        "hit rate" ]
+    [ row "paper-faithful (full flush)" faithful;
+      row "retained (VMID-tagged)" retained ];
+  let pair (m : Platform.Exp_switch.mode_stats) =
+    m.Platform.Exp_switch.sw.Platform.Exp_switch.entry_mean
+    +. m.Platform.Exp_switch.sw.Platform.Exp_switch.exit_mean
+  in
+  let drop = pair faithful -. pair retained in
+  let want = 2 * Riscv.Cost.default.Riscv.Cost.tlb_full_flush in
+  Printf.printf
+    "steady-state entry+exit saving: %.0f cycles (expected >= %d: two \
+     tlb_full_flush charges)\n"
+    drop want;
+  let mode_json name (m : Platform.Exp_switch.mode_stats) =
+    let sw = m.Platform.Exp_switch.sw and tlb = m.Platform.Exp_switch.tlb in
+    let total mean = int_of_float (mean *. float_of_int sw.Platform.Exp_switch.samples) in
+    Printf.sprintf
+      {|    "%s": {
+      "samples": %d,
+      "entry_mean_cycles": %.1f,
+      "exit_mean_cycles": %.1f,
+      "entry_total_cycles": %d,
+      "exit_total_cycles": %d,
+      "tlb_hits": %d,
+      "tlb_misses": %d,
+      "tlb_flushes": %d,
+      "tlb_hit_rate": %.4f
+    }|}
+      name sw.Platform.Exp_switch.samples sw.Platform.Exp_switch.entry_mean
+      sw.Platform.Exp_switch.exit_mean
+      (total sw.Platform.Exp_switch.entry_mean)
+      (total sw.Platform.Exp_switch.exit_mean)
+      tlb.Platform.Exp_switch.tlb_hits tlb.Platform.Exp_switch.tlb_misses
+      tlb.Platform.Exp_switch.tlb_flushes
+      tlb.Platform.Exp_switch.tlb_hit_rate
+  in
+  let json =
+    Printf.sprintf "{\n%s,\n%s,\n    \"pair_saving_cycles\": %.1f\n}\n"
+      (mode_json "faithful" faithful)
+      (mode_json "retained" retained)
+      drop
+  in
+  let oc = open_out "BENCH_switch.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_switch.json";
+  if drop < float_of_int want then begin
+    Printf.printf
+      "FAIL: retention fast path saved only %.0f cycles (< %d)\n" drop want;
+    exit 1
+  end
+  else print_endline "switch fast-path check: OK"
+
 (* ---------- §V.C : stage-2 page-fault handling ---------- *)
 
 let bench_faults () =
@@ -489,6 +575,7 @@ let () =
     (if quick then "(quick mode: reduced Redis request counts)"
      else "(full mode; pass --quick for a fast run)");
   bench_switches ();
+  bench_tlb_retention ();
   bench_faults ();
   bench_observability ();
   bench_rv8 ();

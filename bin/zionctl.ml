@@ -235,8 +235,22 @@ let fuzz_cmd =
           ~doc:"Initial secure pool size (small pools exercise the \
                 slow-path expansion protocol more).")
   in
-  let run seed iters pool_mib =
-    let r = Hypervisor.Chaos.run ~pool_mib ~seed ~iters () in
+  let no_retention =
+    Arg.(
+      value & flag
+      & info [ "no-tlb-retention" ]
+          ~doc:
+            "Fuzz with the paper-faithful flush-on-every-switch TLB \
+             instead of the VMID-tagged retention fast path. Survival \
+             and a clean audit are required either way; the default \
+             (retention on) puts the precise-shootdown machinery under \
+             fire.")
+  in
+  let run seed iters pool_mib no_retention =
+    let r =
+      Hypervisor.Chaos.run ~pool_mib ~tlb_retention:(not no_retention)
+        ~seed ~iters ()
+    in
     Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
     if not (Hypervisor.Chaos.survived r) then exit 1
   in
@@ -245,7 +259,7 @@ let fuzz_cmd =
        ~doc:
          "Fault-inject the Secure Monitor under a hostile fuzzing \
           hypervisor and report survival")
-    Term.(const run $ seed $ iters $ pool_mib)
+    Term.(const run $ seed $ iters $ pool_mib $ no_retention)
 
 (* ---------- migrate ---------- *)
 
@@ -483,6 +497,27 @@ let stats_cmd =
     let mon = tb.Platform.Testbed.monitor in
     let tr = Zion.Monitor.trace mon in
     print_string (Metrics.Registry.dump (Zion.Monitor.registry mon));
+    Metrics.Table.section "TLB (per hart)";
+    Metrics.Table.print
+      ~header:[ "hart"; "hits"; "misses"; "flushes"; "occupancy" ]
+      (Array.to_list
+         (Array.mapi
+            (fun i h ->
+              let tlb = h.Riscv.Hart.tlb in
+              [
+                string_of_int i;
+                string_of_int (Riscv.Tlb.hits tlb);
+                string_of_int (Riscv.Tlb.misses tlb);
+                string_of_int (Riscv.Tlb.flushes tlb);
+                string_of_int (Riscv.Tlb.occupancy tlb);
+              ])
+            tb.Platform.Testbed.machine.Riscv.Machine.harts));
+    Metrics.Table.section "PMP guard";
+    Metrics.Table.print
+      ~header:[ "counter"; "count" ]
+      (List.map
+         (fun (c, n) -> [ c; string_of_int n ])
+         (Zion.Monitor.pmp_counters mon));
     Metrics.Table.section "cycle ledger (cycles by category)";
     Metrics.Table.print
       ~header:[ "category"; "cycles" ]

@@ -4,10 +4,16 @@ type config = {
   shared_vcpu : bool;
   long_path : bool;
   validate_shared_on_entry : bool;
+  tlb_retention : bool;
 }
 
 let default_config =
-  { shared_vcpu = true; long_path = false; validate_shared_on_entry = false }
+  {
+    shared_vcpu = true;
+    long_path = false;
+    validate_shared_on_entry = false;
+    tlb_retention = false;
+  }
 
 type exit_reason =
   | Exit_timer
@@ -131,7 +137,7 @@ let create ?(config = default_config) machine =
   Array.iter
     (fun hart ->
       Deleg_policy.apply_normal hart;
-      Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false;
+      ignore (Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false);
       hart.Hart.mode <- Priv.HS)
     machine.Machine.harts;
   (* The IOPMP runs with a permissive default over normal memory;
@@ -191,6 +197,24 @@ let host_call t name ?cvm f =
 
 let find_cvm t id = Hashtbl.find_opt t.cvms id
 
+(* Precise cross-hart shootdown: drop one VMID's translations from every
+   hart's TLB — the VMID-tagged hfence.gvma. Used wherever a whole
+   guest-physical space dies at once (destroy, quarantine, migrate-out
+   commit): any hart may hold retained entries for the CVM, and those
+   must not outlive its pages. Charged per hart actually fenced. *)
+let shootdown_vmid t ~vmid ~reason =
+  let harts = t.machine.Machine.harts in
+  Array.iter (fun hart -> Tlb.flush_vmid hart.Hart.tlb vmid) harts;
+  charge t "sm_shootdown"
+    (Array.length harts * t.cost.Cost.tlb_vmid_flush);
+  if obs t then begin
+    Metrics.Registry.inc t.registry ~by:(Array.length harts)
+      "tlb.vmid_flush";
+    Metrics.Trace.instant t.trace
+      ~args:[ ("vmid", string_of_int vmid); ("reason", reason) ]
+      "tlb.shootdown"
+  end
+
 (* ---------- vCPU seals and quarantine ---------- *)
 
 (* FNV-1a over the architectural fields. Not cryptographic — the host
@@ -231,6 +255,9 @@ let quarantine t cvm ~reason =
     cvm.Cvm.state <- Cvm.Quarantined;
     cvm.Cvm.quarantine_reason <- Some reason;
     Spt.clear_shared_root cvm.Cvm.spt;
+    (* The CVM will never legitimately run again, so no hart may keep
+       translating its guest-physical space. *)
+    shootdown_vmid t ~vmid:cvm.Cvm.id ~reason:"quarantine";
     Metrics.Registry.inc t.registry "cvm.quarantined";
     if obs t then
       Metrics.Trace.instant t.trace ~cvm:cvm.Cvm.id
@@ -253,12 +280,24 @@ let long_path_exit_extra c =
   c.Cost.sechyp_trap + c.Cost.sechyp_xret + c.Cost.sechyp_ctx
   + c.Cost.sechyp_dispatch_exit + c.Cost.sechyp_barrier
 
-let entry_cost t ~mmio ~validated_ptes =
+(* [pmp]/[tlb_flush] record the work the switch actually performed: a
+   skipped PMP toggle (epoch cache) or a retained TLB costs nothing.
+   The defaults describe the steady-state path of the configured mode,
+   so [path_cost] stays honest in both. *)
+let entry_cost ?(pmp = true) ?tlb_flush t ~mmio ~validated_ptes =
   let c = t.cost in
+  let tlb_flush =
+    match tlb_flush with
+    | Some f -> f
+    | None -> not t.cfg.tlb_retention
+  in
   let base =
     c.Cost.trap_entry + c.Cost.gpr_all + c.Cost.csr_ctx_host
-    + c.Cost.deleg_reprogram + c.Cost.pmp_toggle + c.Cost.hgatp_write
-    + c.Cost.tlb_full_flush + c.Cost.csr_ctx_guest + c.Cost.gpr_all
+    + c.Cost.deleg_reprogram
+    + (if pmp then c.Cost.pmp_toggle else 0)
+    + c.Cost.hgatp_write
+    + (if tlb_flush then c.Cost.tlb_full_flush else 0)
+    + c.Cost.csr_ctx_guest + c.Cost.gpr_all
     + c.Cost.vcpu_integrity + c.Cost.irq_scan + c.Cost.timer_prog
     + c.Cost.xret
   in
@@ -276,12 +315,20 @@ let entry_cost t ~mmio ~validated_ptes =
   let long = if t.cfg.long_path then long_path_entry_extra c else 0 in
   base + mmio_extra + long + (validated_ptes * 2)
 
-let exit_cost t ~mmio =
+let exit_cost ?(pmp = true) ?tlb_flush t ~mmio =
   let c = t.cost in
+  let tlb_flush =
+    match tlb_flush with
+    | Some f -> f
+    | None -> not t.cfg.tlb_retention
+  in
   let base =
     c.Cost.trap_entry + c.Cost.gpr_all + c.Cost.csr_ctx_guest
-    + c.Cost.exit_cause_decode + c.Cost.pmp_toggle + c.Cost.hgatp_write
-    + c.Cost.tlb_full_flush + c.Cost.gpr_all + c.Cost.csr_ctx_host
+    + c.Cost.exit_cause_decode
+    + (if pmp then c.Cost.pmp_toggle else 0)
+    + c.Cost.hgatp_write
+    + (if tlb_flush then c.Cost.tlb_full_flush else 0)
+    + c.Cost.gpr_all + c.Cost.csr_ctx_host
     + c.Cost.deleg_reprogram + c.Cost.xret
   in
   let mmio_extra =
@@ -325,22 +372,29 @@ let register_secure_region_impl t ~base ~size =
     | Error _ -> Error Ecall.Invalid_param
     | Ok blocks ->
         (match
+           let synced = ref 0 in
            Array.iter
-             (fun hart -> Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false)
-             t.machine.Machine.harts
+             (fun hart ->
+               if Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false
+               then incr synced)
+             t.machine.Machine.harts;
+           !synced
          with
-        | () ->
+        | synced ->
+            let nharts = Array.length t.machine.Machine.harts in
             Pmp_guard.guard_iopmp t.guard (Bus.iopmp bus) t.sm;
-            (* PMP resync + IOPMP programming + mandatory global fence. *)
+            (* Per-hart PMP resync + IOPMP programming + the mandatory
+               global fence on every hart (the paper keeps region
+               registration a full-flush point). Charged per hart so
+               the ledger agrees with the registry's flush count. *)
             charge t "sm_region_setup"
-              (t.cost.Cost.pmp_toggle + t.cost.Cost.pmp_toggle
-             + t.cost.Cost.tlb_full_flush);
+              ((synced * t.cost.Cost.pmp_toggle) + t.cost.Cost.pmp_toggle
+              + (nharts * t.cost.Cost.tlb_full_flush));
             Array.iter
               (fun hart -> Tlb.flush_all hart.Hart.tlb)
               t.machine.Machine.harts;
             if obs t then
-              Metrics.Registry.inc t.registry
-                ~by:(Array.length t.machine.Machine.harts) "tlb.full_flush";
+              Metrics.Registry.inc t.registry ~by:nharts "tlb.full_flush";
             Ok blocks
         | exception Invalid_argument _ -> Error Ecall.Invalid_param)
   end
@@ -569,6 +623,11 @@ let destroy_cvm_impl t ~cvm:id =
       cvm.Cvm.table_blocks := [];
       Hashtbl.remove t.freed_pages id;
       cvm.Cvm.state <- Cvm.Destroyed;
+      (* Every hart that ever ran this CVM may retain translations into
+         the just-freed blocks; without this shootdown the next owner of
+         those blocks inherits them (covers migrate_out_commit too,
+         which destroys through here). *)
+      shootdown_vmid t ~vmid:id ~reason:"destroy";
       for v = 0 to Cvm.nvcpus cvm - 1 do
         Hashtbl.remove t.pending_mmio (id, v);
         Hashtbl.remove t.staged_reg (id, v);
@@ -1129,7 +1188,16 @@ let handle_guest_ecall t cvm (hart : Hart.t) =
               (Bus.dram t.machine.Machine.bus)
               (Int64.sub pa Bus.dram_base) 4096L;
             charge t "sm_scrub" t.cost.Cost.page_scrub;
-            Tlb.flush_page hart.Hart.tlb gpa;
+            (* The guest VAs aliasing this page are unknown here (with
+               VS-stage paging a VA need not equal the GPA), and other
+               harts may retain the translation too: shoot down by
+               physical page, scoped to this CVM, on every hart. *)
+            Array.iter
+              (fun h -> Tlb.flush_pa ~vmid:cvm.Cvm.id h.Hart.tlb pa)
+              t.machine.Machine.harts;
+            charge t "sm_shootdown"
+              (Array.length t.machine.Machine.harts
+              * t.cost.Cost.tlb_vmid_flush);
             (match Hashtbl.find_opt t.freed_pages cvm.Cvm.id with
             | Some r -> r := pa :: !r
             | None -> Hashtbl.add t.freed_pages cvm.Cvm.id (ref [ pa ]));
@@ -1179,10 +1247,19 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
   (* When the exit came through a trap, the hart's pc already points at
      the M-mode vector; the guest's architectural resume point is mepc. *)
   if hart.Hart.mode = Priv.M then sv.Vcpu.pc <- hart.Hart.csr.Csr.mepc;
-  Pmp_guard.set_world t.guard hart ~cvm_open:false;
+  let pmp_work = Pmp_guard.set_world t.guard hart ~cvm_open:false in
   restore_host_ctx t hart_id;
-  Tlb.flush_all hart.Hart.tlb;
-  let cycles = exit_cost t ~mmio:mmio_kind in
+  (* With VMID-tagged retention the guest's entries stay cached across
+     the switch — precise shootdowns keep them coherent — and the host
+     never pays the refill walks. *)
+  let flushed =
+    if t.cfg.tlb_retention then false
+    else begin
+      Tlb.flush_all hart.Hart.tlb;
+      true
+    end
+  in
+  let cycles = exit_cost ~pmp:pmp_work ~tlb_flush:flushed t ~mmio:mmio_kind in
   (* Trap.take already charged trap_entry when the guest trapped. *)
   let observing = obs t in
   if observing then
@@ -1195,7 +1272,7 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
     let scope = Metrics.Registry.Cvm cvm.Cvm.id in
     Metrics.Registry.inc t.registry ~scope "exits";
     Metrics.Registry.observe t.registry ~scope "exit_cycles" cycles;
-    Metrics.Registry.inc t.registry "tlb.full_flush"
+    if flushed then Metrics.Registry.inc t.registry "tlb.full_flush"
   end;
   t.exit_hist <- cycles :: t.exit_hist;
   cvm.Cvm.exit_count <- cvm.Cvm.exit_count + 1;
@@ -1352,10 +1429,18 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
               save_host_ctx t hart_id;
               entered := true;
               Deleg_policy.apply_cvm hart;
-              Pmp_guard.set_world t.guard hart ~cvm_open:true;
+              let pmp_work =
+                Pmp_guard.set_world t.guard hart ~cvm_open:true
+              in
               hart.Hart.csr.Csr.hgatp <-
                 Sv39.hgatp_of ~vmid:id ~root:(Spt.root cvm.Cvm.spt);
-              Tlb.flush_all hart.Hart.tlb;
+              let flushed =
+                if t.cfg.tlb_retention then false
+                else begin
+                  Tlb.flush_all hart.Hart.tlb;
+                  true
+                end
+              in
               let validated =
                 if t.cfg.validate_shared_on_entry then
                   Spt.validate_shared cvm.Cvm.spt
@@ -1368,8 +1453,10 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                      the entry before any guest instruction runs, and
                      quarantine so the subtree is disowned. *)
                   restore_host_ctx t hart_id;
-                  Pmp_guard.set_world t.guard hart ~cvm_open:false;
-                  Tlb.flush_all hart.Hart.tlb;
+                  ignore (Pmp_guard.set_world t.guard hart ~cvm_open:false);
+                  (* No guest instruction ran: only this CVM's (possibly
+                     retained) entries could be suspect. *)
+                  Tlb.flush_vmid hart.Hart.tlb id;
                   if obs t then begin
                     Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
                       ~vcpu:vcpu_idx "shared_subtree.reject";
@@ -1383,7 +1470,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                   Error Ecall.Denied
               | Ok validated -> begin
                 let ec =
-                  entry_cost t ~mmio:!mmio_kind ~validated_ptes:validated
+                  entry_cost ~pmp:pmp_work ~tlb_flush:flushed t
+                    ~mmio:!mmio_kind ~validated_ptes:validated
                 in
                 let observing = obs t in
                 if observing then
@@ -1396,7 +1484,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                   let scope = Metrics.Registry.Cvm id in
                   Metrics.Registry.inc t.registry ~scope "entries";
                   Metrics.Registry.observe t.registry ~scope "entry_cycles" ec;
-                  Metrics.Registry.inc t.registry "tlb.full_flush"
+                  if flushed then
+                    Metrics.Registry.inc t.registry "tlb.full_flush"
                 end;
                 t.entry_hist <- ec :: t.entry_hist;
                 cvm.Cvm.entry_count <- cvm.Cvm.entry_count + 1;
@@ -1481,8 +1570,11 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                               resume_guest t hart ~skip:false;
                               loop (steps + 1)
                           | Ok Fault_spurious ->
-                              (* page is present; the retry will hit *)
-                              Tlb.flush_page hart.Hart.tlb
+                              (* page is present; the retry will hit.
+                                 Scope the shootdown to this CVM: with
+                                 retention, another guest's entry for
+                                 the same page index is still valid. *)
+                              Tlb.flush_page ~vmid:id hart.Hart.tlb
                                 hart.Hart.csr.Csr.mtval;
                               resume_guest t hart ~skip:false;
                               loop (steps + 1)
@@ -1524,8 +1616,10 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
           if !entered then begin
             let hart = t.machine.Machine.harts.(hart_id) in
             restore_host_ctx t hart_id;
-            Pmp_guard.set_world t.guard hart ~cvm_open:false;
-            Tlb.flush_all hart.Hart.tlb
+            ignore (Pmp_guard.set_world t.guard hart ~cvm_open:false);
+            (* Only this CVM's translations are suspect; the quarantine
+               below shoots its VMID down on every hart anyway. *)
+            Tlb.flush_vmid hart.Hart.tlb cvm.Cvm.id
           end;
           quarantine t cvm
             ~reason:("internal fault during run: " ^ Printexc.to_string e);
@@ -1626,6 +1720,14 @@ let reset_stats t =
   t.faults <- []
 
 let console_output t = Machine.console_output t.machine
+
+let pmp_counters t =
+  [
+    ("pmp.syncs", Pmp_guard.sync_count t.guard);
+    ("pmp.sync_skips", Pmp_guard.sync_skip_count t.guard);
+    ("pmp.world_toggles", Pmp_guard.world_toggle_count t.guard);
+    ("pmp.world_skips", Pmp_guard.world_skip_count t.guard);
+  ]
 
 let audit t =
   let findings = ref [] in
@@ -1821,4 +1923,54 @@ let audit t =
               (Cvm.state_to_string cvm.Cvm.state)
       | _ -> ())
     live;
+  (* 9. TLB coherence. With VMID-tagged retention a translation can
+     outlive the switch that installed it, so precision bugs surface
+     here: no hart may cache an entry targeting a free secure block, a
+     secure page its CVM no longer maps (scrubbed / relinquished), or
+     secure memory at all under a VMID that belongs to no runnable CVM
+     (host, normal VMs, quarantined, destroyed or migrated-out
+     guests). *)
+  let mapped_pa = Hashtbl.create 256 in
+  List.iter
+    (fun cvm ->
+      Spt.fold_private cvm.Cvm.spt
+        (fun ~gpa:_ ~pa () -> Hashtbl.replace mapped_pa (cvm.Cvm.id, pa) ())
+        ())
+    live;
+  let live_by_id = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace live_by_id c.Cvm.id c) live;
+  Array.iteri
+    (fun i hart ->
+      Tlb.fold hart.Hart.tlb
+        (fun ~asid:_ ~vmid ~vpage entry () ->
+          incr checked;
+          let pa = entry.Tlb.pa_page in
+          if Secmem.contains t.sm pa then begin
+            let base = Int64.mul (Int64.div pa blk) blk in
+            if Hashtbl.mem free_bases base then
+              fail
+                "hart %d TLB: vmid %d vpage 0x%Lx targets PA 0x%Lx in \
+                 free block 0x%Lx"
+                i vmid vpage pa base
+            else
+              match Hashtbl.find_opt live_by_id vmid with
+              | None ->
+                  fail
+                    "hart %d TLB: vmid %d (no live CVM) still translates \
+                     vpage 0x%Lx to secure PA 0x%Lx"
+                    i vmid vpage pa
+              | Some c when c.Cvm.state = Cvm.Quarantined ->
+                  fail
+                    "hart %d TLB: quarantined CVM %d still translates \
+                     vpage 0x%Lx to secure PA 0x%Lx"
+                    i vmid vpage pa
+              | Some c ->
+                  if not (Hashtbl.mem mapped_pa (c.Cvm.id, pa)) then
+                    fail
+                      "hart %d TLB: CVM %d caches vpage 0x%Lx -> PA \
+                       0x%Lx it no longer maps"
+                      i vmid vpage pa
+          end)
+        ())
+    t.machine.Machine.harts;
   if !findings = [] then Ok !checked else Error (List.rev !findings)

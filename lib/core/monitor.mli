@@ -30,6 +30,13 @@ type config = {
   validate_shared_on_entry : bool;
       (** sweep the hypervisor's shared page-table subtree on every
           entry (hardened mode; off to match the paper's measurements) *)
+  tlb_retention : bool;
+      (** VMID-tagged world-switch fast path: keep TLB entries across
+          entry/exit instead of the paper-faithful full flush, relying
+          on precise VMID/PA-scoped shootdowns wherever a mapping dies
+          (relinquish, destroy, quarantine, migrate-out). Off by
+          default to match the paper's measured switch costs; [audit]'s
+          TLB-coherence section holds in both modes *)
 }
 
 val default_config : config
@@ -268,6 +275,11 @@ val reset_stats : t -> unit
 val console_output : t -> string
 (** Guest console bytes forwarded by the SM to the UART. *)
 
+val pmp_counters : t -> (string * int) list
+(** The PMP guard's work/skip counters ([pmp.syncs], [pmp.sync_skips],
+    [pmp.world_toggles], [pmp.world_skips]) — how often the per-hart
+    epoch cache proved a reprogramming redundant. *)
+
 val audit : t -> (int, string list) result
 (** Sweep the whole platform and verify the architecture's global
     security invariants:
@@ -288,7 +300,12 @@ val audit : t -> (int, string list) result
       migrating CVM is pinned by exactly one active session; committed
       out-sessions left the source scrubbed; committed in-sessions
       activated their CVM; aborted sessions stranded no lock; no active
-      source session has exceeded its retry budget.
+      source session has exceeded its retry budget;
+    - TLB coherence: no hart caches a translation into a free secure
+      block, into a secure page its CVM no longer maps, or into secure
+      memory at all under a VMID with no runnable CVM behind it
+      (host, normal VMs, quarantined/destroyed/migrated-out guests) —
+      the invariant that makes VMID-tagged retention safe.
 
     Returns the number of facts checked, or the list of violations.
     Tests call this after every adversarial scenario; a violation means

@@ -2,14 +2,34 @@ open Riscv
 
 type t = {
   mutable programmed : (int64 * int64) list; (* PMP-programmed regions *)
+  mutable region_epoch : int;
+      (* bumped whenever the programmed region set changes; the per-hart
+         caches below are compared against it to skip redundant work *)
   mutable iopmp_done : (int64 * int64) list;
+  hart_epoch : (int, int) Hashtbl.t;
+      (* hart id -> region_epoch its PMP entries were programmed at *)
+  hart_world : (int, bool) Hashtbl.t;
+      (* hart id -> cvm_open its entries currently grant *)
   trace : Metrics.Trace.t option;
   mutable syncs : int;
   mutable world_toggles : int;
+  mutable sync_skips : int;
+  mutable world_skips : int;
 }
 
 let create ?trace () =
-  { programmed = []; iopmp_done = []; trace; syncs = 0; world_toggles = 0 }
+  {
+    programmed = [];
+    region_epoch = 0;
+    iopmp_done = [];
+    hart_epoch = Hashtbl.create 8;
+    hart_world = Hashtbl.create 8;
+    trace;
+    syncs = 0;
+    world_toggles = 0;
+    sync_skips = 0;
+    world_skips = 0;
+  }
 
 let trace_instant t ~hart name args =
   match t.trace with
@@ -29,44 +49,72 @@ let check_region (base, size) =
   if Int64.rem base size <> 0L then
     invalid_arg "Pmp_guard: region base must be size-aligned"
 
+(* A hart is current when its entries were written at the live region
+   epoch and already grant the wanted world. *)
+let hart_current t hart_id ~cvm_open =
+  Hashtbl.find_opt t.hart_epoch hart_id = Some t.region_epoch
+  && Hashtbl.find_opt t.hart_world hart_id = Some cvm_open
+
 let sync_hart t hart secmem ~cvm_open =
   let regions = Secmem.regions secmem in
   if List.length regions > max_regions then
     invalid_arg "Pmp_guard: too many secure regions for PMP entries";
   List.iter check_region regions;
-  let pmp = hart.Hart.csr.Csr.pmp in
-  List.iteri
-    (fun i (base, size) ->
-      Pmp.set_napot_region pmp i ~base ~size ~r:cvm_open ~w:cvm_open
-        ~x:cvm_open)
-    regions;
-  (* Clear any leftover entries between the regions and the backdrop. *)
-  for i = List.length regions to backdrop_entry - 1 do
-    Pmp.clear pmp i
-  done;
-  (* Backdrop: whole address space RWX for lower privileges. *)
-  Pmp.set_napot_region pmp backdrop_entry ~base:0L
-    ~size:0x4000_0000_0000_0000L ~r:true ~w:true ~x:true;
-  t.programmed <- regions;
-  t.syncs <- t.syncs + 1;
-  trace_instant t ~hart:hart.Hart.id "pmp.sync"
-    [
-      ("regions", string_of_int (List.length regions));
-      ("cvm_open", string_of_bool cvm_open);
-    ]
+  if regions <> t.programmed then begin
+    t.programmed <- regions;
+    t.region_epoch <- t.region_epoch + 1
+  end;
+  let hart_id = hart.Hart.id in
+  if hart_current t hart_id ~cvm_open then begin
+    t.sync_skips <- t.sync_skips + 1;
+    false
+  end
+  else begin
+    let pmp = hart.Hart.csr.Csr.pmp in
+    List.iteri
+      (fun i (base, size) ->
+        Pmp.set_napot_region pmp i ~base ~size ~r:cvm_open ~w:cvm_open
+          ~x:cvm_open)
+      regions;
+    (* Clear any leftover entries between the regions and the backdrop. *)
+    for i = List.length regions to backdrop_entry - 1 do
+      Pmp.clear pmp i
+    done;
+    (* Backdrop: whole address space RWX for lower privileges. *)
+    Pmp.set_napot_region pmp backdrop_entry ~base:0L
+      ~size:0x4000_0000_0000_0000L ~r:true ~w:true ~x:true;
+    Hashtbl.replace t.hart_epoch hart_id t.region_epoch;
+    Hashtbl.replace t.hart_world hart_id cvm_open;
+    t.syncs <- t.syncs + 1;
+    trace_instant t ~hart:hart_id "pmp.sync"
+      [
+        ("regions", string_of_int (List.length regions));
+        ("cvm_open", string_of_bool cvm_open);
+      ];
+    true
+  end
 
 let set_world t hart ~cvm_open =
-  let pmp = hart.Hart.csr.Csr.pmp in
-  List.iteri
-    (fun i (_, _) ->
-      let cfg =
-        Pmp.cfg_bits ~r:cvm_open ~w:cvm_open ~x:cvm_open Pmp.Napot
-      in
-      Pmp.set_cfg pmp i cfg)
-    t.programmed;
-  t.world_toggles <- t.world_toggles + 1;
-  trace_instant t ~hart:hart.Hart.id "pmp.world"
-    [ ("cvm_open", string_of_bool cvm_open) ]
+  let hart_id = hart.Hart.id in
+  if hart_current t hart_id ~cvm_open then begin
+    t.world_skips <- t.world_skips + 1;
+    false
+  end
+  else begin
+    let pmp = hart.Hart.csr.Csr.pmp in
+    List.iteri
+      (fun i (_, _) ->
+        let cfg =
+          Pmp.cfg_bits ~r:cvm_open ~w:cvm_open ~x:cvm_open Pmp.Napot
+        in
+        Pmp.set_cfg pmp i cfg)
+      t.programmed;
+    Hashtbl.replace t.hart_world hart_id cvm_open;
+    t.world_toggles <- t.world_toggles + 1;
+    trace_instant t ~hart:hart_id "pmp.world"
+      [ ("cvm_open", string_of_bool cvm_open) ];
+    true
+  end
 
 let guard_iopmp t iopmp secmem =
   List.iter
@@ -83,3 +131,5 @@ let guard_iopmp t iopmp secmem =
 let regions_programmed t = List.length t.programmed
 let sync_count t = t.syncs
 let world_toggle_count t = t.world_toggles
+let sync_skip_count t = t.sync_skips
+let world_skip_count t = t.world_skips

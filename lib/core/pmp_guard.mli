@@ -7,6 +7,13 @@
     then confines the CVM within the pool). A final backdrop entry
     grants lower privileges access to everything else.
 
+    The guard keeps a per-hart epoch cache: a region epoch bumped on
+    every change to the programmed region set, plus each hart's last
+    synced epoch and current world. [sync_hart] and [set_world] consult
+    it and skip the reprogramming (returning [false]) when the hart's
+    entries are already exactly what was asked for — the cost model
+    charges [pmp_toggle] only for work actually performed.
+
     The IOPMP receives a standing deny entry per region, so DMA-capable
     devices can never reach the pool in either world. *)
 
@@ -22,15 +29,19 @@ val max_regions : int
 (** Pool regions representable before PMP entries run out (14: entry 15
     is the backdrop and entry 14 is kept in reserve for firmware). *)
 
-val sync_hart : t -> Riscv.Hart.t -> Secmem.t -> cvm_open:bool -> unit
+val sync_hart : t -> Riscv.Hart.t -> Secmem.t -> cvm_open:bool -> bool
 (** Program all pool regions into the hart's PMP, with permissions
-    according to [cvm_open], plus the backdrop entry. Raises
-    [Invalid_argument] when regions exceed [max_regions] or a region is
-    not NAPOT-encodable. *)
+    according to [cvm_open], plus the backdrop entry. Returns whether
+    any CSR was written: [false] when the hart was already programmed
+    at the current region epoch with the same world (the epoch-cache
+    fast path). Raises [Invalid_argument] when regions exceed
+    [max_regions] or a region is not NAPOT-encodable. *)
 
-val set_world : t -> Riscv.Hart.t -> cvm_open:bool -> unit
+val set_world : t -> Riscv.Hart.t -> cvm_open:bool -> bool
 (** Fast path used on world switches: toggle only the permission bytes
-    of the already-programmed region entries. *)
+    of the already-programmed region entries. Returns whether the
+    toggle was performed; [false] when the hart already grants
+    [cvm_open] (redundant call — nothing to charge). *)
 
 val guard_iopmp : t -> Riscv.Iopmp.t -> Secmem.t -> unit
 (** Install deny entries over every pool region (idempotent per
@@ -39,7 +50,13 @@ val guard_iopmp : t -> Riscv.Iopmp.t -> Secmem.t -> unit
 val regions_programmed : t -> int
 
 val sync_count : t -> int
-(** Full PMP reprogramming passes since creation. *)
+(** Full PMP reprogramming passes since creation (performed only). *)
 
 val world_toggle_count : t -> int
-(** Fast-path permission flips since creation. *)
+(** Fast-path permission flips since creation (performed only). *)
+
+val sync_skip_count : t -> int
+(** Resyncs the epoch cache proved redundant and skipped. *)
+
+val world_skip_count : t -> int
+(** World toggles the epoch cache proved redundant and skipped. *)

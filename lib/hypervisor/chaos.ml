@@ -535,11 +535,16 @@ let audit w =
 
 (* ---------- driver ---------- *)
 
-let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2) ~seed ~iters () =
+let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
+    ?(tlb_retention = false) ~seed ~iters () =
   let r = rng seed in
   let machine = Machine.create ~nharts ~dram_size:(mib dram_mib) () in
   let config =
-    { Zion.Monitor.default_config with validate_shared_on_entry = true }
+    {
+      Zion.Monitor.default_config with
+      validate_shared_on_entry = true;
+      tlb_retention;
+    }
   in
   let mon = Zion.Monitor.create ~config machine in
   let kvm = Kvm.create ~machine ~monitor:mon () in

@@ -50,10 +50,13 @@ val run :
   ?dram_mib:int ->
   ?pool_mib:int ->
   ?nharts:int ->
+  ?tlb_retention:bool ->
   seed:int ->
   iters:int ->
   unit ->
   report
 (** Build a fresh machine/monitor/KVM stack and run [iters] fuzzing
     iterations from [seed]. Same seed, same build — same sequence:
-    failures are replayable. *)
+    failures are replayable. [tlb_retention] turns on the VMID-tagged
+    world-switch fast path, putting the precise-shootdown machinery
+    (and the audit's TLB-coherence section) under fire. *)

@@ -77,6 +77,10 @@ type nvm = {
       (** normal VMs use the same >=1 GiB window for device buffers *)
   sv : Zion.Vcpu.secure;
   mutable alive : bool;
+  hgatp_seen : (int, int64) Hashtbl.t;
+      (** hart id -> hgatp last installed for this VM there; resume only
+          fences the VMID when the value changes (epoch bump), so the
+          steady state pays no invalidation at all *)
 }
 
 type normal_exit = N_timer | N_shutdown | N_limit | N_error of string
@@ -108,6 +112,7 @@ let create_normal_vm t ~entry_pc ~image =
           nvm_shared;
           sv = Zion.Vcpu.fresh_secure ~entry_pc;
           alive = true;
+          hgatp_seen = Hashtbl.create 4;
         }
       in
       t.next_nvm_id <- t.next_nvm_id + 1;
@@ -217,8 +222,19 @@ let run_normal_vm t nvm ~hart:hart_id ~max_steps =
         else Zion.Spt.lookup nvm.spt ~gpa);
     (* Host-side world switch into the guest: normal KVM entry. *)
     Zion.Deleg_policy.apply_normal hart;
-    hart.Hart.csr.Csr.hgatp <-
-      Sv39.hgatp_of ~vmid:(1000 + nvm.nid) ~root:(Zion.Spt.root nvm.spt);
+    let vmid = 1000 + nvm.nid in
+    let hgatp = Sv39.hgatp_of ~vmid ~root:(Zion.Spt.root nvm.spt) in
+    hart.Hart.csr.Csr.hgatp <- hgatp;
+    (* Epoch-bump invalidation instead of fencing every resume: the
+       VMID is fenced on this hart only the first time this VM lands
+       there or after its stage-2 root changed — whatever the retained
+       entries under this VMID once meant, they are gone before any
+       guest access can use them. *)
+    if Hashtbl.find_opt nvm.hgatp_seen hart_id <> Some hgatp then begin
+      Tlb.flush_vmid hart.Hart.tlb vmid;
+      charge t "nvm_tlb_fence" t.cost.Cost.tlb_vmid_flush;
+      Hashtbl.replace nvm.hgatp_seen hart_id hgatp
+    end;
     Zion.Vcpu.restore_to_hart nvm.sv hart;
     hart.Hart.mode <- Priv.VS;
     hart.Hart.wfi_stalled <- false;

@@ -89,6 +89,62 @@ let measure_timer_switches ~long_path ~iterations =
     attribution = attribution_of tb before;
   }
 
+type tlb_counters = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_flushes : int;
+  tlb_hit_rate : float;
+}
+
+type mode_stats = { sw : switch_stats; tlb : tlb_counters }
+
+(* Steady-state timer switches under the chosen TLB mode. Stats are
+   reset after setup (pool registration and image load do mandatory
+   full flushes in either mode) so the counters describe the switch
+   loop alone. *)
+let measure_retention_switches ~tlb_retention ~iterations =
+  let config = { Zion.Monitor.default_config with tlb_retention } in
+  let tb = Testbed.create ~config () in
+  let handle = Testbed.cvm tb [ Decode.Jal (0, 0L) ] in
+  let harts = tb.Testbed.machine.Machine.harts in
+  Array.iter (fun h -> Tlb.reset_stats h.Hart.tlb) harts;
+  let before = Metrics.Ledger.snapshot tb.Testbed.machine.Machine.ledger in
+  Testbed.enable_timer tb ~hart:0;
+  for _ = 1 to iterations do
+    Testbed.set_quantum tb ~hart:0 20_000;
+    match
+      Hypervisor.Kvm.run_cvm tb.Testbed.kvm handle ~hart:0
+        ~max_steps:10_000_000
+    with
+    | Hypervisor.Kvm.C_timer -> ()
+    | _ -> failwith "exp_switch: expected timer exit"
+  done;
+  let entries = Zion.Monitor.entry_cycles tb.Testbed.monitor in
+  let exits = Zion.Monitor.exit_cycles tb.Testbed.monitor in
+  let sum f = Array.fold_left (fun acc h -> acc + f h.Hart.tlb) 0 harts in
+  let hits = sum Tlb.hits
+  and misses = sum Tlb.misses
+  and flushes = sum Tlb.flushes in
+  let lookups = hits + misses in
+  {
+    sw =
+      {
+        entry_mean = mean entries;
+        exit_mean = mean exits;
+        samples = List.length exits;
+        attribution = attribution_of tb before;
+      };
+    tlb =
+      {
+        tlb_hits = hits;
+        tlb_misses = misses;
+        tlb_flushes = flushes;
+        tlb_hit_rate =
+          (if lookups = 0 then 0.
+           else float_of_int hits /. float_of_int lookups);
+      };
+  }
+
 type report = {
   shared_on : switch_stats;
   shared_off : switch_stats;

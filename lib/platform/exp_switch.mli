@@ -29,6 +29,23 @@ val measure_mmio_switches : shared_vcpu:bool -> iterations:int -> switch_stats
 val measure_timer_switches : long_path:bool -> iterations:int -> switch_stats
 (** Timer-triggered switches under the short or long path. *)
 
+type tlb_counters = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_flushes : int;
+  tlb_hit_rate : float;  (** hits / (hits + misses), 0 when idle *)
+}
+
+type mode_stats = { sw : switch_stats; tlb : tlb_counters }
+
+val measure_retention_switches :
+  tlb_retention:bool -> iterations:int -> mode_stats
+(** Timer-triggered switches with the VMID-tagged retention fast path
+    on or off, plus the harts' TLB counters over the measured loop
+    (stats reset after setup). The retained mode should show the
+    entry+exit pair cheaper by two [tlb_full_flush] charges and a
+    near-1 hit rate once warm. *)
+
 type report = {
   shared_on : switch_stats;
   shared_off : switch_stats;

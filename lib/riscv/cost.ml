@@ -17,6 +17,7 @@ type t = {
   pmp_toggle : int;
   hgatp_write : int;
   tlb_full_flush : int;
+  tlb_vmid_flush : int;
   tlb_refill_per_page : int;
   cache_refill_per_line : int;
   dcache_lines : int;
@@ -79,6 +80,7 @@ let default =
     pmp_toggle = 300; (* 2 pmpcfg writes incl. required fences *)
     hgatp_write = 80;
     tlb_full_flush = 400;
+    tlb_vmid_flush = 160; (* hfence.gvma with a VMID operand *)
     tlb_refill_per_page = 200;
     cache_refill_per_line = 60;
     dcache_lines = 256; (* 16 KiB / 64 B *)
@@ -141,6 +143,7 @@ let to_assoc c =
     ("pmp_toggle", c.pmp_toggle);
     ("hgatp_write", c.hgatp_write);
     ("tlb_full_flush", c.tlb_full_flush);
+    ("tlb_vmid_flush", c.tlb_vmid_flush);
     ("tlb_refill_per_page", c.tlb_refill_per_page);
     ("cache_refill_per_line", c.cache_refill_per_line);
     ("dcache_lines", c.dcache_lines);
@@ -205,6 +208,7 @@ let scaled f =
     pmp_toggle = s d.pmp_toggle;
     hgatp_write = s d.hgatp_write;
     tlb_full_flush = s d.tlb_full_flush;
+    tlb_vmid_flush = s d.tlb_vmid_flush;
     tlb_refill_per_page = s d.tlb_refill_per_page;
     cache_refill_per_line = s d.cache_refill_per_line;
     dcache_lines = d.dcache_lines;

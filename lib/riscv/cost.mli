@@ -33,6 +33,8 @@ type t = {
   pmp_toggle : int;  (** flip the secure-pool PMP entries (2 writes) *)
   hgatp_write : int;
   tlb_full_flush : int;
+  tlb_vmid_flush : int;
+      (** vmid-scoped hfence.gvma — the precise-shootdown primitive *)
   tlb_refill_per_page : int;  (** one page-walk refill after a flush *)
   cache_refill_per_line : int;  (** one L1 line refill after a switch *)
   dcache_lines : int;  (** L1 D-cache capacity in lines (16 KiB / 64 B) *)

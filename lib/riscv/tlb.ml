@@ -10,6 +10,9 @@ type key = { asid : int; vmid : int; vpage : int64 }
 type t = {
   capacity : int;
   entries : (key, entry) Hashtbl.t;
+  by_pa : (int64, (key, unit) Hashtbl.t) Hashtbl.t;
+      (* reverse index: physical page -> keys translating to it, so
+         unmap/scrub paths that only know the PA can shoot precisely *)
   mutable hits : int;
   mutable misses : int;
   mutable flushes : int;
@@ -21,6 +24,7 @@ let create ?(capacity = 32) () =
   {
     capacity;
     entries = Hashtbl.create 64;
+    by_pa = Hashtbl.create 64;
     hits = 0;
     misses = 0;
     flushes = 0;
@@ -28,6 +32,32 @@ let create ?(capacity = 32) () =
   }
 
 let page_of va = Int64.shift_right_logical va 12
+
+let index_add t key e =
+  let bucket =
+    match Hashtbl.find_opt t.by_pa e.pa_page with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 4 in
+        Hashtbl.add t.by_pa e.pa_page b;
+        b
+  in
+  Hashtbl.replace bucket key ()
+
+let index_remove t key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some e -> begin
+      match Hashtbl.find_opt t.by_pa e.pa_page with
+      | None -> ()
+      | Some b ->
+          Hashtbl.remove b key;
+          if Hashtbl.length b = 0 then Hashtbl.remove t.by_pa e.pa_page
+    end
+
+let remove_key t key =
+  index_remove t key;
+  Hashtbl.remove t.entries key
 
 let lookup t ~asid ~vmid va =
   let key = { asid; vmid; vpage = page_of va } in
@@ -57,33 +87,56 @@ let evict_one t =
            incr i)
          t.entries
      with Exit -> ());
-    match !victim with Some k -> Hashtbl.remove t.entries k | None -> ()
+    match !victim with Some k -> remove_key t k | None -> ()
   end
 
 let insert t ~asid ~vmid va entry =
   let key = { asid; vmid; vpage = page_of va } in
-  if (not (Hashtbl.mem t.entries key))
-     && Hashtbl.length t.entries >= t.capacity
-  then evict_one t;
-  Hashtbl.replace t.entries key entry
+  if Hashtbl.mem t.entries key then index_remove t key
+  else if Hashtbl.length t.entries >= t.capacity then evict_one t;
+  Hashtbl.replace t.entries key entry;
+  index_add t key entry
 
 let flush_all t =
   Hashtbl.reset t.entries;
+  Hashtbl.reset t.by_pa;
   t.flushes <- t.flushes + 1
 
 let flush_matching t pred =
   let doomed =
     Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.entries []
   in
-  List.iter (Hashtbl.remove t.entries) doomed;
+  List.iter (remove_key t) doomed;
   t.flushes <- t.flushes + 1
 
 let flush_vmid t vmid = flush_matching t (fun k -> k.vmid = vmid)
 let flush_asid t asid = flush_matching t (fun k -> k.asid = asid)
 
-let flush_page t va =
+let vmid_matches vmid k =
+  match vmid with None -> true | Some v -> k.vmid = v
+
+let flush_page ?vmid t va =
   let vpage = page_of va in
-  flush_matching t (fun k -> k.vpage = vpage)
+  flush_matching t (fun k -> k.vpage = vpage && vmid_matches vmid k)
+
+let flush_pa ?vmid t pa =
+  let pa_page = Int64.logand pa (Int64.lognot 0xFFFL) in
+  (match Hashtbl.find_opt t.by_pa pa_page with
+  | None -> ()
+  | Some bucket ->
+      let doomed =
+        Hashtbl.fold
+          (fun k () acc -> if vmid_matches vmid k then k :: acc else acc)
+          bucket []
+      in
+      List.iter (remove_key t) doomed);
+  (* The fence executes whether or not anything was cached. *)
+  t.flushes <- t.flushes + 1
+
+let fold t f init =
+  Hashtbl.fold
+    (fun k e acc -> f ~asid:k.asid ~vmid:k.vmid ~vpage:k.vpage e acc)
+    t.entries init
 
 let hits t = t.hits
 let misses t = t.misses

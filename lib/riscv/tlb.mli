@@ -4,8 +4,12 @@
     granularity, tagged by (ASID, VMID, virtual page). A world switch
     that rewrites [hgatp] without VMID tagging must flush — that flush
     and the subsequent refill walks are a measurable part of ZION's
-    world-switch cost, so the TLB keeps hit/miss statistics. Capacity is
-    bounded with random replacement, like Rocket's. *)
+    world-switch cost, so the TLB keeps hit/miss statistics. With VMID
+    tagging the fast path retains entries across switches, which makes
+    invalidation precision load-bearing: every flush below can be
+    scoped to one VMID, and a reverse physical-page index serves the
+    unmap/scrub paths that only know the PA being reclaimed. Capacity
+    is bounded with random replacement, like Rocket's. *)
 
 type entry = {
   pa_page : int64; (** physical page base of the final translation *)
@@ -33,8 +37,28 @@ val flush_vmid : t -> int -> unit
 
 val flush_asid : t -> int -> unit
 
-val flush_page : t -> int64 -> unit
-(** Drop all entries for one virtual page across address spaces. *)
+val flush_page : ?vmid:int -> t -> int64 -> unit
+(** Drop the entries for one virtual page. Without [vmid] this sweeps
+    the page index across every address space (the pre-shootdown
+    behaviour, kept for host sfence emulation); with [vmid] only that
+    guest's entries die — two guests faulting on the same page index
+    must not shoot each other down. *)
+
+val flush_pa : ?vmid:int -> t -> int64 -> unit
+(** Reverse-indexed shootdown: drop every entry whose {e final
+    physical} page is the page of [pa], optionally scoped to one VMID.
+    This is the correct primitive for unmap/relinquish/scrub paths,
+    which know the physical page being reclaimed but not the guest
+    virtual addresses that may alias it (with VS-stage paging a guest
+    VA need not equal the GPA). Counts a flush. *)
+
+val fold :
+  t ->
+  (asid:int -> vmid:int -> vpage:int64 -> entry -> 'a -> 'a) ->
+  'a ->
+  'a
+(** Fold over every cached translation — the audit's view of what the
+    harts could still translate without a walk. *)
 
 val hits : t -> int
 val misses : t -> int
