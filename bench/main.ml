@@ -250,6 +250,99 @@ let bench_observability () =
     (Metrics.Trace.dropped tr)
     (Metrics.Trace.capacity tr)
 
+(* ---------- Observability: profiler sampling overhead ---------- *)
+
+(* Wall-clock cost of the guest PC-sampling hook: run the same
+   interpreter-bound guest with the profiler off and on (default
+   interval) and compare host time, best of 3. The disabled path is one
+   dead branch per retired instruction; the enabled path a
+   decrement/compare/store — the contract is < 5 % overhead. Emits
+   BENCH_profile.json for CI. *)
+let bench_profile () =
+  Metrics.Table.section
+    "Observability — PC-sampling profiler overhead (host wall-clock)";
+  let steps = 2_000_000 in
+  let interval = 64 in
+  let tb = Platform.Testbed.create () in
+  let mon = tb.Platform.Testbed.monitor in
+  (* Infinite guest loop: every run is exactly [steps] retired
+     instructions of pure interpreter work. *)
+  let handle = Platform.Testbed.cvm tb [ Riscv.Decode.Jal (0, 0L) ] in
+  let one_run () =
+    let t0 = Sys.time () in
+    (match
+       Hypervisor.Kvm.run_cvm tb.Platform.Testbed.kvm handle ~hart:0
+         ~max_steps:steps
+     with
+    | Hypervisor.Kvm.C_limit -> ()
+    | _ -> failwith "bench_profile: expected step-limit exit");
+    Sys.time () -. t0
+  in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      best := Float.min !best (f ())
+    done;
+    !best
+  in
+  ignore (one_run ()) (* warm up allocator and code paths *);
+  let off_s = best_of 3 one_run in
+  Zion.Monitor.enable_profiler ~interval mon;
+  let on_s = best_of 3 one_run in
+  Zion.Monitor.disable_profiler mon;
+  let overhead_pct = (on_s -. off_s) /. off_s *. 100. in
+  let p =
+    match Zion.Monitor.profiler mon with
+    | Some p -> p
+    | None -> failwith "bench_profile: profiler missing"
+  in
+  Metrics.Table.print
+    ~header:[ "arm"; "best-of-3 s"; "overhead %" ]
+    [
+      [ "profiler off"; fixed 4 off_s; "" ];
+      [ "profiler on"; fixed 4 on_s; pct overhead_pct ];
+    ];
+  Printf.printf "samples: %d (interval %d retired instructions)\n"
+    (Metrics.Profile.samples p)
+    (Metrics.Profile.interval p);
+  let top =
+    List.map
+      (fun (cvm, page, region, hits) ->
+        Printf.sprintf
+          "    {\"cvm\": %d, \"page\": \"0x%Lx\", \"region\": %s, \
+           \"hits\": %d}"
+          cvm page
+          (match region with
+          | Some r -> Printf.sprintf "%S" r
+          | None -> "null")
+          hits)
+      (Metrics.Profile.top_pages ~k:3 p)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"off_s\": %.6f,\n\
+      \  \"on_s\": %.6f,\n\
+      \  \"overhead_pct\": %.3f,\n\
+      \  \"samples\": %d,\n\
+      \  \"interval\": %d,\n\
+      \  \"top_pages\": [\n%s\n  ]\n\
+       }\n"
+      off_s on_s overhead_pct
+      (Metrics.Profile.samples p)
+      (Metrics.Profile.interval p)
+      (String.concat ",\n" top)
+  in
+  let oc = open_out "BENCH_profile.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_profile.json";
+  if overhead_pct >= 5. then begin
+    Printf.printf "FAIL: profiler overhead %.2f%% (>= 5%%)\n" overhead_pct;
+    exit 1
+  end
+  else print_endline "profiler overhead check: OK"
+
 (* ---------- Table I : RV8 ---------- *)
 
 let bench_rv8 () =
@@ -578,6 +671,7 @@ let () =
   bench_tlb_retention ();
   bench_faults ();
   bench_observability ();
+  bench_profile ();
   bench_rv8 ();
   bench_coremark ();
   bench_redis ();

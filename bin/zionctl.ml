@@ -9,6 +9,11 @@
                   the event trace (Chrome trace_event or JSON lines)
      stats        run a workload and print the SM's counters, histograms
                   and cycle-ledger attribution
+     top          drive a traced Redis CVM and print live per-tenant
+                  health snapshots
+     export       drive a traced+profiled Redis CVM and export the
+                  telemetry plane (Prometheus text / JSON / folded
+                  profile / Chrome trace)
      costs        dump the calibrated cost model *)
 
 open Cmdliner
@@ -246,12 +251,54 @@ let fuzz_cmd =
              (retention on) puts the precise-shootdown machinery under \
              fire.")
   in
-  let run seed iters pool_mib no_retention =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as a JSON object instead of text.")
+  in
+  let run seed iters pool_mib no_retention json_out =
     let r =
       Hypervisor.Chaos.run ~pool_mib ~tlb_retention:(not no_retention)
         ~seed ~iters ()
     in
-    Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
+    if json_out then begin
+      let open Metrics.Export in
+      let n = num_of_int in
+      print_endline
+        (json_to_string
+           (Obj
+              [
+                ("iterations", n r.Hypervisor.Chaos.iterations);
+                ("calls", n r.Hypervisor.Chaos.calls);
+                ("ok_calls", n r.Hypervisor.Chaos.ok_calls);
+                ( "error_calls",
+                  Obj
+                    (List.map
+                       (fun (label, count) -> (label, n count))
+                       r.Hypervisor.Chaos.error_calls) );
+                ("uncaught", n r.Hypervisor.Chaos.uncaught);
+                ("audits", n r.Hypervisor.Chaos.audits);
+                ( "violations",
+                  List
+                    (List.map
+                       (fun v -> Str v)
+                       r.Hypervisor.Chaos.violations) );
+                ("quarantines", n r.Hypervisor.Chaos.quarantines);
+                ( "quarantines_reclaimed",
+                  n r.Hypervisor.Chaos.quarantines_reclaimed );
+                ("cvms_created", n r.Hypervisor.Chaos.cvms_created);
+                ("cvms_destroyed", n r.Hypervisor.Chaos.cvms_destroyed);
+                ("migrations", n r.Hypervisor.Chaos.migrations);
+                ( "migrations_committed",
+                  n r.Hypervisor.Chaos.migrations_committed );
+                ( "migrations_aborted",
+                  n r.Hypervisor.Chaos.migrations_aborted );
+                ("pool_clean", Bool r.Hypervisor.Chaos.pool_clean);
+                ("survived", Bool (Hypervisor.Chaos.survived r));
+              ]))
+    end
+    else Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
     if not (Hypervisor.Chaos.survived r) then exit 1
   in
   Cmd.v
@@ -259,7 +306,7 @@ let fuzz_cmd =
        ~doc:
          "Fault-inject the Secure Monitor under a hostile fuzzing \
           hypervisor and report survival")
-    Term.(const run $ seed $ iters $ pool_mib $ no_retention)
+    Term.(const run $ seed $ iters $ pool_mib $ no_retention $ json)
 
 (* ---------- migrate ---------- *)
 
@@ -492,10 +539,42 @@ let trace_cmd =
     Term.(const run $ exp_arg $ iterations_arg $ format $ out)
 
 let stats_cmd =
-  let run exp iterations =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the registry, trace summary and cycle ledger as one \
+             JSON object instead of tables.")
+  in
+  let run exp iterations json_out =
     let tb = traced_run exp iterations in
     let mon = tb.Platform.Testbed.monitor in
     let tr = Zion.Monitor.trace mon in
+    if json_out then begin
+      let open Metrics.Export in
+      let extra =
+        [
+          ( "trace",
+            Obj
+              [
+                ("recorded", num_of_int (Metrics.Trace.recorded tr));
+                ("dropped", num_of_int (Metrics.Trace.dropped tr));
+                ("capacity", num_of_int (Metrics.Trace.capacity tr));
+              ] );
+          ( "ledger",
+            Obj
+              (List.map
+                 (fun (c, n) -> (c, num_of_int n))
+                 (Metrics.Ledger.categories
+                    tb.Platform.Testbed.machine.Riscv.Machine.ledger)) );
+        ]
+      in
+      print_endline
+        (json_to_string
+           (registry_to_json ~extra (Zion.Monitor.registry mon)))
+    end
+    else begin
     print_string (Metrics.Registry.dump (Zion.Monitor.registry mon));
     Metrics.Table.section "TLB (per hart)";
     Metrics.Table.print
@@ -529,11 +608,219 @@ let stats_cmd =
       (Metrics.Trace.recorded tr)
       (Metrics.Trace.dropped tr)
       (Metrics.Trace.capacity tr)
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a workload and print the SM's counters and histograms")
-    Term.(const run $ exp_arg $ iterations_arg)
+    Term.(const run $ exp_arg $ iterations_arg $ json)
+
+(* ---------- top / export ---------- *)
+
+let print_health h =
+  Metrics.Table.section
+    (Printf.sprintf "tenants @ %d cycles (%d switches, %d internal faults)"
+       h.Zion.Monitor.h_now h.Zion.Monitor.h_total_switches
+       h.Zion.Monitor.h_internal_faults);
+  Metrics.Table.print
+    ~header:
+      [ "cvm"; "state"; "entries"; "exits"; "sw/s"; "req p50"; "req p99";
+        "faults"; "flags" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.Zion.Monitor.th_cvm;
+           t.Zion.Monitor.th_state;
+           string_of_int t.Zion.Monitor.th_entries;
+           string_of_int t.Zion.Monitor.th_exits;
+           fixed 1 t.Zion.Monitor.th_switch_rate;
+           fixed 0 t.Zion.Monitor.th_request_p50;
+           fixed 0 t.Zion.Monitor.th_request_p99;
+           string_of_int t.Zion.Monitor.th_faults;
+           String.concat ","
+             ((if t.Zion.Monitor.th_stalled then [ "STALLED" ] else [])
+             @
+             match t.Zion.Monitor.th_quarantine_reason with
+             | Some r -> [ "QUARANTINED:" ^ r ]
+             | None -> []);
+         ])
+       h.Zion.Monitor.h_cvms)
+
+let requests_arg =
+  Arg.(
+    value
+    & opt int 24
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"RESP requests the traced guest sends over virtio-net.")
+
+let top_cmd =
+  let refresh =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "refresh" ] ~docv:"SLICES"
+          ~doc:"Print a tenant-health snapshot every $(docv) expired \
+                scheduling quanta.")
+  in
+  let run requests refresh =
+    let refresh = max 1 refresh in
+    (* A finer quantum than the scheduler default so the run spans
+       enough slices to watch. *)
+    let tb, stats =
+      Platform.Exp_redis.run_traced ~requests ~quantum:50_000
+        ~max_slices:4000
+        ~on_slice:(fun slice tb ->
+          if slice mod refresh = 0 then begin
+            print_health
+              (Zion.Monitor.health_snapshot tb.Platform.Testbed.monitor);
+            print_newline ()
+          end)
+        ()
+    in
+    print_health (Zion.Monitor.health_snapshot tb.Platform.Testbed.monitor);
+    ignore stats.Platform.Exp_redis.t_outcome;
+    Printf.printf "run complete: %d/%d requests in %d cycles\n"
+      stats.Platform.Exp_redis.t_completed
+      stats.Platform.Exp_redis.t_requests
+      stats.Platform.Exp_redis.t_total_cycles
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Drive a traced Redis CVM and print live per-tenant health \
+          snapshots (switch rate, request quantiles, stall and \
+          quarantine flags)")
+    Term.(const run $ requests_arg $ refresh)
+
+let export_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "$(b,prom) for Prometheus text exposition, $(b,json) for \
+             one JSON document.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the export to $(docv) instead of stdout.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Parse the export back with the built-in parser and fail \
+             (exit 1) if it does not round-trip — the CI smoke \
+             assertion.")
+  in
+  let profile_interval =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "profile-interval" ] ~docv:"INSNS"
+          ~doc:"Guest PC-sampling interval in retired instructions.")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:"Also write the profiler's folded-stack output \
+                (flamegraph.pl input) to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Also write the Chrome trace_event export to $(docv).")
+  in
+  let run format out check profile_interval profile_out trace_out requests =
+    let tb, stats =
+      Platform.Exp_redis.run_traced ~requests ~profile_interval ()
+    in
+    let mon = tb.Platform.Testbed.monitor in
+    let reg = Zion.Monitor.registry mon in
+    let data =
+      match format with
+      | `Prom -> Metrics.Export.registry_to_prometheus reg
+      | `Json ->
+          let extra =
+            [
+              ( "run",
+                Metrics.Export.Obj
+                  [
+                    ( "requests",
+                      Metrics.Export.num_of_int
+                        stats.Platform.Exp_redis.t_requests );
+                    ( "completed",
+                      Metrics.Export.num_of_int
+                        stats.Platform.Exp_redis.t_completed );
+                    ( "total_cycles",
+                      Metrics.Export.num_of_int
+                        stats.Platform.Exp_redis.t_total_cycles );
+                  ] );
+            ]
+          in
+          Metrics.Export.json_to_string
+            (Metrics.Export.registry_to_json ~extra reg)
+          ^ "\n"
+    in
+    if check then begin
+      match format with
+      | `Prom -> (
+          match Metrics.Export.parse_prometheus data with
+          | Ok samples ->
+              Printf.eprintf "check: %d prometheus samples parsed\n"
+                (List.length samples)
+          | Error e ->
+              Printf.eprintf "check FAILED: %s\n" e;
+              exit 1)
+      | `Json -> (
+          match Metrics.Export.parse_json data with
+          | Ok _ -> prerr_endline "check: JSON parsed"
+          | Error e ->
+              Printf.eprintf "check FAILED: %s\n" e;
+              exit 1)
+    end;
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc data;
+        close_out oc
+    | None -> print_string data);
+    (match profile_out with
+    | Some path -> (
+        match Zion.Monitor.profiler mon with
+        | Some p ->
+            let oc = open_out path in
+            output_string oc (Metrics.Profile.folded p);
+            close_out oc;
+            Printf.eprintf "profile: %d samples -> %s\n"
+              (Metrics.Profile.samples p) path
+        | None -> prerr_endline "profile: no profiler data")
+    | None -> ());
+    match trace_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Metrics.Trace.to_chrome (Zion.Monitor.trace mon));
+        close_out oc
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Drive a traced+profiled Redis CVM and export the telemetry \
+          plane (Prometheus text or JSON), optionally with folded-stack \
+          profile and Chrome trace files")
+    Term.(
+      const run $ format $ out $ check $ profile_interval $ profile_out
+      $ trace_out $ requests_arg)
 
 (* ---------- costs ---------- *)
 
@@ -591,5 +878,5 @@ let () =
        (Cmd.group (Cmd.info "zionctl" ~doc)
           [
             experiments_cmd; boot_cmd; attacks_cmd; fuzz_cmd; migrate_cmd;
-            trace_cmd; stats_cmd; costs_cmd;
+            trace_cmd; stats_cmd; top_cmd; export_cmd; costs_cmd;
           ]))

@@ -27,7 +27,12 @@ type payload =
   | Ack of { upto : int }
   | Status of status
 
-type packet = { p_session : string; p_epoch : int; p_payload : payload }
+type packet = {
+  p_session : string;
+  p_epoch : int;
+  p_ctx : Metrics.Span.ctx;
+  p_payload : payload;
+}
 
 let magic = "ZMP1"
 let mac_len = 16
@@ -61,13 +66,18 @@ let kind_of_payload = function
   | Ack _ -> 5
   | Status _ -> 6
 
-let encode { p_session; p_epoch; p_payload } =
+let encode { p_session; p_epoch; p_ctx; p_payload } =
   let b = Buffer.create 256 in
   Buffer.add_string b magic;
   Buffer.add_char b (Char.chr (kind_of_payload p_payload));
   put_u32 b p_epoch;
   Buffer.add_char b (Char.chr (String.length p_session));
   Buffer.add_string b p_session;
+  (* Causal context rides every message; the MAC below covers the whole
+     body, so the courier cannot splice a message onto another trace. *)
+  put_u32 b p_ctx.Metrics.Span.trace_id;
+  put_u32 b p_ctx.Metrics.Span.span_id;
+  put_u32 b p_ctx.Metrics.Span.parent_id;
   (match p_payload with
   | Offer { total; blob_len; chunk_size; tag } ->
       put_u32 b total;
@@ -144,6 +154,12 @@ let decode msg =
     let slen = byte () in
     if slen = 0 || slen > max_session then fail "bad session length";
     let session = bytes slen in
+    let ctx =
+      let trace_id = u32 () in
+      let span_id = u32 () in
+      let parent_id = u32 () in
+      { Metrics.Span.trace_id; span_id; parent_id }
+    in
     let mac = String.sub msg blen mac_len in
     let expect =
       String.sub (Attest.hmac_sha256 ~key:(session_key session) body) 0 mac_len
@@ -195,7 +211,7 @@ let decode msg =
       | _ -> fail "unknown kind"
     in
     if !pos <> blen then fail "trailing bytes";
-    Ok { p_session = session; p_epoch = epoch; p_payload = payload }
+    Ok { p_session = session; p_epoch = epoch; p_ctx = ctx; p_payload = payload }
   with
   | Bad m -> Error m
   | _ -> Error "malformed message"
@@ -222,6 +238,29 @@ let split_chunks cfg blob =
       let off = i * cfg.chunk_size in
       String.sub blob off (min cfg.chunk_size (len - off)))
 
+(* ---------- causal-context discipline at the monitor boundary ----------
+
+   Endpoint work that enters the monitor runs with the session's span
+   context installed on the monitor's trace, so the ecall spans the
+   monitor records land on the request's trace.  The previous context
+   is always restored — [Fun.protect] — which is what keeps a crashed
+   or aborted endpoint from leaking an installed context (or a
+   half-open span: the protocol only ever emits instants). *)
+
+let with_ctx mon ctx f =
+  let tr = Monitor.trace mon in
+  if Metrics.Trace.is_enabled tr && not (Metrics.Span.is_none ctx) then begin
+    let saved = Metrics.Trace.ctx tr in
+    Metrics.Trace.set_ctx tr ctx;
+    Fun.protect ~finally:(fun () -> Metrics.Trace.set_ctx tr saved) f
+  end
+  else f ()
+
+let proto_instant mon ctx ?(args = []) name =
+  let tr = Monitor.trace mon in
+  if Metrics.Trace.is_enabled tr then
+    with_ctx mon ctx (fun () -> Metrics.Trace.instant tr ~args name)
+
 (* ---------- source endpoint ---------- *)
 
 type source_phase =
@@ -237,6 +276,7 @@ type source = {
   s_mon : Monitor.t;
   s_session : string;
   s_epoch : int;
+  s_ctx : Metrics.Span.ctx;  (* stamped on every emitted message *)
   s_tag : string;
   s_chunks : string array;
   s_blob_len : int;
@@ -262,15 +302,18 @@ let source_epoch s = s.s_epoch
 let source_stats s =
   (s.s_sent_chunks, s.s_retransmits, s.s_rejected)
 
+let source_ctx s = s.s_ctx
+
 let s_reg s = Monitor.registry s.s_mon
 
-let make_source ~config ~mon ~session ~phase ~epoch ~blob =
+let make_source ~config ~mon ~session ~phase ~epoch ~ctx ~blob =
   let chunks = split_chunks config blob in
   {
     sc = config;
     s_mon = mon;
     s_session = session;
     s_epoch = epoch;
+    s_ctx = ctx;
     s_tag = "";
     s_chunks = chunks;
     s_blob_len = String.length blob;
@@ -288,23 +331,35 @@ let make_source ~config ~mon ~session ~phase ~epoch ~blob =
     s_first_sent = Array.make (Array.length chunks) (-1);
   }
 
-let source_start ?(config = default_config) mon ~cvm ~session =
-  match
-    Monitor.migrate_out_begin ~budget:config.retry_budget mon ~cvm ~session
-  with
-  | Error e -> Error e
-  | Ok (blob, epoch) ->
-      let s = make_source ~config ~mon ~session ~phase:S_offering ~epoch ~blob in
-      Ok { s with s_tag = Monitor.(
-        match migrate_session mon ~role:`Out ~session with
-        | Some i -> i.mi_blob_tag
-        | None -> "") }
+let source_start ?(config = default_config) ?ctx mon ~cvm ~session =
+  let ctx = match ctx with Some c -> c | None -> Metrics.Span.root () in
+  with_ctx mon ctx (fun () ->
+      match
+        Monitor.migrate_out_begin ~budget:config.retry_budget mon ~cvm ~session
+      with
+      | Error e -> Error e
+      | Ok (blob, epoch) ->
+          proto_instant mon ctx
+            ~args:[ ("session", session); ("epoch", string_of_int epoch) ]
+            "migproto.offer";
+          let s =
+            make_source ~config ~mon ~session ~phase:S_offering ~epoch ~ctx
+              ~blob
+          in
+          Ok { s with s_tag = Monitor.(
+            match migrate_session mon ~role:`Out ~session with
+            | Some i -> i.mi_blob_tag
+            | None -> "") })
 
 (* Rebuild a source endpoint after a crash: the monitor's session table
    says how far the handoff got. An undecided session re-begins under a
    new epoch (same bytes — the nonce is pinned); a committed one resumes
    pushing Commit. *)
-let source_recover ?(config = default_config) mon ~session =
+let source_recover ?(config = default_config) ?ctx mon ~session =
+  (* The span context does not survive the crash (it lived in the dead
+     endpoint); recovery continues the handoff under a fresh trace
+     unless the driver threads the old one through. *)
+  let ctx = match ctx with Some c -> c | None -> Metrics.Span.root () in
   match Monitor.migrate_session mon ~role:`Out ~session with
   | None -> Error Ecall.Not_found
   | Some info -> (
@@ -312,26 +367,30 @@ let source_recover ?(config = default_config) mon ~session =
       | `Aborted, _ ->
           let s =
             make_source ~config ~mon ~session ~phase:(S_aborted "recovered")
-              ~epoch:info.Monitor.mi_epoch ~blob:""
+              ~epoch:info.Monitor.mi_epoch ~ctx ~blob:""
           in
           Ok { s with s_tag = info.Monitor.mi_blob_tag }
       | `Committed, _ ->
           (* past the commit point: nothing to stream, drive Commit home *)
           let s =
             make_source ~config ~mon ~session ~phase:S_committing
-              ~epoch:info.Monitor.mi_epoch ~blob:""
+              ~epoch:info.Monitor.mi_epoch ~ctx ~blob:""
           in
           Ok { s with s_tag = info.Monitor.mi_blob_tag }
       | `Active, Some cvm -> (
           match
-            Monitor.migrate_out_begin ~budget:config.retry_budget mon ~cvm
-              ~session
+            with_ctx mon ctx (fun () ->
+                Monitor.migrate_out_begin ~budget:config.retry_budget mon ~cvm
+                  ~session)
           with
           | Error e -> Error e
           | Ok (blob, epoch) ->
+              proto_instant mon ctx
+                ~args:[ ("session", session); ("epoch", string_of_int epoch) ]
+                "migproto.reoffer";
               let s =
                 make_source ~config ~mon ~session ~phase:S_offering ~epoch
-                  ~blob
+                  ~ctx ~blob
               in
               Ok { s with s_tag = info.Monitor.mi_blob_tag })
       | `Active, None -> Error Ecall.Bad_state)
@@ -343,14 +402,22 @@ let source_note_progress s ~now =
   s.s_deadline <- now
 
 let source_abort s ~now ~reason =
-  (match Monitor.migrate_out_abort s.s_mon ~session:s.s_session with
+  (match
+     with_ctx s.s_mon s.s_ctx (fun () ->
+         Monitor.migrate_out_abort s.s_mon ~session:s.s_session)
+   with
   | Ok () | Error _ -> ());
+  proto_instant s.s_mon s.s_ctx ~args:[ ("reason", reason) ] "migproto.abort";
   s.s_phase <- S_aborted reason;
   source_note_progress s ~now
 
 let source_commit s ~now =
-  match Monitor.migrate_out_commit s.s_mon ~session:s.s_session with
+  match
+    with_ctx s.s_mon s.s_ctx (fun () ->
+        Monitor.migrate_out_commit s.s_mon ~session:s.s_session)
+  with
   | Ok () ->
+      proto_instant s.s_mon s.s_ctx "migproto.commit_point";
       s.s_phase <- S_committing;
       source_note_progress s ~now
   | Error _ ->
@@ -358,7 +425,11 @@ let source_commit s ~now =
       s.s_phase <- S_aborted "commit refused"
 
 let source_emit s ~now =
-  let pkt p = encode { p_session = s.s_session; p_epoch = s.s_epoch; p_payload = p } in
+  let pkt p =
+    encode
+      { p_session = s.s_session; p_epoch = s.s_epoch; p_ctx = s.s_ctx;
+        p_payload = p }
+  in
   match s.s_phase with
   | S_offering ->
       [ pkt
@@ -533,6 +604,9 @@ type dest = {
   d_mon : Monitor.t;
   d_session : string;
   mutable d_epoch : int;
+  mutable d_ctx : Metrics.Span.ctx;
+      (* adopted from the source's messages, so both monitors' events
+         land on the same trace *)
   mutable d_phase : dest_phase;
   mutable d_events : int;
   mutable d_chunks_recv : int;
@@ -545,6 +619,7 @@ let dest_events d = d.d_events
 let dest_session d = d.d_session
 
 let dest_stats d = (d.d_chunks_recv, d.d_dup_chunks, d.d_rejected)
+let dest_ctx d = d.d_ctx
 
 let dest_create ?(config = default_config) mon ~session =
   {
@@ -552,6 +627,7 @@ let dest_create ?(config = default_config) mon ~session =
     d_mon = mon;
     d_session = session;
     d_epoch = 0;
+    d_ctx = Metrics.Span.none;
     d_phase = D_waiting;
     d_events = 0;
     d_chunks_recv = 0;
@@ -602,17 +678,24 @@ let dest_assemble d rb =
   end
   else
     match
-      Monitor.migrate_in_prepare d.d_mon ~session:d.d_session ~epoch:d.d_epoch
-        blob
+      with_ctx d.d_mon d.d_ctx (fun () ->
+          Monitor.migrate_in_prepare d.d_mon ~session:d.d_session
+            ~epoch:d.d_epoch blob)
     with
     | Ok cvm ->
         d.d_phase <- D_prepared cvm;
+        proto_instant d.d_mon d.d_ctx
+          ~args:[ ("cvm", string_of_int cvm) ]
+          "migproto.prepared";
         Metrics.Registry.inc (Monitor.registry d.d_mon) "migrate.prepared"
     | Error e ->
         d.d_phase <- D_aborted (Ecall.error_to_string e);
         Metrics.Registry.inc (Monitor.registry d.d_mon) "migrate.prepare_fail"
 
 let dest_handle d pkt =
+  (* Adopt the source's causal context so this monitor's prepare /
+     commit events join the same trace. *)
+  if not (Metrics.Span.is_none pkt.p_ctx) then d.d_ctx <- pkt.p_ctx;
   let reply st = [ Status st ] in
   let replies =
     match pkt.p_payload with
@@ -678,9 +761,15 @@ let dest_handle d pkt =
     | Commit -> (
         match d.d_phase with
         | D_prepared _ -> (
-            match Monitor.migrate_in_commit d.d_mon ~session:d.d_session with
+            match
+              with_ctx d.d_mon d.d_ctx (fun () ->
+                  Monitor.migrate_in_commit d.d_mon ~session:d.d_session)
+            with
             | Ok cvm ->
                 d.d_phase <- D_committed cvm;
+                proto_instant d.d_mon d.d_ctx
+                  ~args:[ ("cvm", string_of_int cvm) ]
+                  "migproto.committed";
                 reply (St_committed (d_tag d))
             | Error e ->
                 d.d_phase <- D_aborted (Ecall.error_to_string e);
@@ -697,9 +786,15 @@ let dest_handle d pkt =
             (* we voted and committed; the handoff cannot be undone *)
             reply (St_committed (d_tag d))
         | D_prepared _ -> (
-            match Monitor.migrate_in_abort d.d_mon ~session:d.d_session with
+            match
+              with_ctx d.d_mon d.d_ctx (fun () ->
+                  Monitor.migrate_in_abort d.d_mon ~session:d.d_session)
+            with
             | Ok () | Error _ ->
                 d.d_phase <- D_aborted reason;
+                proto_instant d.d_mon d.d_ctx
+                  ~args:[ ("reason", reason) ]
+                  "migproto.abort";
                 reply (St_aborted reason))
         | D_waiting | D_receiving _ ->
             d.d_phase <- D_aborted reason;
@@ -709,12 +804,15 @@ let dest_handle d pkt =
         d.d_rejected <- d.d_rejected + 1;
         []
   in
-  (* Replies echo the epoch of the message they answer: the source only
-     listens at its own epoch, and a recovered destination's local epoch
-     may lag until the next Offer reaches it. *)
+  (* Replies echo the epoch (and context) of the message they answer:
+     the source only listens at its own epoch, and a recovered
+     destination's local epoch may lag until the next Offer reaches
+     it. *)
   List.map
     (fun p ->
-      encode { p_session = d.d_session; p_epoch = pkt.p_epoch; p_payload = p })
+      encode
+        { p_session = d.d_session; p_epoch = pkt.p_epoch; p_ctx = pkt.p_ctx;
+          p_payload = p })
     replies
 
 let dest_step d ~now:_ ~inbox =

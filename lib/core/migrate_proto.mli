@@ -47,7 +47,15 @@ type payload =
   | Ack of { upto : int }  (** cumulative: chunks [0, upto) received *)
   | Status of status
 
-type packet = { p_session : string; p_epoch : int; p_payload : payload }
+type packet = {
+  p_session : string;
+  p_epoch : int;
+  p_ctx : Metrics.Span.ctx;
+      (** causal context of the migration: stamped by the source on
+          every message, echoed by the destination, MAC-covered like
+          the rest of the body. [Span.none] when untraced. *)
+  p_payload : payload;
+}
 
 val encode : packet -> string
 val decode : string -> (packet, string) result
@@ -79,19 +87,31 @@ type source
 
 val source_start :
   ?config:config ->
+  ?ctx:Metrics.Span.ctx ->
   Monitor.t ->
   cvm:int ->
   session:string ->
   (source, Ecall.error) result
 (** Open the monitor-side session ({!Monitor.migrate_out_begin}) and
-    build a fresh endpoint. *)
+    build a fresh endpoint. [ctx] is the causal context the whole
+    handoff is traced under (stamped on every message, adopted by the
+    destination); a fresh root trace is allocated when omitted.
+    Monitor work runs with the context installed on the monitor's
+    trace and always restores the previous context; the protocol
+    emits only instants, so no span can be left open by a crash. *)
 
 val source_recover :
-  ?config:config -> Monitor.t -> session:string -> (source, Ecall.error) result
+  ?config:config ->
+  ?ctx:Metrics.Span.ctx ->
+  Monitor.t ->
+  session:string ->
+  (source, Ecall.error) result
 (** Rebuild the endpoint after a crash from the monitor's session
     record: an undecided session re-begins under a fresh epoch (the
     pinned nonce makes the re-export byte-identical); a committed one
-    resumes pushing Commit; an aborted one comes back terminal. *)
+    resumes pushing Commit; an aborted one comes back terminal. The
+    span context died with the crashed endpoint: recovery runs under
+    a fresh root trace unless [ctx] threads the old one through. *)
 
 val source_step : source -> now:int -> inbox:string list -> string list
 (** Feed delivered messages and the clock; returns messages to send.
@@ -107,6 +127,8 @@ val source_epoch : source -> int
 
 val source_stats : source -> int * int * int
 (** (chunks sent, retransmits, rejected messages). *)
+
+val source_ctx : source -> Metrics.Span.ctx
 
 (* {2 Destination endpoint} *)
 
@@ -142,3 +164,7 @@ val dest_session : dest -> string
 
 val dest_stats : dest -> int * int * int
 (** (chunks received, duplicate chunks, rejected messages). *)
+
+val dest_ctx : dest -> Metrics.Span.ctx
+(** The context adopted from the source's messages; [Span.none]
+    before any traced message arrived. *)

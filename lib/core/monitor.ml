@@ -88,6 +88,10 @@ type t = {
   mutable exit_hist : int list;
   mutable faults : (Hier_alloc.stage * int) list;
   mutable rand_counter : int;
+  mutable profiler : Metrics.Profile.t option;
+  last_seen : (int, int) Hashtbl.t;
+      (** CVM id -> ledger cycles at its last world-switch progress
+          (entry or exit); the telemetry plane's stall detector *)
 }
 
 let create ?(config = default_config) machine =
@@ -130,6 +134,8 @@ let create ?(config = default_config) machine =
       exit_hist = [];
       faults = [];
       rand_counter = 0;
+      profiler = None;
+      last_seen = Hashtbl.create 8;
     }
   in
   (* Boot-time setup: normal delegation and an all-open PMP backdrop so
@@ -157,6 +163,105 @@ let registry t = t.registry
    on, so the disabled-path cost of every instrumentation site below is
    one load and branch. *)
 let obs t = Metrics.Trace.is_enabled t.trace
+
+(* ---------- guest PC-sampling profiler ---------- *)
+
+let enable_profiler ?interval t =
+  let p =
+    match (t.profiler, interval) with
+    | Some p, None -> p
+    | Some p, Some i when Metrics.Profile.interval p = i -> p
+    | _ ->
+        let p =
+          Metrics.Profile.create ?interval
+            ~nharts:(Array.length t.machine.Machine.harts) ()
+        in
+        t.profiler <- Some p;
+        p
+  in
+  Exec.profile := Some p
+
+let disable_profiler _t = Exec.profile := None
+let profiler t = t.profiler
+
+(* ---------- per-tenant health rollups ---------- *)
+
+type tenant_health = {
+  th_cvm : int;
+  th_state : string;
+  th_entries : int;
+  th_exits : int;
+  th_switch_rate : float;
+  th_request_p50 : float;
+  th_request_p99 : float;
+  th_faults : int;
+  th_quarantined : bool;
+  th_quarantine_reason : string option;
+  th_stalled : bool;
+  th_last_progress : int;
+}
+
+type health = {
+  h_now : int;
+  h_cvms : tenant_health list;
+  h_total_switches : int;
+  h_internal_faults : int;
+}
+
+let health_snapshot ?(stall_cycles = 10_000_000) ?(clock_hz = 1e8) t =
+  let now = Metrics.Ledger.now (ledger t) in
+  let seconds = float_of_int now /. clock_hz in
+  let quantile id name p =
+    match
+      Metrics.Registry.histogram ~scope:(Metrics.Registry.Cvm id) t.registry
+        name
+    with
+    | Some h when Metrics.Histogram.count h > 0 -> Metrics.Histogram.quantile h p
+    | _ -> 0.
+  in
+  let tenants =
+    Hashtbl.fold
+      (fun id (cvm : Cvm.t) acc ->
+        let live =
+          match cvm.Cvm.state with
+          | Cvm.Runnable | Cvm.Running | Cvm.Suspended -> true
+          | _ -> false
+        in
+        let last = Hashtbl.find_opt t.last_seen id in
+        let stalled =
+          live
+          &&
+          match last with
+          | Some seen -> now - seen > stall_cycles
+          | None -> false
+        in
+        {
+          th_cvm = id;
+          th_state = Cvm.state_to_string cvm.Cvm.state;
+          th_entries = cvm.Cvm.entry_count;
+          th_exits = cvm.Cvm.exit_count;
+          th_switch_rate =
+            (if seconds > 0. then float_of_int cvm.Cvm.exit_count /. seconds
+             else 0.);
+          th_request_p50 = quantile id "request_cycles" 50.;
+          th_request_p99 = quantile id "request_cycles" 99.;
+          th_faults = cvm.Cvm.fault_count;
+          th_quarantined = cvm.Cvm.state = Cvm.Quarantined;
+          th_quarantine_reason = cvm.Cvm.quarantine_reason;
+          th_stalled = stalled;
+          th_last_progress = (match last with Some c -> c | None -> -1);
+        }
+        :: acc)
+      t.cvms []
+    |> List.sort (fun a b -> compare a.th_cvm b.th_cvm)
+  in
+  {
+    h_now = now;
+    h_cvms = tenants;
+    h_total_switches =
+      List.fold_left (fun acc th -> acc + th.th_exits) 0 tenants;
+    h_internal_faults = Metrics.Registry.counter t.registry "sm.internal_fault";
+  }
 
 let exit_reason_label = function
   | Exit_timer -> "timer"
@@ -557,6 +662,9 @@ let finalize_cvm t ~cvm:id =
               cvm.Cvm.measurement <- Some digest;
               cvm.Cvm.measurement_ctx <- None;
               cvm.Cvm.state <- Cvm.Runnable;
+              (* Stall-detection baseline: runnable-but-never-entered
+                 counts as progress from this moment. *)
+              Hashtbl.replace t.last_seen id (Metrics.Ledger.now (ledger t));
               Ok digest
           | _ -> Error Ecall.Bad_state
         end)
@@ -1238,7 +1346,16 @@ let restore_host_ctx t hart_id =
   csr.Csr.hedeleg <- h.h_hedeleg;
   csr.Csr.hideleg <- h.h_hideleg;
   hart.Hart.mode <- h.h_mode;
-  hart.Hart.pc <- h.h_pc
+  hart.Hart.pc <- h.h_pc;
+  (* Every path that leaves CVM mode comes through here, so this is
+     the single point where profiler samples stop being attributed to
+     the guest. *)
+  match t.profiler with
+  | Some p -> Metrics.Profile.set_context p ~hart:hart_id ~cvm:(-1)
+  | None -> ()
+
+let note_progress t cvm_id =
+  Hashtbl.replace t.last_seen cvm_id (Metrics.Ledger.now (ledger t))
 
 let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
   let hart = t.machine.Machine.harts.(hart_id) in
@@ -1277,6 +1394,7 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
   t.exit_hist <- cycles :: t.exit_hist;
   cvm.Cvm.exit_count <- cvm.Cvm.exit_count + 1;
   cvm.Cvm.state <- Cvm.Suspended;
+  note_progress t cvm.Cvm.id;
   seal_vcpu t cvm vcpu_idx
 
 (* Resume the guest after an SM-internal service (fault, SBI) without
@@ -1489,6 +1607,10 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 end;
                 t.entry_hist <- ec :: t.entry_hist;
                 cvm.Cvm.entry_count <- cvm.Cvm.entry_count + 1;
+                note_progress t id;
+                (match t.profiler with
+                | Some p -> Metrics.Profile.set_context p ~hart:hart_id ~cvm:id
+                | None -> ());
                 Vcpu.restore_to_hart sv hart;
                 hart.Hart.mode <- Priv.VS;
                 hart.Hart.wfi_stalled <- false;

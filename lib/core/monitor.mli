@@ -74,6 +74,65 @@ val registry : t -> Metrics.Registry.t
 (** Named counters and histograms, populated (per CVM and globally)
     while the trace is enabled. *)
 
+val enable_profiler : ?interval:int -> t -> unit
+(** Install this monitor's guest PC-sampling profiler as the
+    interpreter's [Riscv.Exec.profile] hook, creating it on first use
+    ([interval] retired instructions per sample, default 64). Samples
+    taken while a hart runs a CVM are attributed to that CVM; samples
+    outside any CVM go to the host bucket. Calling again with a
+    different [interval] starts a fresh profiler; otherwise the
+    existing one (and its data) is kept.
+
+    Threat-model note: sampling happens on the SM side of the trust
+    boundary — the SM observes guest PCs. See DESIGN.md. *)
+
+val disable_profiler : t -> unit
+(** Uninstall the interpreter hook (back to one dead branch per
+    retired instruction). Collected samples are kept and remain
+    readable through {!profiler}. *)
+
+val profiler : t -> Metrics.Profile.t option
+(** The profiler, if {!enable_profiler} ever ran. *)
+
+(* {3 Per-tenant health rollups} *)
+
+type tenant_health = {
+  th_cvm : int;
+  th_state : string;  (** [Cvm.state_to_string] of the current state *)
+  th_entries : int;
+  th_exits : int;
+  th_switch_rate : float;  (** world-switch exits per simulated second *)
+  th_request_p50 : float;
+      (** p50 of the per-CVM ["request_cycles"] histogram (recorded by
+          traced workload drivers); [0.] when absent *)
+  th_request_p99 : float;
+  th_faults : int;  (** guest page faults served by the SM *)
+  th_quarantined : bool;
+  th_quarantine_reason : string option;
+  th_stalled : bool;
+      (** live (runnable/running/suspended) but no world-switch
+          progress for more than [stall_cycles] *)
+  th_last_progress : int;
+      (** ledger cycles at the last entry/exit (or finalize);
+          [-1] if never *)
+}
+
+type health = {
+  h_now : int;  (** ledger cycles at snapshot time *)
+  h_cvms : tenant_health list;  (** sorted by CVM id *)
+  h_total_switches : int;
+  h_internal_faults : int;
+}
+
+val health_snapshot : ?stall_cycles:int -> ?clock_hz:float -> t -> health
+(** The live telemetry rollup for every CVM this monitor knows
+    (including quarantined and destroyed ones still in the table).
+    [stall_cycles] defaults to 10M cycles; [clock_hz] (for the
+    switches/sec rate) defaults to 1e8, the calibrated 100 MHz
+    clock. Works with the flight recorder on or off — lifecycle
+    counts come from CVM bookkeeping; only the request latency
+    quantiles need a traced workload feeding the registry. *)
+
 val exit_reason_label : exit_reason -> string
 (** Short stable label ("timer", "mmio", ...) used in trace events and
     counter names. *)

@@ -27,11 +27,13 @@ let create ~machine ~monitor ?(disk_sectors = 262144) () =
   let bus = machine.Machine.bus in
   let base = Int64.add Bus.dram_base kernel_reserve in
   let size = Int64.sub (Bus.dram_size bus) kernel_reserve in
+  let devices = Mmio_emul.create ~bus ~disk_sectors in
+  Mmio_emul.set_trace devices (Zion.Monitor.trace monitor);
   {
     machine;
     monitor;
     mem = Host_mem.create ~base ~size;
-    devices = Mmio_emul.create ~bus ~disk_sectors;
+    devices;
     cost = machine.Machine.cost;
     nvm_faults = [];
     ticks = 0;

@@ -16,6 +16,10 @@ let set_translate t f =
   Virtio_blk.set_translate t.blk f;
   Virtio_net.set_translate t.net f
 
+let set_trace t tr =
+  Virtio_blk.set_trace t.blk tr;
+  Virtio_net.set_trace t.net tr
+
 let handle t (mmio : Zion.Vcpu.mmio) =
   let off = Int64.sub mmio.Zion.Vcpu.mmio_gpa Zion.Layout.virtio_mmio_gpa in
   if off < 0L || off >= 0x1000L then 0L

@@ -16,6 +16,9 @@ val net : t -> Virtio_net.t
 val set_translate : t -> (int64 -> int64 option) -> unit
 (** Propagate the GPA→PA translation to both devices. *)
 
+val set_trace : t -> Metrics.Trace.t -> unit
+(** Attach the platform flight recorder to both devices. *)
+
 val handle : t -> Zion.Vcpu.mmio -> int64
 (** Emulate one trapped access; returns the load result (0 for
     writes). *)

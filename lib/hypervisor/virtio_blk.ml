@@ -12,6 +12,7 @@ type t = {
   mutable requests : int;
   mutable bytes_r : int;
   mutable bytes_w : int;
+  mutable trace : Metrics.Trace.t option;
 }
 
 let create ~bus ~capacity_sectors =
@@ -26,9 +27,16 @@ let create ~bus ~capacity_sectors =
     requests = 0;
     bytes_r = 0;
     bytes_w = 0;
+    trace = None;
   }
 
 let set_translate t f = t.translate <- f
+let set_trace t tr = t.trace <- Some tr
+
+let obs t =
+  match t.trace with
+  | Some tr when Metrics.Trace.is_enabled tr -> Some tr
+  | _ -> None
 
 (* Read [len] bytes of guest memory at a shared GPA, page by page,
    through DMA (IOPMP-checked). *)
@@ -77,37 +85,55 @@ let le_u64 s off =
 let le_u32 s off = Int64.to_int (Int64.logand (le_u64 s off) 0xFFFFFFFFL)
 
 let process t =
+  let tr = obs t in
+  (match tr with
+  | Some tr -> Metrics.Trace.span_begin tr "blk.request"
+  | None -> ());
   t.status <- 1L (* error until proven otherwise *);
-  match dma_read_gpa t t.desc_gpa 24 with
+  let detail =
+    match dma_read_gpa t t.desc_gpa 24 with
+    | None -> []
+    | Some desc ->
+        let sector = Int64.to_int (le_u64 desc 0) in
+        let len = le_u32 desc 8 in
+        let op = le_u32 desc 12 in
+        let data_gpa = le_u64 desc 16 in
+        let disk_off = sector * sector_size in
+        (if
+           sector < 0 || len < 0
+           || disk_off + len > Bytes.length t.disk
+         then ()
+         else if op = 0 then begin
+           (* device -> guest *)
+           let data = Bytes.sub_string t.disk disk_off len in
+           if dma_write_gpa t data_gpa data then begin
+             t.requests <- t.requests + 1;
+             t.bytes_r <- t.bytes_r + len;
+             t.status <- 0L
+           end
+         end
+         else if op = 1 then begin
+           match dma_read_gpa t data_gpa len with
+           | None -> ()
+           | Some data ->
+               Bytes.blit_string data 0 t.disk disk_off len;
+               t.requests <- t.requests + 1;
+               t.bytes_w <- t.bytes_w + len;
+               t.status <- 0L
+         end);
+        [
+          ("sector", string_of_int sector);
+          ("len", string_of_int len);
+          ("op", if op = 0 then "read" else if op = 1 then "write"
+                 else string_of_int op);
+        ]
+  in
+  match tr with
+  | Some tr ->
+      Metrics.Trace.span_end tr
+        ~args:(detail @ [ ("status", Int64.to_string t.status) ])
+        "blk.request"
   | None -> ()
-  | Some desc ->
-      let sector = Int64.to_int (le_u64 desc 0) in
-      let len = le_u32 desc 8 in
-      let op = le_u32 desc 12 in
-      let data_gpa = le_u64 desc 16 in
-      let disk_off = sector * sector_size in
-      if
-        sector < 0 || len < 0
-        || disk_off + len > Bytes.length t.disk
-      then ()
-      else if op = 0 then begin
-        (* device -> guest *)
-        let data = Bytes.sub_string t.disk disk_off len in
-        if dma_write_gpa t data_gpa data then begin
-          t.requests <- t.requests + 1;
-          t.bytes_r <- t.bytes_r + len;
-          t.status <- 0L
-        end
-      end
-      else if op = 1 then begin
-        match dma_read_gpa t data_gpa len with
-        | None -> ()
-        | Some data ->
-            Bytes.blit_string data 0 t.disk disk_off len;
-            t.requests <- t.requests + 1;
-            t.bytes_w <- t.bytes_w + len;
-            t.status <- 0L
-      end
 
 let mmio_read t off _len =
   match Int64.to_int off with 0x10 -> t.status | _ -> 0L

@@ -26,6 +26,12 @@ val set_translate : t -> (int64 -> int64 option) -> unit
 (** Install the GPA→PA translation (the hypervisor's shared map for a
     CVM; an identity-ish map for a normal VM). *)
 
+val set_trace : t -> Metrics.Trace.t -> unit
+(** Attach the platform flight recorder. While it is enabled every
+    kick emits a ["blk.request"] span whose end event carries
+    [sector]/[len]/[op]/[status] args, stamped with whatever span
+    context the workload installed on the trace. *)
+
 val mmio_read : t -> int64 -> int -> int64
 val mmio_write : t -> int64 -> int -> int64 -> unit
 

@@ -11,6 +11,7 @@ type t = {
   mutable last_rx_len : int64;
   rx : string Queue.t;
   mutable tx : string list; (* newest first *)
+  mutable trace : Metrics.Trace.t option;
 }
 
 let create ~bus =
@@ -23,9 +24,16 @@ let create ~bus =
     last_rx_len = 0L;
     rx = Queue.create ();
     tx = [];
+    trace = None;
   }
 
 let set_translate t f = t.translate <- f
+let set_trace t tr = t.trace <- Some tr
+
+let obs t =
+  match t.trace with
+  | Some tr when Metrics.Trace.is_enabled tr -> Some tr
+  | _ -> None
 let set_peer t f = t.peer <- f
 let inject_rx t pkt = Queue.add pkt t.rx
 
@@ -71,6 +79,12 @@ let le_u64 s off =
   done;
   !v
 
+(* TX events are instants, not a B/E span: the peer callback is where
+   the workload layer retires one request's span context and installs
+   the next one on the shared trace, so a span opened before [peer]
+   would close under a different context than it opened with.
+   "net.tx" carries the retiring request's context, "net.tx_complete"
+   the newly installed one. *)
 let do_tx t =
   match dma_read_gpa t t.tx_desc_gpa 16 with
   | None -> ()
@@ -82,20 +96,49 @@ let do_tx t =
         | None -> ()
         | Some pkt -> begin
             t.tx <- pkt :: t.tx;
-            match t.peer pkt with
+            (match obs t with
+            | Some tr ->
+                Metrics.Trace.instant tr
+                  ~args:[ ("len", string_of_int len) ]
+                  "net.tx"
+            | None -> ());
+            (match t.peer pkt with
             | Some reply -> Queue.add reply t.rx
+            | None -> ());
+            match obs t with
+            | Some tr ->
+                Metrics.Trace.instant tr
+                  ~args:[ ("rx_queued", string_of_int (Queue.length t.rx)) ]
+                  "net.tx_complete"
             | None -> ()
           end
       end
 
 let do_rx_fill t =
-  if Queue.is_empty t.rx then t.last_rx_len <- 0L
-  else begin
-    let pkt = Queue.pop t.rx in
-    if dma_write_gpa t t.rx_buf_gpa pkt then
-      t.last_rx_len <- Int64.of_int (String.length pkt)
-    else t.last_rx_len <- 0L
-  end
+  let tr = obs t in
+  (match tr with
+  | Some tr -> Metrics.Trace.span_begin tr "net.rx_fill"
+  | None -> ());
+  (if Queue.is_empty t.rx then t.last_rx_len <- 0L
+   else begin
+     let pkt = Queue.pop t.rx in
+     if dma_write_gpa t t.rx_buf_gpa pkt then begin
+       t.last_rx_len <- Int64.of_int (String.length pkt);
+       match tr with
+       | Some tr ->
+           Metrics.Trace.instant tr
+             ~args:[ ("len", string_of_int (String.length pkt)) ]
+             "net.rx_complete"
+       | None -> ()
+     end
+     else t.last_rx_len <- 0L
+   end);
+  match tr with
+  | Some tr ->
+      Metrics.Trace.span_end tr
+        ~args:[ ("len", Int64.to_string t.last_rx_len) ]
+        "net.rx_fill"
+  | None -> ()
 
 let mmio_read t off _len =
   match Int64.to_int off with 0x10 -> t.last_rx_len | _ -> 0L

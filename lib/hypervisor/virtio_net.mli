@@ -19,6 +19,14 @@ val sid : int
 val create : bus:Riscv.Bus.t -> t
 val set_translate : t -> (int64 -> int64 option) -> unit
 
+val set_trace : t -> Metrics.Trace.t -> unit
+(** Attach the platform flight recorder. While it is enabled the
+    device emits ["net.tx"]/["net.tx_complete"] instants around the
+    peer callback and a ["net.rx_fill"] span with a
+    ["net.rx_complete"] instant per delivered packet — all stamped
+    with whatever span context the workload installed on the trace,
+    which is how a request's virtio completion joins its span tree. *)
+
 val set_peer : t -> (string -> string option) -> unit
 (** [set_peer t f]: [f packet] is called on every TX packet; a [Some
     reply] is appended to the RX queue. *)

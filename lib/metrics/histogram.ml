@@ -76,23 +76,37 @@ let min_value t = t.min_v
 let max_value t = t.max_v
 let max_rel_error = 1. /. 64.
 
+(* Estimated value of the k-th smallest sample (0-based): midpoint of
+   the bucket holding rank [k], clamped to the exact [min;max]. *)
+let value_at_rank t k =
+  let rec find i seen =
+    let seen = seen + t.counts.(i) in
+    if seen > k then i else find (i + 1) seen
+  in
+  let i = find 0 0 in
+  let lo, hi = bucket_bounds i in
+  let mid = float_of_int (lo + hi) /. 2. in
+  Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) mid)
+
 let quantile t p =
   if p < 0. || p > 100. then invalid_arg "Histogram.quantile: p out of range";
   if t.n = 0 then 0.
   else begin
     (* Same rank convention as Stats.percentile: position p/100*(n-1)
-       among the sorted samples; we find the bucket holding that rank
-       and answer its midpoint. *)
+       among the sorted samples, interpolating linearly between the
+       two samples the fractional rank falls between.  Rounding the
+       rank to the nearest integer (the previous behaviour) biased
+       boundary quantiles — e.g. p50 of [0;1] answered 1 instead of
+       0.5, and p999 on small n collapsed onto max one sample too
+       early. *)
     let rank = p /. 100. *. float_of_int (t.n - 1) in
-    let target = int_of_float (Float.round rank) in
-    let rec find i seen =
-      let seen = seen + t.counts.(i) in
-      if seen > target then i else find (i + 1) seen
-    in
-    let i = find 0 0 in
-    let lo, hi = bucket_bounds i in
-    let mid = float_of_int (lo + hi) /. 2. in
-    Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) mid)
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then value_at_rank t lo
+    else begin
+      let frac = rank -. float_of_int lo in
+      (value_at_rank t lo *. (1. -. frac)) +. (value_at_rank t hi *. frac)
+    end
   end
 
 let pp fmt t =

@@ -29,9 +29,12 @@ val max_value : t -> int
 
 val quantile : t -> float -> float
 (** [quantile t p] for [p] in \[0;100\]: the estimated value below which
-    [p]% of the samples fall (bucket-midpoint estimate, clamped to
-    \[min;max\]). [0.] when empty. Raises [Invalid_argument] for [p]
-    outside the range. *)
+    [p]% of the samples fall. Follows the same rank convention as
+    [Stats.percentile] — rank [p/100 * (n-1)] with linear
+    interpolation between the two straddling samples — estimating
+    each sample by its bucket midpoint clamped to \[min;max\]. [0.]
+    when empty. Raises [Invalid_argument] for [p] outside the
+    range. *)
 
 val max_rel_error : float
 (** Worst-case relative error of {!quantile} vs the exact sample

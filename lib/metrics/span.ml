@@ -1,0 +1,52 @@
+type ctx = { trace_id : int; span_id : int; parent_id : int }
+
+let none = { trace_id = 0; span_id = 0; parent_id = 0 }
+let is_none c = c.trace_id = 0 && c.span_id = 0 && c.parent_id = 0
+
+(* One deterministic counter feeds both trace and span ids; a fresh
+   root burns two.  Starting at 1 keeps 0 meaning "absent". *)
+let counter = ref 0
+
+let next () =
+  incr counter;
+  !counter
+
+let root () =
+  let trace_id = next () in
+  { trace_id; span_id = next (); parent_id = 0 }
+
+let child parent =
+  if is_none parent then root ()
+  else
+    {
+      trace_id = parent.trace_id;
+      span_id = next ();
+      parent_id = parent.span_id;
+    }
+
+let to_args c =
+  if is_none c then []
+  else
+    [
+      ("trace", string_of_int c.trace_id);
+      ("span", string_of_int c.span_id);
+      ("parent", string_of_int c.parent_id);
+    ]
+
+let to_string c =
+  if is_none c then "-"
+  else Printf.sprintf "%d:%d:%d" c.trace_id c.span_id c.parent_id
+
+let of_string s =
+  if s = "-" then Some none
+  else
+    match String.split_on_char ':' s with
+    | [ a; b; c ] -> (
+        match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+        | Some trace_id, Some span_id, Some parent_id
+          when trace_id >= 0 && span_id >= 0 && parent_id >= 0 ->
+            Some { trace_id; span_id; parent_id }
+        | _ -> None)
+    | _ -> None
+
+let reset () = counter := 0

@@ -1,0 +1,43 @@
+(** Causal trace context.
+
+    A [ctx] names one node of a request's span tree: the trace it
+    belongs to, its own span id, and its parent's span id.  Contexts
+    are allocated per workload request (e.g. one RESP command) and
+    propagated across trust boundaries — workload -> virtio queue ->
+    hypervisor run loop -> Secure Monitor ecall handlers -> migration
+    protocol messages — so that every event a request causes carries
+    the same [trace_id] and the Chrome-trace export renders one
+    connected tree per request.
+
+    Ids come from a deterministic global counter: same build, same
+    run, same ids.  There is no randomness and no wall clock here. *)
+
+type ctx = { trace_id : int; span_id : int; parent_id : int }
+
+val none : ctx
+(** The absent context: all-zero.  Events recorded under [none] carry
+    no trace annotation. *)
+
+val is_none : ctx -> bool
+
+val root : unit -> ctx
+(** Allocate a fresh trace: new [trace_id], new [span_id], no parent. *)
+
+val child : ctx -> ctx
+(** Allocate a child span in the same trace: fresh [span_id],
+    [parent_id] set to the parent's [span_id].  [child none] is a
+    fresh root. *)
+
+val to_args : ctx -> (string * string) list
+(** The annotation stamped onto trace events:
+    [["trace", ...; "span", ...; "parent", ...]], or [[]] for
+    [none]. *)
+
+val to_string : ctx -> string
+(** Wire form ["trace:span:parent"] in decimal, ["-"] for [none]. *)
+
+val of_string : string -> ctx option
+(** Total inverse of [to_string]; [None] on malformed input. *)
+
+val reset : unit -> unit
+(** Reset the id counter (test isolation only). *)

@@ -20,24 +20,49 @@ type t = {
   buf : event array;
   mutable next : int; (* ring write cursor *)
   mutable recorded : int;
+  mutable lost : int; (* wraparound losses folded in by [clear] *)
+  mutable ctx : Span.ctx; (* current causal context, stamped on events *)
+  mutable ctx_args : (string * string) list; (* precomputed Span.to_args ctx *)
+  mutable coalesced : int; (* counter samples absorbed by the eviction guard *)
+  counter_idx : (string, int) Hashtbl.t; (* counter name -> last slot *)
   clock : unit -> int;
 }
 
 let create ?(capacity = 65536) ~clock () =
   if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
   { enabled = false; cap = capacity; buf = Array.make capacity dummy;
-    next = 0; recorded = 0; clock }
+    next = 0; recorded = 0; lost = 0; ctx = Span.none; ctx_args = [];
+    coalesced = 0; counter_idx = Hashtbl.create 16; clock }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
 
 let clear t =
+  t.lost <- t.lost + max 0 (t.recorded - t.cap);
   Array.fill t.buf 0 t.cap dummy;
   t.next <- 0;
-  t.recorded <- 0
+  t.recorded <- 0;
+  Hashtbl.reset t.counter_idx
+
+let set_ctx t c =
+  if t.enabled then begin
+    t.ctx <- c;
+    t.ctx_args <- Span.to_args c
+  end
+
+let clear_ctx t =
+  t.ctx <- Span.none;
+  t.ctx_args <- []
+
+let ctx t = t.ctx
 
 let record t phase ~hart ~cvm ~vcpu ~args name =
+  let args =
+    match t.ctx_args with
+    | [] -> args
+    | stamp -> ( match args with [] -> stamp | _ -> args @ stamp)
+  in
   t.buf.(t.next) <- { ts = t.clock (); name; phase; hart; cvm; vcpu; args };
   t.next <- (t.next + 1) mod t.cap;
   t.recorded <- t.recorded + 1
@@ -51,12 +76,45 @@ let span_end t ?(hart = -1) ?(cvm = -1) ?(vcpu = -1) ?(args = []) name =
 let instant t ?(hart = -1) ?(cvm = -1) ?(vcpu = -1) ?(args = []) name =
   if t.enabled then record t Instant ~hart ~cvm ~vcpu ~args name
 
+(* Counter samples are high-rate and low-value relative to span
+   structure, so once the ring has wrapped they must not evict
+   non-counter events.  While the ring still has virgin slots a
+   counter records normally; after wraparound, if the eviction victim
+   is itself a counter we also record normally (counters evicting
+   counters is fine), otherwise the sample is folded into the most
+   recent buffered sample of the same counter (updating its value and
+   timestamp in place) or, failing that, dropped.  Either guarded
+   outcome increments [coalesced]. *)
 let counter t ?(hart = -1) ?(cvm = -1) name value =
-  if t.enabled then
-    record t (Counter value) ~hart ~cvm ~vcpu:(-1) ~args:[] name
+  if t.enabled then begin
+    let full = t.recorded >= t.cap in
+    let victim_is_counter =
+      (not full) || match t.buf.(t.next).phase with Counter _ -> true
+                    | _ -> false
+    in
+    if victim_is_counter then begin
+      Hashtbl.replace t.counter_idx name t.next;
+      record t (Counter value) ~hart ~cvm ~vcpu:(-1) ~args:[] name
+    end
+    else begin
+      (match Hashtbl.find_opt t.counter_idx name with
+      | Some slot -> (
+          (* The remembered slot may have been overwritten by ring
+             wraparound since; only update in place if it still holds
+             this counter. *)
+          match t.buf.(slot) with
+          | { phase = Counter _; name = n; _ } as old when n = name ->
+              t.buf.(slot) <-
+                { old with ts = t.clock (); phase = Counter value }
+          | _ -> ())
+      | None -> ());
+      t.coalesced <- t.coalesced + 1
+    end
+  end
 
 let recorded t = t.recorded
-let dropped t = max 0 (t.recorded - t.cap)
+let dropped t = t.lost + max 0 (t.recorded - t.cap)
+let coalesced t = t.coalesced
 let capacity t = t.cap
 
 let events t =

@@ -13,7 +13,14 @@
     function returns after a single mutable-field test and allocates
     nothing; instrumented call sites that would build argument lists
     should guard on {!is_enabled} first. When the ring is full the
-    oldest events are overwritten and counted in {!dropped}. *)
+    oldest events are overwritten and counted in {!dropped} — except
+    counter samples, which after wraparound may never evict
+    non-counter events (see {!counter} and {!coalesced}).
+
+    A causal {!Span.ctx} can be installed with {!set_ctx}; while one
+    is installed every recorded event carries
+    [trace]/[span]/[parent] args, so the Chrome-trace export can
+    stitch all the events one request caused into a single tree. *)
 
 type phase =
   | Span_begin  (** start of a duration span (Chrome ["B"]) *)
@@ -42,7 +49,20 @@ val disable : t -> unit
 val is_enabled : t -> bool
 
 val clear : t -> unit
-(** Drop all buffered events and zero {!recorded}/{!dropped}. *)
+(** Drop all buffered events and zero {!recorded}. Wraparound losses
+    accumulated so far are folded into a persistent tally, so
+    {!dropped} survives [clear] (and disable/re-enable cycles). *)
+
+val set_ctx : t -> Span.ctx -> unit
+(** Install the causal context stamped on every subsequently recorded
+    event. A no-op while the trace is disabled (so the disabled path
+    stays allocation-free). *)
+
+val clear_ctx : t -> unit
+(** Remove the installed context. Safe (and cheap) in any state. *)
+
+val ctx : t -> Span.ctx
+(** The currently installed context, or [Span.none]. *)
 
 val span_begin :
   t -> ?hart:int -> ?cvm:int -> ?vcpu:int ->
@@ -58,7 +78,13 @@ val instant :
 
 val counter : t -> ?hart:int -> ?cvm:int -> string -> int -> unit
 (** [counter t name v] records a sampled counter value (a Perfetto
-    counter track). *)
+    counter track). Once the ring has wrapped, a counter sample whose
+    eviction victim is a non-counter event does not evict it: the
+    sample instead updates the most recent buffered sample of the
+    same counter in place (value and timestamp), or is dropped if
+    none survives in the ring. Either outcome counts in
+    {!coalesced}. This guarantees a flood of counter samples can
+    never flush span structure out of the ring. *)
 
 val events : t -> event list
 (** Buffered events, oldest first. *)
@@ -68,7 +94,13 @@ val recorded : t -> int
     that have since been overwritten. *)
 
 val dropped : t -> int
-(** Events lost to ring wraparound: [max 0 (recorded - capacity)]. *)
+(** Cumulative events lost to ring wraparound since creation,
+    including losses from before any [clear]:
+    [lost_before_clears + max 0 (recorded - capacity)]. *)
+
+val coalesced : t -> int
+(** Counter samples absorbed (updated in place or dropped) by the
+    eviction guard instead of evicting a non-counter event. *)
 
 val capacity : t -> int
 

@@ -71,6 +71,95 @@ let run ?(rounds = 10) ?(requests = 10_000) () =
     (run_one ~monitor:tb.Testbed.monitor ~rounds ~requests)
     Workloads.Redis.benchmark_ops
 
+(* {2 Traced end-to-end run} *)
+
+type traced_stats = {
+  t_requests : int;
+  t_completed : int;
+  t_total_cycles : int;
+  t_outcome : Hypervisor.Kvm.cvm_outcome;
+}
+
+let run_traced ?(ops = [ "SET"; "GET" ]) ?(requests = 10) ?(key_space = 4)
+    ?profile_interval ?(quantum = Testbed.quantum_cycles)
+    ?(max_slices = 400) ?on_slice () =
+  if ops = [] then invalid_arg "Exp_redis.run_traced: empty op list";
+  let tb = Testbed.create () in
+  let mon = tb.Testbed.monitor in
+  let tr = Zion.Monitor.trace mon in
+  Metrics.Trace.enable tr;
+  (match profile_interval with
+  | Some interval -> Zion.Monitor.enable_profiler ~interval mon
+  | None -> ());
+  let server = Workloads.Redis.create () in
+  let nops = List.length ops in
+  let reqs =
+    List.init requests (fun seq ->
+        Workloads.Redis.request_for server ~op:(List.nth ops (seq mod nops))
+          ~key_space ~seq)
+  in
+  (* One TX (request) + one RX fill (reply head) per request, fully
+     unrolled: distinct requests land on distinct guest code pages,
+     which is what gives the profiler a real hot-page distribution. *)
+  let prog =
+    List.concat_map
+      (fun req -> Guest.Gprog.net_send req @ Guest.Gprog.net_recv_putchar)
+      reqs
+    @ Guest.Gprog.shutdown
+  in
+  let h = Testbed.cvm tb prog in
+  let id = Hypervisor.Kvm.cvm_id h in
+  (match Zion.Monitor.profiler mon with
+  | Some p ->
+      let lo = Testbed.guest_entry in
+      let hi =
+        Int64.add lo
+          (Int64.of_int (String.length (Riscv.Asm.program prog)))
+      in
+      Metrics.Profile.add_region p ~cvm:id ~lo ~hi "guest.text"
+  | None -> ());
+  let ledger = tb.Testbed.machine.Riscv.Machine.ledger in
+  let start = Metrics.Ledger.now ledger in
+  let completed = ref 0 in
+  let last_req = ref start in
+  let net = Hypervisor.Mmio_emul.net (Hypervisor.Kvm.devices tb.Testbed.kvm) in
+  Hypervisor.Virtio_net.set_peer net (fun pkt ->
+      let now = Metrics.Ledger.now ledger in
+      Metrics.Registry.observe ~scope:(Metrics.Registry.Cvm id)
+        (Zion.Monitor.registry mon)
+        "request_cycles" (now - !last_req);
+      last_req := now;
+      incr completed;
+      Some (Workloads.Redis.handle_traced ~trace:tr server pkt));
+  (* The slice loop of [Kvm.run_cvm_to_completion], opened up so a
+     caller can watch the run live between quanta ([zionctl top]). *)
+  Testbed.enable_timer tb ~hart:0;
+  let rec go slice =
+    if slice >= max_slices then Hypervisor.Kvm.C_limit
+    else begin
+      Testbed.set_quantum tb ~hart:0 quantum;
+      match Hypervisor.Kvm.run_cvm tb.Testbed.kvm h ~hart:0
+              ~max_steps:10_000_000
+      with
+      | Hypervisor.Kvm.C_timer ->
+          (match on_slice with Some f -> f slice tb | None -> ());
+          go (slice + 1)
+      | other -> other
+    end
+  in
+  let outcome = go 0 in
+  (match profile_interval with
+  | Some _ -> Zion.Monitor.disable_profiler mon
+  | None -> ());
+  Metrics.Trace.clear_ctx tr;
+  ( tb,
+    {
+      t_requests = requests;
+      t_completed = !completed;
+      t_total_cycles = Metrics.Ledger.now ledger - start;
+      t_outcome = outcome;
+    } )
+
 let average_throughput_drop rows =
   Metrics.Stats.mean
     (Array.of_list (List.map (fun r -> r.throughput_drop_pct) rows))

@@ -22,6 +22,37 @@ type row = {
 val run : ?rounds:int -> ?requests:int -> unit -> row list
 (** Defaults: 10 rounds × 10,000 requests, as in the paper. *)
 
+type traced_stats = {
+  t_requests : int;  (** requests baked into the guest program *)
+  t_completed : int;  (** requests that reached the host-side server *)
+  t_total_cycles : int;
+  t_outcome : Hypervisor.Kvm.cvm_outcome;
+}
+
+val run_traced :
+  ?ops:string list ->
+  ?requests:int ->
+  ?key_space:int ->
+  ?profile_interval:int ->
+  ?quantum:int ->
+  ?max_slices:int ->
+  ?on_slice:(int -> Testbed.t -> unit) ->
+  unit ->
+  Testbed.t * traced_stats
+(** Run a real CVM guest that sends [requests] RESP commands (cycling
+    through [ops], default [SET]/[GET]) over virtio-net to the
+    host-side Redis server, with the platform flight recorder enabled
+    and span contexts propagated end to end: each request is a
+    ["resp.request"] root span whose context stamps the world-switch,
+    virtio and ecall events it causes. Per-request latency is observed
+    into the registry's per-CVM ["request_cycles"] histogram (which is
+    what {!Zion.Monitor.health_snapshot} reports as p50/p99).
+    [profile_interval], when given, also enables the guest PC-sampling
+    profiler for the duration of the run and registers the guest text
+    as a symbol region. [on_slice] is called after every expired
+    quantum — the live hook behind [zionctl top]. The returned testbed
+    exposes the trace, registry and profiler for export. *)
+
 val average_throughput_drop : row list -> float
 val average_latency_increase : row list -> float
 

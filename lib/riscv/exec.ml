@@ -340,6 +340,7 @@ let update_timer_pending (hart : Hart.t) =
       (if swi then 1L else 0L)
 
 let trace = ref false
+let profile : Metrics.Profile.t option ref = ref None
 
 let step (hart : Hart.t) =
   if !trace then
@@ -361,7 +362,11 @@ let step (hart : Hart.t) =
             try
               exec_instr hart word instr;
               hart.Hart.csr.Csr.minstret <-
-                Int64.add hart.Hart.csr.Csr.minstret 1L
+                Int64.add hart.Hart.csr.Csr.minstret 1L;
+              (match !profile with
+              | None -> ()
+              | Some p ->
+                  Metrics.Profile.sample p ~hart:hart.Hart.id ~pc:pc_before)
             with Hart.Trap_exn (e, tval, tval2) ->
               hart.Hart.pc <- pc_before;
               Trap.take hart (Cause.Exception e) ~tval ~tval2

@@ -22,3 +22,10 @@ exception Halt of int64
 
 val trace : bool ref
 (** Debug: print mode/pc before each step. *)
+
+val profile : Metrics.Profile.t option ref
+(** PC-sampling profiler hook. [None] (the default) costs one branch
+    per retired instruction; when set, every retired instruction's pc
+    is offered to [Metrics.Profile.sample], which counts down and
+    buckets one sample per interval. Installed/removed by
+    [Monitor.enable_profiler]/[disable_profiler]. *)

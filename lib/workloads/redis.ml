@@ -238,6 +238,30 @@ let handle t request =
   charge_bytes t encode_mix_per_byte (String.length encoded);
   encoded
 
+let handle_traced ?trace t request =
+  match trace with
+  | Some tr when Metrics.Trace.is_enabled tr ->
+      (* One root span context per request. It stays installed on the
+         trace after we return, so the device completion and the next
+         world-switch exit are stamped with the request that caused
+         them; the next request's root replaces it. *)
+      let ctx = Metrics.Span.root () in
+      Metrics.Trace.set_ctx tr ctx;
+      let op =
+        match Resp.decode_command request with
+        | Ok (c :: _) -> String.uppercase_ascii c
+        | _ -> "?"
+      in
+      Metrics.Trace.span_begin tr
+        ~args:[ ("op", op); ("bytes", string_of_int (String.length request)) ]
+        "resp.request";
+      let reply = handle t request in
+      Metrics.Trace.span_end tr
+        ~args:[ ("reply_bytes", string_of_int (String.length reply)) ]
+        "resp.request";
+      reply
+  | _ -> handle t request
+
 let benchmark_ops =
   [ "PING"; "SET"; "GET"; "INCR"; "LPUSH"; "RPUSH"; "LPOP"; "RPOP"; "SADD" ]
 

@@ -16,6 +16,16 @@ val handle : t -> string -> string
 (** Process one RESP request; malformed input yields a RESP error
     reply, never an exception. *)
 
+val handle_traced : ?trace:Metrics.Trace.t -> t -> string -> string
+(** Like {!handle}, but when a trace is supplied and enabled each
+    request allocates a fresh root span context, installs it on the
+    trace ({!Metrics.Trace.set_ctx}) and wraps the work in a
+    ["resp.request"] span carrying [op]/[bytes] args. The context is
+    deliberately left installed after returning: the virtio
+    completion and the world-switch events caused by this request are
+    stamped with it until the next request's root replaces it. With no
+    trace (or a disabled one) this is exactly [handle]. *)
+
 val exec : t -> string list -> Resp.value
 (** Execute a parsed command directly (used by unit tests). *)
 

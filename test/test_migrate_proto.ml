@@ -61,7 +61,8 @@ let check_clean ~src ~dst ~cvm ~session expect =
 
 let wire_tests =
   let pkt payload =
-    { Mp.p_session = "sess-1"; p_epoch = 3; p_payload = payload }
+    { Mp.p_session = "sess-1"; p_epoch = 3; p_ctx = Metrics.Span.none;
+      p_payload = payload }
   in
   [
     Alcotest.test_case "codec round-trips every payload" `Quick (fun () ->
