@@ -219,6 +219,141 @@ let attacks_cmd =
     (Cmd.info "attacks" ~doc:"Run the malicious-hypervisor attack suite")
     Term.(const run $ const ())
 
+(* ---------- audit ---------- *)
+
+let audit_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the audit result as a JSON object instead of text.")
+  in
+  let run json_out =
+    let tb = Platform.Testbed.create () in
+    let handle = Platform.Testbed.cvm tb (Guest.Gprog.hello "audit\n") in
+    ignore
+      (Hypervisor.Kvm.run_cvm_to_completion tb.Platform.Testbed.kvm handle
+         ~hart:0 ~quantum:Platform.Testbed.quantum_cycles ~max_slices:100);
+    let result = Zion.Monitor.audit tb.Platform.Testbed.monitor in
+    if json_out then begin
+      let open Metrics.Export in
+      print_endline
+        (json_to_string
+           (Obj
+              (match result with
+              | Ok facts ->
+                  [
+                    ("ok", Bool true);
+                    ("facts_checked", num_of_int facts);
+                    ("violations", List []);
+                  ]
+              | Error findings ->
+                  [
+                    ("ok", Bool false);
+                    ( "violations",
+                      List (List.map (fun f -> Str f) findings) );
+                  ])))
+    end
+    else begin
+      match result with
+      | Ok facts -> Printf.printf "audit clean: %d facts checked\n" facts
+      | Error findings ->
+          Printf.printf "audit found %d violation(s):\n"
+            (List.length findings);
+          List.iter (fun f -> Printf.printf "  %s\n" f) findings
+    end;
+    match result with Ok _ -> () | Error _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Boot a guest to completion, then sweep the platform's global \
+          security invariants and report every fact checked or \
+          violation found")
+    Term.(const run $ json)
+
+(* ---------- recover ---------- *)
+
+let recover_cmd =
+  let point =
+    Arg.(
+      value & opt int 2
+      & info [ "crash-point" ] ~docv:"N"
+          ~doc:
+            "Journal point at which the staged SM crash fires (each \
+             intent append, checkpoint and completion mark is one \
+             point).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the recovery report as a JSON object instead of text.")
+  in
+  let run point json_out =
+    let tb = Platform.Testbed.create () in
+    let mon = tb.Platform.Testbed.monitor in
+    let j = Zion.Monitor.journal mon in
+    (* Stage a crash mid-operation, reboot, then drive host-restart
+       recovery — the CLI face of the chaos sweep's single case. *)
+    Zion.Journal.set_crash_after j point;
+    let crashed =
+      match Zion.Monitor.create_cvm mon ~nvcpus:1 ~entry_pc:0x10000L with
+      | _ ->
+          Zion.Journal.disarm j;
+          false
+      | exception Zion.Journal.Crashed ->
+          Zion.Monitor.crash_reboot mon;
+          true
+    in
+    let rep = Zion.Monitor.recover mon in
+    let audit_ok =
+      match Zion.Monitor.audit mon with Ok _ -> true | Error _ -> false
+    in
+    if json_out then begin
+      let open Metrics.Export in
+      let n = num_of_int in
+      print_endline
+        (json_to_string
+           (Obj
+              [
+                ("crashed", Bool crashed);
+                ("pending", n rep.Zion.Monitor.rr_pending);
+                ("rolled_forward", n rep.Zion.Monitor.rr_rolled_forward);
+                ("rolled_back", n rep.Zion.Monitor.rr_rolled_back);
+                ("parked", n rep.Zion.Monitor.rr_parked);
+                ("pmp_synced", n rep.Zion.Monitor.rr_pmp_synced);
+                ( "detail",
+                  List
+                    (List.map (fun d -> Str d) rep.Zion.Monitor.rr_detail) );
+                ("audit_ok", Bool audit_ok);
+              ]))
+    end
+    else begin
+      Printf.printf
+        "crash %s; recovery: %d pending, %d rolled forward, %d rolled \
+         back, %d parked, %d harts resynced\n"
+        (if crashed then
+           Printf.sprintf "injected at journal point %d" point
+         else "did not fire (operation completed first)")
+        rep.Zion.Monitor.rr_pending rep.Zion.Monitor.rr_rolled_forward
+        rep.Zion.Monitor.rr_rolled_back rep.Zion.Monitor.rr_parked
+        rep.Zion.Monitor.rr_pmp_synced;
+      List.iter (fun d -> Printf.printf "  %s\n" d)
+        rep.Zion.Monitor.rr_detail;
+      Printf.printf "post-recovery audit: %s\n"
+        (if audit_ok then "clean" else "VIOLATIONS")
+    end;
+    if not audit_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Stage an SM crash at a chosen write-ahead-journal point, \
+          model the reboot, run host-restart recovery and report what \
+          it rolled forward or back")
+    Term.(const run $ point $ json)
+
 (* ---------- fuzz ---------- *)
 
 let fuzz_cmd =
@@ -257,11 +392,55 @@ let fuzz_cmd =
       & info [ "json" ]
           ~doc:"Emit the report as a JSON object instead of text.")
   in
-  let run seed iters pool_mib no_retention json_out =
-    let r =
-      Hypervisor.Chaos.run ~pool_mib ~tlb_retention:(not no_retention)
-        ~seed ~iters ()
-    in
+  let sm_crash =
+    Arg.(
+      value & flag
+      & info [ "sm-crash" ]
+          ~doc:
+            "Instead of the randomized fuzzer, run the exhaustive \
+             SM-crash sweep: kill the Secure Monitor at every \
+             write-ahead-journal point of every journaled operation, \
+             recover, and verify convergence (clean audit, idempotent \
+             re-recovery, pool drains to all-free). Deterministic; \
+             ignores $(b,--seed) and $(b,--iters).")
+  in
+  let run_sm_crash json_out =
+    let r = Hypervisor.Chaos.sm_crash_sweep () in
+    if json_out then begin
+      let open Metrics.Export in
+      let n = num_of_int in
+      print_endline
+        (json_to_string
+           (Obj
+              [
+                ( "ops",
+                  Obj
+                    (List.map
+                       (fun (op, pts) -> (op, n pts))
+                       r.Hypervisor.Chaos.sm_ops) );
+                ("cases", n r.Hypervisor.Chaos.sm_cases);
+                ("crashes", n r.Hypervisor.Chaos.sm_crashes);
+                ("recoveries", n r.Hypervisor.Chaos.sm_recoveries);
+                ("rolled_forward", n r.Hypervisor.Chaos.sm_rolled_forward);
+                ("rolled_back", n r.Hypervisor.Chaos.sm_rolled_back);
+                ( "failures",
+                  List
+                    (List.map
+                       (fun f -> Str f)
+                       r.Hypervisor.Chaos.sm_failures) );
+                ("survived", Bool (Hypervisor.Chaos.sm_survived r));
+              ]))
+    end
+    else Format.printf "%a@?" Hypervisor.Chaos.pp_sm_report r;
+    if not (Hypervisor.Chaos.sm_survived r) then exit 1
+  in
+  let run seed iters pool_mib no_retention json_out sm_crash =
+    if sm_crash then run_sm_crash json_out
+    else begin
+      let r =
+        Hypervisor.Chaos.run ~pool_mib ~tlb_retention:(not no_retention)
+          ~seed ~iters ()
+      in
     if json_out then begin
       let open Metrics.Export in
       let n = num_of_int in
@@ -297,16 +476,19 @@ let fuzz_cmd =
                 ("pool_clean", Bool r.Hypervisor.Chaos.pool_clean);
                 ("survived", Bool (Hypervisor.Chaos.survived r));
               ]))
+      end
+      else Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
+      if not (Hypervisor.Chaos.survived r) then exit 1
     end
-    else Format.printf "%a@?" Hypervisor.Chaos.pp_report r;
-    if not (Hypervisor.Chaos.survived r) then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Fault-inject the Secure Monitor under a hostile fuzzing \
-          hypervisor and report survival")
-    Term.(const run $ seed $ iters $ pool_mib $ no_retention $ json)
+          hypervisor (or, with $(b,--sm-crash), the exhaustive \
+          crash-at-every-journal-point sweep) and report survival")
+    Term.(
+      const run $ seed $ iters $ pool_mib $ no_retention $ json $ sm_crash)
 
 (* ---------- migrate ---------- *)
 
@@ -877,6 +1059,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "zionctl" ~doc)
           [
-            experiments_cmd; boot_cmd; attacks_cmd; fuzz_cmd; migrate_cmd;
-            trace_cmd; stats_cmd; top_cmd; export_cmd; costs_cmd;
+            experiments_cmd; boot_cmd; attacks_cmd; audit_cmd; recover_cmd;
+            fuzz_cmd; migrate_cmd; trace_cmd; stats_cmd; top_cmd;
+            export_cmd; costs_cmd;
           ]))

@@ -34,3 +34,25 @@ let stage_to_string = function
   | Stage1 -> "stage1"
   | Stage2 -> "stage2"
   | Stage3_retry -> "stage3"
+
+(* Idempotent reclamation, for crash-recovery replay: a block may reach
+   these once per attempt, so the already-free case is a no-op instead
+   of the allocator-corrupting double insert Secmem guards against. *)
+
+let free_block secmem block =
+  if Secmem.block_is_free block then false
+  else begin
+    Secmem.free_block secmem block;
+    true
+  end
+
+let scrub_free ~zero secmem block =
+  if Secmem.block_is_free block then false
+  else begin
+    zero ~base:(Secmem.block_base block)
+      ~bytes:(Int64.of_int (Secmem.block_npages block * 4096));
+    Secmem.free_block secmem block;
+    true
+  end
+
+let reclaim_base secmem ~base = Secmem.reclaim_base secmem ~base

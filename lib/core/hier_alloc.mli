@@ -33,3 +33,25 @@ val allocate :
     instant event on a stage-2 cache refill and on pool exhaustion. *)
 
 val stage_to_string : stage -> string
+
+(** {2 Idempotent reclamation}
+
+    Crash-recovery replay may revisit a block any number of times; these
+    wrappers make double-free and double-scrub harmless no-ops so replay
+    converges without corrupting the shared free list. *)
+
+val free_block : Secmem.t -> Secmem.block -> bool
+(** Return the block to the pool; [false] (and no effect) when it is
+    already free. *)
+
+val scrub_free :
+  zero:(base:int64 -> bytes:int64 -> unit) -> Secmem.t -> Secmem.block ->
+  bool
+(** Zero the block's whole byte range via [zero], then return it to the
+    pool. [false] (no zeroing, no free) when it is already free — an
+    already-reclaimed block may belong to someone else by now, so a
+    blind re-scrub would destroy the next owner's data. *)
+
+val reclaim_base : Secmem.t -> base:int64 -> bool
+(** Re-export of [Secmem.reclaim_base] (recovery-only; see its
+    warning). *)

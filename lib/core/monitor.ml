@@ -69,6 +69,10 @@ type t = {
   sessions : (string, migration_session) Hashtbl.t;
       (** keyed by "out:<id>" / "in:<id>" so one monitor can hold both
           ends of a loopback migration *)
+  journal : Journal.t;
+      (** write-ahead intent journal: every multi-step transition below
+          records an intent before its first durable mutation, so
+          [recover] can roll a crashed operation forward or back *)
   mutable next_cvm_id : int;
   host : host_ctx array;
   pending_mmio : (int * int, Vcpu.mmio) Hashtbl.t;
@@ -111,6 +115,7 @@ let create ?(config = default_config) machine =
       registry = Metrics.Registry.create ();
       cvms = Hashtbl.create 16;
       sessions = Hashtbl.create 8;
+      journal = Journal.create ();
       next_cvm_id = 1;
       host =
         Array.init nharts (fun _ ->
@@ -291,7 +296,14 @@ let host_call t name ?cvm f =
     Metrics.Trace.span_begin t.trace ?cvm ev;
     Metrics.Registry.inc t.registry ev
   end;
-  let r = try f () with e -> internal_fault t name e in
+  (* The injected SM death is not an internal fault: it models the whole
+     monitor dying, so it must escape the ABI boundary to the reboot
+     driver instead of being absorbed into an error reply. *)
+  let r =
+    try f () with
+    | Journal.Crashed as c -> raise c
+    | e -> internal_fault t name e
+  in
   if observing then begin
     let status =
       match r with Ok _ -> "ok" | Error e -> Ecall.error_to_string e
@@ -357,8 +369,13 @@ let seal_all_vcpus t cvm =
 let quarantine t cvm ~reason =
   if cvm.Cvm.state <> Cvm.Destroyed && cvm.Cvm.state <> Cvm.Quarantined
   then begin
+    let jr =
+      Journal.append t.journal
+        (Journal.Op_quarantine { cvm = cvm.Cvm.id; reason })
+    in
     cvm.Cvm.state <- Cvm.Quarantined;
     cvm.Cvm.quarantine_reason <- Some reason;
+    Journal.checkpoint t.journal jr "parked";
     Spt.clear_shared_root cvm.Cvm.spt;
     (* The CVM will never legitimately run again, so no hart may keep
        translating its guest-physical space. *)
@@ -367,7 +384,8 @@ let quarantine t cvm ~reason =
     if obs t then
       Metrics.Trace.instant t.trace ~cvm:cvm.Cvm.id
         ~args:[ ("reason", reason) ]
-        "cvm.quarantine"
+        "cvm.quarantine";
+    Journal.mark_done t.journal jr
   end
 
 let quarantine_reason t ~cvm:id =
@@ -473,9 +491,13 @@ let register_secure_region_impl t ~base ~size =
   if not (Bus.in_dram bus base && Bus.in_dram bus last) then
     Error Ecall.Invalid_param
   else begin
+    let jr = Journal.append t.journal (Journal.Op_expand { base; size }) in
     match Secmem.register_region t.sm ~base ~size with
-    | Error _ -> Error Ecall.Invalid_param
+    | Error _ ->
+        Journal.mark_done t.journal jr;
+        Error Ecall.Invalid_param
     | Ok blocks ->
+        Journal.checkpoint t.journal jr "linked";
         (match
            let synced = ref 0 in
            Array.iter
@@ -500,8 +522,11 @@ let register_secure_region_impl t ~base ~size =
               t.machine.Machine.harts;
             if obs t then
               Metrics.Registry.inc t.registry ~by:nharts "tlb.full_flush";
+            Journal.mark_done t.journal jr;
             Ok blocks
-        | exception Invalid_argument _ -> Error Ecall.Invalid_param)
+        | exception Invalid_argument _ ->
+            Journal.mark_done t.journal jr;
+            Error Ecall.Invalid_param)
   end
 
 let register_secure_region t ~base ~size =
@@ -532,29 +557,45 @@ let max_nvcpus = 64
 let create_cvm_impl t ~nvcpus ~entry_pc =
   if nvcpus <= 0 || nvcpus > max_nvcpus then Error Ecall.Invalid_param
   else begin
-    (* The Sv39x4 root needs 16 KiB, 16 KiB-aligned: take the first four
-       pages of a fresh block (blocks are 256 KiB-aligned). *)
-    match Secmem.alloc_block t.sm with
+    (* Journal the intent against the block the pop below will return
+       (single-threaded SM: nothing moves the list head in between), so
+       recovery can find the orphaned block if we die mid-build. *)
+    match Secmem.peek_block_base t.sm with
     | None -> Error Ecall.No_memory
-    | Some blk ->
-        let root = Secmem.block_base blk in
-        for _ = 1 to 4 do
-          ignore (Secmem.block_take_page blk)
-        done;
-        let table_blocks = ref [ blk ] in
-        let spt =
-          Spt.create ~bus:t.machine.Machine.bus ~root
-            ~alloc_table_page:(alloc_table_page t table_blocks)
-        in
+    | Some block_base -> (
         let id = t.next_cvm_id in
+        let jr =
+          Journal.append t.journal
+            (Journal.Op_create { cvm = id; block_base; nvcpus })
+        in
         t.next_cvm_id <- id + 1;
-        let cvm = Cvm.create ~id ~nvcpus ~entry_pc ~spt ~table_blocks in
-        Hashtbl.replace t.cvms id cvm;
-        seal_all_vcpus t cvm;
-        charge t "sm_cvm_create"
-          (t.cost.Cost.page_scrub * 4 (* zero the root *)
-          + t.cost.Cost.block_grab);
-        Ok id
+        (* The Sv39x4 root needs 16 KiB, 16 KiB-aligned: take the first
+           four pages of a fresh block (blocks are 256 KiB-aligned). *)
+        match Secmem.alloc_block t.sm with
+        | None ->
+            (* unreachable: the peek above saw a free block *)
+            Journal.mark_done t.journal jr;
+            Error Ecall.No_memory
+        | Some blk ->
+            Journal.checkpoint t.journal jr "block";
+            let root = Secmem.block_base blk in
+            for _ = 1 to 4 do
+              ignore (Secmem.block_take_page blk)
+            done;
+            let table_blocks = ref [ blk ] in
+            let spt =
+              Spt.create ~bus:t.machine.Machine.bus ~root
+                ~alloc_table_page:(alloc_table_page t table_blocks)
+            in
+            let cvm = Cvm.create ~id ~nvcpus ~entry_pc ~spt ~table_blocks in
+            Hashtbl.replace t.cvms id cvm;
+            Journal.checkpoint t.journal jr "registered";
+            seal_all_vcpus t cvm;
+            charge t "sm_cvm_create"
+              (t.cost.Cost.page_scrub * 4 (* zero the root *)
+              + t.cost.Cost.block_grab);
+            Journal.mark_done t.journal jr;
+            Ok id)
   end
 
 let create_cvm t ~nvcpus ~entry_pc =
@@ -613,6 +654,14 @@ let load_image_impl t ~cvm:id ~gpa data =
         let cache = Cvm.cache cvm 0 in
         let len = String.length data in
         let npages = (len + 4095) / 4096 in
+        (* The payload lives in untrusted memory and is not journaled: a
+           crash mid-load leaves a torn measurement, so recovery rolls
+           the whole Created CVM back and the host retries from scratch.
+           A completed load (even one that returned an error) marks the
+           record done — the state it left is well-defined. *)
+        let jr =
+          Journal.append t.journal (Journal.Op_load { cvm = id; gpa; npages })
+        in
         let rec go page =
           if page >= npages then Ok ()
           else begin
@@ -640,10 +689,14 @@ let load_image_impl t ~cvm:id ~gpa data =
                 (match cvm.Cvm.measurement_ctx with
                 | Some m -> Attest.extend m ~gpa:page_gpa chunk
                 | None -> ());
+                Journal.checkpoint t.journal jr
+                  (Printf.sprintf "page:%d" page);
                 go (page + 1)
           end
         in
-        go 0
+        let result = go 0 in
+        Journal.mark_done t.journal jr;
+        result
       end
 
 let load_image t ~cvm ~gpa data =
@@ -692,6 +745,77 @@ let install_shared t ~cvm:id ~table_pa =
             | Error _ -> Error Ecall.Denied
           end)
 
+(* The destroy state machine, factored so recovery can replay it: every
+   step is idempotent (a second pass scrubs zero pages, frees zero
+   blocks, flips no counter), so a crash anywhere inside converges by
+   simply running it again. [record], when given, receives progress
+   checkpoints — the crash points a sweep visits. *)
+let destroy_replay ?record t cvm =
+  let id = cvm.Cvm.id in
+  let ckpt label =
+    match record with
+    | Some r -> Journal.checkpoint t.journal r label
+    | None -> ()
+  in
+  let bus = t.machine.Machine.bus in
+  let was_destroyed = cvm.Cvm.state = Cvm.Destroyed in
+  (* Scrub every owned page, drop ownership, return blocks. *)
+  Hashtbl.iter
+    (fun pa owner ->
+      if owner = id then begin
+        Physmem.zero_range (Bus.dram bus) (Int64.sub pa Bus.dram_base)
+          4096L;
+        charge t "sm_scrub" t.cost.Cost.page_scrub
+      end)
+    t.page_owner;
+  Hashtbl.filter_map_inplace
+    (fun _ owner -> if owner = id then None else Some owner)
+    t.page_owner;
+  (* Unlink the hypervisor subtree while the root table is still
+     live, then scrub and return every block. *)
+  Spt.clear_shared_root cvm.Cvm.spt;
+  ckpt "scrubbed";
+  List.iter
+    (fun blk ->
+      ignore
+        (Hier_alloc.scrub_free
+           ~zero:(fun ~base ~bytes ->
+             Physmem.zero_range (Bus.dram bus)
+               (Int64.sub base Bus.dram_base)
+               bytes)
+           t.sm blk))
+    (Cvm.owned_blocks cvm);
+  (* Drop every stale reference to the recycled blocks: the page
+     caches, the table-block list, and the relinquished-page pool.
+     Without this a destroyed CVM's cache still aliases blocks the
+     next CVM may own (reuse-after-destroy). *)
+  Array.iter Page_cache.reset cvm.Cvm.caches;
+  cvm.Cvm.table_blocks := [];
+  Hashtbl.remove t.freed_pages id;
+  cvm.Cvm.state <- Cvm.Destroyed;
+  if not was_destroyed then Metrics.Registry.inc t.registry "cvm.destroyed";
+  ckpt "reclaimed";
+  (* Every hart that ever ran this CVM may retain translations into
+     the just-freed blocks; without this shootdown the next owner of
+     those blocks inherits them (covers migrate_out_commit too,
+     which destroys through here). *)
+  shootdown_vmid t ~vmid:id ~reason:"destroy";
+  for v = 0 to Cvm.nvcpus cvm - 1 do
+    Hashtbl.remove t.pending_mmio (id, v);
+    Hashtbl.remove t.staged_reg (id, v);
+    Hashtbl.remove t.expand_retry (id, v);
+    Hashtbl.remove t.vcpu_seal (id, v)
+  done;
+  (* A migration session whose CVM disappears under it can never
+     complete: fold it to Aborted so the ownership audit stays
+     truthful. [migrate_out_commit] marks its session Committed
+     *before* destroying, so the legitimate handoff is untouched. *)
+  Hashtbl.iter
+    (fun _ s ->
+      if s.mg_phase = Mig_active && s.mg_cvm = Some id then
+        s.mg_phase <- Mig_aborted)
+    t.sessions
+
 let destroy_cvm_impl t ~cvm:id =
   match find_cvm t id with
   | None -> Error Ecall.Not_found
@@ -700,58 +824,9 @@ let destroy_cvm_impl t ~cvm:id =
      the allocator every CVM shares. *)
   | Some cvm when cvm.Cvm.state = Cvm.Destroyed -> Error Ecall.Bad_state
   | Some cvm ->
-      let bus = t.machine.Machine.bus in
-      (* Scrub every owned page, drop ownership, return blocks. *)
-      Hashtbl.iter
-        (fun pa owner ->
-          if owner = id then begin
-            Physmem.zero_range (Bus.dram bus) (Int64.sub pa Bus.dram_base)
-              4096L;
-            charge t "sm_scrub" t.cost.Cost.page_scrub
-          end)
-        t.page_owner;
-      Hashtbl.filter_map_inplace
-        (fun _ owner -> if owner = id then None else Some owner)
-        t.page_owner;
-      (* Unlink the hypervisor subtree while the root table is still
-         live, then scrub and return every block. *)
-      Spt.clear_shared_root cvm.Cvm.spt;
-      List.iter
-        (fun blk ->
-          Physmem.zero_range (Bus.dram bus)
-            (Int64.sub (Secmem.block_base blk) Bus.dram_base)
-            (Int64.of_int (Secmem.block_npages blk * 4096));
-          Secmem.free_block t.sm blk)
-        (Cvm.owned_blocks cvm);
-      (* Drop every stale reference to the recycled blocks: the page
-         caches, the table-block list, and the relinquished-page pool.
-         Without this a destroyed CVM's cache still aliases blocks the
-         next CVM may own (reuse-after-destroy). *)
-      Array.iter Page_cache.reset cvm.Cvm.caches;
-      cvm.Cvm.table_blocks := [];
-      Hashtbl.remove t.freed_pages id;
-      cvm.Cvm.state <- Cvm.Destroyed;
-      (* Every hart that ever ran this CVM may retain translations into
-         the just-freed blocks; without this shootdown the next owner of
-         those blocks inherits them (covers migrate_out_commit too,
-         which destroys through here). *)
-      shootdown_vmid t ~vmid:id ~reason:"destroy";
-      for v = 0 to Cvm.nvcpus cvm - 1 do
-        Hashtbl.remove t.pending_mmio (id, v);
-        Hashtbl.remove t.staged_reg (id, v);
-        Hashtbl.remove t.expand_retry (id, v);
-        Hashtbl.remove t.vcpu_seal (id, v)
-      done;
-      Metrics.Registry.inc t.registry "cvm.destroyed";
-      (* A migration session whose CVM disappears under it can never
-         complete: fold it to Aborted so the ownership audit stays
-         truthful. [migrate_out_commit] marks its session Committed
-         *before* destroying, so the legitimate handoff is untouched. *)
-      Hashtbl.iter
-        (fun _ s ->
-          if s.mg_phase = Mig_active && s.mg_cvm = Some id then
-            s.mg_phase <- Mig_aborted)
-        t.sessions;
+      let jr = Journal.append t.journal (Journal.Op_destroy { cvm = id }) in
+      destroy_replay ~record:jr t cvm;
+      Journal.mark_done t.journal jr;
       Ok ()
 
 let destroy_cvm t ~cvm =
@@ -837,12 +912,16 @@ let export_cvm t ~cvm =
 
 (* Rebuild a CVM from a verified image into fresh secure memory, landing
    it in [state] ([Suspended] for the one-shot path, [Migrating_in] for
-   a 2PC prepare). Rolls the half-built CVM back on any failure. *)
-let build_cvm_from_image t im ~state =
+   a 2PC prepare). Rolls the half-built CVM back on any failure.
+   [on_created] fires the moment the empty CVM exists — the caller's
+   journal record learns the id there, so a crash mid-restore can still
+   find and scrub the half-built instance. *)
+let build_cvm_from_image ?on_created t im ~state =
   let nvcpus = List.length im.Migrate.im_vcpus in
   match create_cvm t ~nvcpus ~entry_pc:0L with
   | Error e -> Error e
   | Ok id -> begin
+      (match on_created with Some f -> f id | None -> ());
       let cvm =
         match find_cvm t id with Some c -> c | None -> assert false
       in
@@ -886,7 +965,18 @@ let build_cvm_from_image t im ~state =
 let import_cvm_impl t blob =
   match Migrate.unseal blob with
   | Error _ -> Error Ecall.Denied
-  | Ok im -> build_cvm_from_image t im ~state:Cvm.Suspended
+  | Ok im ->
+      let jr = Journal.append t.journal (Journal.Op_import { built = None }) in
+      let result =
+        build_cvm_from_image t im ~state:Cvm.Suspended
+          ~on_created:(fun id ->
+            (match jr.Journal.op with
+            | Journal.Op_import p -> p.built <- Some id
+            | _ -> ());
+            Journal.checkpoint t.journal jr "built")
+      in
+      Journal.mark_done t.journal jr;
+      result
 
 let import_cvm t blob =
   host_call t "import_cvm" (fun () -> import_cvm_impl t blob)
@@ -953,7 +1043,12 @@ let migrate_out_begin_impl t ~cvm:id ~session ~budget =
             | Cvm.Runnable | Cvm.Suspended ->
                 let nonce = fresh_export_nonce t in
                 let blob = Migrate.seal ~nonce (snapshot_image t cvm) in
+                let jr =
+                  Journal.append t.journal
+                    (Journal.Op_mig_out_begin { session; cvm = id })
+                in
                 cvm.Cvm.state <- Cvm.Migrating_out;
+                Journal.checkpoint t.journal jr "locked";
                 Hashtbl.replace t.sessions
                   (session_key Mig_out session)
                   {
@@ -967,6 +1062,7 @@ let migrate_out_begin_impl t ~cvm:id ~session ~budget =
                     mg_budget = budget;
                   };
                 Metrics.Registry.inc t.registry "migrate.out_begin";
+                Journal.mark_done t.journal jr;
                 Ok (blob, 1)
           end
       end
@@ -985,6 +1081,10 @@ let migrate_out_abort t ~session =
           | Mig_committed -> Error Ecall.Bad_state
           | Mig_aborted -> Ok ()
           | Mig_active ->
+              let jr =
+                Journal.append t.journal
+                  (Journal.Op_mig_out_abort { session })
+              in
               (match s.mg_cvm with
               | Some id -> begin
                   match find_cvm t id with
@@ -994,8 +1094,10 @@ let migrate_out_abort t ~session =
                   | _ -> ()
                 end
               | None -> ());
+              Journal.checkpoint t.journal jr "released";
               s.mg_phase <- Mig_aborted;
               Metrics.Registry.inc t.registry "migrate.out_abort";
+              Journal.mark_done t.journal jr;
               Ok ()
         end)
 
@@ -1011,12 +1113,21 @@ let migrate_out_commit t ~session =
               match s.mg_cvm with
               | None -> Error Ecall.Bad_state
               | Some id ->
-                  (* The commit point of the whole handoff: flip the
-                     session first so the destroy sweep leaves it
-                     Committed, then scrub the source instance. *)
+                  (* The commit point of the whole handoff: once the
+                     intent lands the decision is irrevocable — recovery
+                     rolls it forward even if the crash struck before
+                     the phase flip below. Flip the session first so the
+                     destroy sweep leaves it Committed, then scrub the
+                     source instance. *)
+                  let jr =
+                    Journal.append t.journal
+                      (Journal.Op_mig_out_commit { session })
+                  in
                   s.mg_phase <- Mig_committed;
+                  Journal.checkpoint t.journal jr "committed";
                   ignore (destroy_cvm_impl t ~cvm:id);
                   Metrics.Registry.inc t.registry "migrate.out_commit";
+                  Journal.mark_done t.journal jr;
                   Ok ()
             end
         end)
@@ -1036,6 +1147,15 @@ let migrate_in_prepare t ~session ~epoch blob =
             match Migrate.unseal blob with
             | Error _ -> Error Ecall.Denied
             | Ok im -> begin
+                let jr =
+                  Journal.append t.journal
+                    (Journal.Op_mig_in_prepare
+                       { session; epoch; built = None })
+                in
+                let finish r =
+                  Journal.mark_done t.journal jr;
+                  r
+                in
                 (* A newer epoch replaces any earlier prepared instance
                    of the same session. *)
                 (match maybe with
@@ -1050,8 +1170,15 @@ let migrate_in_prepare t ~session ~epoch blob =
                     | None -> ()
                   end
                 | None -> ());
-                match build_cvm_from_image t im ~state:Cvm.Migrating_in with
-                | Error e -> Error e
+                match
+                  build_cvm_from_image t im ~state:Cvm.Migrating_in
+                    ~on_created:(fun id ->
+                      (match jr.Journal.op with
+                      | Journal.Op_mig_in_prepare p -> p.built <- Some id
+                      | _ -> ());
+                      Journal.checkpoint t.journal jr "built")
+                with
+                | Error e -> finish (Error e)
                 | Ok id ->
                     let tag = blob_tag blob in
                     (match maybe with
@@ -1073,7 +1200,7 @@ let migrate_in_prepare t ~session ~epoch blob =
                             mg_budget = 0;
                           });
                     Metrics.Registry.inc t.registry "migrate.in_prepare";
-                    Ok id
+                    finish (Ok id)
               end
           end)
 
@@ -1095,9 +1222,19 @@ let migrate_in_commit t ~session =
               | Some id -> begin
                   match find_cvm t id with
                   | Some cvm when cvm.Cvm.state = Cvm.Migrating_in ->
+                      (* Two durable flips; a crash between them would
+                         leave a Suspended CVM pinned by an Active
+                         session (the §8 audit violation), so both sides
+                         of the gap are journal points recovery closes. *)
+                      let jr =
+                        Journal.append t.journal
+                          (Journal.Op_mig_in_commit { session })
+                      in
                       cvm.Cvm.state <- Cvm.Suspended;
+                      Journal.checkpoint t.journal jr "activated";
                       s.mg_phase <- Mig_committed;
                       Metrics.Registry.inc t.registry "migrate.in_commit";
+                      Journal.mark_done t.journal jr;
                       Ok id
                   | _ -> Error Ecall.Bad_state
                 end
@@ -1115,12 +1252,17 @@ let migrate_in_abort t ~session =
           | Mig_committed -> Error Ecall.Bad_state
           | Mig_aborted -> Ok ()
           | Mig_active ->
+              let jr =
+                Journal.append t.journal (Journal.Op_mig_in_abort { session })
+              in
               (match s.mg_cvm with
               | Some id -> ignore (destroy_cvm_impl t ~cvm:id)
               | None -> ());
+              Journal.checkpoint t.journal jr "scrubbed";
               s.mg_phase <- Mig_aborted;
               s.mg_cvm <- None;
               Metrics.Registry.inc t.registry "migrate.in_abort";
+              Journal.mark_done t.journal jr;
               Ok ()
         end)
 
@@ -1289,27 +1431,44 @@ let handle_guest_ecall t cvm (hart : Hart.t) =
       let gpa = Xword.align_down a0 4096L in
       if not (Layout.is_private_gpa gpa) then err Ecall.Invalid_param
       else begin
-        match Spt.unmap_private cvm.Cvm.spt ~gpa with
-        | Error _ -> err Ecall.Not_found
-        | Ok pa ->
-            Physmem.zero_range
-              (Bus.dram t.machine.Machine.bus)
-              (Int64.sub pa Bus.dram_base) 4096L;
-            charge t "sm_scrub" t.cost.Cost.page_scrub;
-            (* The guest VAs aliasing this page are unknown here (with
-               VS-stage paging a VA need not equal the GPA), and other
-               harts may retain the translation too: shoot down by
-               physical page, scoped to this CVM, on every hart. *)
-            Array.iter
-              (fun h -> Tlb.flush_pa ~vmid:cvm.Cvm.id h.Hart.tlb pa)
-              t.machine.Machine.harts;
-            charge t "sm_shootdown"
-              (Array.length t.machine.Machine.harts
-              * t.cost.Cost.tlb_vmid_flush);
-            (match Hashtbl.find_opt t.freed_pages cvm.Cvm.id with
-            | Some r -> r := pa :: !r
-            | None -> Hashtbl.add t.freed_pages cvm.Cvm.id (ref [ pa ]));
-            ok ()
+        (* Learn the physical page before the first mutation so the
+           intent can name it — recovery re-scrubs by address even when
+           the mapping is already gone. *)
+        match Spt.lookup cvm.Cvm.spt ~gpa with
+        | None -> err Ecall.Not_found
+        | Some pa -> begin
+            let jr =
+              Journal.append t.journal
+                (Journal.Op_relinquish { cvm = cvm.Cvm.id; gpa; pa })
+            in
+            match Spt.unmap_private cvm.Cvm.spt ~gpa with
+            | Error _ ->
+                Journal.mark_done t.journal jr;
+                err Ecall.Not_found
+            | Ok pa ->
+                Journal.checkpoint t.journal jr "unmapped";
+                Physmem.zero_range
+                  (Bus.dram t.machine.Machine.bus)
+                  (Int64.sub pa Bus.dram_base) 4096L;
+                charge t "sm_scrub" t.cost.Cost.page_scrub;
+                (* The guest VAs aliasing this page are unknown here
+                   (with VS-stage paging a VA need not equal the GPA),
+                   and other harts may retain the translation too: shoot
+                   down by physical page, scoped to this CVM, on every
+                   hart. *)
+                Array.iter
+                  (fun h -> Tlb.flush_pa ~vmid:cvm.Cvm.id h.Hart.tlb pa)
+                  t.machine.Machine.harts;
+                charge t "sm_shootdown"
+                  (Array.length t.machine.Machine.harts
+                  * t.cost.Cost.tlb_vmid_flush);
+                Journal.checkpoint t.journal jr "scrubbed";
+                (match Hashtbl.find_opt t.freed_pages cvm.Cvm.id with
+                | Some r -> r := pa :: !r
+                | None -> Hashtbl.add t.freed_pages cvm.Cvm.id (ref [ pa ]));
+                Journal.mark_done t.journal jr;
+                ok ()
+          end
       end
     end
     else if a6 = Ecall.fid_guest_share || a6 = Ecall.fid_guest_unshare then
@@ -1730,7 +1889,13 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 in
                 loop 0
               end)
-        with e ->
+        with
+        | Journal.Crashed as c ->
+            (* The injected SM death: the hart's state is whatever the
+               crash left (reboot wipes it), so no cleanup here — just
+               let the reboot driver take over. *)
+            raise c
+        | e ->
           (* A fault inside the SM must never leave the hart in CVM
              mode with the PMP window open: restore the host world
              first, then quarantine — the CVM's state may be
@@ -2096,3 +2261,391 @@ let audit t =
         ())
     t.machine.Machine.harts;
   if !findings = [] then Ok !checked else Error (List.rev !findings)
+
+(* ---------- crash consistency: reboot + journal recovery ---------- *)
+
+let journal t = t.journal
+
+(* Model a host/SM crash on the same monitor value: everything volatile
+   — hart CSRs (PMP, TLB, delegation, translation roots), the IOPMP's
+   device registers, the guard's epoch caches, and the SM's scratch
+   tables — is wiped; everything durable (secure-NVRAM model: the pool
+   list, the CVM table, page ownership, sessions, seals, freed-page
+   pools, the journal itself) survives untouched. *)
+let crash_reboot t =
+  Journal.disarm t.journal;
+  Array.iteri
+    (fun i hart ->
+      let csr = hart.Hart.csr in
+      for e = 0 to 15 do
+        Pmp.clear csr.Csr.pmp e
+      done;
+      Tlb.flush_all hart.Hart.tlb;
+      csr.Csr.satp <- 0L;
+      csr.Csr.hgatp <- 0L;
+      csr.Csr.medeleg <- 0L;
+      csr.Csr.mideleg <- 0L;
+      csr.Csr.hedeleg <- 0L;
+      csr.Csr.hideleg <- 0L;
+      hart.Hart.mode <- Priv.M;
+      hart.Hart.pc <- 0L;
+      let h = t.host.(i) in
+      h.h_satp <- 0L;
+      h.h_hgatp <- 0L;
+      h.h_medeleg <- Deleg_policy.normal_medeleg;
+      h.h_mideleg <- Deleg_policy.normal_mideleg;
+      h.h_hedeleg <- Deleg_policy.normal_hedeleg;
+      h.h_hideleg <- Deleg_policy.normal_hideleg;
+      h.h_mode <- Priv.HS;
+      h.h_pc <- 0L)
+    t.machine.Machine.harts;
+  Pmp_guard.reset t.guard;
+  (* IOPMP config registers reset to the deny-by-default power-on
+     state: standing deny entries and the permissive default are gone
+     until [recover] reprograms them. *)
+  let iopmp = Bus.iopmp t.machine.Machine.bus in
+  List.iter
+    (fun (base, size) -> Iopmp.remove_deny iopmp ~base ~size)
+    (Secmem.regions t.sm);
+  Iopmp.allow_all_default iopmp false;
+  Hashtbl.reset t.pending_mmio;
+  Hashtbl.reset t.expand_retry;
+  Hashtbl.reset t.staged_reg;
+  Hashtbl.reset t.last_seen;
+  Metrics.Registry.inc t.registry "sm.crash_reboot"
+
+type recovery_report = {
+  rr_pending : int;
+  rr_rolled_forward : int;
+  rr_rolled_back : int;
+  rr_parked : int;
+  rr_pmp_synced : int;
+  rr_detail : string list;
+}
+
+let pinned_by_active_out_session t id =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc
+      || (s.mg_role = Mig_out && s.mg_phase = Mig_active
+         && s.mg_cvm = Some id))
+    t.sessions false
+
+(* Replay one pending record. Every branch is idempotent: recovery may
+   itself crash at any of the journal points it emits, and the next
+   recovery replays the same record again. Checkpoints/completion marks
+   are written by [recover], not here (except destroy_replay's own). *)
+let replay_record t ~note ~fwd ~back (r : Journal.record) =
+  match r.Journal.op with
+  | Journal.Op_create { cvm = id; block_base; nvcpus = _ } -> (
+      incr back;
+      (* Never mint the journaled id again, even though the op dies. *)
+      if t.next_cvm_id <= id then t.next_cvm_id <- id + 1;
+      match find_cvm t id with
+      | Some cvm ->
+          note
+            (Printf.sprintf "create #%d: rolled back half-built CVM %d"
+               r.Journal.seq id);
+          destroy_replay ~record:r t cvm
+      | None ->
+          (* The block may have been popped without the CVM ever
+             reaching the table: scrub the orphan and re-link it. *)
+          if
+            Secmem.contains t.sm block_base
+            && not (Secmem.is_free_base t.sm block_base)
+          then begin
+            Physmem.zero_range
+              (Bus.dram t.machine.Machine.bus)
+              (Int64.sub block_base Bus.dram_base)
+              (Secmem.block_size t.sm);
+            ignore (Hier_alloc.reclaim_base t.sm ~base:block_base);
+            note
+              (Printf.sprintf
+                 "create #%d: reclaimed orphaned block 0x%Lx" r.Journal.seq
+                 block_base)
+          end)
+  | Journal.Op_load { cvm = id; _ } -> (
+      incr back;
+      match find_cvm t id with
+      | Some cvm when cvm.Cvm.state = Cvm.Created ->
+          (* The measurement is torn mid-extend and can never seal to
+             anything attestable: scrub the instance, let the host
+             rebuild it from the original image. *)
+          note
+            (Printf.sprintf "load #%d: rolled back torn CVM %d"
+               r.Journal.seq id);
+          destroy_replay ~record:r t cvm
+      | _ -> ())
+  | Journal.Op_expand { base; size } ->
+      if List.exists (fun r' -> r' = (base, size)) (Secmem.regions t.sm)
+      then begin
+        incr fwd;
+        (* The region is durably linked; the global PMP/IOPMP resync
+           that recovery always performs finishes the registration. *)
+        note
+          (Printf.sprintf "expand #%d: region 0x%Lx kept (PMP resynced)"
+             r.Journal.seq base)
+      end
+      else begin
+        incr back;
+        note
+          (Printf.sprintf "expand #%d: region 0x%Lx never linked; dropped"
+             r.Journal.seq base)
+      end
+  | Journal.Op_relinquish { cvm = id; gpa; pa } -> (
+      match find_cvm t id with
+      | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+          incr fwd;
+          (match Spt.lookup cvm.Cvm.spt ~gpa with
+          | Some pa' when pa' = pa ->
+              ignore (Spt.unmap_private cvm.Cvm.spt ~gpa)
+          | _ -> ());
+          Physmem.zero_range
+            (Bus.dram t.machine.Machine.bus)
+            (Int64.sub pa Bus.dram_base) 4096L;
+          Journal.checkpoint t.journal r "scrubbed";
+          (* TLBs are empty after the reboot, so no shootdown is owed;
+             just make sure the page lands in the freed pool exactly
+             once. *)
+          let lst =
+            match Hashtbl.find_opt t.freed_pages id with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add t.freed_pages id l;
+                l
+          in
+          if not (List.mem pa !lst) then lst := pa :: !lst;
+          note
+            (Printf.sprintf
+               "relinquish #%d: CVM %d page 0x%Lx scrubbed and pooled"
+               r.Journal.seq id pa)
+      | _ -> incr back)
+  | Journal.Op_destroy { cvm = id } -> (
+      incr fwd;
+      match find_cvm t id with
+      | Some cvm ->
+          note
+            (Printf.sprintf "destroy #%d: finished scrubbing CVM %d"
+               r.Journal.seq id);
+          destroy_replay ~record:r t cvm
+      | None -> ())
+  | Journal.Op_quarantine { cvm = id; reason } -> (
+      incr fwd;
+      match find_cvm t id with
+      | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+          if cvm.Cvm.state <> Cvm.Quarantined then
+            Metrics.Registry.inc t.registry "cvm.quarantined";
+          cvm.Cvm.state <- Cvm.Quarantined;
+          cvm.Cvm.quarantine_reason <- Some reason;
+          Spt.clear_shared_root cvm.Cvm.spt;
+          note
+            (Printf.sprintf "quarantine #%d: CVM %d re-parked"
+               r.Journal.seq id)
+      | _ -> ())
+  | Journal.Op_mig_out_begin { session; cvm = id } -> (
+      match find_session t Mig_out session with
+      | Some s ->
+          incr fwd;
+          (match (s.mg_phase, find_cvm t id) with
+          | Mig_active, Some cvm
+            when cvm.Cvm.state = Cvm.Suspended
+                 || cvm.Cvm.state = Cvm.Runnable ->
+              cvm.Cvm.state <- Cvm.Migrating_out;
+              note
+                (Printf.sprintf "out-begin #%d: re-locked CVM %d"
+                   r.Journal.seq id)
+          | _ -> ())
+      | None -> (
+          incr back;
+          (* The lock landed but the session record did not: release the
+             CVM — the host never learned a session existed. *)
+          match find_cvm t id with
+          | Some cvm
+            when cvm.Cvm.state = Cvm.Migrating_out
+                 && not (pinned_by_active_out_session t id) ->
+              cvm.Cvm.state <- Cvm.Suspended;
+              note
+                (Printf.sprintf "out-begin #%d: released CVM %d"
+                   r.Journal.seq id)
+          | _ -> ()))
+  | Journal.Op_mig_out_abort { session } -> (
+      incr fwd;
+      match find_session t Mig_out session with
+      | Some s when s.mg_phase <> Mig_committed ->
+          (match s.mg_cvm with
+          | Some id -> (
+              match find_cvm t id with
+              | Some cvm when cvm.Cvm.state = Cvm.Migrating_out ->
+                  cvm.Cvm.state <- Cvm.Suspended
+              | _ -> ())
+          | None -> ());
+          s.mg_phase <- Mig_aborted;
+          note
+            (Printf.sprintf "out-abort #%d: session %s aborted"
+               r.Journal.seq session)
+      | _ -> ())
+  | Journal.Op_mig_out_commit { session } -> (
+      incr fwd;
+      match find_session t Mig_out session with
+      | Some s when s.mg_phase <> Mig_aborted ->
+          s.mg_phase <- Mig_committed;
+          Journal.checkpoint t.journal r "committed";
+          (match s.mg_cvm with
+          | Some id -> (
+              match find_cvm t id with
+              | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+                  destroy_replay ~record:r t cvm
+              | _ -> ())
+          | None -> ());
+          note
+            (Printf.sprintf
+               "out-commit #%d: session %s committed, source scrubbed"
+               r.Journal.seq session)
+      | _ -> ())
+  | Journal.Op_mig_in_prepare p -> (
+      incr back;
+      (match p.built with
+      | Some id -> (
+          match find_cvm t id with
+          | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+              note
+                (Printf.sprintf
+                   "in-prepare #%d: rolled back half-restored CVM %d"
+                   r.Journal.seq id);
+              destroy_replay ~record:r t cvm
+          | _ -> ())
+      | None -> ());
+      match find_session t Mig_in p.session with
+      | Some s when s.mg_phase = Mig_active -> (
+          (* the session may still point at an instance that no longer
+             exists (re-prepare destroyed the old one mid-swap) *)
+          match s.mg_cvm with
+          | Some id
+            when (match find_cvm t id with
+                 | Some c -> c.Cvm.state = Cvm.Destroyed
+                 | None -> true) ->
+              s.mg_cvm <- None
+          | _ -> ())
+      | _ -> ())
+  | Journal.Op_mig_in_commit { session } -> (
+      incr fwd;
+      match find_session t Mig_in session with
+      | Some s when s.mg_phase = Mig_active -> (
+          match s.mg_cvm with
+          | Some id -> (
+              match find_cvm t id with
+              | Some cvm when cvm.Cvm.state = Cvm.Migrating_in ->
+                  cvm.Cvm.state <- Cvm.Suspended;
+                  Journal.checkpoint t.journal r "activated";
+                  s.mg_phase <- Mig_committed;
+                  note
+                    (Printf.sprintf "in-commit #%d: CVM %d activated"
+                       r.Journal.seq id)
+              | Some cvm when cvm.Cvm.state = Cvm.Suspended ->
+                  s.mg_phase <- Mig_committed;
+                  note
+                    (Printf.sprintf
+                       "in-commit #%d: session %s marked committed"
+                       r.Journal.seq session)
+              | _ -> ())
+          | None -> ())
+      | _ -> ())
+  | Journal.Op_mig_in_abort { session } -> (
+      incr fwd;
+      match find_session t Mig_in session with
+      | Some s when s.mg_phase <> Mig_committed ->
+          (match s.mg_cvm with
+          | Some id -> (
+              match find_cvm t id with
+              | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+                  destroy_replay ~record:r t cvm
+              | _ -> ())
+          | None -> ());
+          s.mg_phase <- Mig_aborted;
+          s.mg_cvm <- None;
+          note
+            (Printf.sprintf "in-abort #%d: session %s aborted"
+               r.Journal.seq session)
+      | _ -> ())
+  | Journal.Op_import p -> (
+      incr back;
+      match p.built with
+      | Some id -> (
+          match find_cvm t id with
+          | Some cvm when cvm.Cvm.state <> Cvm.Destroyed ->
+              note
+                (Printf.sprintf
+                   "import #%d: rolled back half-restored CVM %d"
+                   r.Journal.seq id);
+              destroy_replay ~record:r t cvm
+          | _ -> ())
+      | None -> ())
+
+let recover t =
+  let detail = ref [] in
+  let note m = detail := m :: !detail in
+  let fwd = ref 0 and back = ref 0 in
+  let observing = obs t in
+  if observing then Metrics.Trace.span_begin t.trace "sm.recover";
+  (* 1. Rebuild the volatile security state from durable ground truth:
+     boot-equivalent delegation, PMP closure over every registered
+     region, IOPMP denies, and cold TLBs on every hart. *)
+  let synced = ref 0 in
+  Array.iter
+    (fun hart ->
+      Deleg_policy.apply_normal hart;
+      if Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false then
+        incr synced;
+      hart.Hart.mode <- Priv.HS;
+      Tlb.flush_all hart.Hart.tlb)
+    t.machine.Machine.harts;
+  let iopmp = Bus.iopmp t.machine.Machine.bus in
+  Iopmp.allow_all_default iopmp true;
+  Pmp_guard.guard_iopmp t.guard iopmp t.sm;
+  charge t "sm_recover"
+    ((!synced * t.cost.Cost.pmp_toggle) + t.cost.Cost.pmp_toggle
+    + (Array.length t.machine.Machine.harts * t.cost.Cost.tlb_full_flush));
+  (* 2. Park anything the crash caught mid-run. The secure vCPU image
+     is only written at world-switch-out, so the seal taken at the last
+     legitimate exit (or at creation) still matches — parking is safe
+     without re-sealing. *)
+  let parked = ref 0 in
+  Hashtbl.iter
+    (fun _ cvm ->
+      if cvm.Cvm.state = Cvm.Running then begin
+        cvm.Cvm.state <- Cvm.Suspended;
+        incr parked;
+        note (Printf.sprintf "parked CVM %d (was Running)" cvm.Cvm.id)
+      end)
+    t.cvms;
+  (* 3. Replay every pending intent in sequence order. A record is
+     marked done only after its replay completed, so a crash during
+     recovery (the replay's own journal points) re-replays it. *)
+  let pending = Journal.pending t.journal in
+  List.iter
+    (fun r ->
+      replay_record t ~note ~fwd ~back r;
+      Journal.mark_done t.journal r)
+    pending;
+  Journal.compact t.journal;
+  Metrics.Registry.inc t.registry "sm.recover";
+  Metrics.Registry.inc t.registry ~by:!fwd "sm.recover.rolled_forward";
+  Metrics.Registry.inc t.registry ~by:!back "sm.recover.rolled_back";
+  if observing then
+    Metrics.Trace.span_end t.trace
+      ~args:
+        [
+          ("pending", string_of_int (List.length pending));
+          ("forward", string_of_int !fwd);
+          ("back", string_of_int !back);
+        ]
+      "sm.recover";
+  {
+    rr_pending = List.length pending;
+    rr_rolled_forward = !fwd;
+    rr_rolled_back = !back;
+    rr_parked = !parked;
+    rr_pmp_synced = !synced;
+    rr_detail = List.rev !detail;
+  }

@@ -370,3 +370,56 @@ val audit : t -> (int, string list) result
     Tests call this after every adversarial scenario; a violation means
     an isolation property was broken {e somewhere}, whether or not a
     specific attack test noticed. *)
+
+(** {2 Crash consistency}
+
+    Every multi-step SM operation records a typed intent in a
+    write-ahead journal (kept in the modeled secure NVRAM) before its
+    first durable mutation and a completion mark after its last, with
+    checkpoints at each intermediate durable write. A crash at any
+    journal point leaves a [Pending] record; [recover] replays it —
+    roll-forward for operations whose inputs are already durable
+    (destroy, relinquish, quarantine, expand, migration abort/commit),
+    roll-back for operations whose inputs lived in untrusted volatile
+    memory (create, load, import, migrate-in prepare) — until [audit]
+    is clean and exactly-one-owner holds again. The non-crash path
+    never charges a cycle for journaling: records are modeled NVRAM
+    writes outside the cost ledger. *)
+
+val journal : t -> Journal.t
+(** The SM's write-ahead intent journal. Exposed so chaos harnesses can
+    arm crash injection ([Journal.set_crash_after]) and tests can
+    inspect pending records; production callers have no reason to touch
+    it. *)
+
+val crash_reboot : t -> unit
+(** Model a host/SM crash-and-reboot on this monitor: wipe everything
+    volatile — hart PMP/TLB/delegation/translation CSRs, saved host
+    contexts, IOPMP device registers, the PMP guard's epoch caches,
+    pending-MMIO and expansion scratch tables — while everything
+    durable (secure pool, CVM table, page ownership, sessions, vCPU
+    seals, freed-page pools, the journal) survives. The machine is left
+    in the powered-on-but-unconfigured state [recover] expects; running
+    CVMs are {e not} parked here (recovery does that) so the
+    post-crash state is exactly what a reboot would find. *)
+
+type recovery_report = {
+  rr_pending : int;  (** journal records found pending *)
+  rr_rolled_forward : int;  (** records completed forward *)
+  rr_rolled_back : int;  (** records undone *)
+  rr_parked : int;  (** Running CVMs parked to Suspended *)
+  rr_pmp_synced : int;  (** harts whose PMP was reprogrammed *)
+  rr_detail : string list;  (** human-readable action log, in order *)
+}
+
+val recover : t -> recovery_report
+(** Restart recovery. Rebuilds the volatile security state from durable
+    ground truth (delegation, PMP closure over every registered region,
+    IOPMP denies, cold TLBs), parks CVMs the crash caught mid-run
+    (safe: the secure vCPU image is only written at world-switch-out,
+    so the seal from the last legitimate exit still matches), then
+    replays every pending journal record in sequence order, marking
+    each done only after its replay completed — so a crash during
+    recovery itself re-replays idempotently. Post-condition: [audit]
+    returns [Ok] and a second [recover] finds zero pending records.
+    Charges [sm_recover] for the PMP/TLB reprogramming performed. *)

@@ -128,6 +128,16 @@ let guard_iopmp t iopmp secmem =
       end)
     (Secmem.regions secmem)
 
+(* A reboot wiped every PMP CSR and the IOPMP config: forget everything
+   the epoch caches believe so the next sync/guard reprograms from
+   scratch instead of skipping on stale epochs. *)
+let reset t =
+  t.programmed <- [];
+  t.region_epoch <- t.region_epoch + 1;
+  t.iopmp_done <- [];
+  Hashtbl.reset t.hart_epoch;
+  Hashtbl.reset t.hart_world
+
 let regions_programmed t = List.length t.programmed
 let sync_count t = t.syncs
 let world_toggle_count t = t.world_toggles

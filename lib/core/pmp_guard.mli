@@ -47,6 +47,13 @@ val guard_iopmp : t -> Riscv.Iopmp.t -> Secmem.t -> unit
 (** Install deny entries over every pool region (idempotent per
     region). *)
 
+val reset : t -> unit
+(** Drop every cached belief about programmed PMP/IOPMP state. Called
+    after a modeled SM/host crash wiped the real CSRs and device
+    registers, so the caches would otherwise claim work is done that a
+    reboot undid; the next [sync_hart]/[guard_iopmp] reprograms
+    everything. *)
+
 val regions_programmed : t -> int
 
 val sync_count : t -> int

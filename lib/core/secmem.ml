@@ -115,6 +115,48 @@ let free_block t block =
   insert_ordered t block.node;
   t.free_count <- t.free_count + 1
 
+let peek_block_base t =
+  match t.sentinel with
+  | None -> None
+  | Some s -> if s.next == s then None else Some s.next.base
+
+let block_is_free b = b.node.linked
+
+let is_free_base t base =
+  match t.sentinel with
+  | None -> false
+  | Some s ->
+      let rec walk cur =
+        if cur == s then false else cur.base = base || walk cur.next
+      in
+      walk s.next
+
+(* Recovery-only: the crashed monitor lost every handle to the popped
+   block, so a fresh node is fabricated for the journal-recorded base.
+   Refuses obviously-wrong bases; it cannot tell an orphaned block from
+   an owned one — that judgement is the journal replay's. *)
+let reclaim_base t ~base =
+  if
+    Int64.rem base t.blk_size <> 0L
+    || (not (contains t base))
+    || is_free_base t base
+  then false
+  else begin
+    let s = sentinel t in
+    let node =
+      {
+        base;
+        npages = Layout.pages_per_block t.blk_size;
+        next = s;
+        prev = s;
+        linked = false;
+      }
+    in
+    insert_ordered t node;
+    t.free_count <- t.free_count + 1;
+    true
+  end
+
 let block_base b = b.node.base
 let block_npages b = b.node.npages
 

@@ -40,9 +40,30 @@ val total_blocks : t -> int
 val alloc_block : t -> block option
 (** Pop the block at the head of the free list; [None] when exhausted. *)
 
+val peek_block_base : t -> int64 option
+(** Base of the block [alloc_block] would pop next, without popping.
+    The monitor journals a create intent against this base before the
+    pop, so crash recovery knows which block may be orphaned. *)
+
 val free_block : t -> block -> unit
 (** Return a block to the list (address-ordered re-insertion). The
-    caller must have scrubbed or must not care; the monitor scrubs. *)
+    caller must have scrubbed or must not care; the monitor scrubs.
+    Raises [Invalid_argument] on double free — see
+    [Hier_alloc.free_block] for the idempotent layer recovery uses. *)
+
+val block_is_free : block -> bool
+(** Is the block currently linked into the free list? *)
+
+val is_free_base : t -> int64 -> bool
+(** Is some free-list block based at exactly this address? (O(n) walk;
+    recovery/audit only.) *)
+
+val reclaim_base : t -> base:int64 -> bool
+(** {b Recovery-only.} Re-link a block by base address when the crashed
+    monitor lost the handle [alloc_block] returned. [false] when the
+    base is misaligned, outside every region, or already free. The
+    caller must know the block is genuinely orphaned — reclaiming an
+    owned block would hand it out twice. *)
 
 val block_base : block -> int64
 val block_npages : block -> int

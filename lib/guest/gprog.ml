@@ -144,6 +144,16 @@ let net_recv_putchar =
   @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
   @ [ Ecall ]
 
+let relinquish ~gpa =
+  (* Touch the page first so it is actually mapped (and owned) before
+     the guest gives it back — relinquishing an unmapped GPA is a
+     Not_found the chaos sweeps don't want to exercise here. *)
+  store_u64 ~gpa 0xA5A5_A5A5L
+  @ Asm.li Asm.a0 gpa
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_relinquish
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+
 let attest_report ~nonce_byte =
   let report_gpa = 0x200000L and nonce_gpa = 0x201000L in
   fill_bytes ~gpa:nonce_gpa ~byte:nonce_byte ~len:32

@@ -42,3 +42,7 @@ val attest_report : nonce_byte:char -> Riscv.Decode.t list
 (** Write a 32-byte nonce into private memory, request a measurement
     report from the SM, and print 'R' on success / 'E' on failure.
     Does not shut down. *)
+
+val relinquish : gpa:int64 -> Riscv.Decode.t list
+(** Touch [gpa] (so it is mapped and owned), then hand the page back to
+    the SM via the guest relinquish ecall. Does not shut down. *)

@@ -648,3 +648,354 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
     migrations_aborted = w.mig_aborted;
     pool_clean;
   }
+
+(* ---------- SM-crash sweeps ---------- *)
+
+(* Kill the monitor at *every* journal point of every journaled SM
+   operation, reboot, recover, and demand convergence: audit clean,
+   second recovery a no-op, every CVM destroyable, pool back to
+   all-free. Deterministic — no seed: the crash schedule is exhaustive,
+   not sampled. *)
+
+type sm_report = {
+  sm_ops : (string * int) list;
+      (** operation -> journal points crash-tested *)
+  sm_cases : int;
+  sm_crashes : int;  (** crashes injected (op + nested recovery) *)
+  sm_recoveries : int;
+  sm_rolled_forward : int;
+  sm_rolled_back : int;
+  sm_failures : string list;  (** distinct convergence failures; must be [] *)
+}
+
+let sm_survived r = r.sm_failures = []
+
+let pp_sm_report ppf r =
+  let field fmt = Format.fprintf ppf fmt in
+  field "sm-crash sweep: %d cases, %d crashes, %d recoveries@." r.sm_cases
+    r.sm_crashes r.sm_recoveries;
+  List.iter
+    (fun (op, pts) -> field "  %-14s %d journal points@." op pts)
+    r.sm_ops;
+  field "  rolled forward/back    %d/%d@." r.sm_rolled_forward
+    r.sm_rolled_back;
+  field "  convergence failures   %d@." (List.length r.sm_failures);
+  List.iter (fun f -> field "    %s@." f) r.sm_failures;
+  field "  verdict                %s@."
+    (if sm_survived r then "SURVIVED" else "COMPROMISED")
+
+type sm_inst = {
+  si_mon : Zion.Monitor.t;  (* the monitor whose journal is crashed *)
+  si_aux : Zion.Monitor.t list;  (* other monitors to audit and drain *)
+  si_op : unit -> unit;  (* the journaled operation under test *)
+  si_drain : unit -> unit;  (* session cleanup before the destroy loop *)
+}
+
+type sm_scenario = { ss_name : string; ss_build : unit -> sm_inst }
+
+let sm_world () =
+  let machine = Machine.create ~nharts:2 ~dram_size:(mib 32) () in
+  let config =
+    { Zion.Monitor.default_config with validate_shared_on_entry = true }
+  in
+  let mon = Zion.Monitor.create ~config machine in
+  let kvm = Kvm.create ~machine ~monitor:mon () in
+  (match Kvm.donate_secure_pool kvm ~mib:2 with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.sm_world: " ^ e));
+  (mon, kvm)
+
+(* Setup steps run with the journal disarmed and must succeed; a
+   failure here is a broken scenario, not a survivability finding. *)
+let sm_expect what = function
+  | Ok v -> v
+  | Error e ->
+      invalid_arg
+        (Printf.sprintf "Chaos.sm_crash_sweep setup (%s): %s" what
+           (Zion.Ecall.error_to_string e))
+
+let sm_guest ?(prog = Guest.Gprog.hello "c") kvm =
+  match
+    Kvm.create_cvm_guest kvm ~entry_pc:guest_entry
+      ~image:[ (guest_entry, Asm.program prog) ]
+  with
+  | Ok h -> h
+  | Error e -> invalid_arg ("Chaos.sm_crash_sweep setup (guest): " ^ e)
+
+let sm_scenarios () =
+  let solo name build_op =
+    {
+      ss_name = name;
+      ss_build =
+        (fun () ->
+          let mon, kvm = sm_world () in
+          let op, drain = build_op mon kvm in
+          { si_mon = mon; si_aux = []; si_op = op; si_drain = drain });
+    }
+  in
+  [
+    solo "create" (fun mon _ ->
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.create_cvm mon ~nvcpus:1 ~entry_pc:guest_entry)),
+          ignore ));
+    solo "load" (fun mon _ ->
+        let id =
+          sm_expect "create"
+            (Zion.Monitor.create_cvm mon ~nvcpus:1 ~entry_pc:guest_entry)
+        in
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.load_image mon ~cvm:id ~gpa:0x200000L
+                 (String.make (3 * 4096) 'x'))),
+          ignore ));
+    solo "expand" (fun _ kvm ->
+        ( (fun () ->
+            match Kvm.donate_secure_pool kvm ~mib:2 with
+            | Ok () | Error _ -> ()),
+          ignore ));
+    solo "relinquish" (fun mon kvm ->
+        let prog =
+          Guest.Gprog.relinquish ~gpa:0x200000L @ Guest.Gprog.shutdown
+        in
+        let h = sm_guest ~prog kvm in
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:(Kvm.cvm_id h) ~vcpu:0
+                 ~max_steps:50_000)),
+          ignore ));
+    solo "destroy" (fun mon kvm ->
+        let h = sm_guest kvm in
+        ( (fun () ->
+            ignore (Zion.Monitor.destroy_cvm mon ~cvm:(Kvm.cvm_id h))),
+          ignore ));
+    solo "quarantine" (fun mon kvm ->
+        let h = sm_guest kvm in
+        let pool_base, _ =
+          List.hd (Zion.Secmem.regions (Zion.Monitor.secmem mon))
+        in
+        Shared_map.map_secure_page_for_attack (Kvm.cvm_shared_map h)
+          ~gpa:Zion.Layout.shared_gpa_base ~pa:pool_base;
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:(Kvm.cvm_id h) ~vcpu:0
+                 ~max_steps:100)),
+          ignore ));
+    solo "import" (fun mon kvm ->
+        let h = sm_guest kvm in
+        let blob =
+          sm_expect "export" (Zion.Monitor.export_cvm mon ~cvm:(Kvm.cvm_id h))
+        in
+        ((fun () -> ignore (Zion.Monitor.import_cvm mon blob)), ignore));
+    solo "mig-out-begin" (fun mon kvm ->
+        let h = sm_guest kvm in
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.migrate_out_begin mon ~cvm:(Kvm.cvm_id h)
+                 ~session:"sweep")),
+          fun () ->
+            ignore (Zion.Monitor.migrate_out_abort mon ~session:"sweep") ));
+    solo "mig-out-abort" (fun mon kvm ->
+        let h = sm_guest kvm in
+        ignore
+          (sm_expect "out_begin"
+             (Zion.Monitor.migrate_out_begin mon ~cvm:(Kvm.cvm_id h)
+                ~session:"sweep"));
+        ( (fun () ->
+            ignore (Zion.Monitor.migrate_out_abort mon ~session:"sweep")),
+          ignore ));
+    solo "mig-out-commit" (fun mon kvm ->
+        let h = sm_guest kvm in
+        ignore
+          (sm_expect "out_begin"
+             (Zion.Monitor.migrate_out_begin mon ~cvm:(Kvm.cvm_id h)
+                ~session:"sweep"));
+        ( (fun () ->
+            ignore (Zion.Monitor.migrate_out_commit mon ~session:"sweep")),
+          ignore ));
+  ]
+  @
+  (* Migration-in ops crash the *destination* monitor; the source is
+     audited and drained alongside. *)
+  let mig_in name op drain_src =
+    {
+      ss_name = name;
+      ss_build =
+        (fun () ->
+          let src, skvm = sm_world () in
+          let h = sm_guest skvm in
+          let blob, epoch =
+            sm_expect "out_begin"
+              (Zion.Monitor.migrate_out_begin src ~cvm:(Kvm.cvm_id h)
+                 ~session:"sweep")
+          in
+          let dst, _ = sm_world () in
+          op ~src ~dst ~blob ~epoch;
+          {
+            si_mon = dst;
+            si_aux = [ src ];
+            si_op =
+              (match name with
+              | "mig-in-prepare" ->
+                  fun () ->
+                    ignore
+                      (Zion.Monitor.migrate_in_prepare dst ~session:"sweep"
+                         ~epoch blob)
+              | "mig-in-commit" ->
+                  fun () ->
+                    ignore (Zion.Monitor.migrate_in_commit dst ~session:"sweep")
+              | _ ->
+                  fun () ->
+                    ignore (Zion.Monitor.migrate_in_abort dst ~session:"sweep"));
+            si_drain =
+              (fun () ->
+                ignore (Zion.Monitor.migrate_in_abort dst ~session:"sweep");
+                drain_src src);
+          });
+    }
+  in
+  let prepared ~src:_ ~dst ~blob ~epoch =
+    ignore
+      (sm_expect "in_prepare"
+         (Zion.Monitor.migrate_in_prepare dst ~session:"sweep" ~epoch blob))
+  in
+  [
+    mig_in "mig-in-prepare"
+      (fun ~src:_ ~dst:_ ~blob:_ ~epoch:_ -> ())
+      (fun src ->
+        ignore (Zion.Monitor.migrate_out_abort src ~session:"sweep"));
+    mig_in "mig-in-commit" prepared (fun src ->
+        ignore (Zion.Monitor.migrate_out_commit src ~session:"sweep"));
+    mig_in "mig-in-abort" prepared (fun src ->
+        ignore (Zion.Monitor.migrate_out_abort src ~session:"sweep"));
+  ]
+
+let sm_crash_sweep ?(recovery_crashes = true) ?(max_points = 64) () =
+  let failures = ref [] in
+  let fail name k msg =
+    let m = Printf.sprintf "%s@%d: %s" name k msg in
+    if not (List.mem m !failures) then failures := m :: !failures
+  in
+  let crashes = ref 0 and recoveries = ref 0 in
+  let fwd = ref 0 and back = ref 0 in
+  let cases = ref 0 in
+  let op_points = ref [] in
+  (* One case: arm the journal to crash at point [k] of the operation,
+     run it, and (if the crash fired) reboot + recover — when
+     [recovery_crashes], the recovery itself is crashed at successively
+     later points until one run completes, exercising
+     recover-after-recover-crash. Returns whether the crash fired. *)
+  let run_case name k inst =
+    incr cases;
+    let j = Zion.Monitor.journal inst.si_mon in
+    let crashed = ref false in
+    (try
+       Zion.Journal.set_crash_after j k;
+       inst.si_op ();
+       Zion.Journal.disarm j
+     with
+    | Zion.Journal.Crashed -> crashed := true
+    | exn ->
+        Zion.Journal.disarm j;
+        fail name k ("op raised " ^ Printexc.to_string exn));
+    if !crashed then begin
+      incr crashes;
+      Zion.Monitor.crash_reboot inst.si_mon;
+      let rec recover_through_crashes jj =
+        if recovery_crashes && jj <= max_points then begin
+          Zion.Journal.set_crash_after j jj;
+          match Zion.Monitor.recover inst.si_mon with
+          | rep ->
+              Zion.Journal.disarm j;
+              incr recoveries;
+              rep
+          | exception Zion.Journal.Crashed ->
+              incr crashes;
+              Zion.Monitor.crash_reboot inst.si_mon;
+              recover_through_crashes (jj + 1)
+        end
+        else begin
+          Zion.Journal.disarm j;
+          incr recoveries;
+          Zion.Monitor.recover inst.si_mon
+        end
+      in
+      match recover_through_crashes 1 with
+      | rep ->
+          fwd := !fwd + rep.Zion.Monitor.rr_rolled_forward;
+          back := !back + rep.Zion.Monitor.rr_rolled_back
+      | exception exn -> fail name k ("recover raised " ^ Printexc.to_string exn)
+    end;
+    (* Convergence: every monitor audits clean... *)
+    List.iter
+      (fun mon ->
+        match Zion.Monitor.audit mon with
+        | Ok _ -> ()
+        | Error findings ->
+            List.iter (fun f -> fail name k ("audit: " ^ f)) findings
+        | exception exn ->
+            fail name k ("audit raised " ^ Printexc.to_string exn))
+      (inst.si_mon :: inst.si_aux);
+    (* ...recovery is idempotent (a second run finds nothing pending)... *)
+    if !crashed then begin
+      match Zion.Monitor.recover inst.si_mon with
+      | rep ->
+          incr recoveries;
+          if rep.Zion.Monitor.rr_pending <> 0 then
+            fail name k
+              (Printf.sprintf "second recovery found %d pending records"
+                 rep.Zion.Monitor.rr_pending)
+      | exception exn ->
+          fail name k ("re-recover raised " ^ Printexc.to_string exn)
+    end;
+    (* ...and the whole world still tears down to an all-free pool. *)
+    (try inst.si_drain ()
+     with exn -> fail name k ("drain raised " ^ Printexc.to_string exn));
+    List.iter
+      (fun mon ->
+        for id = 0 to 15 do
+          ignore (Zion.Monitor.destroy_cvm mon ~cvm:id)
+        done;
+        (match Zion.Monitor.audit mon with
+        | Ok _ -> ()
+        | Error findings ->
+            List.iter (fun f -> fail name k ("post-drain audit: " ^ f)) findings
+        | exception exn ->
+            fail name k ("post-drain audit raised " ^ Printexc.to_string exn));
+        let sm = Zion.Monitor.secmem mon in
+        if Zion.Secmem.free_blocks sm <> Zion.Secmem.total_blocks sm then
+          fail name k "pool did not drain to all-free";
+        match Zion.Secmem.check_invariants sm with
+        | Ok () -> ()
+        | Error m -> fail name k ("pool invariants: " ^ m))
+      (inst.si_mon :: inst.si_aux);
+    !crashed
+  in
+  List.iter
+    (fun sc ->
+      let k = ref 1 in
+      let swept = ref false in
+      while (not !swept) && !k <= max_points do
+        let inst = sc.ss_build () in
+        if run_case sc.ss_name !k inst then incr k
+        else begin
+          (* the op completed before point [k]: every point is covered *)
+          op_points := (sc.ss_name, !k - 1) :: !op_points;
+          swept := true
+        end
+      done;
+      if not !swept then begin
+        op_points := (sc.ss_name, max_points) :: !op_points;
+        fail sc.ss_name max_points
+          "sweep did not exhaust the op's journal points"
+      end)
+    (sm_scenarios ());
+  {
+    sm_ops = List.rev !op_points;
+    sm_cases = !cases;
+    sm_crashes = !crashes;
+    sm_recoveries = !recoveries;
+    sm_rolled_forward = !fwd;
+    sm_rolled_back = !back;
+    sm_failures = List.rev !failures;
+  }

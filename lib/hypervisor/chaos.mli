@@ -60,3 +60,37 @@ val run :
     failures are replayable. [tlb_retention] turns on the VMID-tagged
     world-switch fast path, putting the precise-shootdown machinery
     (and the audit's TLB-coherence section) under fire. *)
+
+(** {2 SM-crash sweeps}
+
+    The crash-consistency counterpart to the hostile-host fuzzer: kill
+    the Secure Monitor at {e every} write-ahead-journal point of every
+    journaled operation (create, load, expand, relinquish, destroy,
+    quarantine, import, and all six migration-session calls), model the
+    reboot with [Zion.Monitor.crash_reboot], run
+    [Zion.Monitor.recover], and demand convergence — a clean audit, an
+    idempotent second recovery, and a world that still tears down to an
+    all-free pool. The schedule is exhaustive, not sampled, so the
+    sweep is deterministic and needs no seed. *)
+
+type sm_report = {
+  sm_ops : (string * int) list;
+      (** operation -> journal points crash-tested *)
+  sm_cases : int;
+  sm_crashes : int;  (** crashes injected (op + nested recovery) *)
+  sm_recoveries : int;
+  sm_rolled_forward : int;
+  sm_rolled_back : int;
+  sm_failures : string list;  (** distinct convergence failures; must be [] *)
+}
+
+val sm_survived : sm_report -> bool
+val pp_sm_report : Format.formatter -> sm_report -> unit
+
+val sm_crash_sweep :
+  ?recovery_crashes:bool -> ?max_points:int -> unit -> sm_report
+(** Run the full sweep. [recovery_crashes] (default [true]) also
+    crashes each recovery at successively later journal points until
+    one run completes, exercising recover-after-recover-crash;
+    [max_points] (default 64) bounds the per-operation sweep in case a
+    regression makes an operation journal unboundedly. *)

@@ -19,9 +19,24 @@ type t = {
   mutable expand_stalls : int;
   mutable expand_policy : expand_policy;
   mutable next_nvm_id : int;
+  mutable backoff_rng : int64;
+      (* splitmix64 state for backoff jitter; seeded per instance so a
+         fleet of tenants desynchronises deterministically *)
 }
 
 let kernel_reserve = 0x100_0000L (* 16 MiB host kernel image *)
+
+(* Distinct seed per hypervisor instance: O(100) tenants created from
+   the same harness must not retry expansion in lockstep. *)
+let instance_counter = ref 0
+
+let splitmix64 state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  (z, Int64.logxor z (Int64.shift_right_logical z 31))
 
 let create ~machine ~monitor ?(disk_sectors = 262144) () =
   let bus = machine.Machine.bus in
@@ -42,6 +57,9 @@ let create ~machine ~monitor ?(disk_sectors = 262144) () =
     expand_stalls = 0;
     expand_policy = Expand_honest;
     next_nvm_id = 1;
+    backoff_rng =
+      (incr instance_counter;
+       Int64.of_int (!instance_counter * 0x2545F491));
   }
 
 let set_expand_policy t p = t.expand_policy <- p
@@ -517,6 +535,23 @@ let reply_mmio t h mmio result =
 let max_expand_stalls = 5
 let expand_backoff_cycles = 1_000
 
+(* Backoff for stall [n]: the exponential base plus a deterministic
+   jitter drawn from this instance's PRNG, uniform in [0, base/2).
+   Pure exponential backoff keeps a fleet of tenants that stalled on
+   the same exhausted pool in lockstep — they all retry at the same
+   tick and collide again; the jitter spreads the retries while the
+   audited bound (base <= backoff < 1.5 * base per stall) keeps the
+   total retry budget predictable. *)
+let backoff_with_jitter t stalls =
+  let base = expand_backoff_cycles lsl stalls in
+  let state, bits = splitmix64 t.backoff_rng in
+  t.backoff_rng <- state;
+  let jitter =
+    Int64.to_int (Int64.rem (Int64.logand bits Int64.max_int)
+        (Int64.of_int (base / 2)))
+  in
+  base + jitter
+
 let run_cvm t h ~hart ~max_steps =
   Mmio_emul.set_translate t.devices (fun gpa ->
       Shared_map.lookup h.shared ~gpa);
@@ -574,8 +609,7 @@ let run_cvm t h ~hart ~max_steps =
                     C_error "secure pool expansion stalled; giving up"
                   else begin
                     t.expand_stalls <- t.expand_stalls + 1;
-                    charge t "expand_backoff"
-                      (expand_backoff_cycles lsl stalls);
+                    charge t "expand_backoff" (backoff_with_jitter t stalls);
                     drive (budget - 1) (stalls + 1)
                   end
             end

@@ -106,4 +106,8 @@ val expansions : t -> int
 
 val expand_stalls : t -> int
 (** Expansion requests that added nothing to the pool (dishonest
-    policies) and were retried with backoff. *)
+    policies) and were retried with backoff. Each retry charges an
+    exponential backoff plus a per-instance deterministic jitter in
+    [0, base/2) — so the ledger records between [1000 lsl n] and
+    [1.5 * (1000 lsl n)] cycles for stall [n], and a fleet of tenants
+    stalling on the same exhausted pool does not retry in lockstep. *)
