@@ -491,6 +491,193 @@ let bench_iozone () =
     (Platform.Exp_iozone.max_overhead points)
     (Platform.Exp_iozone.small_file_max_overhead points)
 
+(* ---------- Exitless virtio rings ---------- *)
+
+(* Byzantine-host-tolerant exitless I/O: a real-guest micro comparison
+   (MMIO doorbells per 1k requests, exitful vs ring), the event-priced
+   iozone/redis deltas with the confidential arm switched to the ring
+   path, and the ring-poison sweep summary. Emits BENCH_exitless.json
+   and fails the run if the ring eliminates fewer than 90% of the
+   virtio kicks. *)
+let bench_exitless () =
+  Metrics.Table.section "Exitless virtio rings — doorbells eliminated";
+  let len = 256 in
+  (* Exitful arm: every request is an MMIO kick plus a status read. *)
+  let requests = 40 in
+  let tb_f = Platform.Testbed.create () in
+  let prog_f =
+    List.concat
+      (List.init requests (fun i ->
+           Guest.Gprog.blk_write ~sector:i ~len ~byte:'x'))
+    @ Guest.Gprog.shutdown
+  in
+  let h_f = Platform.Testbed.cvm tb_f prog_f in
+  (match
+     Hypervisor.Kvm.run_cvm_to_completion tb_f.Platform.Testbed.kvm h_f
+       ~hart:0 ~quantum:Platform.Testbed.quantum_cycles ~max_slices:400
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> print_endline "warning: exitful arm did not shut down");
+  let exitful_exits =
+    Hypervisor.Kvm.mmio_exits_serviced tb_f.Platform.Testbed.kvm
+  in
+  (* Exitless arm: batches published with plain stores; the host drains
+     the ring at its timer beat and publishes the used index once per
+     batch. *)
+  let batch = 8 in
+  let batches = requests / batch in
+  let tb_l = Platform.Testbed.create () in
+  let prog_l =
+    List.concat
+      (List.init batches (fun b ->
+           List.concat
+             (List.init batch (fun j ->
+                  let seq = (b * batch) + j in
+                  Guest.Gprog.ring_blk_write ~seq ~sector:seq ~len ~byte:'y'
+                    ~slot:(seq mod 16)))
+           @ Guest.Gprog.ring_wait_used ~target:((b + 1) * batch)))
+    @ Guest.Gprog.shutdown
+  in
+  let h_l = Platform.Testbed.cvm tb_l prog_l in
+  (match Hypervisor.Kvm.enable_exitless_io tb_l.Platform.Testbed.kvm h_l with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench_exitless: " ^ e));
+  (match
+     Hypervisor.Kvm.run_cvm_to_completion tb_l.Platform.Testbed.kvm h_l
+       ~hart:0 ~quantum:100_000 ~max_slices:1000
+   with
+  | Hypervisor.Kvm.C_shutdown -> ()
+  | _ -> print_endline "warning: exitless arm did not shut down");
+  let exitless_exits =
+    Hypervisor.Kvm.mmio_exits_serviced tb_l.Platform.Testbed.kvm
+  in
+  let suppressed =
+    Metrics.Registry.counter
+      ~scope:(Metrics.Registry.Cvm (Hypervisor.Kvm.cvm_id h_l))
+      (Zion.Monitor.registry tb_l.Platform.Testbed.monitor)
+      "sm.io.kicks_suppressed"
+  in
+  let notifications =
+    match Hypervisor.Kvm.exitless_host tb_l.Platform.Testbed.kvm h_l with
+    | Some host -> Hypervisor.Virtio_ring.notifications host
+    | None -> 0
+  in
+  let per_1k exits = float_of_int exits /. float_of_int requests *. 1000. in
+  let reduction =
+    (per_1k exitful_exits -. per_1k exitless_exits)
+    /. per_1k exitful_exits *. 100.
+  in
+  Metrics.Table.print
+    ~header:
+      [ "arm"; "requests"; "MMIO exits"; "exits / 1k req";
+        "used publishes" ]
+    [
+      [ "exitful kicks"; string_of_int requests; string_of_int exitful_exits;
+        fixed 0 (per_1k exitful_exits); "-" ];
+      [ "exitless ring"; string_of_int requests;
+        string_of_int exitless_exits; fixed 0 (per_1k exitless_exits);
+        string_of_int notifications ];
+    ];
+  Printf.printf
+    "world switches eliminated: %.1f%% (%d kicks suppressed, %d used-index \
+     publishes for %d requests)\n"
+    reduction suppressed notifications requests;
+  (* Macro deltas: same workloads, confidential arm re-priced over the
+     ring path. *)
+  let io_points = Platform.Exp_iozone.run () in
+  let io_points_l =
+    Platform.Exp_iozone.run ~io_mode:Platform.Macro_vm.Exitless ()
+  in
+  let mean_cvm pts =
+    Metrics.Stats.mean
+      (Array.of_list
+         (List.map (fun p -> p.Platform.Exp_iozone.cvm_mb_s) pts))
+  in
+  let io_f = mean_cvm io_points and io_l = mean_cvm io_points_l in
+  let rounds, reqs = if quick then (2, 1000) else (10, 10_000) in
+  let redis_f = Platform.Exp_redis.run ~rounds ~requests:reqs () in
+  let redis_l =
+    Platform.Exp_redis.run ~rounds ~requests:reqs
+      ~io_mode:Platform.Macro_vm.Exitless ()
+  in
+  let drop_f = Platform.Exp_redis.average_throughput_drop redis_f in
+  let drop_l = Platform.Exp_redis.average_throughput_drop redis_l in
+  Printf.printf
+    "iozone CVM mean: %.2f -> %.2f MB/s (+%.2f%%); redis CVM throughput \
+     drop: %.2f%% -> %.2f%%\n"
+    io_f io_l
+    ((io_l -. io_f) /. io_f *. 100.)
+    drop_f drop_l;
+  (* Ring-poison sweep: every packaged vector against a fresh stack. *)
+  let vectors =
+    [
+      ("desc_gpa", Hypervisor.Attacks.ring_poison_desc_gpa);
+      ("desc_len", Hypervisor.Attacks.ring_poison_desc_len);
+      ("used_rewind", Hypervisor.Attacks.ring_used_rewind);
+      ("used_replay", Hypervisor.Attacks.ring_used_replay);
+      ("avail_runaway", Hypervisor.Attacks.ring_avail_runaway);
+    ]
+  in
+  let blocked = ref 0 in
+  List.iter
+    (fun (name, attack) ->
+      let tb = Platform.Testbed.create () in
+      let h = Platform.Testbed.cvm tb (Guest.Gprog.hello "p") in
+      match attack tb.Platform.Testbed.kvm h with
+      | Hypervisor.Attacks.Blocked why ->
+          incr blocked;
+          Printf.printf "  poison %-14s blocked: %s\n" name why
+      | Hypervisor.Attacks.Leaked why ->
+          Printf.printf "  poison %-14s LEAKED: %s\n" name why)
+    vectors;
+  let json =
+    Printf.sprintf
+      {|{
+  "micro": {
+    "requests": %d,
+    "exitful_mmio_exits": %d,
+    "exitless_mmio_exits": %d,
+    "exitful_exits_per_1k": %.1f,
+    "exitless_exits_per_1k": %.1f,
+    "kick_reduction_pct": %.2f,
+    "kicks_suppressed": %d,
+    "used_publishes": %d
+  },
+  "iozone": {
+    "cvm_mean_mb_s_exitful": %.3f,
+    "cvm_mean_mb_s_exitless": %.3f,
+    "gain_pct": %.3f
+  },
+  "redis": {
+    "throughput_drop_pct_exitful": %.3f,
+    "throughput_drop_pct_exitless": %.3f
+  },
+  "poison_sweep": {
+    "vectors": %d,
+    "blocked": %d
+  }
+}
+|}
+      requests exitful_exits exitless_exits (per_1k exitful_exits)
+      (per_1k exitless_exits) reduction suppressed notifications io_f io_l
+      ((io_l -. io_f) /. io_f *. 100.)
+      drop_f drop_l (List.length vectors) !blocked
+  in
+  let oc = open_out "BENCH_exitless.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_exitless.json";
+  if reduction < 90. then begin
+    Printf.printf "FAIL: exitless ring eliminated only %.1f%% of kicks (< 90%%)\n"
+      reduction;
+    exit 1
+  end;
+  if !blocked <> List.length vectors then begin
+    print_endline "FAIL: a ring-poison vector was not blocked";
+    exit 1
+  end;
+  print_endline "exitless ring checks: OK"
+
 (* ---------- Ablations ---------- *)
 
 let bench_ablations () =
@@ -676,6 +863,7 @@ let () =
   bench_coremark ();
   bench_redis ();
   bench_iozone ();
+  bench_exitless ();
   bench_ablations ();
   bench_sensitivity ();
   bechamel_section ();

@@ -11,6 +11,8 @@
                   and cycle-ledger attribution
      top          drive a traced Redis CVM and print live per-tenant
                   health snapshots
+     io           exercise the exitless virtio ring (batched doorbell-free
+                  block writes, or ring poisoning with --poison)
      export       drive a traced+profiled Redis CVM and export the
                   telemetry plane (Prometheus text / JSON / folded
                   profile / Chrome trace)
@@ -473,6 +475,8 @@ let fuzz_cmd =
                   n r.Hypervisor.Chaos.migrations_committed );
                 ( "migrations_aborted",
                   n r.Hypervisor.Chaos.migrations_aborted );
+                ("ring_poisons", n r.Hypervisor.Chaos.ring_poisons);
+                ("ring_fallbacks", n r.Hypervisor.Chaos.ring_fallbacks);
                 ("pool_clean", Bool r.Hypervisor.Chaos.pool_clean);
                 ("survived", Bool (Hypervisor.Chaos.survived r));
               ]))
@@ -807,7 +811,7 @@ let print_health h =
   Metrics.Table.print
     ~header:
       [ "cvm"; "state"; "entries"; "exits"; "sw/s"; "req p50"; "req p99";
-        "faults"; "flags" ]
+        "faults"; "io supp"; "io coal"; "io rej"; "io fb"; "flags" ]
     (List.map
        (fun t ->
          [
@@ -819,6 +823,10 @@ let print_health h =
            fixed 0 t.Zion.Monitor.th_request_p50;
            fixed 0 t.Zion.Monitor.th_request_p99;
            string_of_int t.Zion.Monitor.th_faults;
+           string_of_int t.Zion.Monitor.th_io_kicks_suppressed;
+           string_of_int t.Zion.Monitor.th_io_coalesced;
+           string_of_int t.Zion.Monitor.th_io_cal_rejections;
+           string_of_int t.Zion.Monitor.th_io_fallbacks;
            String.concat ","
              ((if t.Zion.Monitor.th_stalled then [ "STALLED" ] else [])
              @
@@ -873,6 +881,192 @@ let top_cmd =
           snapshots (switch rate, request quantiles, stall and \
           quarantine flags)")
     Term.(const run $ requests_arg $ refresh)
+
+(* ---------- io (exitless rings) ---------- *)
+
+let io_cmd =
+  let requests =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Block-write requests the guest publishes to the ring.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Requests per published batch (one used-index wait each; at \
+             most the ring's 16 entries).")
+  in
+  let poison =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "poison" ] ~docv:"VECTOR"
+          ~doc:
+            "Instead of the throughput run, poison a live ring with \
+             $(docv) (desc-gpa | desc-len | used-rewind | used-replay | \
+             avail-runaway | all) and report the degradation verdict.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the result as JSON instead of a table.")
+  in
+  let vectors =
+    [
+      ("desc-gpa", Hypervisor.Attacks.ring_poison_desc_gpa);
+      ("desc-len", Hypervisor.Attacks.ring_poison_desc_len);
+      ("used-rewind", Hypervisor.Attacks.ring_used_rewind);
+      ("used-replay", Hypervisor.Attacks.ring_used_replay);
+      ("avail-runaway", Hypervisor.Attacks.ring_avail_runaway);
+    ]
+  in
+  let run_poison name json_out =
+    let chosen =
+      if name = "all" then vectors
+      else
+        match List.assoc_opt name vectors with
+        | Some a -> [ (name, a) ]
+        | None ->
+            prerr_endline
+              ("unknown poison vector '" ^ name
+             ^ "' (desc-gpa | desc-len | used-rewind | used-replay | \
+                avail-runaway | all)");
+            exit 2
+    in
+    let outcomes =
+      List.map
+        (fun (n, attack) ->
+          let tb = Platform.Testbed.create () in
+          let h = Platform.Testbed.cvm tb (Guest.Gprog.hello "p") in
+          (n, attack tb.Platform.Testbed.kvm h))
+        chosen
+    in
+    if json_out then begin
+      let open Metrics.Export in
+      print_endline
+        (json_to_string
+           (Obj
+              (List.map
+                 (fun (n, o) ->
+                   ( n,
+                     match o with
+                     | Hypervisor.Attacks.Blocked why ->
+                         Obj [ ("blocked", Bool true); ("how", Str why) ]
+                     | Hypervisor.Attacks.Leaked why ->
+                         Obj [ ("blocked", Bool false); ("how", Str why) ] ))
+                 outcomes)))
+    end
+    else
+      Metrics.Table.print
+        ~header:[ "vector"; "verdict"; "defence" ]
+        (List.map
+           (fun (n, o) ->
+             match o with
+             | Hypervisor.Attacks.Blocked why -> [ n; "BLOCKED"; why ]
+             | Hypervisor.Attacks.Leaked why -> [ n; "LEAKED"; why ])
+           outcomes);
+    if
+      List.exists
+        (fun (_, o) ->
+          match o with Hypervisor.Attacks.Leaked _ -> true | _ -> false)
+        outcomes
+    then exit 1
+  in
+  let run_throughput requests batch json_out =
+    let batch = max 1 (min batch (Guest.Swiotlb.ring_entries - 1)) in
+    let requests = max batch (requests / batch * batch) in
+    let batches = requests / batch in
+    let tb = Platform.Testbed.create () in
+    let prog =
+      List.concat
+        (List.init batches (fun b ->
+             List.concat
+               (List.init batch (fun j ->
+                    let seq = (b * batch) + j in
+                    Guest.Gprog.ring_blk_write ~seq ~sector:seq ~len:256
+                      ~byte:'z'
+                      ~slot:(seq mod Guest.Swiotlb.ring_entries)))
+             @ Guest.Gprog.ring_wait_used ~target:((b + 1) * batch)))
+      @ Guest.Gprog.shutdown
+    in
+    let h = Platform.Testbed.cvm tb prog in
+    (match Hypervisor.Kvm.enable_exitless_io tb.Platform.Testbed.kvm h with
+    | Ok _ -> ()
+    | Error e ->
+        prerr_endline ("zionctl io: " ^ e);
+        exit 1);
+    let outcome =
+      Hypervisor.Kvm.run_cvm_to_completion tb.Platform.Testbed.kvm h ~hart:0
+        ~quantum:100_000 ~max_slices:1000
+    in
+    let mmio = Hypervisor.Kvm.mmio_exits_serviced tb.Platform.Testbed.kvm in
+    let counter name =
+      Metrics.Registry.counter
+        ~scope:(Metrics.Registry.Cvm (Hypervisor.Kvm.cvm_id h))
+        (Zion.Monitor.registry tb.Platform.Testbed.monitor)
+        name
+    in
+    let suppressed = counter "sm.io.kicks_suppressed" in
+    let notifications =
+      match Hypervisor.Kvm.exitless_host tb.Platform.Testbed.kvm h with
+      | Some host -> Hypervisor.Virtio_ring.notifications host
+      | None -> 0
+    in
+    let done_ok = outcome = Hypervisor.Kvm.C_shutdown in
+    if json_out then begin
+      let open Metrics.Export in
+      let n = num_of_int in
+      print_endline
+        (json_to_string
+           (Obj
+              [
+                ("requests", n requests);
+                ("batch", n batch);
+                ("completed", Bool done_ok);
+                ("mmio_exits", n mmio);
+                ("kicks_suppressed", n suppressed);
+                ("used_publishes", n notifications);
+                ("cal_rejections", n (counter "sm.io.cal_rejections"));
+                ("fallbacks", n (counter "sm.io.fallbacks"));
+              ]))
+    end
+    else begin
+      Metrics.Table.section "exitless virtio ring";
+      Metrics.Table.print
+        ~header:[ "metric"; "value" ]
+        [
+          [ "requests"; string_of_int requests ];
+          [ "batch size"; string_of_int batch ];
+          [ "guest outcome"; (if done_ok then "shutdown" else "incomplete") ];
+          [ "MMIO exits (doorbells)"; string_of_int mmio ];
+          [ "kicks suppressed"; string_of_int suppressed ];
+          [ "used-index publishes"; string_of_int notifications ];
+          [ "CAL rejections"; string_of_int (counter "sm.io.cal_rejections") ];
+          [ "fallbacks"; string_of_int (counter "sm.io.fallbacks") ];
+        ];
+      print_health
+        (Zion.Monitor.health_snapshot tb.Platform.Testbed.monitor)
+    end;
+    if not done_ok then exit 1
+  in
+  let run requests batch poison json_out =
+    match poison with
+    | Some v -> run_poison v json_out
+    | None -> run_throughput requests batch json_out
+  in
+  Cmd.v
+    (Cmd.info "io"
+       ~doc:
+         "Exercise the exitless virtio ring: publish batched block writes \
+          from a real guest with no doorbells ($(b,--requests), \
+          $(b,--batch)), or poison a live ring ($(b,--poison)) and verify \
+          the Check-after-Load degradation to exitful kicks")
+    Term.(const run $ requests $ batch $ poison $ json)
 
 let export_cmd =
   let format =
@@ -1060,6 +1254,6 @@ let () =
        (Cmd.group (Cmd.info "zionctl" ~doc)
           [
             experiments_cmd; boot_cmd; attacks_cmd; audit_cmd; recover_cmd;
-            fuzz_cmd; migrate_cmd; trace_cmd; stats_cmd; top_cmd;
+            fuzz_cmd; migrate_cmd; trace_cmd; stats_cmd; top_cmd; io_cmd;
             export_cmd; costs_cmd;
           ]))

@@ -16,3 +16,21 @@ let pages_per_block size =
 
 let virtio_mmio_gpa = 0x1000_1000L
 let virtio_mmio_size = 0x1000L
+
+(* SWIOTLB layout, fixed here (rather than in the guest library) so the
+   monitor's audit can reason about the bounce window without a
+   dependency inversion; [Guest.Swiotlb] re-exports these. *)
+let swiotlb_desc_gpa = shared_gpa_base
+let swiotlb_slot_size = 4096
+let swiotlb_slots = 64
+
+let swiotlb_slot_gpa i =
+  if i < 0 || i >= swiotlb_slots then
+    invalid_arg "Layout.swiotlb_slot_gpa: out of range";
+  Int64.add shared_gpa_base (Int64.of_int ((1 + i) * swiotlb_slot_size))
+
+let swiotlb_ring_gpa = Int64.add shared_gpa_base 0x80000L
+
+let swiotlb_page_gpas () =
+  swiotlb_desc_gpa :: swiotlb_ring_gpa
+  :: List.init swiotlb_slots swiotlb_slot_gpa

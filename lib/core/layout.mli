@@ -31,3 +31,30 @@ val virtio_mmio_gpa : int64
     but never mapped, so guest accesses exit as MMIO). *)
 
 val virtio_mmio_size : int64
+
+(** {2 SWIOTLB window}
+
+    Canonical layout of the guest bounce-buffer area inside the shared
+    window. Fixed here so the monitor's audit (bounce-hygiene section)
+    and the guest library agree on one source of truth;
+    [Guest.Swiotlb] re-exports these under its traditional names. *)
+
+val swiotlb_desc_gpa : int64
+(** Descriptor page at the base of the shared window. *)
+
+val swiotlb_slot_size : int
+(** 4 KiB. *)
+
+val swiotlb_slots : int
+(** Number of bounce slots following the descriptor page. *)
+
+val swiotlb_slot_gpa : int -> int64
+(** GPA of bounce slot [i]. Raises [Invalid_argument] out of range. *)
+
+val swiotlb_ring_gpa : int64
+(** One 4 KiB page holding the exitless virtio split ring
+    (descriptor table, avail ring, used ring), clear of the bounce
+    slots. *)
+
+val swiotlb_page_gpas : unit -> int64 list
+(** Every SWIOTLB page GPA: descriptor page, ring page, all slots. *)

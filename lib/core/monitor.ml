@@ -204,6 +204,10 @@ type tenant_health = {
   th_quarantine_reason : string option;
   th_stalled : bool;
   th_last_progress : int;
+  th_io_kicks_suppressed : int;
+  th_io_coalesced : int;
+  th_io_cal_rejections : int;
+  th_io_fallbacks : int;
 }
 
 type health = {
@@ -255,6 +259,18 @@ let health_snapshot ?(stall_cycles = 10_000_000) ?(clock_hz = 1e8) t =
           th_quarantine_reason = cvm.Cvm.quarantine_reason;
           th_stalled = stalled;
           th_last_progress = (match last with Some c -> c | None -> -1);
+          th_io_kicks_suppressed =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.io.kicks_suppressed";
+          th_io_coalesced =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.io.completions_coalesced";
+          th_io_cal_rejections =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.io.cal_rejections";
+          th_io_fallbacks =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.io.fallbacks";
         }
         :: acc)
       t.cvms []
@@ -2260,6 +2276,41 @@ let audit t =
           end)
         ())
     t.machine.Machine.harts;
+  (* 10. SWIOTLB / bounce hygiene. Every page of the bounce window —
+     descriptor page, exitless ring page, bounce slots — is host
+     territory by construction, so wherever a live CVM's shared
+     subtree maps one, the backing PA must be outside the secure pool
+     and unaccounted to any CVM; and no two SWIOTLB pages of one CVM
+     may share a PA (an aliased bounce slot hands the same buffer to
+     two concurrent requests). *)
+  let swiotlb_gpas = Layout.swiotlb_page_gpas () in
+  List.iter
+    (fun cvm ->
+      let seen_bounce = Hashtbl.create 67 in
+      List.iter
+        (fun gpa ->
+          match Spt.lookup cvm.Cvm.spt ~gpa with
+          | None -> ()
+          | Some pa ->
+              check
+                (not (Secmem.contains t.sm pa))
+                "CVM %d bounce page GPA 0x%Lx aliases secure PA 0x%Lx"
+                cvm.Cvm.id gpa pa;
+              check
+                (not (Hashtbl.mem t.page_owner pa))
+                "CVM %d bounce page GPA 0x%Lx aliases owned private PA \
+                 0x%Lx"
+                cvm.Cvm.id gpa pa;
+              (match Hashtbl.find_opt seen_bounce pa with
+              | Some other ->
+                  fail
+                    "CVM %d bounce pages GPA 0x%Lx and GPA 0x%Lx alias \
+                     the same PA 0x%Lx"
+                    cvm.Cvm.id other gpa pa
+              | None -> Hashtbl.add seen_bounce pa gpa);
+              incr checked)
+        swiotlb_gpas)
+    live;
   if !findings = [] then Ok !checked else Error (List.rev !findings)
 
 (* ---------- crash consistency: reboot + journal recovery ---------- *)

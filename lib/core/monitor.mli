@@ -115,6 +115,18 @@ type tenant_health = {
   th_last_progress : int;
       (** ledger cycles at the last entry/exit (or finalize);
           [-1] if never *)
+  th_io_kicks_suppressed : int;
+      (** exitless-ring requests serviced without a doorbell MMIO exit
+          (per-CVM ["sm.io.kicks_suppressed"]) *)
+  th_io_coalesced : int;
+      (** completions delivered under an earlier batch's used-index
+          publish (["sm.io.completions_coalesced"]) *)
+  th_io_cal_rejections : int;
+      (** Check-after-Load verdicts that rejected a host-written ring
+          field (["sm.io.cal_rejections"]) *)
+  th_io_fallbacks : int;
+      (** rings degraded to the exitful MMIO kick path
+          (["sm.io.fallbacks"]) *)
 }
 
 type health = {

@@ -144,6 +144,54 @@ let net_recv_putchar =
   @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
   @ [ Ecall ]
 
+(* ---------- exitless ring submit (no doorbell) ---------- *)
+
+let ring_field off = Int64.add Swiotlb.ring_gpa (Int64.of_int off)
+
+(* Publish one ring descriptor with plain stores: descriptor id
+   [seq mod ring_entries], the avail entry at the same position, then
+   the avail index bumped to [seq + 1]. No MMIO, no ecall — this is
+   the whole point: the doorbell is suppressed while the ring is
+   live. *)
+let ring_publish ~seq ~op ~len ~data_gpa ~meta =
+  let id = seq mod Swiotlb.ring_entries in
+  let d off = ring_field (Swiotlb.ring_desc_off id + off) in
+  store_u64 ~gpa:(d 0) data_gpa
+  @ store_u32 ~gpa:(d 8) (Int64.of_int len)
+  @ store_u32 ~gpa:(d 12) (Int64.of_int op)
+  @ store_u64 ~gpa:(d 16) meta
+  @ store_u32 ~gpa:(ring_field (Swiotlb.ring_avail_entry_off id))
+      (Int64.of_int id)
+  @ store_u32 ~gpa:(ring_field Swiotlb.ring_avail_idx_off)
+      (Int64.of_int ((seq + 1) land 0xFFFF))
+
+(* Spin until the host publishes used idx = [target]. Branchy code
+   must use fixed-length encodings, not [Asm.li] (whose length depends
+   on the constant); the ring page GPA has zero low bits, so a single
+   lui loads it and the field offsets ride in the load immediate. *)
+let ring_wait_used ~target =
+  assert (Int64.logand Swiotlb.ring_gpa 0xFFFL = 0L);
+  assert (target > 0 && target < 2048);
+  [
+    Lui (Asm.t0, Swiotlb.ring_gpa);
+    (* loop: *)
+    Load
+      {
+        rd = Asm.t2;
+        rs1 = Asm.t0;
+        imm = Int64.of_int Swiotlb.ring_used_idx_off;
+        width = W;
+        unsigned = false;
+      };
+    (* +4 *) Op_imm (Add, Asm.t2, Asm.t2, Int64.of_int (-target));
+    (* +8: loop while used != target *) Branch (Bne, Asm.t2, 0, -8L);
+  ]
+
+let ring_blk_write ~seq ~sector ~len ~byte ~slot =
+  fill_bytes ~gpa:(Swiotlb.slot_gpa slot) ~byte ~len
+  @ ring_publish ~seq ~op:Swiotlb.op_blk_write ~len
+      ~data_gpa:(Swiotlb.slot_gpa slot) ~meta:(Int64.of_int sector)
+
 let relinquish ~gpa =
   (* Touch the page first so it is actually mapped (and owned) before
      the guest gives it back — relinquishing an unmapped GPA is a

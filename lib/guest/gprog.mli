@@ -38,6 +38,38 @@ val net_recv_putchar : Riscv.Decode.t list
 (** Ask the device to fill bounce slot 3 with the next RX packet and
     print its first byte (or '!' when none). Does not shut down. *)
 
+(** {2 Exitless ring submit}
+
+    Builders for the {!Swiotlb} exitless split ring: descriptors and
+    avail entries are published with plain stores to shared memory —
+    no MMIO kick, no ecall, no world switch. A batch is a
+    concatenation of {!ring_publish}/{!ring_blk_write} sequences
+    followed by one {!ring_wait_used}; the host services the whole
+    batch at its next polling beat (a timer exit) and publishes the
+    used index once, so the spin observes the entire batch completing
+    under a single notification. *)
+
+val ring_publish :
+  seq:int ->
+  op:int ->
+  len:int ->
+  data_gpa:int64 ->
+  meta:int64 ->
+  Riscv.Decode.t list
+(** Publish request number [seq] (0-based, free-running): descriptor
+    id [seq mod ring_entries], its avail entry, and the avail index
+    bumped to [seq + 1]. Straight-line code; does not wait. *)
+
+val ring_blk_write :
+  seq:int -> sector:int -> len:int -> byte:char -> slot:int ->
+  Riscv.Decode.t list
+(** Fill bounce slot [slot] with [byte] and publish a blk-write
+    descriptor for it as request [seq]. Does not wait. *)
+
+val ring_wait_used : target:int -> Riscv.Decode.t list
+(** Spin (fixed-length load/branch loop) until the host publishes
+    used idx = [target]. [target] must be in [1, 2047]. *)
+
 val attest_report : nonce_byte:char -> Riscv.Decode.t list
 (** Write a 32-byte nonce into private memory, request a measurement
     report from the SM, and print 'R' on success / 'E' on failure.

@@ -30,3 +30,57 @@ val slot_gpa : int -> int64
 val bounce_copy_cycles : Riscv.Cost.t -> int -> int
 (** Modeled cycles to copy [n] bytes through a bounce buffer (one
     direction): doubleword loads + stores. *)
+
+(** {2 Exitless split ring}
+
+    One 4 KiB page ([Zion.Layout.swiotlb_ring_gpa]) holding a
+    virtio-style split ring: a descriptor table, an avail ring the
+    guest publishes to, and a used ring the host completes into. All
+    fields little-endian; both indices free-running modulo 2^16. *)
+
+val ring_gpa : int64
+(** GPA of the ring page. *)
+
+val ring_entries : int
+(** Queue size (16); descriptor ids and ring positions are modulo
+    this. *)
+
+val ring_desc_size : int
+(** Bytes per descriptor: data_gpa(8) | len(4) | op(4) | meta(8). *)
+
+val ring_desc_off : int -> int
+(** Byte offset of descriptor [i] within the ring page. *)
+
+val ring_avail_idx_off : int
+val ring_avail_entry_off : int -> int
+val ring_used_idx_off : int
+val ring_used_entry_off : int -> int
+(** Used entry [i]: descriptor id (u32) | completed length (u32). *)
+
+val op_blk_read : int
+val op_blk_write : int
+val op_net_tx : int
+val op_net_rx : int
+(** Descriptor op codes; [meta] is the sector number for blk ops and
+    unused otherwise. *)
+
+(** {2 Bounce-slot allocator}
+
+    Slot hygiene for guest drivers: acquire/release with typed errors.
+    Double release returns [Bad_state] instead of silently re-linking
+    the slot (which would put it on the free list twice and alias one
+    bounce buffer across two requests). *)
+
+type pool
+
+val create_pool : unit -> pool
+
+val acquire : pool -> (int, Zion.Sm_error.t) result
+(** Take a free slot index; [Error No_memory] when exhausted. *)
+
+val release : pool -> int -> (unit, Zion.Sm_error.t) result
+(** Return a slot. [Error Invalid_param] out of range,
+    [Error Bad_state] if the slot is not currently held. *)
+
+val in_use : pool -> int
+val is_busy : pool -> int -> bool

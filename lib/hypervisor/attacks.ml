@@ -63,3 +63,142 @@ let steal_vcpu_state mon ~cvm =
   match Zion.Monitor.get_vcpu_reg mon ~cvm ~vcpu:0 ~reg:10 with
   | Ok v -> Leaked (Printf.sprintf "read a0 = 0x%Lx" v)
   | Error _ -> Blocked "SM-mediated access denied"
+
+(* ---------- hostile-ring attacks (exitless I/O) ---------- *)
+
+module Sw = Guest.Swiotlb
+
+(* The ring poke path is exactly the Byzantine host's power: any byte
+   of the ring page, any time, no validation. *)
+let ring_poke kvm h ~off ~width v =
+  let shared = Kvm.cvm_shared_map h in
+  ignore
+    (Virtio_ring.poke
+       ~bus:(Kvm.machine kvm).Machine.bus
+       ~translate:(fun gpa -> Shared_map.lookup shared ~gpa)
+       ~off ~width v
+      : bool)
+
+(* Ensure a live ring with one legit in-flight blk write, returning the
+   descriptor id. *)
+let ring_arm kvm h =
+  (match Kvm.exitless_guest kvm h with
+  | Some _ -> ()
+  | None -> (
+      match Kvm.enable_exitless_io kvm h with
+      | Ok _ -> ()
+      | Error e -> failwith e));
+  match Kvm.exitless_guest kvm h with
+  | None -> Error "ring not armed"
+  | Some g -> (
+      match
+        Virtio_ring.submit g ~op:Sw.op_blk_write ~len:512
+          ~data_gpa:(Sw.slot_gpa 50) ~meta:7L ()
+      with
+      | Ok id -> Ok (g, id)
+      | Error e -> Error (Zion.Sm_error.to_string e))
+
+(* Service + consume until the ring either drains or degrades. The
+   bound covers the stall watchdog with slack. *)
+let ring_drive kvm h =
+  let rec go n =
+    if n > Virtio_ring.watchdog_polls + 8 then ()
+    else begin
+      ignore (Kvm.service_exitless kvm h : int);
+      ignore (Kvm.exitless_poll kvm h : int * Virtio_ring.verdict);
+      match Kvm.exitless_guest kvm h with
+      | None -> () (* fallen back; association quarantined *)
+      | Some g when Virtio_ring.outstanding g = 0 -> ()
+      | Some _ -> go (n + 1)
+    end
+  in
+  go 0
+
+(* The verdicts on a poisoned ring: the association must die (exitful
+   fallback), the CVM must not (audit stays clean). *)
+let ring_judge kvm h ~label =
+  let fell_back = not (Kvm.exitless_active kvm h) in
+  match Zion.Monitor.audit (Kvm.monitor kvm) with
+  | Error findings ->
+      Leaked
+        (Printf.sprintf "%s: audit violation after ring poison: %s" label
+           (match findings with f :: _ -> f | [] -> "?"))
+  | Ok _ ->
+      if fell_back then
+        Blocked (label ^ ": CAL strikes degraded the ring to exitful kicks")
+      else Leaked (label ^ ": poisoned ring still accepted as exitless")
+
+let ring_poison_desc_gpa kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (_, id) ->
+      (* Redirect the in-flight descriptor's buffer out of the shared
+         window entirely. *)
+      ring_poke kvm h ~off:(Sw.ring_desc_off id) ~width:8 0xDEAD_0000L;
+      ring_drive kvm h;
+      ring_judge kvm h ~label:"desc-gpa out of range"
+
+let ring_poison_desc_len kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (_, id) ->
+      (* Inflate the length past the bounce slot (and past what the
+         guest posted). *)
+      ring_poke kvm h
+        ~off:(Sw.ring_desc_off id + 8)
+        ~width:4
+        (Int64.of_int (Sw.slot_size * 4));
+      ring_drive kvm h;
+      ring_judge kvm h ~label:"desc-len overflow"
+
+(* Poll (guest side only — no host service, which would overwrite the
+   poison) until the strike budget degrades the ring. *)
+let ring_strike_out kvm h =
+  for _ = 1 to Virtio_ring.max_strikes + 1 do
+    ignore (Kvm.exitless_poll kvm h : int * Virtio_ring.verdict)
+  done
+
+let ring_used_rewind kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (g, _) ->
+      (* Complete the request honestly first, then yank the used index
+         backwards so the completion "un-happens". *)
+      ignore (Kvm.service_exitless kvm h : int);
+      ignore (Virtio_ring.consume g : int * Virtio_ring.verdict);
+      ring_poke kvm h ~off:Sw.ring_used_idx_off ~width:4 0L;
+      ring_strike_out kvm h;
+      ring_judge kvm h ~label:"used-index rewind"
+
+let ring_used_replay kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (g, id) ->
+      (* Service request A, publish request B (so A's descriptor id is
+         retired but the queue is not idle), then replay A's
+         completion: its id under a freshly bumped used index. *)
+      ignore (Kvm.service_exitless kvm h : int);
+      (match
+         Virtio_ring.submit g ~op:Sw.op_blk_write ~len:64
+           ~data_gpa:(Sw.slot_gpa 52) ~meta:11L ()
+       with
+      | Ok _ | Error _ -> ());
+      ignore (Virtio_ring.consume g : int * Virtio_ring.verdict);
+      let pos = 1 mod Sw.ring_entries in
+      ring_poke kvm h ~off:(Sw.ring_used_entry_off pos) ~width:4
+        (Int64.of_int id);
+      ring_poke kvm h ~off:(Sw.ring_used_entry_off pos + 4) ~width:4 64L;
+      ring_poke kvm h ~off:Sw.ring_used_idx_off ~width:4 2L;
+      ring_strike_out kvm h;
+      ring_judge kvm h ~label:"used-entry replay"
+
+let ring_avail_runaway kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (_, _) ->
+      (* Run the avail index far past everything ever published — a
+         wrap-around flood. The host must clamp; the guest sees more
+         completions than it has outstanding. *)
+      ring_poke kvm h ~off:Sw.ring_avail_idx_off ~width:4 0x7001L;
+      ring_drive kvm h;
+      ring_judge kvm h ~label:"avail-index runaway"

@@ -33,3 +33,31 @@ val map_foreign_secure_page :
 val steal_vcpu_state : Zion.Monitor.t -> cvm:int -> outcome
 (** Try to read a guest register through the SM-mediated interface with
     no pending exit. *)
+
+(** {2 Hostile-ring attacks}
+
+    Ring-poison vectors against the exitless virtio ring: each arms a
+    live ring on the CVM (enabling exitless I/O if needed), publishes
+    a legitimate request, flips one host-writable field the way a
+    Byzantine host would, and drives the service/consume loop. The
+    expected defence is always the same: Check-after-Load strikes
+    degrade the ring to the exitful MMIO kick path (quarantining the
+    device association, never the CVM) with [Zion.Monitor.audit] still
+    clean — any other ending is reported as [Leaked]. *)
+
+val ring_poison_desc_gpa : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Redirect an in-flight descriptor's buffer GPA out of the shared
+    window. *)
+
+val ring_poison_desc_len : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Inflate an in-flight descriptor's length past the bounce slot. *)
+
+val ring_used_rewind : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Pull the used index backwards after an honest completion. *)
+
+val ring_used_replay : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Re-deliver a retired completion under a bumped used index. *)
+
+val ring_avail_runaway : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Run the avail index far past everything published (wrap flood);
+    the host clamps, the guest sees phantom completions. *)

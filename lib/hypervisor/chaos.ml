@@ -52,6 +52,8 @@ type report = {
   migrations : int;  (** protocol migrations attempted (lossy + crashy) *)
   migrations_committed : int;
   migrations_aborted : int;
+  ring_poisons : int;  (** hostile pokes at live exitless rings *)
+  ring_fallbacks : int;  (** rings CAL degraded to exitful kicks *)
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 
@@ -75,6 +77,7 @@ let pp_report ppf r =
     r.migrations_aborted r.migrations;
   field "  quarantined/reclaimed  %d/%d@." r.quarantines
     r.quarantines_reclaimed;
+  field "  ring poisons/fallbacks %d/%d@." r.ring_poisons r.ring_fallbacks;
   field "  pool clean at end      %b@." r.pool_clean;
   field "  verdict                %s@."
     (if survived r then "SURVIVED" else "COMPROMISED")
@@ -105,6 +108,8 @@ type world = {
   mutable mig_committed : int;
   mutable mig_aborted : int;
   mutable session_ctr : int;
+  mutable ring_poisons : int;
+  mutable ring_fallbacks : int;
 }
 
 let guest_entry = 0x10000L
@@ -402,6 +407,88 @@ let tamper_subtree w =
             ~max_steps:100)
   | _ -> ()
 
+(* Hostile pokes at a live exitless ring. Arm a ring on a random CVM
+   (or reuse one), publish a legitimate request, flip one host-writable
+   field with an adversarial value, and drive the service/consume loop
+   bounded by the stall watchdog: Check-after-Load must absorb the
+   poison or degrade the association to exitful kicks — never raise.
+   Half the time the poke also lands after a fallback (or with no ring
+   bound at all), exercising the exitful-mode path where the ring page
+   is unmapped and the poke simply misses. *)
+let poison_ring w =
+  match w.live with
+  | [] -> ()
+  | l ->
+      let h = one_of w.r l in
+      (match Kvm.exitless_guest w.kvm h with
+      | Some _ -> ()
+      | None ->
+          if rand_int w.r 2 = 0 then
+            ignore (Kvm.enable_exitless_io w.kvm h));
+      (match Kvm.exitless_guest w.kvm h with
+      | None -> ()
+      | Some g -> (
+          match
+            Virtio_ring.submit g ~op:Guest.Swiotlb.op_blk_write
+              ~len:(64 + rand_int w.r 512)
+              ~data_gpa:(Guest.Swiotlb.slot_gpa (rand_int w.r 8))
+              ~meta:(Int64.of_int (rand_int w.r 64))
+              ()
+          with
+          | Ok _ | Error _ -> ()));
+      w.ring_poisons <- w.ring_poisons + 1;
+      Metrics.Registry.inc (registry w) "chaos.ring_poison";
+      let module Sw = Guest.Swiotlb in
+      let off, width =
+        match rand_int w.r 7 with
+        | 0 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries), 8)
+        | 1 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries) + 8, 4)
+        | 2 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries) + 12, 4)
+        | 3 -> (Sw.ring_avail_idx_off, 4)
+        | 4 -> (Sw.ring_avail_entry_off (rand_int w.r Sw.ring_entries), 4)
+        | 5 -> (Sw.ring_used_idx_off, 4)
+        | _ -> (Sw.ring_used_entry_off (rand_int w.r Sw.ring_entries), 4)
+      in
+      let v =
+        match rand_int w.r 4 with
+        | 0 -> 0L
+        | 1 -> rand_i64 w.r
+        | 2 -> Int64.logand (rand_i64 w.r) 0xFFFFL
+        | _ -> 0xDEAD_0000L
+      in
+      let was_active = Kvm.exitless_active w.kvm h in
+      (try
+         ignore
+           (Virtio_ring.poke ~bus:w.machine.Machine.bus
+              ~translate:(fun gpa ->
+                Shared_map.lookup (Kvm.cvm_shared_map h) ~gpa)
+              ~off ~width v
+             : bool);
+         let n = ref 0 in
+         while Kvm.exitless_active w.kvm h && !n <= Virtio_ring.watchdog_polls
+         do
+           incr n;
+           ignore (Kvm.service_exitless w.kvm h : int);
+           ignore (Kvm.exitless_poll w.kvm h : int * Virtio_ring.verdict);
+           match Kvm.exitless_guest w.kvm h with
+           | Some g when Virtio_ring.outstanding g = 0 ->
+               n := Virtio_ring.watchdog_polls + 1
+           | _ -> ()
+         done
+       with exn ->
+         w.uncaught <- w.uncaught + 1;
+         Metrics.Registry.inc (registry w) "chaos.uncaught";
+         Hashtbl.replace w.errors
+           ("EXN ring " ^ Printexc.to_string exn)
+           (1
+           + Option.value ~default:0
+               (Hashtbl.find_opt w.errors
+                  ("EXN ring " ^ Printexc.to_string exn))));
+      if was_active && not (Kvm.exitless_active w.kvm h) then begin
+        w.ring_fallbacks <- w.ring_fallbacks + 1;
+        Metrics.Registry.inc (registry w) "chaos.ring_fallback"
+      end
+
 let flip_expand_policy w =
   Kvm.set_expand_policy w.kvm
     (match rand_int w.r 4 with
@@ -586,6 +673,8 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
       mig_committed = 0;
       mig_aborted = 0;
       session_ctr = 0;
+      ring_poisons = 0;
+      ring_fallbacks = 0;
     }
   in
   for i = 1 to iters do
@@ -594,8 +683,9 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
     | n when n < 8 -> spawn w
     | n when n < 38 -> step w
     | n when n < 78 -> fuzz_ecall w
-    | n when n < 86 -> tamper_reply w
-    | n when n < 92 -> tamper_subtree w
+    | n when n < 84 -> tamper_reply w
+    | n when n < 89 -> tamper_subtree w
+    | n when n < 94 -> poison_ring w
     | n when n < 95 -> flip_expand_policy w
     | n when n < 97 -> migrate_roundtrip w
     | n when n < 99 -> proto_migrate w
@@ -646,6 +736,8 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
     migrations = w.migrations;
     migrations_committed = w.mig_committed;
     migrations_aborted = w.mig_aborted;
+    ring_poisons = w.ring_poisons;
+    ring_fallbacks = w.ring_fallbacks;
     pool_clean;
   }
 

@@ -37,6 +37,8 @@ type report = {
   migrations : int;  (** protocol migrations attempted (lossy + crashy) *)
   migrations_committed : int;
   migrations_aborted : int;
+  ring_poisons : int;  (** hostile pokes at live exitless rings *)
+  ring_fallbacks : int;  (** rings CAL degraded to exitful kicks *)
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 

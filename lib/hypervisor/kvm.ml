@@ -6,12 +6,18 @@ type expand_policy =
   | Expand_delay of int
   | Expand_short
 
+type io_binding = {
+  io_guest : Virtio_ring.guest;
+  io_host : Virtio_ring.host;
+}
+
 type t = {
   machine : Machine.t;
   monitor : Zion.Monitor.t;
   mem : Host_mem.t;
   devices : Mmio_emul.t;
   cost : Cost.t;
+  mutable io_bindings : (int * io_binding) list;  (* cvm id -> ring *)
   mutable nvm_faults : int list;
   mutable ticks : int;
   mutable mmio_serviced : int;
@@ -50,6 +56,7 @@ let create ~machine ~monitor ?(disk_sectors = 262144) () =
     mem = Host_mem.create ~base ~size;
     devices;
     cost = machine.Machine.cost;
+    io_bindings = [];
     nvm_faults = [];
     ticks = 0;
     mmio_serviced = 0;
@@ -529,6 +536,91 @@ let reply_mmio t h mmio result =
     | Error e -> Error (Zion.Ecall.error_to_string e)
   end
 
+(* ---------- exitless I/O ---------- *)
+
+let ring_gpa = Guest.Swiotlb.ring_gpa
+
+let exitless_guest t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | Some b -> Some b.io_guest
+  | None -> None
+
+let exitless_host t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | Some b -> Some b.io_host
+  | None -> None
+
+let exitless_active t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | Some b -> Virtio_ring.host_active b.io_host
+  | None -> false
+
+let enable_exitless_io t h =
+  if List.mem_assoc h.cid t.io_bindings then
+    Error "exitless ring already enabled for this CVM"
+  else begin
+    let mapped =
+      match Shared_map.lookup h.shared ~gpa:ring_gpa with
+      | Some _ -> Ok ()
+      | None -> (
+          match Shared_map.map_fresh h.shared ~gpa:ring_gpa with
+          | Ok _ -> Ok ()
+          | Error e -> Error e)
+    in
+    match mapped with
+    | Error e -> Error e
+    | Ok () ->
+        let ctx =
+          Virtio_ring.make_ctx ~bus:t.machine.Machine.bus
+            ~translate:(fun gpa -> Shared_map.lookup h.shared ~gpa)
+            ~registry:(Zion.Monitor.registry t.monitor)
+            ~cvm:h.cid ~cost:t.cost
+            ~charge:(fun cat cycles -> charge t cat cycles)
+        in
+        let io_guest, io_host = Virtio_ring.create_pair ctx in
+        t.io_bindings <- (h.cid, { io_guest; io_host }) :: t.io_bindings;
+        Ok io_guest
+  end
+
+(* Tear the device association down — not the CVM. The host side stops
+   polling, the guest side falls back to exitful kicks (releasing its
+   bounce slots exactly once and scrubbing the page), and the ring
+   page leaves the shared subtree so nothing stale can be replayed
+   into a future ring. *)
+let disable_exitless_io t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | None -> ()
+  | Some b ->
+      Virtio_ring.retire b.io_host;
+      Virtio_ring.force_fallback b.io_guest;
+      Shared_map.unmap h.shared ~gpa:ring_gpa;
+      t.io_bindings <- List.remove_assoc h.cid t.io_bindings
+
+(* Host-side polling service for one CVM's ring. The device translate
+   hook is per-CVM state, so install it before draining. *)
+let service_exitless t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | None -> 0
+  | Some b ->
+      if Virtio_ring.host_active b.io_host then begin
+        Mmio_emul.set_translate t.devices (fun gpa ->
+            Shared_map.lookup h.shared ~gpa);
+        Mmio_emul.service_ring t.devices b.io_host
+      end
+      else 0
+
+(* Guest-side consume with the degradation policy attached: a ring
+   that falls back (strikes exhausted or watchdog stall) is quarantined
+   as a device association on the spot. *)
+let exitless_poll t h =
+  match List.assoc_opt h.cid t.io_bindings with
+  | None -> (0, Virtio_ring.V_ok)
+  | Some b ->
+      let n, verdict = Virtio_ring.consume b.io_guest in
+      if Virtio_ring.guest_mode b.io_guest = Virtio_ring.Fallen_back then
+        disable_exitless_io t h;
+      (n, verdict)
+
 (* Exit_need_memory that an expansion did not actually satisfy (the
    pool gained no block) is retried at most this many times, charging
    an exponentially growing backoff, before the driver gives up. *)
@@ -555,6 +647,10 @@ let backoff_with_jitter t stalls =
 let run_cvm t h ~hart ~max_steps =
   Mmio_emul.set_translate t.devices (fun gpa ->
       Shared_map.lookup h.shared ~gpa);
+  (* Drain any exitless ring before entering the guest: completions
+     published while the vCPU was out become visible on this entry
+     without any doorbell. *)
+  ignore (service_exitless t h : int);
   let rec drive budget stalls =
     if budget <= 0 then C_limit
     else begin
@@ -566,7 +662,13 @@ let run_cvm t h ~hart ~max_steps =
       | Error e -> C_error (Zion.Ecall.error_to_string e)
       | Ok reason -> begin
           match reason with
-          | Zion.Monitor.Exit_timer -> C_timer
+          | Zion.Monitor.Exit_timer ->
+              (* The timer tick doubles as the host's ring-polling
+                 beat: requests the guest published exitlessly are
+                 serviced here, batched, with one used-index publish
+                 per batch. *)
+              ignore (service_exitless t h : int);
+              C_timer
           | Zion.Monitor.Exit_limit -> C_limit
           | Zion.Monitor.Exit_shutdown -> C_shutdown
           | Zion.Monitor.Exit_error e -> C_error e

@@ -104,6 +104,41 @@ val run_cvm_to_completion :
 val mmio_exits_serviced : t -> int
 val expansions : t -> int
 
+(** {2 Exitless I/O}
+
+    A per-CVM {!Virtio_ring} in the SWIOTLB shared region: the guest
+    publishes descriptors without ringing any doorbell, the host
+    drains the ring on its polling beat (every [run_cvm] entry and
+    every timer exit), and completions come back batched under one
+    used-index publish. A poisoned or stalled ring degrades to the
+    exitful MMIO kick path and quarantines the device association —
+    never the CVM. *)
+
+val enable_exitless_io :
+  t -> cvm_handle -> (Virtio_ring.guest, string) result
+(** Map the ring page into the CVM's shared subtree (reusing an
+    existing mapping if the guest already faulted it in) and start
+    host-side polling. Returns the trusted guest view. *)
+
+val disable_exitless_io : t -> cvm_handle -> unit
+(** Tear the device association down: retire the host poller, force
+    the guest view into exitful fallback (bounce slots released
+    exactly once, ring page scrubbed), and unmap the ring page from
+    the shared subtree. Idempotent. *)
+
+val service_exitless : t -> cvm_handle -> int
+(** Drain the CVM's ring once (host side); returns completions
+    written. [0] when no ring is bound or it has been retired. *)
+
+val exitless_poll : t -> cvm_handle -> int * Virtio_ring.verdict
+(** Guest-side consume with the degradation policy attached: any
+    fallback the Check-after-Load validation triggers immediately
+    quarantines the device association via {!disable_exitless_io}. *)
+
+val exitless_guest : t -> cvm_handle -> Virtio_ring.guest option
+val exitless_host : t -> cvm_handle -> Virtio_ring.host option
+val exitless_active : t -> cvm_handle -> bool
+
 val expand_stalls : t -> int
 (** Expansion requests that added nothing to the pool (dishonest
     policies) and were retried with backoff. Each retry charges an

@@ -20,6 +20,11 @@ let set_trace t tr =
   Virtio_blk.set_trace t.blk tr;
   Virtio_net.set_trace t.net tr
 
+(* Exitless path: drain one CVM's ring through the same two devices
+   the MMIO kicks use, so counters, backing store and peer callbacks
+   are shared between the two paths. *)
+let service_ring t host = Virtio_ring.service host ~blk:t.blk ~net:t.net
+
 let handle t (mmio : Zion.Vcpu.mmio) =
   let off = Int64.sub mmio.Zion.Vcpu.mmio_gpa Zion.Layout.virtio_mmio_gpa in
   if off < 0L || off >= 0x1000L then 0L

@@ -22,3 +22,7 @@ val set_trace : t -> Metrics.Trace.t -> unit
 val handle : t -> Zion.Vcpu.mmio -> int64
 (** Emulate one trapped access; returns the load result (0 for
     writes). *)
+
+val service_ring : t -> Virtio_ring.host -> int
+(** Drain one exitless ring through the same blk/net devices the MMIO
+    kicks use; returns completions written. *)

@@ -135,6 +135,32 @@ let process t =
         "blk.request"
   | None -> ()
 
+(* Non-MMIO service entry for the exitless ring: same DMA path, bounds
+   checks and counters as [process], but descriptor fields come from a
+   ring descriptor instead of the register file. May raise [Bus.Fault]
+   from the IOPMP-checked DMA (the caller treats that as a reject). *)
+let serve_ring t ~write ~sector ~len ~data_gpa =
+  let disk_off = sector * sector_size in
+  if sector < 0 || len < 0 || disk_off + len > Bytes.length t.disk then
+    Error "blk.bounds"
+  else if not write then begin
+    let data = Bytes.sub_string t.disk disk_off len in
+    if dma_write_gpa t data_gpa data then begin
+      t.requests <- t.requests + 1;
+      t.bytes_r <- t.bytes_r + len;
+      Ok len
+    end
+    else Error "blk.dma"
+  end
+  else
+    match dma_read_gpa t data_gpa len with
+    | None -> Error "blk.dma"
+    | Some data ->
+        Bytes.blit_string data 0 t.disk disk_off len;
+        t.requests <- t.requests + 1;
+        t.bytes_w <- t.bytes_w + len;
+        Ok len
+
 let mmio_read t off _len =
   match Int64.to_int off with 0x10 -> t.status | _ -> 0L
 

@@ -39,6 +39,18 @@ val requests_served : t -> int
 val bytes_read : t -> int
 val bytes_written : t -> int
 
+val serve_ring :
+  t ->
+  write:bool ->
+  sector:int ->
+  len:int ->
+  data_gpa:int64 ->
+  (int, string) result
+(** Service one exitless-ring descriptor: same bounds checks, DMA path
+    and counters as an MMIO kick, without the register file. Returns
+    the completed byte count or an error label; may raise
+    [Riscv.Bus.Fault] when the IOPMP rejects the DMA. *)
+
 val read_backing : t -> sector:int -> len:int -> string
 (** Inspect the disk contents (tests). *)
 

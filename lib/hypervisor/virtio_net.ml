@@ -140,6 +140,34 @@ let do_rx_fill t =
         "net.rx_fill"
   | None -> ()
 
+(* Non-MMIO service entries for the exitless ring; the TX side runs the
+   same peer callback as [do_tx] so replies land on the RX queue. May
+   raise [Bus.Fault] from IOPMP-checked DMA. *)
+let serve_ring_tx t ~data_gpa ~len =
+  if len < 0 || len > 65536 then Error "net.len"
+  else
+    match dma_read_gpa t data_gpa len with
+    | None -> Error "net.dma"
+    | Some pkt ->
+        t.tx <- pkt :: t.tx;
+        (match t.peer pkt with
+        | Some reply -> Queue.add reply t.rx
+        | None -> ());
+        Ok len
+
+let serve_ring_rx t ~data_gpa ~len =
+  if Queue.is_empty t.rx then Ok 0
+  else begin
+    let pkt = Queue.peek t.rx in
+    let n = String.length pkt in
+    if n > len then Error "net.rx_overflow"
+    else if dma_write_gpa t data_gpa pkt then begin
+      ignore (Queue.pop t.rx);
+      Ok n
+    end
+    else Error "net.dma"
+  end
+
 let mmio_read t off _len =
   match Int64.to_int off with 0x10 -> t.last_rx_len | _ -> 0L
 

@@ -37,6 +37,16 @@ val inject_rx : t -> string -> unit
 val mmio_read : t -> int64 -> int -> int64
 val mmio_write : t -> int64 -> int -> int64 -> unit
 
+val serve_ring_tx : t -> data_gpa:int64 -> len:int -> (int, string) result
+(** Exitless-ring TX: DMA the packet out and run the peer callback
+    (replies land on the RX queue). Returns bytes sent or an error
+    label; may raise [Riscv.Bus.Fault] on an IOPMP reject. *)
+
+val serve_ring_rx : t -> data_gpa:int64 -> len:int -> (int, string) result
+(** Exitless-ring RX fill: deliver the next pending packet into the
+    descriptor's buffer. [Ok 0] when the queue is empty; an oversized
+    packet is left queued and reported as an error. *)
+
 val tx_packets : t -> string list
 (** Transmitted packets, oldest first. *)
 

@@ -9,8 +9,11 @@ type point = {
 
 let clock_hz = 1e8
 
-let price ~monitor kind (run : Workloads.Iozone.run) =
-  let vm = Macro_vm.create ~kind ~monitor ~locality:Workloads.Iozone.locality in
+let price ?io_mode ~monitor kind (run : Workloads.Iozone.run) =
+  let vm =
+    Macro_vm.create ~kind ?io_mode ~monitor
+      ~locality:Workloads.Iozone.locality ()
+  in
   Macro_vm.add_ops vm run.Workloads.Iozone.ops;
   List.iter
     (fun (Workloads.Iozone.Io_request { bytes }) ->
@@ -21,7 +24,7 @@ let price ~monitor kind (run : Workloads.Iozone.run) =
      part of the measurement window (in either arm). *)
   Macro_vm.total_cycles vm
 
-let run () =
+let run ?io_mode () =
   let tb = Testbed.create () in
   let monitor = tb.Testbed.monitor in
   List.concat_map
@@ -32,7 +35,7 @@ let run () =
             (fun record_kb ->
               let r = Workloads.Iozone.run ~op ~file_kb ~record_kb in
               let n = price ~monitor Macro_vm.Normal r in
-              let c = price ~monitor Macro_vm.Confidential r in
+              let c = price ?io_mode ~monitor Macro_vm.Confidential r in
               let mb_s cycles =
                 float_of_int file_kb /. 1024. /. (cycles /. clock_hz)
               in

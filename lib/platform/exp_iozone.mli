@@ -16,8 +16,11 @@ type point = {
   overhead_pct : float;
 }
 
-val run : unit -> point list
-(** The full Figure 4 grid: 2 ops × 8 file sizes × 3 record sizes. *)
+val run : ?io_mode:Macro_vm.io_mode -> unit -> point list
+(** The full Figure 4 grid: 2 ops × 8 file sizes × 3 record sizes.
+    [io_mode] selects the confidential arm's device path: the default
+    [Exitful] MMIO kicks, or the [Exitless] shared-memory ring (the
+    normal arm always uses the HS MMIO path). *)
 
 val max_overhead : point list -> float
 val small_file_max_overhead : point list -> float

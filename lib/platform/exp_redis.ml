@@ -17,10 +17,13 @@ let mmio_accesses_per_request = 1.5
 
 let clock_hz = 1e8
 
-let run_one ~monitor ~rounds ~requests op =
+let run_one ?io_mode ~monitor ~rounds ~requests op =
   let run_arm kind =
     let server = Workloads.Redis.create () in
-    let vm = Macro_vm.create ~kind ~monitor ~locality:Workloads.Redis.locality in
+    let vm =
+      Macro_vm.create ~kind ?io_mode ~monitor
+        ~locality:Workloads.Redis.locality ()
+    in
     let total_reqs = rounds * requests in
     let bytes_moved = ref 0 in
     for seq = 0 to total_reqs - 1 do
@@ -65,10 +68,10 @@ let run_one ~monitor ~rounds ~requests op =
     latency_increase_pct = (c_lat -. n_lat) /. n_lat *. 100.;
   }
 
-let run ?(rounds = 10) ?(requests = 10_000) () =
+let run ?(rounds = 10) ?(requests = 10_000) ?io_mode () =
   let tb = Testbed.create () in
   List.map
-    (run_one ~monitor:tb.Testbed.monitor ~rounds ~requests)
+    (run_one ?io_mode ~monitor:tb.Testbed.monitor ~rounds ~requests)
     Workloads.Redis.benchmark_ops
 
 (* {2 Traced end-to-end run} *)

@@ -19,8 +19,11 @@ type row = {
   latency_increase_pct : float;
 }
 
-val run : ?rounds:int -> ?requests:int -> unit -> row list
-(** Defaults: 10 rounds × 10,000 requests, as in the paper. *)
+val run :
+  ?rounds:int -> ?requests:int -> ?io_mode:Macro_vm.io_mode -> unit -> row list
+(** Defaults: 10 rounds × 10,000 requests, as in the paper. [io_mode]
+    selects the confidential arm's virtio-net path (exitful MMIO kicks
+    vs the exitless shared-memory ring). *)
 
 type traced_stats = {
   t_requests : int;  (** requests baked into the guest program *)

@@ -22,10 +22,10 @@ let startup_fault_pages = 256
 
 let price_arms ~(monitor : Zion.Monitor.t) ~locality ~ops ~target_gcycles =
   let normal =
-    Macro_vm.create ~kind:Macro_vm.Normal ~monitor ~locality
+    Macro_vm.create ~kind:Macro_vm.Normal ~monitor ~locality ()
   in
   let cvm =
-    Macro_vm.create ~kind:Macro_vm.Confidential ~monitor ~locality
+    Macro_vm.create ~kind:Macro_vm.Confidential ~monitor ~locality ()
   in
   (* Fix the replication factor so the normal arm reproduces Table I's
      baseline column, then apply the identical work to both arms. *)

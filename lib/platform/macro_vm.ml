@@ -1,7 +1,9 @@
 type kind = Normal | Confidential
+type io_mode = Exitful | Exitless
 
 type t = {
   kind : kind;
+  io_mode : io_mode;
   monitor : Zion.Monitor.t;
   cost : Riscv.Cost.t;
   locality : Workloads.Opcount.locality;
@@ -12,10 +14,12 @@ type t = {
 }
 
 let quantum = float_of_int Testbed.quantum_cycles
+let exitless_batch = 8
 
-let create ~kind ~monitor ~locality =
+let create ~kind ?(io_mode = Exitful) ~monitor ~locality () =
   {
     kind;
+    io_mode;
     monitor;
     cost = (Zion.Monitor.machine monitor).Riscv.Machine.cost;
     locality;
@@ -82,26 +86,44 @@ let bounce_word_cycles = 3
 
 let blk_service_cycles ~bytes = 20_000 + (2 * bytes)
 
+(* Exitless ring accounting for one device access: the guest publishes
+   with plain stores (ring_submit) and later validates the completion
+   (ring_consume_check); the host's polling beat and single used-index
+   publish amortize over the batch. No world switch, no refill. *)
+let ring_access_cycles t =
+  let c = t.cost in
+  c.Riscv.Cost.ring_submit + c.Riscv.Cost.ring_consume_check
+  + c.Riscv.Cost.ring_host_service
+  + ((c.Riscv.Cost.ring_host_poll + c.Riscv.Cost.ring_notify)
+     / exitless_batch)
+
 let add_blk_request t ~bytes =
-  let accesses = 2 (* kick write + status read *) in
-  let switches = accesses * mmio_round_trip t in
   let copy =
     match t.kind with
     | Normal -> 0
     | Confidential -> (bytes + 7) / 8 * bounce_word_cycles
   in
-  t.io <-
-    t.io
-    +. float_of_int (switches + copy + blk_service_cycles ~bytes)
+  let io_path =
+    match (t.kind, t.io_mode) with
+    | Confidential, Exitless -> ring_access_cycles t
+    | _ ->
+        let accesses = 2 (* kick write + status read *) in
+        accesses * mmio_round_trip t
+  in
+  t.io <- t.io +. float_of_int (io_path + copy + blk_service_cycles ~bytes)
 
 let add_net_access t ~copied_bytes =
-  let switch = mmio_round_trip t in
   let copy =
     match t.kind with
     | Normal -> 0
     | Confidential -> (copied_bytes + 7) / 8 * bounce_word_cycles
   in
-  t.io <- t.io +. float_of_int (switch + copy)
+  let io_path =
+    match (t.kind, t.io_mode) with
+    | Confidential, Exitless -> ring_access_cycles t
+    | _ -> mmio_round_trip t
+  in
+  t.io <- t.io +. float_of_int (io_path + copy)
 
 let tick_cost t =
   match t.kind with

@@ -19,10 +19,22 @@
 
 type kind = Normal | Confidential
 
+type io_mode =
+  | Exitful  (** MMIO kick + status read: two world switches per request *)
+  | Exitless
+      (** ring publish with plain stores; host polling beat amortized
+          over {!exitless_batch} requests. Confidential arm only —
+          normal VMs always take the HS MMIO path. *)
+
 type t
 
 val create :
-  kind:kind -> monitor:Zion.Monitor.t -> locality:Workloads.Opcount.locality -> t
+  kind:kind ->
+  ?io_mode:io_mode ->
+  monitor:Zion.Monitor.t ->
+  locality:Workloads.Opcount.locality ->
+  unit ->
+  t
 
 val add_ops : t -> Workloads.Opcount.t -> unit
 (** Account computed work (priced per instruction class). *)
@@ -57,3 +69,7 @@ val blk_service_cycles : bytes:int -> int
 
 val bounce_word_cycles : int
 (** Effective cycles per 8-byte word of SWIOTLB copy. *)
+
+val exitless_batch : int
+(** Requests amortizing one host polling beat + used-index publish in
+    the exitless model. *)

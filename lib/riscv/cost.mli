@@ -50,6 +50,13 @@ type t = {
   shared_item_store : int;  (** expose one register in the shared vCPU *)
   shared_item_load : int;  (** read one register back on resume *)
   check_after_load : int;  (** TOCTOU validation of one loaded value *)
+  (* exitless virtio ring *)
+  ring_submit : int;  (** guest publishes descriptor + avail entry + idx *)
+  ring_consume_check : int;
+      (** Check-after-Load over one used-ring completion *)
+  ring_host_poll : int;  (** one (possibly empty) host poll of avail idx *)
+  ring_host_service : int;  (** host-side per-request service, excl. copy *)
+  ring_notify : int;  (** host publishes used idx (one per batch) *)
   shared_classify : int;  (** per-exit register-classification overhead *)
   resume_merge : int;  (** merge shared values into the secure vCPU *)
   (* SM-mediated transfer used when the shared vCPU is disabled *)

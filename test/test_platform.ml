@@ -80,11 +80,11 @@ let macro_tests =
         in
         let n =
           Platform.Macro_vm.create ~kind:Platform.Macro_vm.Normal
-            ~monitor:tb.Platform.Testbed.monitor ~locality
+            ~monitor:tb.Platform.Testbed.monitor ~locality ()
         in
         let c =
           Platform.Macro_vm.create ~kind:Platform.Macro_vm.Confidential
-            ~monitor:tb.Platform.Testbed.monitor ~locality
+            ~monitor:tb.Platform.Testbed.monitor ~locality ()
         in
         Platform.Macro_vm.add_ops n work;
         Platform.Macro_vm.add_ops c work;
@@ -104,7 +104,7 @@ let macro_tests =
         in
         let mk kind =
           Platform.Macro_vm.create ~kind ~monitor:tb.Platform.Testbed.monitor
-            ~locality
+            ~locality ()
         in
         let n = mk Platform.Macro_vm.Normal in
         Platform.Macro_vm.add_blk_request n ~bytes:4096;
@@ -126,7 +126,7 @@ let macro_tests =
         in
         let vm =
           Platform.Macro_vm.create ~kind:Platform.Macro_vm.Confidential
-            ~monitor:tb.Platform.Testbed.monitor ~locality
+            ~monitor:tb.Platform.Testbed.monitor ~locality ()
         in
         Platform.Macro_vm.add_cycles vm 10_000_000;
         Platform.Macro_vm.add_blk_request vm ~bytes:65536;
