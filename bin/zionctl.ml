@@ -909,7 +909,8 @@ let io_cmd =
           ~doc:
             "Instead of the throughput run, poison a live ring with \
              $(docv) (desc-gpa | desc-len | used-rewind | used-replay | \
-             avail-runaway | all) and report the degradation verdict.")
+             used-dup-in-batch | avail-runaway | all) and report the \
+             degradation verdict.")
   in
   let json =
     Arg.(
@@ -922,6 +923,7 @@ let io_cmd =
       ("desc-len", Hypervisor.Attacks.ring_poison_desc_len);
       ("used-rewind", Hypervisor.Attacks.ring_used_rewind);
       ("used-replay", Hypervisor.Attacks.ring_used_replay);
+      ("used-dup-in-batch", Hypervisor.Attacks.ring_used_dup_in_batch);
       ("avail-runaway", Hypervisor.Attacks.ring_avail_runaway);
     ]
   in
@@ -935,7 +937,7 @@ let io_cmd =
             prerr_endline
               ("unknown poison vector '" ^ name
              ^ "' (desc-gpa | desc-len | used-rewind | used-replay | \
-                avail-runaway | all)");
+                used-dup-in-batch | avail-runaway | all)");
             exit 2
     in
     let outcomes =

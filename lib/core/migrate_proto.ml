@@ -561,17 +561,22 @@ let source_step s ~now ~inbox =
               s.s_retransmits <- s.s_retransmits + 1;
               s.s_stalls <- s.s_stalls + 1;
               Metrics.Registry.inc (s_reg s) "migrate.retransmit";
-              ignore
-                (Monitor.migrate_note_stalls s.s_mon ~session:s.s_session
-                   s.s_stalls);
               (match s.s_phase with
-              | S_offering | S_streaming | S_finishing ->
-                  if s.s_stalls > s.sc.retry_budget then
-                    source_abort s ~now ~reason:"retry budget exhausted"
+              | S_offering | S_streaming | S_finishing
+                when s.s_stalls > s.sc.retry_budget ->
+                  (* Abort before (not after) recording the overrun: the
+                     SM rejects over-budget reports, and a crash landing
+                     between a note and its abort must never strand an
+                     active session the audit would flag. *)
+                  source_abort s ~now ~reason:"retry budget exhausted"
               | _ ->
                   (* past the commit point we never give up, only back
-                     off *)
-                  ())
+                     off — the durable count stays pinned at the
+                     budget the session declared *)
+                  ignore
+                    (Monitor.migrate_note_stalls s.s_mon
+                       ~session:s.s_session
+                       (min s.s_stalls s.sc.retry_budget)))
           | S_done | S_aborted _ ->
               (* best-effort terminal notifications, not retries *)
               ()

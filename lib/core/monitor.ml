@@ -1316,8 +1316,16 @@ let migrate_note_stalls t ~session n =
       match find_session t Mig_out session with
       | None -> Error Ecall.Not_found
       | Some s ->
-          if s.mg_phase = Mig_active then s.mg_stalls <- max 0 n;
-          Ok ())
+          (* The budget declared at [migrate_out_begin] bounds what an
+             honest endpoint can ever report — it aborts rather than
+             retry past it. Reject anything outside [0, budget] so a
+             hostile host cannot frame an active session as over-budget
+             and dirty the audit with SM-recorded garbage. *)
+          if n < 0 || n > s.mg_budget then Error Ecall.Invalid_param
+          else begin
+            if s.mg_phase = Mig_active then s.mg_stalls <- n;
+            Ok ()
+          end)
 
 (* ---------- guest SBI handling ---------- *)
 

@@ -281,7 +281,10 @@ val migrate_session :
 val migrate_note_stalls :
   t -> session:string -> int -> (unit, Ecall.error) result
 (** Record the source endpoint's consecutive-timeout count so [audit]
-    can enforce the retry budget. *)
+    can enforce the retry budget. Counts outside [0, budget] are
+    [Invalid_param]: an honest endpoint aborts rather than retry past
+    its declared budget, so an out-of-range report is a hostile host
+    trying to frame the session. *)
 
 val run_vcpu :
   t ->

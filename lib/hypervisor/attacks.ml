@@ -192,6 +192,27 @@ let ring_used_replay kvm h =
       ring_strike_out kvm h;
       ring_judge kvm h ~label:"used-entry replay"
 
+let ring_used_dup_in_batch kvm h =
+  match ring_arm kvm h with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok (g, id) ->
+      (* A second in-flight request, so the host's batch publishes two
+         used entries under a single used_idx += 2 bump. *)
+      (match
+         Virtio_ring.submit g ~op:Sw.op_blk_write ~len:64
+           ~data_gpa:(Sw.slot_gpa 51) ~meta:9L ()
+       with
+      | Ok _ | Error _ -> ());
+      ignore (Kvm.service_exitless kvm h : int);
+      (* Overwrite the second entry's id with the first's. Both ids are
+         still live, so only batch-local replay tracking can tell the
+         duplicate from an honest completion. *)
+      ring_poke kvm h
+        ~off:(Sw.ring_used_entry_off 1)
+        ~width:4 (Int64.of_int id);
+      ring_strike_out kvm h;
+      ring_judge kvm h ~label:"used-entry duplicate within one batch"
+
 let ring_avail_runaway kvm h =
   match ring_arm kvm h with
   | Error e -> Blocked ("setup: " ^ e)

@@ -58,6 +58,11 @@ val ring_used_rewind : Kvm.t -> Kvm.cvm_handle -> outcome
 val ring_used_replay : Kvm.t -> Kvm.cvm_handle -> outcome
 (** Re-deliver a retired completion under a bumped used index. *)
 
+val ring_used_dup_in_batch : Kvm.t -> Kvm.cvm_handle -> outcome
+(** Duplicate a live descriptor id across two used entries published
+    under one used-index bump — the in-batch replay that a per-entry
+    shadow lookup alone cannot see. *)
+
 val ring_avail_runaway : Kvm.t -> Kvm.cvm_handle -> outcome
 (** Run the avail index far past everything published (wrap flood);
     the host clamps, the guest sees phantom completions. *)

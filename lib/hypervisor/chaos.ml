@@ -440,20 +440,25 @@ let poison_ring w =
       Metrics.Registry.inc (registry w) "chaos.ring_poison";
       let module Sw = Guest.Swiotlb in
       let off, width =
-        match rand_int w.r 7 with
+        match rand_int w.r 8 with
         | 0 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries), 8)
         | 1 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries) + 8, 4)
         | 2 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries) + 12, 4)
-        | 3 -> (Sw.ring_avail_idx_off, 4)
-        | 4 -> (Sw.ring_avail_entry_off (rand_int w.r Sw.ring_entries), 4)
-        | 5 -> (Sw.ring_used_idx_off, 4)
+        | 3 -> (Sw.ring_desc_off (rand_int w.r Sw.ring_entries) + 16, 8)
+        | 4 -> (Sw.ring_avail_idx_off, 4)
+        | 5 -> (Sw.ring_avail_entry_off (rand_int w.r Sw.ring_entries), 4)
+        | 6 -> (Sw.ring_used_idx_off, 4)
         | _ -> (Sw.ring_used_entry_off (rand_int w.r Sw.ring_entries), 4)
       in
       let v =
-        match rand_int w.r 4 with
+        match rand_int w.r 5 with
         | 0 -> 0L
         | 1 -> rand_i64 w.r
         | 2 -> Int64.logand (rand_i64 w.r) 0xFFFFL
+        | 3 ->
+            (* Near-max sector/len values: device-side offset math must
+               reject these without wrapping. *)
+            Int64.sub Int64.max_int (Int64.of_int (rand_int w.r 4096))
         | _ -> 0xDEAD_0000L
       in
       let was_active = Kvm.exitless_active w.kvm h in

@@ -84,6 +84,15 @@ let le_u64 s off =
 
 let le_u32 s off = Int64.to_int (Int64.logand (le_u64 s off) 0xFFFFFFFFL)
 
+(* Overflow-safe bounds check for a guest-controlled sector/len pair:
+   [sector * sector_size + len] is never formed until the quotient test
+   proves the product fits inside the disk, so a sector near max_int
+   cannot wrap negative and slip past the comparison. *)
+let bounds_ok t ~sector ~len =
+  let disk_len = Bytes.length t.disk in
+  sector >= 0 && len >= 0 && len <= disk_len
+  && sector <= (disk_len - len) / sector_size
+
 let process t =
   let tr = obs t in
   (match tr with
@@ -98,29 +107,27 @@ let process t =
         let len = le_u32 desc 8 in
         let op = le_u32 desc 12 in
         let data_gpa = le_u64 desc 16 in
-        let disk_off = sector * sector_size in
-        (if
-           sector < 0 || len < 0
-           || disk_off + len > Bytes.length t.disk
-         then ()
-         else if op = 0 then begin
-           (* device -> guest *)
-           let data = Bytes.sub_string t.disk disk_off len in
-           if dma_write_gpa t data_gpa data then begin
-             t.requests <- t.requests + 1;
-             t.bytes_r <- t.bytes_r + len;
-             t.status <- 0L
-           end
-         end
-         else if op = 1 then begin
-           match dma_read_gpa t data_gpa len with
-           | None -> ()
-           | Some data ->
-               Bytes.blit_string data 0 t.disk disk_off len;
+        (if not (bounds_ok t ~sector ~len) then ()
+         else
+           let disk_off = sector * sector_size in
+           if op = 0 then begin
+             (* device -> guest *)
+             let data = Bytes.sub_string t.disk disk_off len in
+             if dma_write_gpa t data_gpa data then begin
                t.requests <- t.requests + 1;
-               t.bytes_w <- t.bytes_w + len;
+               t.bytes_r <- t.bytes_r + len;
                t.status <- 0L
-         end);
+             end
+           end
+           else if op = 1 then begin
+             match dma_read_gpa t data_gpa len with
+             | None -> ()
+             | Some data ->
+                 Bytes.blit_string data 0 t.disk disk_off len;
+                 t.requests <- t.requests + 1;
+                 t.bytes_w <- t.bytes_w + len;
+                 t.status <- 0L
+           end);
         [
           ("sector", string_of_int sector);
           ("len", string_of_int len);
@@ -140,26 +147,27 @@ let process t =
    ring descriptor instead of the register file. May raise [Bus.Fault]
    from the IOPMP-checked DMA (the caller treats that as a reject). *)
 let serve_ring t ~write ~sector ~len ~data_gpa =
-  let disk_off = sector * sector_size in
-  if sector < 0 || len < 0 || disk_off + len > Bytes.length t.disk then
-    Error "blk.bounds"
-  else if not write then begin
-    let data = Bytes.sub_string t.disk disk_off len in
-    if dma_write_gpa t data_gpa data then begin
-      t.requests <- t.requests + 1;
-      t.bytes_r <- t.bytes_r + len;
-      Ok len
-    end
-    else Error "blk.dma"
-  end
-  else
-    match dma_read_gpa t data_gpa len with
-    | None -> Error "blk.dma"
-    | Some data ->
-        Bytes.blit_string data 0 t.disk disk_off len;
+  if not (bounds_ok t ~sector ~len) then Error "blk.bounds"
+  else begin
+    let disk_off = sector * sector_size in
+    if not write then begin
+      let data = Bytes.sub_string t.disk disk_off len in
+      if dma_write_gpa t data_gpa data then begin
         t.requests <- t.requests + 1;
-        t.bytes_w <- t.bytes_w + len;
+        t.bytes_r <- t.bytes_r + len;
         Ok len
+      end
+      else Error "blk.dma"
+    end
+    else
+      match dma_read_gpa t data_gpa len with
+      | None -> Error "blk.dma"
+      | Some data ->
+          Bytes.blit_string data 0 t.disk disk_off len;
+          t.requests <- t.requests + 1;
+          t.bytes_w <- t.bytes_w + len;
+          Ok len
+  end
 
 let mmio_read t off _len =
   match Int64.to_int off with 0x10 -> t.status | _ -> 0L

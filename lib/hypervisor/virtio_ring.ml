@@ -249,8 +249,12 @@ let consume g =
         end
         else begin
           (* Check-after-Load every host-writable field of every new
-             completion before acting on any of them. *)
+             completion before acting on any of them. Shadow entries are
+             only cleared once the whole batch validates, so replay of an
+             id *within* the batch must be caught separately: [seen]
+             records ids already validated this batch. *)
           let entries = ref [] in
+          let seen = Array.make qsize false in
           let bad = ref None in
           let k = ref 0 in
           while !bad = None && !k < d do
@@ -265,6 +269,7 @@ let consume g =
                 g.g.charge "ring_consume_check"
                   g.g.cost.Cost.ring_consume_check;
                 if id < 0 || id >= qsize then bad := Some V_bad_id
+                else if seen.(id) then bad := Some V_replay
                 else
                   match g.shadow.(id) with
                   | None -> bad := Some V_replay
@@ -282,7 +287,10 @@ let consume g =
                              = Some sh.s_meta
                         in
                         if not same then bad := Some V_desc_mutated
-                        else entries := (id, sh) :: !entries
+                        else begin
+                          seen.(id) <- true;
+                          entries := (id, sh) :: !entries
+                        end
                       end
               end
             | _ -> bad := Some V_stall);
@@ -410,11 +418,19 @@ let service h ~blk ~net =
                           host_reject h;
                           0
                         end
-                      with Bus.Fault _ ->
-                        (* IOPMP backstop: the descriptor smuggled a
-                           non-shared PA past the plausibility check. *)
-                        host_reject h;
-                        0
+                      with
+                      | Bus.Fault _ ->
+                          (* IOPMP backstop: the descriptor smuggled a
+                             non-shared PA past the plausibility check. *)
+                          host_reject h;
+                          0
+                      | Invalid_argument _ ->
+                          (* Backstop for guest-controlled device math
+                             (e.g. a sector offset the device-side
+                             bounds check mishandled): the polling loop
+                             must reject, never crash out of run_cvm. *)
+                          host_reject h;
+                          0
                     in
                     Some (id, served_len)
                   end

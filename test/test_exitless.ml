@@ -233,12 +233,17 @@ let poison_cases mon =
     ("desc.op flip", d 12, 4, Int64.of_int Sw.op_blk_read, Before_service);
     ("desc.op wild", d 12, 4, 0x77L, Before_service);
     ("desc.meta redirect", d 16, 8, 0x1_0000L, Before_service);
+    (* sector = 2^53: sector * 512 wraps native int if multiplied
+       naively — the device must reject without overflow. *)
+    ("desc.meta huge sector", d 16, 8, 0x20_0000_0000_0000L, Before_service);
+    ("desc.meta max sector", d 16, 8, Int64.max_int, Before_service);
     ("avail.idx runaway", Sw.ring_avail_idx_off, 4, 0x7F01L, Before_service);
     ("avail.entry wild", Sw.ring_avail_entry_off 0, 4, 0xFFL, Before_service);
     ("used.idx rewind", Sw.ring_used_idx_off, 4, 0xFFFFL, After_service);
     ("used.idx runaway", Sw.ring_used_idx_off, 4, 0x1234L, After_service);
     ("used.entry.id bad", Sw.ring_used_entry_off 0, 4, 0xFFFF_FFFFL, After_service);
-    ("used.entry.id replay", Sw.ring_used_entry_off 0, 4, 9L, After_service);
+    ("used.entry.id stale replay", Sw.ring_used_entry_off 0, 4, 9L,
+     After_service);
     ("used.entry.len overflow", Sw.ring_used_entry_off 0 + 4, 4, 0x10000L,
      After_service);
   ]
@@ -359,6 +364,50 @@ let poison_tests =
         Alcotest.(check int) "one fallback" 1
           (counter monitor h "sm.io.fallbacks");
         check_audit_clean monitor "after strike-out");
+    Alcotest.test_case
+      "duplicate live used id within one batch strikes replay" `Quick
+      (fun () ->
+        let machine, monitor, kvm = make_stack () in
+        let h = make_guest kvm (Guest.Gprog.hello "x") in
+        let g = enable kvm h in
+        fill_slot machine h ~slot:10 ~byte:'d' ~len:64;
+        fill_slot machine h ~slot:11 ~byte:'e' ~len:64;
+        let submit slot meta =
+          match
+            Ring.submit g ~op:Sw.op_blk_write ~len:64
+              ~data_gpa:(Sw.slot_gpa slot) ~meta ()
+          with
+          | Ok id -> id
+          | Error e -> Alcotest.fail (Zion.Sm_error.to_string e)
+        in
+        let id0 = submit 10 80L in
+        ignore (submit 11 81L : int);
+        Alcotest.(check int) "both serviced" 2 (Kvm.service_exitless kvm h);
+        (* The host published [id0; id1] under one used_idx += 2 bump.
+           Forge the second entry into a duplicate of the first — an id
+           that is still live, so the per-entry shadow lookup alone
+           cannot see the replay. *)
+        ring_poke kvm h
+          ~off:(Sw.ring_used_entry_off 1)
+          ~width:4 (Int64.of_int id0);
+        let n, v = Kvm.exitless_poll kvm h in
+        Alcotest.(check int) "nothing consumed" 0 n;
+        Alcotest.(check string) "verdict" "replay" (Ring.verdict_to_string v);
+        (match Kvm.exitless_guest kvm h with
+        | Some g ->
+            Alcotest.(check int) "both requests still outstanding" 2
+              (Ring.outstanding g)
+        | None -> Alcotest.fail "fell back after a single strike");
+        (* The poison persists, so the strike budget must degrade the
+           ring cleanly rather than hang or double-complete. *)
+        for _ = 1 to Ring.max_strikes do
+          if Kvm.exitless_active kvm h then
+            ignore (Kvm.exitless_poll kvm h : int * Ring.verdict)
+        done;
+        Alcotest.(check bool) "fell back" false (Kvm.exitless_active kvm h);
+        Alcotest.(check int) "bounce slots released" 0
+          (Sw.in_use (Ring.guest_pool g));
+        check_audit_clean monitor "after duplicate-id replay");
     Alcotest.test_case "stall watchdog degrades a silent host" `Quick
       (fun () ->
         let machine, monitor, kvm = make_stack () in
@@ -471,6 +520,7 @@ let attack_tests =
             ("desc_len", Hypervisor.Attacks.ring_poison_desc_len);
             ("used_rewind", Hypervisor.Attacks.ring_used_rewind);
             ("used_replay", Hypervisor.Attacks.ring_used_replay);
+            ("used_dup_in_batch", Hypervisor.Attacks.ring_used_dup_in_batch);
             ("avail_runaway", Hypervisor.Attacks.ring_avail_runaway);
           ])
   ]
