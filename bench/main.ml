@@ -680,6 +680,193 @@ let bench_exitless () =
 
 (* ---------- Ablations ---------- *)
 
+(* ---------- attested inter-CVM channels: RTT + bandwidth ---------- *)
+
+(* Two CVMs ping-pong a message [rounds] times, once over an attested
+   SM-mediated channel (the ring page is mapped into both private
+   halves; bytes move with two chan ecalls and zero host involvement)
+   and once over the host-bounce baseline (each side publishes into its
+   own shared-window slot and the host polls, copies between the two
+   windows, and republishes at its service beat — the polling variant,
+   i.e. the *cheapest* host-bounce there is, with no doorbell
+   switches). Both arms pace themselves with seq spins and run under
+   the same run-slice alternation, so the beat structure is identical;
+   the arms differ exactly by who moves the bytes and how many beats a
+   hop needs. Emits BENCH_channel.json and fails the run unless the
+   channel RTT is strictly below the bounce baseline's. *)
+let bench_channel () =
+  Metrics.Table.section
+    "Attested inter-CVM channels — ping-pong RTT and bandwidth";
+  let rounds = if quick then 6 else 12 in
+  let drive tb ha hb ~slice ~beat =
+    let kvm = tb.Platform.Testbed.kvm in
+    let done_a = ref false and done_b = ref false in
+    let beats = ref 0 in
+    while (not (!done_a && !done_b)) && !beats < 4000 do
+      incr beats;
+      (if not !done_a then
+         match Hypervisor.Kvm.run_cvm kvm ha ~hart:0 ~max_steps:slice with
+         | Hypervisor.Kvm.C_shutdown -> done_a := true
+         | Hypervisor.Kvm.C_error e -> failwith ("bench_channel A: " ^ e)
+         | _ -> ());
+      (if not !done_b then
+         match Hypervisor.Kvm.run_cvm kvm hb ~hart:0 ~max_steps:slice with
+         | Hypervisor.Kvm.C_shutdown -> done_b := true
+         | Hypervisor.Kvm.C_error e -> failwith ("bench_channel B: " ^ e)
+         | _ -> ());
+      beat ()
+    done;
+    if not (!done_a && !done_b) then
+      failwith "bench_channel: ping-pong did not converge"
+  in
+  let slice_for len = (4 * len) + 2500 in
+  let chan_arm ~len =
+    let tb = Platform.Testbed.create () in
+    let slot = Zion.Layout.chan_slot_gpa 1 in
+    let ab_seq = slot in
+    let ba_seq = Int64.add slot (Int64.of_int Zion.Layout.chan_dir_off) in
+    let prog_a =
+      List.concat
+        (List.init rounds (fun r ->
+             Guest.Gprog.chan_send_fill ~chan:1 ~byte:'p' ~len
+             @ Guest.Gprog.wait_u64_ge ~gpa:ba_seq ~target:(r + 1)
+             @ Guest.Gprog.chan_recv_quiet ~chan:1))
+      @ Guest.Gprog.shutdown
+    in
+    let prog_b =
+      List.concat
+        (List.init rounds (fun r ->
+             Guest.Gprog.wait_u64_ge ~gpa:ab_seq ~target:(r + 1)
+             @ Guest.Gprog.chan_recv_quiet ~chan:1
+             @ Guest.Gprog.chan_send_fill ~chan:1 ~byte:'q' ~len))
+      @ Guest.Gprog.shutdown
+    in
+    let ha = Platform.Testbed.cvm tb prog_a in
+    let hb = Platform.Testbed.cvm tb prog_b in
+    (match
+       Hypervisor.Kvm.connect_channel tb.Platform.Testbed.kvm ha hb
+         ~nonce_a:"bench-rtt-a" ~nonce_b:"bench-rtt-b"
+     with
+    | Ok 1 -> ()
+    | Ok ch ->
+        failwith (Printf.sprintf "bench_channel: unexpected chan id %d" ch)
+    | Error e -> failwith ("bench_channel: " ^ e));
+    let ledger = tb.Platform.Testbed.machine.Riscv.Machine.ledger in
+    let mark = Metrics.Ledger.mark ledger in
+    drive tb ha hb ~slice:(slice_for len) ~beat:(fun () -> ());
+    Metrics.Ledger.since ledger mark
+  in
+  let bounce_arm ~len =
+    let tb = Platform.Testbed.create () in
+    let out_slot = Guest.Swiotlb.slot_gpa 8
+    and in_slot = Guest.Swiotlb.slot_gpa 9 in
+    let priv_buf = 0x205000L in
+    let publish r =
+      Guest.Gprog.fill_bytes ~gpa:(Int64.add out_slot 16L) ~byte:'p' ~len
+      @ Guest.Gprog.store_u64 ~gpa:(Int64.add out_slot 8L) (Int64.of_int len)
+      @ Guest.Gprog.store_u64 ~gpa:out_slot (Int64.of_int (r + 1))
+    in
+    let consume r =
+      Guest.Gprog.wait_u64_ge ~gpa:in_slot ~target:(r + 1)
+      @ Guest.Gprog.copy_words ~from_gpa:(Int64.add in_slot 16L)
+          ~to_gpa:priv_buf ~len
+    in
+    let prog_a =
+      List.concat (List.init rounds (fun r -> publish r @ consume r))
+      @ Guest.Gprog.shutdown
+    in
+    let prog_b =
+      List.concat (List.init rounds (fun r -> consume r @ publish r))
+      @ Guest.Gprog.shutdown
+    in
+    let ha = Platform.Testbed.cvm tb prog_a in
+    let hb = Platform.Testbed.cvm tb prog_b in
+    let bus = tb.Platform.Testbed.machine.Riscv.Machine.bus in
+    let ledger = tb.Platform.Testbed.machine.Riscv.Machine.ledger in
+    let cost = tb.Platform.Testbed.machine.Riscv.Machine.cost in
+    let pa map gpa =
+      match Hypervisor.Shared_map.lookup map ~gpa with
+      | Some pa -> pa
+      | None -> failwith "bench_channel: shared slot unmapped"
+    in
+    let map_a = Hypervisor.Kvm.cvm_shared_map ha in
+    let map_b = Hypervisor.Kvm.cvm_shared_map hb in
+    let a_out = pa map_a out_slot and a_in = pa map_a in_slot in
+    let b_out = pa map_b out_slot and b_in = pa map_b in_slot in
+    let delivered_ab = ref 0L and delivered_ba = ref 0L in
+    let bounce ~src ~dst delivered =
+      let seq = Riscv.Bus.read bus src 8 in
+      if seq > !delivered then begin
+        let n = Int64.to_int (Riscv.Bus.read bus (Int64.add src 8L) 8) in
+        let payload = Riscv.Bus.read_bytes bus (Int64.add src 16L) n in
+        Riscv.Bus.write_bytes bus (Int64.add dst 16L) payload;
+        Riscv.Bus.write bus (Int64.add dst 8L) 8 (Int64.of_int n);
+        Riscv.Bus.write bus dst 8 seq;
+        delivered := seq;
+        Metrics.Ledger.charge ledger "host_bounce"
+          (cost.Riscv.Cost.ring_host_service
+          + Guest.Swiotlb.bounce_copy_cycles cost n
+          + cost.Riscv.Cost.ring_notify)
+      end;
+      Metrics.Ledger.charge ledger "host_bounce" cost.Riscv.Cost.ring_host_poll
+    in
+    let mark = Metrics.Ledger.mark ledger in
+    drive tb ha hb ~slice:(slice_for len)
+      ~beat:(fun () ->
+        bounce ~src:a_out ~dst:b_in delivered_ab;
+        bounce ~src:b_out ~dst:a_in delivered_ba);
+    Metrics.Ledger.since ledger mark
+  in
+  let rtt_len = 64 in
+  let bw_len = Zion.Layout.chan_max_msg in
+  let chan_rtt = float_of_int (chan_arm ~len:rtt_len) /. float_of_int rounds in
+  let bounce_rtt =
+    float_of_int (bounce_arm ~len:rtt_len) /. float_of_int rounds
+  in
+  let chan_bw_cycles = chan_arm ~len:bw_len in
+  let bounce_bw_cycles = bounce_arm ~len:bw_len in
+  let bytes = 2 * bw_len * rounds in
+  (* 100 MHz clock: MB/s = bytes / (cycles / 1e8) / 1e6 *)
+  let mb_s cycles = float_of_int bytes *. 100. /. float_of_int cycles in
+  let chan_mb = mb_s chan_bw_cycles and bounce_mb = mb_s bounce_bw_cycles in
+  Metrics.Table.print
+    ~header:[ "arm"; "RTT (cycles)"; "bandwidth (MB/s)" ]
+    [
+      [ "attested channel"; fixed 0 chan_rtt; fixed 2 chan_mb ];
+      [ "host bounce"; fixed 0 bounce_rtt; fixed 2 bounce_mb ];
+    ];
+  Printf.printf
+    "channel RTT %.0f vs host-bounce %.0f cycles (%.1f%% lower); bandwidth \
+     %.2f vs %.2f MB/s\n"
+    chan_rtt bounce_rtt
+    ((bounce_rtt -. chan_rtt) /. bounce_rtt *. 100.)
+    chan_mb bounce_mb;
+  let json =
+    Printf.sprintf
+      {|{
+  "rounds": %d,
+  "rtt_msg_bytes": %d,
+  "bw_msg_bytes": %d,
+  "channel": { "rtt_cycles": %.1f, "bandwidth_mb_s": %.3f },
+  "host_bounce": { "rtt_cycles": %.1f, "bandwidth_mb_s": %.3f },
+  "rtt_reduction_pct": %.2f
+}
+|}
+      rounds rtt_len bw_len chan_rtt chan_mb bounce_rtt bounce_mb
+      ((bounce_rtt -. chan_rtt) /. bounce_rtt *. 100.)
+  in
+  let oc = open_out "BENCH_channel.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_channel.json";
+  if chan_rtt >= bounce_rtt then begin
+    Printf.printf
+      "FAIL: channel RTT %.0f cycles is not below the host-bounce baseline \
+       %.0f\n"
+      chan_rtt bounce_rtt;
+    exit 1
+  end
+
 let bench_ablations () =
   Metrics.Table.section "Ablation — secure-memory block size";
   Metrics.Table.print
@@ -854,6 +1041,11 @@ let () =
   print_endline
     (if quick then "(quick mode: reduced Redis request counts)"
      else "(full mode; pass --quick for a fast run)");
+  if Array.exists (fun a -> a = "--only-channel") Sys.argv then begin
+    (* CI's channel smoke: just the inter-CVM channel micro and gate. *)
+    bench_channel ();
+    exit 0
+  end;
   bench_switches ();
   bench_tlb_retention ();
   bench_faults ();
@@ -864,6 +1056,7 @@ let () =
   bench_redis ();
   bench_iozone ();
   bench_exitless ();
+  bench_channel ();
   bench_ablations ();
   bench_sensitivity ();
   bechamel_section ();

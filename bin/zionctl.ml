@@ -388,6 +388,22 @@ let fuzz_cmd =
              (retention on) puts the precise-shootdown machinery under \
              fire.")
   in
+  let channels =
+    Arg.(
+      value & flag
+      & info [ "channels" ]
+          ~doc:
+            "Explicitly include the attested inter-CVM channel actions \
+             (on by default): channel open with mutual attestation, \
+             ring-header poisoning (must degrade the channel, never the \
+             endpoints), and adversarial-argument channel calls.")
+  in
+  let no_channels =
+    Arg.(
+      value & flag
+      & info [ "no-channels" ]
+          ~doc:"Fuzz without the inter-CVM channel actions.")
+  in
   let json =
     Arg.(
       value & flag
@@ -436,12 +452,14 @@ let fuzz_cmd =
     else Format.printf "%a@?" Hypervisor.Chaos.pp_sm_report r;
     if not (Hypervisor.Chaos.sm_survived r) then exit 1
   in
-  let run seed iters pool_mib no_retention json_out sm_crash =
+  let run seed iters pool_mib no_retention channels no_channels json_out
+      sm_crash =
+    ignore channels;
     if sm_crash then run_sm_crash json_out
     else begin
       let r =
         Hypervisor.Chaos.run ~pool_mib ~tlb_retention:(not no_retention)
-          ~seed ~iters ()
+          ~channels:(not no_channels) ~seed ~iters ()
       in
     if json_out then begin
       let open Metrics.Export in
@@ -477,6 +495,10 @@ let fuzz_cmd =
                   n r.Hypervisor.Chaos.migrations_aborted );
                 ("ring_poisons", n r.Hypervisor.Chaos.ring_poisons);
                 ("ring_fallbacks", n r.Hypervisor.Chaos.ring_fallbacks);
+                ("chan_opens", n r.Hypervisor.Chaos.chan_opens);
+                ("chan_poisons", n r.Hypervisor.Chaos.chan_poisons);
+                ( "chan_degradations",
+                  n r.Hypervisor.Chaos.chan_degradations );
                 ("pool_clean", Bool r.Hypervisor.Chaos.pool_clean);
                 ("survived", Bool (Hypervisor.Chaos.survived r));
               ]))
@@ -492,7 +514,8 @@ let fuzz_cmd =
           hypervisor (or, with $(b,--sm-crash), the exhaustive \
           crash-at-every-journal-point sweep) and report survival")
     Term.(
-      const run $ seed $ iters $ pool_mib $ no_retention $ json $ sm_crash)
+      const run $ seed $ iters $ pool_mib $ no_retention $ channels
+      $ no_channels $ json $ sm_crash)
 
 (* ---------- migrate ---------- *)
 
@@ -811,7 +834,8 @@ let print_health h =
   Metrics.Table.print
     ~header:
       [ "cvm"; "state"; "entries"; "exits"; "sw/s"; "req p50"; "req p99";
-        "faults"; "io supp"; "io coal"; "io rej"; "io fb"; "flags" ]
+        "faults"; "io supp"; "io coal"; "io rej"; "io fb"; "ch g/a/r";
+        "ch rej"; "ch deg"; "flags" ]
     (List.map
        (fun t ->
          [
@@ -827,6 +851,10 @@ let print_health h =
            string_of_int t.Zion.Monitor.th_io_coalesced;
            string_of_int t.Zion.Monitor.th_io_cal_rejections;
            string_of_int t.Zion.Monitor.th_io_fallbacks;
+           Printf.sprintf "%d/%d/%d" t.Zion.Monitor.th_chan_grants
+             t.Zion.Monitor.th_chan_accepts t.Zion.Monitor.th_chan_revokes;
+           string_of_int t.Zion.Monitor.th_chan_peer_rejects;
+           string_of_int t.Zion.Monitor.th_chan_degradations;
            String.concat ","
              ((if t.Zion.Monitor.th_stalled then [ "STALLED" ] else [])
              @
@@ -1070,6 +1098,219 @@ let io_cmd =
           the Check-after-Load degradation to exitful kicks")
     Term.(const run $ requests $ batch $ poison $ json)
 
+let channel_cmd =
+  let msg =
+    Arg.(
+      value
+      & opt string "zion ping"
+      & info [ "msg" ] ~docv:"STR"
+          ~doc:
+            "Message CVM A sends to CVM B over the attested channel \
+             (at most the 2032-byte ring payload).")
+  in
+  let attack =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attack" ] ~docv:"VECTOR"
+          ~doc:
+            "Instead of the round-trip demo, run a hostile-peer attack \
+             vector (poison-seq | map-ring | stale-epoch | \
+             destroyed-grantor | quarantined-peer | all) and report the \
+             verdict. Every vector must come back BLOCKED: the blast \
+             radius is the channel, never the tenant.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the result as JSON instead of a table.")
+  in
+  let vectors =
+    [
+      ("poison-seq", Hypervisor.Attacks.chan_poison_seq);
+      ("map-ring", Hypervisor.Attacks.chan_map_ring);
+      ("stale-epoch", Hypervisor.Attacks.chan_accept_stale_epoch);
+      ("destroyed-grantor", Hypervisor.Attacks.chan_peer_destroyed_mid_accept);
+      ("quarantined-peer", Hypervisor.Attacks.chan_quarantined_peer);
+    ]
+  in
+  let run_attack name json_out =
+    let chosen =
+      if name = "all" then vectors
+      else
+        match List.assoc_opt name vectors with
+        | Some a -> [ (name, a) ]
+        | None ->
+            prerr_endline
+              ("unknown attack vector '" ^ name
+             ^ "' (poison-seq | map-ring | stale-epoch | \
+                destroyed-grantor | quarantined-peer | all)");
+            exit 2
+    in
+    let outcomes =
+      List.map
+        (fun (n, attack) ->
+          (* Entry validation on: the map-ring and quarantined-peer
+             vectors go through the SM's shared-subtree sweep. *)
+          let tb =
+            Platform.Testbed.create
+              ~config:
+                {
+                  Zion.Monitor.default_config with
+                  validate_shared_on_entry = true;
+                }
+              ()
+          in
+          let a = Platform.Testbed.cvm tb (Guest.Gprog.hello "a") in
+          let b = Platform.Testbed.cvm tb (Guest.Gprog.hello "b") in
+          (n, attack tb.Platform.Testbed.kvm a b))
+        chosen
+    in
+    if json_out then begin
+      let open Metrics.Export in
+      print_endline
+        (json_to_string
+           (Obj
+              (List.map
+                 (fun (n, o) ->
+                   ( n,
+                     match o with
+                     | Hypervisor.Attacks.Blocked why ->
+                         Obj [ ("blocked", Bool true); ("how", Str why) ]
+                     | Hypervisor.Attacks.Leaked why ->
+                         Obj [ ("blocked", Bool false); ("how", Str why) ] ))
+                 outcomes)))
+    end
+    else
+      Metrics.Table.print
+        ~header:[ "vector"; "verdict"; "defence" ]
+        (List.map
+           (fun (n, o) ->
+             match o with
+             | Hypervisor.Attacks.Blocked why -> [ n; "BLOCKED"; why ]
+             | Hypervisor.Attacks.Leaked why -> [ n; "LEAKED"; why ])
+           outcomes);
+    if
+      List.exists
+        (fun (_, o) ->
+          match o with Hypervisor.Attacks.Leaked _ -> true | _ -> false)
+        outcomes
+    then exit 1
+  in
+  let run_demo msg json_out =
+    let msg =
+      if String.length msg > Zion.Layout.chan_max_msg then
+        String.sub msg 0 Zion.Layout.chan_max_msg
+      else msg
+    in
+    let tb = Platform.Testbed.create () in
+    let kvm = tb.Platform.Testbed.kvm in
+    let mon = tb.Platform.Testbed.monitor in
+    (* First channel id is 1: both guest programs bind to it. *)
+    let a =
+      Platform.Testbed.cvm tb
+        (Guest.Gprog.chan_send ~chan:1 ~msg @ Guest.Gprog.shutdown)
+    in
+    let b =
+      Platform.Testbed.cvm tb
+        (Guest.Gprog.chan_recv_putchar ~chan:1 @ Guest.Gprog.shutdown)
+    in
+    match
+      Hypervisor.Kvm.connect_channel kvm a b ~nonce_a:"zionctl-challenge-a"
+        ~nonce_b:"zionctl-challenge-b"
+    with
+    | Error e ->
+        prerr_endline ("zionctl channel: handshake failed: " ^ e);
+        exit 1
+    | Ok ch ->
+        let run h =
+          Hypervisor.Kvm.run_cvm_to_completion kvm h ~hart:0 ~quantum:100_000
+            ~max_slices:1000
+        in
+        let oa = run a and ob = run b in
+        let done_ok =
+          oa = Hypervisor.Kvm.C_shutdown && ob = Hypervisor.Kvm.C_shutdown
+        in
+        let counter id name =
+          Metrics.Registry.counter
+            ~scope:(Metrics.Registry.Cvm id)
+            (Zion.Monitor.registry mon) name
+        in
+        let ida = Hypervisor.Kvm.cvm_id a
+        and idb = Hypervisor.Kvm.cvm_id b in
+        let console = Zion.Monitor.console_output mon in
+        (match Zion.Monitor.chan_revoke mon ~chan:ch ~cvm:ida with
+        | Ok () -> ()
+        | Error e ->
+            prerr_endline
+              ("zionctl channel: revoke failed: " ^ Zion.Ecall.error_to_string e);
+            exit 1);
+        let audit_clean =
+          match Zion.Monitor.audit mon with Ok _ -> true | Error _ -> false
+        in
+        if json_out then begin
+          let open Metrics.Export in
+          let n = num_of_int in
+          print_endline
+            (json_to_string
+               (Obj
+                  [
+                    ("chan", n ch);
+                    ("completed", Bool done_ok);
+                    ("console", Str console);
+                    ("grants_a", n (counter ida "sm.chan.grants"));
+                    ("accepts_b", n (counter idb "sm.chan.accepts"));
+                    ("revokes_a", n (counter ida "sm.chan.revokes"));
+                    ("audit_clean", Bool audit_clean);
+                  ]))
+        end
+        else begin
+          Metrics.Table.section "attested inter-CVM channel";
+          print_string console;
+          if console <> "" && console.[String.length console - 1] <> '\n' then
+            print_newline ();
+          Metrics.Table.print
+            ~header:[ "chan"; "a"; "b"; "phase"; "strikes"; "reason" ]
+            (List.map
+               (fun ci ->
+                 [
+                   string_of_int ci.Zion.Monitor.ci_id;
+                   string_of_int ci.Zion.Monitor.ci_a;
+                   string_of_int ci.Zion.Monitor.ci_b;
+                   ci.Zion.Monitor.ci_phase;
+                   string_of_int ci.Zion.Monitor.ci_strikes;
+                   (match ci.Zion.Monitor.ci_reason with
+                   | Some r -> r
+                   | None -> "-");
+                 ])
+               (Zion.Monitor.chan_list mon));
+          Metrics.Table.print
+            ~header:[ "metric"; "value" ]
+            [
+              [ "guest outcome"; (if done_ok then "shutdown" else "incomplete") ];
+              [ "grants (A)"; string_of_int (counter ida "sm.chan.grants") ];
+              [ "accepts (B)"; string_of_int (counter idb "sm.chan.accepts") ];
+              [ "revokes (A)"; string_of_int (counter ida "sm.chan.revokes") ];
+              [ "audit"; (if audit_clean then "clean" else "VIOLATIONS") ];
+            ]
+        end;
+        if not (done_ok && audit_clean) then exit 1
+  in
+  let run msg attack json_out =
+    match attack with
+    | Some v -> run_attack v json_out
+    | None -> run_demo msg json_out
+  in
+  Cmd.v
+    (Cmd.info "channel"
+       ~doc:
+         "Attested inter-CVM channels: run the two-guest round-trip demo \
+          (grant, mutual attestation verification, accept, guest send and \
+          receive over the shared ring, revoke with scrub and precise \
+          shootdown), or run a hostile-peer attack vector ($(b,--attack)) \
+          and verify the channel — never the tenant — absorbs the blast")
+    Term.(const run $ msg $ attack $ json)
+
 let export_cmd =
   let format =
     Arg.(
@@ -1257,5 +1498,5 @@ let () =
           [
             experiments_cmd; boot_cmd; attacks_cmd; audit_cmd; recover_cmd;
             fuzz_cmd; migrate_cmd; trace_cmd; stats_cmd; top_cmd; io_cmd;
-            export_cmd; costs_cmd;
+            channel_cmd; export_cmd; costs_cmd;
           ]))

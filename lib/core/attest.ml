@@ -28,6 +28,7 @@ let seal m =
 
 type report = {
   cvm_id : int;
+  epoch : int;
   measurement : string;
   nonce : string;
   mac : string;
@@ -48,20 +49,53 @@ let hmac_sha256 ~key msg =
   Crypto.Sha256.digest
     (xor_with 0x5c ^ Crypto.Sha256.digest (xor_with 0x36 ^ msg))
 
-let body ~cvm_id ~measurement ~nonce =
-  Printf.sprintf "zion-report-v1:%d:" cvm_id ^ measurement ^ ":" ^ nonce
+(* The lifecycle epoch is MAC'd alongside the id so a report minted
+   before a migration lock/release cannot be replayed to a verifier
+   that checked the peer afterwards (the channel-accept freshness
+   gate). Nonce length is bounded here as a defence-in-depth backstop;
+   the [Monitor] entry points reject out-of-range nonces with a typed
+   error before reaching this point. *)
+let max_nonce_len = 64
 
-let make_report ~cvm_id ~measurement ~nonce =
-  let mac = hmac_sha256 ~key:platform_key (body ~cvm_id ~measurement ~nonce) in
-  { cvm_id; measurement; nonce; mac }
+let valid_nonce nonce =
+  let n = String.length nonce in
+  n >= 1 && n <= max_nonce_len
 
+let body ~cvm_id ~epoch ~measurement ~nonce =
+  Printf.sprintf "zion-report-v2:%d:%d:" cvm_id epoch
+  ^ measurement ^ ":" ^ nonce
+
+let make_report ~cvm_id ~epoch ~measurement ~nonce =
+  if not (valid_nonce nonce) then
+    invalid_arg "Attest.make_report: nonce must be 1..64 bytes";
+  let mac =
+    hmac_sha256 ~key:platform_key (body ~cvm_id ~epoch ~measurement ~nonce)
+  in
+  { cvm_id; epoch; measurement; nonce; mac }
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri
+         (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i]))
+         a;
+       !acc = 0
+     end
+
+(* Constant-time MAC comparison: a near-miss MAC takes exactly as long
+   to reject as a wildly wrong one, so timing cannot be used as a
+   byte-by-byte forgery oracle. *)
 let verify_report r =
-  r.mac
-  = hmac_sha256 ~key:platform_key
-      (body ~cvm_id:r.cvm_id ~measurement:r.measurement ~nonce:r.nonce)
+  constant_time_eq r.mac
+    (hmac_sha256 ~key:platform_key
+       (body ~cvm_id:r.cvm_id ~epoch:r.epoch ~measurement:r.measurement
+          ~nonce:r.nonce))
 
 let report_to_bytes r =
-  body ~cvm_id:r.cvm_id ~measurement:r.measurement ~nonce:r.nonce ^ r.mac
+  body ~cvm_id:r.cvm_id ~epoch:r.epoch ~measurement:r.measurement
+    ~nonce:r.nonce
+  ^ r.mac
 
 (* ---------- sealed storage ---------- *)
 
@@ -92,16 +126,6 @@ let seal_data ~measurement data =
   let ct = Crypto.Aes.cbc_encrypt ~key:enc_key ~iv (pad16 data) in
   let tag = hmac_sha256 ~key:mac_key (iv ^ ct) in
   seal_magic ^ le32 (String.length data) ^ iv ^ ct ^ tag
-
-let constant_time_eq a b =
-  String.length a = String.length b
-  && begin
-       let acc = ref 0 in
-       String.iteri
-         (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i]))
-         a;
-       !acc = 0
-     end
 
 let unseal_data ~measurement blob =
   let hdr = 5 + 4 + 16 in

@@ -16,6 +16,10 @@ val seal : measurement_ctx -> string
 
 type report = {
   cvm_id : int;
+  epoch : int;
+      (** the CVM's lifecycle epoch at report time, MAC-bound so a
+          stale pre-migration report cannot be replayed to a verifier
+          that demands the current epoch *)
   measurement : string;
   nonce : string;
   mac : string;  (** HMAC over the rest under the platform key *)
@@ -25,10 +29,29 @@ val platform_key : string
 (** Simulated device key (a real deployment derives it from hardware;
     fixed here for reproducibility). *)
 
-val make_report : cvm_id:int -> measurement:string -> nonce:string -> report
+val max_nonce_len : int
+(** 64 bytes — the longest nonce a report will bind. *)
+
+val valid_nonce : string -> bool
+(** 1..[max_nonce_len] bytes. The [Monitor] entry points reject
+    anything else with [Sm_error.Invalid_param] before reaching
+    [make_report]; the raise below is the defence-in-depth backstop. *)
+
+val make_report :
+  cvm_id:int -> epoch:int -> measurement:string -> nonce:string -> report
+(** Raises [Invalid_argument] when the nonce fails [valid_nonce]. *)
+
 val verify_report : report -> bool
+(** MAC check in constant time (per candidate length): rejection cost
+    does not depend on how many MAC bytes matched. *)
+
 val report_to_bytes : report -> string
 val hmac_sha256 : key:string -> string -> string
+
+val constant_time_eq : string -> string -> bool
+(** Length check, then a full fixed-time scan — used for every MAC
+    comparison (report and seal-blob) so test-visible timing cannot
+    distinguish near-miss MACs. *)
 
 (* {2 Sealed storage}
 

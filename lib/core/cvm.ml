@@ -19,6 +19,7 @@ type t = {
   mutable measurement_ctx : Attest.measurement_ctx option;
   mutable measurement : string option;
   mutable quarantine_reason : string option;
+  mutable epoch : int;
   alloc_stats : Hier_alloc.stats;
   mutable fault_count : int;
   mutable entry_count : int;
@@ -38,6 +39,7 @@ let create ~id ~nvcpus ~entry_pc ~spt ~table_blocks =
     measurement_ctx = Some (Attest.start ());
     measurement = None;
     quarantine_reason = None;
+    epoch = 1;
     alloc_stats = { Hier_alloc.stage1 = 0; stage2 = 0; stage3 = 0 };
     fault_count = 0;
     entry_count = 0;

@@ -30,6 +30,12 @@ type t = {
   mutable measurement : string option;
   mutable quarantine_reason : string option;
       (** why the CVM was quarantined, for the survival report *)
+  mutable epoch : int;
+      (** lifecycle epoch, starting at 1 and bumped on every transition
+          that invalidates previously issued attestation evidence
+          (migrate-out lock and release). Bound into the MAC'd body of
+          every [Attest.report] so stale reports cannot be replayed
+          across a lifecycle boundary. *)
   alloc_stats : Hier_alloc.stats;
   mutable fault_count : int;
   mutable entry_count : int;

@@ -17,6 +17,8 @@ let fid_guest_shutdown = 21L
 let fid_guest_relinquish = 22L
 let fid_guest_seal = 23L
 let fid_guest_unseal = 24L
+let fid_guest_chan_send = 25L
+let fid_guest_chan_recv = 26L
 let sbi_legacy_putchar = 1L
 let sbi_legacy_shutdown = 8L
 

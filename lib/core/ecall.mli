@@ -32,6 +32,15 @@ val fid_guest_relinquish : int64
 val fid_guest_seal : int64
 val fid_guest_unseal : int64
 
+val fid_guest_chan_send : int64
+(** Publish a message into an attested inter-CVM channel ring
+    (a0 = channel id, a1 = source GPA, a2 = length). *)
+
+val fid_guest_chan_recv : int64
+(** Consume the peer's latest message after Check-after-Load
+    validation (a0 = channel id, a1 = destination GPA, a2 = max
+    length); returns the delivered length, 0 when nothing new. *)
+
 (* SBI legacy ids the guest kernel may also use *)
 val sbi_legacy_putchar : int64
 val sbi_legacy_shutdown : int64

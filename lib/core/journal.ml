@@ -20,6 +20,9 @@ type op =
   | Op_mig_in_commit of { session : string }
   | Op_mig_in_abort of { session : string }
   | Op_import of { mutable built : int option }
+  | Op_chan_grant of { chan : int; a : int; b : int; block_base : int64 }
+  | Op_chan_accept of { chan : int }
+  | Op_chan_revoke of { chan : int; degraded : bool }
 
 type state = Pending | Done
 
@@ -153,6 +156,11 @@ let op_to_string = function
   | Op_mig_in_abort { session } ->
       Printf.sprintf "mig-in-abort:%s" (hex session)
   | Op_import { built } -> Printf.sprintf "import:%s" (built_to_string built)
+  | Op_chan_grant { chan; a; b; block_base } ->
+      Printf.sprintf "chan-grant:%d:%d:%d:0x%Lx" chan a b block_base
+  | Op_chan_accept { chan } -> Printf.sprintf "chan-accept:%d" chan
+  | Op_chan_revoke { chan; degraded } ->
+      Printf.sprintf "chan-revoke:%d:%d" chan (if degraded then 1 else 0)
 
 let int_of s = int_of_string_opt s
 let i64_of s = Int64.of_string_opt s
@@ -221,6 +229,19 @@ let op_of_string s =
   | [ "import"; built ] ->
       let* built = built_of built in
       Ok (Op_import { built })
+  | [ "chan-grant"; chan; a; b; base ] ->
+      let* chan = req "chan" (int_of chan) in
+      let* a = req "a" (int_of a) in
+      let* b = req "b" (int_of b) in
+      let* block_base = req "base" (i64_of base) in
+      Ok (Op_chan_grant { chan; a; b; block_base })
+  | [ "chan-accept"; chan ] ->
+      let* chan = req "chan" (int_of chan) in
+      Ok (Op_chan_accept { chan })
+  | [ "chan-revoke"; chan; degraded ] ->
+      let* chan = req "chan" (int_of chan) in
+      let* d = req "degraded" (int_of degraded) in
+      Ok (Op_chan_revoke { chan; degraded = d <> 0 })
   | _ -> Error ("unknown journal op: " ^ s)
 
 let state_to_string = function Pending -> "pending" | Done -> "done"

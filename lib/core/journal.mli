@@ -63,6 +63,17 @@ type op =
   | Op_mig_in_abort of { session : string }
   | Op_import of { mutable built : int option }
       (** one-shot import_cvm (same rollback story as prepare). *)
+  | Op_chan_grant of { chan : int; a : int; b : int; block_base : int64 }
+      (** chan_grant: [chan] is the channel id being minted, [block_base]
+          the pool block about to be popped for its ring page. Rolls
+          back: a torn offer frees the orphaned block. *)
+  | Op_chan_accept of { chan : int }
+      (** chan_accept: the two [Spt.map_private] installs. Rolls back to
+          the offered state (both mappings removed). *)
+  | Op_chan_revoke of { chan : int; degraded : bool }
+      (** chan_revoke, or the strike-budget degradation when [degraded]:
+          scrub + unmap both endpoints + free the ring block. Rolls
+          forward (idempotent teardown). *)
 
 type state = Pending | Done
 

@@ -31,6 +31,23 @@ let swiotlb_slot_gpa i =
 
 let swiotlb_ring_gpa = Int64.add shared_gpa_base 0x80000L
 
+(* Inter-CVM channel window: one 4 KiB secure ring page per channel,
+   mapped at the same slot GPA into both endpoints' private halves.
+   High in the private half, clear of guest images and the virtio
+   window, so demand paging never collides with a channel slot by
+   accident. *)
+let chan_gpa_base = 0x3000_0000L
+let chan_slots = 4096
+let chan_ring_size = 4096
+let chan_dir_off = 2048 (* offset of the b->a half inside the ring *)
+let chan_hdr_size = 16 (* per-direction header: seq (8) + len (8) *)
+let chan_max_msg = chan_dir_off - chan_hdr_size
+
+let chan_slot_gpa i =
+  if i < 0 || i >= chan_slots then
+    invalid_arg "Layout.chan_slot_gpa: out of range";
+  Int64.add chan_gpa_base (Int64.of_int (i * chan_ring_size))
+
 let swiotlb_page_gpas () =
   swiotlb_desc_gpa :: swiotlb_ring_gpa
   :: List.init swiotlb_slots swiotlb_slot_gpa

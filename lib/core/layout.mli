@@ -58,3 +58,31 @@ val swiotlb_ring_gpa : int64
 
 val swiotlb_page_gpas : unit -> int64 list
 (** Every SWIOTLB page GPA: descriptor page, ring page, all slots. *)
+
+(** {2 Inter-CVM channel window}
+
+    Attested channels map one secure 4 KiB ring page into {e both}
+    endpoints' private halves at the same slot GPA. The window sits
+    high in the private half so guest images and demand paging never
+    collide with a slot. Each ring splits into two 2 KiB directional
+    halves (a→b at offset 0, b→a at [chan_dir_off]), each carrying a
+    16-byte header — free-running sequence number and message length
+    — followed by the payload. *)
+
+val chan_gpa_base : int64
+(** 0x3000_0000: base of the channel slot window. *)
+
+val chan_slots : int
+val chan_ring_size : int
+
+val chan_dir_off : int
+(** Byte offset of the b→a half inside the ring page (2048). *)
+
+val chan_hdr_size : int
+(** Per-direction header bytes: seq (8) + len (8). *)
+
+val chan_max_msg : int
+(** Largest payload one directional half can carry (2032 bytes). *)
+
+val chan_slot_gpa : int -> int64
+(** GPA of channel slot [i]. Raises [Invalid_argument] out of range. *)

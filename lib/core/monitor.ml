@@ -57,6 +57,36 @@ type migration_session = {
   mg_budget : int;
 }
 
+(* One attested inter-CVM channel: a secure ring page the SM maps into
+   both endpoints' private halves once each side has verified the
+   other's attestation report. The record is the ownership ground truth
+   for the ring page (channel pages never enter [page_owner]): the
+   audit's channel section derives every invariant from here. *)
+type chan_phase =
+  | Chan_offered  (** granted, ring allocated, nothing mapped yet *)
+  | Chan_established  (** both sides verified; ring live in both SPTs *)
+  | Chan_revoked  (** torn down by an endpoint or an endpoint's death *)
+  | Chan_degraded  (** torn down by the SM: strike budget exhausted *)
+
+type channel = {
+  ch_id : int;
+  ch_a : int;  (** granting endpoint (owns the a→b half) *)
+  ch_b : int;  (** accepting endpoint (owns the b→a half) *)
+  mutable ch_phase : chan_phase;
+  mutable ch_page : int64 option;
+      (** ring page PA while the channel holds its block *)
+  ch_gpa : int64;  (** slot GPA, identical in both private halves *)
+  ch_epoch_a : int;
+  ch_epoch_b : int;
+      (** endpoint lifecycle epochs captured at the offer; [chan_accept]
+          refuses if either endpoint has transitioned since — a stale
+          pre-migration report cannot establish a channel *)
+  mutable ch_seq_ab : int64;  (** last a→b seq delivered to b *)
+  mutable ch_seq_ba : int64;  (** last b→a seq delivered to a *)
+  mutable ch_strikes : int;
+  mutable ch_reason : string option;
+}
+
 type t = {
   machine : Machine.t;
   cfg : config;
@@ -74,6 +104,10 @@ type t = {
           records an intent before its first durable mutation, so
           [recover] can roll a crashed operation forward or back *)
   mutable next_cvm_id : int;
+  channels : (int, channel) Hashtbl.t;
+  mutable next_chan_id : int;
+      (** channel ids double as slot indices in the channel GPA window,
+          so they are never reused — recovery bumps past journaled ids *)
   host : host_ctx array;
   pending_mmio : (int * int, Vcpu.mmio) Hashtbl.t;
   expand_retry : (int * int, unit) Hashtbl.t;
@@ -117,6 +151,8 @@ let create ?(config = default_config) machine =
       sessions = Hashtbl.create 8;
       journal = Journal.create ();
       next_cvm_id = 1;
+      channels = Hashtbl.create 8;
+      next_chan_id = 1;
       host =
         Array.init nharts (fun _ ->
             {
@@ -208,6 +244,11 @@ type tenant_health = {
   th_io_coalesced : int;
   th_io_cal_rejections : int;
   th_io_fallbacks : int;
+  th_chan_grants : int;
+  th_chan_accepts : int;
+  th_chan_revokes : int;
+  th_chan_peer_rejects : int;
+  th_chan_degradations : int;
 }
 
 type health = {
@@ -271,6 +312,21 @@ let health_snapshot ?(stall_cycles = 10_000_000) ?(clock_hz = 1e8) t =
           th_io_fallbacks =
             Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
               t.registry "sm.io.fallbacks";
+          th_chan_grants =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.chan.grants";
+          th_chan_accepts =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.chan.accepts";
+          th_chan_revokes =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.chan.revokes";
+          th_chan_peer_rejects =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.chan.peer_rejects";
+          th_chan_degradations =
+            Metrics.Registry.counter ~scope:(Metrics.Registry.Cvm id)
+              t.registry "sm.chan.degradations";
         }
         :: acc)
       t.cvms []
@@ -348,6 +404,96 @@ let shootdown_vmid t ~vmid ~reason =
       "tlb.shootdown"
   end
 
+(* ---------- channel plumbing ---------- *)
+
+let chan_max_strikes = 3
+
+let find_channel t id = Hashtbl.find_opt t.channels id
+
+let chan_live ch =
+  match ch.ch_phase with
+  | Chan_offered | Chan_established -> true
+  | Chan_revoked | Chan_degraded -> false
+
+let chan_endpoint_live (cvm : Cvm.t) =
+  match cvm.Cvm.state with
+  | Cvm.Runnable | Cvm.Running | Cvm.Suspended -> true
+  | _ -> false
+
+let chan_counter t ~cvm name =
+  Metrics.Registry.inc t.registry ~scope:(Metrics.Registry.Cvm cvm) name
+
+(* Idempotent channel teardown: drop the slot mapping from both
+   endpoints, scrub the ring page, shoot it down precisely on both
+   VMIDs, and return the block to the pool. Recovery and the
+   destroy/quarantine sweeps re-run this from any torn intermediate
+   state, so every step tolerates having already happened. [record],
+   when given, interleaves the checkpoints that make the intermediate
+   states reachable crash points. *)
+let chan_teardown ?record t ch ~phase ~reason =
+  if chan_live ch then begin
+    let ckpt label =
+      match record with
+      | Some r -> Journal.checkpoint t.journal r label
+      | None -> ()
+    in
+    (match ch.ch_page with
+     | None -> ()
+     | Some pa ->
+         let unmap id =
+           match find_cvm t id with
+           | Some cvm when cvm.Cvm.state <> Cvm.Destroyed -> (
+               (* Only drop the slot while it still points at the ring:
+                  a destroyed endpoint's tables are already reclaimed
+                  memory and must not be written. *)
+               match Spt.lookup cvm.Cvm.spt ~gpa:ch.ch_gpa with
+               | Some pa' when pa' = pa ->
+                   ignore (Spt.unmap_private cvm.Cvm.spt ~gpa:ch.ch_gpa)
+               | _ -> ())
+           | _ -> ()
+         in
+         unmap ch.ch_a;
+         unmap ch.ch_b;
+         ckpt "chan-unmapped";
+         Physmem.zero_range
+           (Bus.dram t.machine.Machine.bus)
+           (Int64.sub pa Bus.dram_base)
+           (Int64.of_int Layout.chan_ring_size);
+         charge t "sm_scrub" t.cost.Cost.page_scrub;
+         (* Either endpoint may retain the translation on any hart:
+            shoot the page down precisely, scoped per VMID. *)
+         let harts = t.machine.Machine.harts in
+         Array.iter
+           (fun hart ->
+             Tlb.flush_pa ~vmid:ch.ch_a hart.Hart.tlb pa;
+             Tlb.flush_pa ~vmid:ch.ch_b hart.Hart.tlb pa)
+           harts;
+         charge t "sm_shootdown"
+           (2 * Array.length harts * t.cost.Cost.tlb_vmid_flush);
+         ckpt "chan-scrubbed";
+         if not (Secmem.is_free_base t.sm pa) then
+           ignore (Hier_alloc.reclaim_base t.sm ~base:pa);
+         ch.ch_page <- None);
+    ch.ch_phase <- phase;
+    ch.ch_reason <- Some reason;
+    if obs t then
+      Metrics.Trace.instant t.trace
+        ~args:[ ("chan", string_of_int ch.ch_id); ("reason", reason) ]
+        "chan.teardown"
+  end
+
+(* Implicit revoke: every live channel touching [id] dies with it. Runs
+   inside the caller's journal window (destroy, quarantine, migrate-out
+   commit), so replaying the enclosing record re-runs the sweep. *)
+let chan_sweep_for ?record t id ~reason =
+  Hashtbl.iter
+    (fun _ ch ->
+      if chan_live ch && (ch.ch_a = id || ch.ch_b = id) then begin
+        chan_teardown ?record t ch ~phase:Chan_revoked ~reason;
+        chan_counter t ~cvm:id "sm.chan.revokes"
+      end)
+    t.channels
+
 (* ---------- vCPU seals and quarantine ---------- *)
 
 (* FNV-1a over the architectural fields. Not cryptographic — the host
@@ -396,6 +542,9 @@ let quarantine t cvm ~reason =
     (* The CVM will never legitimately run again, so no hart may keep
        translating its guest-physical space. *)
     shootdown_vmid t ~vmid:cvm.Cvm.id ~reason:"quarantine";
+    (* A quarantined endpoint also forfeits its channels: the peer must
+       not keep a window into a parked, possibly-hostile VM. *)
+    chan_sweep_for ~record:jr t cvm.Cvm.id ~reason:"endpoint quarantined";
     Metrics.Registry.inc t.registry "cvm.quarantined";
     if obs t then
       Metrics.Trace.instant t.trace ~cvm:cvm.Cvm.id
@@ -775,6 +924,10 @@ let destroy_replay ?record t cvm =
   in
   let bus = t.machine.Machine.bus in
   let was_destroyed = cvm.Cvm.state = Cvm.Destroyed in
+  (* Channels die first, while both endpoints' page tables are still
+     intact: the teardown's unmap writes table pages that the block
+     scrubbing below is about to reclaim. *)
+  chan_sweep_for ?record t id ~reason:"endpoint destroyed";
   (* Scrub every owned page, drop ownership, return blocks. *)
   Hashtbl.iter
     (fun pa owner ->
@@ -859,6 +1012,345 @@ let next_random t =
     v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code h.[i]))
   done;
   !v
+
+(* ---------- attested inter-CVM channels ---------- *)
+
+(* The ring page layout (see Layout): two directional halves, each
+   [seq:u64][len:u64][payload]. The owner of a half bumps seq after
+   writing payload+len; the SM keeps the last *delivered* seq per
+   direction as its shadow, so Check-after-Load at consume time never
+   trusts a header field it has not bounded. *)
+
+let chan_runaway_bound = 0x100000L
+(* A producer may run ahead of deliveries, but not by 2^20 messages:
+   past that the seq is garbage, not backlog. *)
+
+let chan_dir_base ch ~from_a =
+  match ch.ch_page with
+  | None -> invalid_arg "chan_dir_base: channel holds no ring page"
+  | Some pa ->
+      if from_a then pa else Int64.add pa (Int64.of_int Layout.chan_dir_off)
+
+(* Generate [cvm]'s attestation report over [nonce], MAC-bound to its
+   current lifecycle epoch. *)
+let chan_report (cvm : Cvm.t) ~measurement ~nonce =
+  Attest.make_report ~cvm_id:cvm.Cvm.id ~epoch:cvm.Cvm.epoch ~measurement
+    ~nonce
+
+let chan_grant_impl t ~cvm:a_id ~peer:b_id ~nonce ~expect =
+  if not (Attest.valid_nonce nonce) then Error Ecall.Invalid_param
+  else if a_id = b_id then Error Ecall.Invalid_param
+  else
+    match (find_cvm t a_id, find_cvm t b_id) with
+    | None, _ | _, None -> Error Ecall.Not_found
+    | Some a, Some b -> (
+        if a.Cvm.state = Cvm.Quarantined || b.Cvm.state = Cvm.Quarantined
+        then Error Ecall.Quarantined
+        else if not (chan_endpoint_live a && chan_endpoint_live b) then
+          Error Ecall.Bad_state
+        else
+          match (a.Cvm.measurement, b.Cvm.measurement) with
+          | None, _ | _, None -> Error Ecall.Bad_state
+          | Some _, Some mb ->
+              (* The granter's admission policy: nothing is allocated
+                 for a peer whose current measurement is not the one the
+                 granter expects. *)
+              if not (Attest.constant_time_eq mb expect) then begin
+                chan_counter t ~cvm:a_id "sm.chan.peer_rejects";
+                Error Ecall.Denied
+              end
+              else if t.next_chan_id >= Layout.chan_slots then
+                Error Ecall.No_memory
+              else (
+                match Secmem.peek_block_base t.sm with
+                | None -> Error Ecall.No_memory
+                | Some block_base -> (
+                    let id = t.next_chan_id in
+                    let jr =
+                      Journal.append t.journal
+                        (Journal.Op_chan_grant
+                           { chan = id; a = a_id; b = b_id; block_base })
+                    in
+                    t.next_chan_id <- id + 1;
+                    match Secmem.alloc_block t.sm with
+                    | None ->
+                        (* unreachable: the peek above saw a free block *)
+                        Journal.mark_done t.journal jr;
+                        Error Ecall.No_memory
+                    | Some blk ->
+                        Journal.checkpoint t.journal jr "block";
+                        let pa = Secmem.block_base blk in
+                        Physmem.zero_range
+                          (Bus.dram t.machine.Machine.bus)
+                          (Int64.sub pa Bus.dram_base)
+                          (Int64.of_int Layout.chan_ring_size);
+                        charge t "sm_chan"
+                          (t.cost.Cost.block_grab + t.cost.Cost.page_scrub);
+                        let ch =
+                          {
+                            ch_id = id;
+                            ch_a = a_id;
+                            ch_b = b_id;
+                            ch_phase = Chan_offered;
+                            ch_page = Some pa;
+                            ch_gpa = Layout.chan_slot_gpa id;
+                            ch_epoch_a = a.Cvm.epoch;
+                            ch_epoch_b = b.Cvm.epoch;
+                            ch_seq_ab = 0L;
+                            ch_seq_ba = 0L;
+                            ch_strikes = 0;
+                            ch_reason = None;
+                          }
+                        in
+                        Hashtbl.replace t.channels id ch;
+                        Journal.checkpoint t.journal jr "registered";
+                        chan_counter t ~cvm:a_id "sm.chan.grants";
+                        if obs t then
+                          Metrics.Trace.instant t.trace ~cvm:a_id
+                            ~args:
+                              [
+                                ("chan", string_of_int id);
+                                ("peer", string_of_int b_id);
+                              ]
+                            "chan.grant";
+                        Journal.mark_done t.journal jr;
+                        (* The peer's report over the granter's nonce,
+                           bound to the peer's current epoch: the
+                           granter verifies it before telling its guest
+                           the channel id. *)
+                        Ok (id, chan_report b ~measurement:mb ~nonce))))
+
+let chan_grant t ~cvm ~peer ~nonce ~expect =
+  host_call t "chan_grant" ~cvm (fun () ->
+      chan_grant_impl t ~cvm ~peer ~nonce ~expect)
+
+let chan_accept_impl t ~chan ~cvm:b_id ~nonce ~expect =
+  if not (Attest.valid_nonce nonce) then Error Ecall.Invalid_param
+  else
+    match find_channel t chan with
+    | None -> Error Ecall.Not_found
+    | Some ch -> (
+        if ch.ch_b <> b_id then Error Ecall.Denied
+        else
+          match ch.ch_phase with
+          | Chan_established | Chan_revoked | Chan_degraded ->
+              Error Ecall.Bad_state
+          | Chan_offered -> (
+              match (find_cvm t ch.ch_a, find_cvm t ch.ch_b) with
+              | None, _ | _, None -> Error Ecall.Not_found
+              | Some a, Some b -> (
+                  if
+                    a.Cvm.state = Cvm.Quarantined
+                    || b.Cvm.state = Cvm.Quarantined
+                  then Error Ecall.Quarantined
+                  else if not (chan_endpoint_live a && chan_endpoint_live b)
+                  then Error Ecall.Bad_state
+                  else
+                    match (a.Cvm.measurement, b.Cvm.measurement) with
+                    | None, _ | _, None -> Error Ecall.Bad_state
+                    | Some ma, Some _ ->
+                        (* Freshness: the offer's attestation evidence
+                           is only as current as the endpoints' epochs.
+                           Any lifecycle transition since (a migrate-out
+                           lock or release) makes the offer stale, so a
+                           pre-migration report cannot be replayed to
+                           establish a channel. *)
+                        if
+                          a.Cvm.epoch <> ch.ch_epoch_a
+                          || b.Cvm.epoch <> ch.ch_epoch_b
+                        then begin
+                          chan_counter t ~cvm:b_id "sm.chan.peer_rejects";
+                          Error Ecall.Denied
+                        end
+                        else if not (Attest.constant_time_eq ma expect)
+                        then begin
+                          chan_counter t ~cvm:b_id "sm.chan.peer_rejects";
+                          Error Ecall.Denied
+                        end
+                        else
+                          let pa =
+                            match ch.ch_page with
+                            | Some pa -> pa
+                            | None -> assert false (* offered holds a page *)
+                          in
+                          (* The slot must be free in both private
+                             halves: a demand-paged page at the slot GPA
+                             would alias a mapping the guest already
+                             relies on. *)
+                          if
+                            Spt.lookup a.Cvm.spt ~gpa:ch.ch_gpa <> None
+                            || Spt.lookup b.Cvm.spt ~gpa:ch.ch_gpa <> None
+                          then Error Ecall.Already_exists
+                          else begin
+                            let jr =
+                              Journal.append t.journal
+                                (Journal.Op_chan_accept { chan })
+                            in
+                            match
+                              Spt.map_private a.Cvm.spt ~gpa:ch.ch_gpa ~pa
+                                ~writable:true
+                            with
+                            | Error _ ->
+                                Journal.mark_done t.journal jr;
+                                Error Ecall.No_memory
+                            | Ok () -> (
+                                Journal.checkpoint t.journal jr "map-a";
+                                match
+                                  Spt.map_private b.Cvm.spt ~gpa:ch.ch_gpa
+                                    ~pa ~writable:true
+                                with
+                                | Error _ ->
+                                    ignore
+                                      (Spt.unmap_private a.Cvm.spt
+                                         ~gpa:ch.ch_gpa);
+                                    Journal.mark_done t.journal jr;
+                                    Error Ecall.No_memory
+                                | Ok () ->
+                                    Journal.checkpoint t.journal jr "map-b";
+                                    ch.ch_phase <- Chan_established;
+                                    ch.ch_seq_ab <- 0L;
+                                    ch.ch_seq_ba <- 0L;
+                                    ch.ch_strikes <- 0;
+                                    charge t "sm_chan"
+                                      (2 * t.cost.Cost.gstage_map);
+                                    chan_counter t ~cvm:b_id
+                                      "sm.chan.accepts";
+                                    if obs t then
+                                      Metrics.Trace.instant t.trace
+                                        ~cvm:b_id
+                                        ~args:
+                                          [ ("chan", string_of_int chan) ]
+                                        "chan.accept";
+                                    Journal.mark_done t.journal jr;
+                                    Ok (chan_report a ~measurement:ma ~nonce))
+                          end)))
+
+let chan_accept t ~chan ~cvm ~nonce ~expect =
+  host_call t "chan_accept" ~cvm (fun () ->
+      chan_accept_impl t ~chan ~cvm ~nonce ~expect)
+
+let chan_revoke_impl t ~chan ~cvm:id =
+  match find_channel t chan with
+  | None -> Error Ecall.Not_found
+  | Some ch ->
+      if ch.ch_a <> id && ch.ch_b <> id then Error Ecall.Denied
+      else if not (chan_live ch) then Ok () (* idempotent *)
+      else begin
+        let jr =
+          Journal.append t.journal
+            (Journal.Op_chan_revoke { chan; degraded = false })
+        in
+        chan_teardown ~record:jr t ch ~phase:Chan_revoked
+          ~reason:"revoked by endpoint";
+        chan_counter t ~cvm:id "sm.chan.revokes";
+        Journal.mark_done t.journal jr;
+        Ok ()
+      end
+
+let chan_revoke t ~chan ~cvm =
+  host_call t "chan_revoke" ~cvm (fun () -> chan_revoke_impl t ~chan ~cvm)
+
+(* PR 8's Byzantine discipline aimed at a hostile *peer*: one strike per
+   rejected header field; at the budget the channel — never the CVM —
+   is one-way degraded (journaled, scrubbed, unmapped, block
+   reclaimed). *)
+let chan_strike t ch ~victim verdict =
+  ch.ch_strikes <- ch.ch_strikes + 1;
+  chan_counter t ~cvm:victim "sm.chan.peer_rejects";
+  if obs t then
+    Metrics.Trace.instant t.trace ~cvm:victim
+      ~args:[ ("chan", string_of_int ch.ch_id); ("verdict", verdict) ]
+      "chan.cal_reject";
+  if ch.ch_strikes >= chan_max_strikes && chan_live ch then begin
+    let jr =
+      Journal.append t.journal
+        (Journal.Op_chan_revoke { chan = ch.ch_id; degraded = true })
+    in
+    chan_teardown ~record:jr t ch ~phase:Chan_degraded
+      ~reason:(Printf.sprintf "strike budget exhausted (%s)" verdict);
+    chan_counter t ~cvm:victim "sm.chan.degradations";
+    Journal.mark_done t.journal jr
+  end
+
+(* Check-after-Load over one peer-writable directional half: load seq
+   and len exactly once, bound them against the SM's shadow, and only
+   then classify. *)
+type chan_msg = Chan_idle | Chan_msg of int64 * int | Chan_bad of string
+
+let chan_check_dir t ch ~from_a ~shadow =
+  let bus = t.machine.Machine.bus in
+  let base = chan_dir_base ch ~from_a in
+  let seq = Bus.read bus base 8 in
+  let len = Bus.read bus (Int64.add base 8L) 8 in
+  charge t "sm_chan" (2 * t.cost.Cost.check_after_load);
+  if seq = shadow then Chan_idle
+  else if Xword.ult seq shadow then Chan_bad "seq_rewind"
+  else if Xword.ult (Int64.add shadow chan_runaway_bound) seq then
+    Chan_bad "seq_runaway"
+  else if len < 1L || len > Int64.of_int Layout.chan_max_msg then
+    Chan_bad "bad_len"
+  else Chan_msg (seq, Int64.to_int len)
+
+(* Host-driveable watchdog: validate both halves' headers without
+   delivering anything. Returns [Ok true] while the channel stays live,
+   [Ok false] once it is dead (now or before) — degradation is not an
+   error, it is the one-way outcome the host polls for. *)
+let chan_poll_impl t ~chan =
+  match find_channel t chan with
+  | None -> Error Ecall.Not_found
+  | Some ch ->
+      if not (chan_live ch) then Ok false
+      else begin
+        if ch.ch_phase = Chan_established then begin
+          (match chan_check_dir t ch ~from_a:true ~shadow:ch.ch_seq_ab with
+          | Chan_bad v -> chan_strike t ch ~victim:ch.ch_b v
+          | Chan_idle | Chan_msg _ -> ());
+          if chan_live ch then
+            match chan_check_dir t ch ~from_a:false ~shadow:ch.ch_seq_ba with
+            | Chan_bad v -> chan_strike t ch ~victim:ch.ch_a v
+            | Chan_idle | Chan_msg _ -> ()
+        end;
+        Ok (chan_live ch)
+      end
+
+let chan_poll t ~chan = host_call t "chan_poll" (fun () -> chan_poll_impl t ~chan)
+
+type chan_info = {
+  ci_id : int;
+  ci_a : int;
+  ci_b : int;
+  ci_phase : string;
+  ci_gpa : int64;
+  ci_page : int64 option;
+  ci_strikes : int;
+  ci_reason : string option;
+}
+
+let chan_phase_to_string = function
+  | Chan_offered -> "offered"
+  | Chan_established -> "established"
+  | Chan_revoked -> "revoked"
+  | Chan_degraded -> "degraded"
+
+let chan_info t ~chan =
+  Option.map
+    (fun ch ->
+      {
+        ci_id = ch.ch_id;
+        ci_a = ch.ch_a;
+        ci_b = ch.ch_b;
+        ci_phase = chan_phase_to_string ch.ch_phase;
+        ci_gpa = ch.ch_gpa;
+        ci_page = ch.ch_page;
+        ci_strikes = ch.ch_strikes;
+        ci_reason = ch.ch_reason;
+      })
+    (find_channel t chan)
+
+let chan_list t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.channels []
+  |> List.sort compare
+  |> List.filter_map (fun id -> chan_info t ~chan:id)
 
 (* ---------- migration ---------- *)
 
@@ -1064,6 +1556,10 @@ let migrate_out_begin_impl t ~cvm:id ~session ~budget =
                     (Journal.Op_mig_out_begin { session; cvm = id })
                 in
                 cvm.Cvm.state <- Cvm.Migrating_out;
+                (* Lifecycle transition: every attestation report issued
+                   before this lock is now stale — channel offers bound
+                   to the old epoch can no longer be accepted. *)
+                cvm.Cvm.epoch <- cvm.Cvm.epoch + 1;
                 Journal.checkpoint t.journal jr "locked";
                 Hashtbl.replace t.sessions
                   (session_key Mig_out session)
@@ -1105,8 +1601,11 @@ let migrate_out_abort t ~session =
               | Some id -> begin
                   match find_cvm t id with
                   | Some cvm when cvm.Cvm.state = Cvm.Migrating_out ->
-                      (* reactivate: the source stays the one owner *)
-                      cvm.Cvm.state <- Cvm.Suspended
+                      (* reactivate: the source stays the one owner —
+                         but in a fresh epoch, so reports minted while
+                         the migration was pending do not outlive it *)
+                      cvm.Cvm.state <- Cvm.Suspended;
+                      cvm.Cvm.epoch <- cvm.Cvm.epoch + 1
                   | _ -> ()
                 end
               | None -> ());
@@ -1403,7 +1902,8 @@ let handle_guest_ecall t cvm (hart : Hart.t) =
           | None -> err Ecall.Bad_state
           | Some measurement ->
               let report =
-                Attest.make_report ~cvm_id:cvm.Cvm.id ~measurement ~nonce
+                Attest.make_report ~cvm_id:cvm.Cvm.id ~epoch:cvm.Cvm.epoch
+                  ~measurement ~nonce
               in
               let bytes = Attest.report_to_bytes report in
               (match write_guest t cvm ~gpa:a0 bytes with
@@ -1494,6 +1994,87 @@ let handle_guest_ecall t cvm (hart : Hart.t) =
                 ok ()
           end
       end
+    end
+    else if a6 = Ecall.fid_guest_chan_send then begin
+      (* a0 = channel id, a1 = source GPA, a2 = length. The SM writes
+         the caller's own directional half on its behalf: payload and
+         length land before the seq bump that publishes them. (A guest
+         may equally store into its mapped half directly — the SM's
+         consume-side shadow only ever trusts what Check-after-Load
+         admits.) *)
+      let len = Int64.to_int a2 in
+      if len < 1 || len > Layout.chan_max_msg then err Ecall.Invalid_param
+      else begin
+        match find_channel t (Int64.to_int a0) with
+        | None -> err Ecall.Not_found
+        | Some ch ->
+            if ch.ch_a <> cvm.Cvm.id && ch.ch_b <> cvm.Cvm.id then
+              err Ecall.Denied
+            else if ch.ch_phase <> Chan_established then err Ecall.Bad_state
+            else begin
+              match read_guest t cvm ~gpa:a1 len with
+              | Error _ -> err Ecall.Invalid_param
+              | Ok payload ->
+                  let bus = t.machine.Machine.bus in
+                  let base = chan_dir_base ch ~from_a:(ch.ch_a = cvm.Cvm.id) in
+                  let seq = Bus.read bus base 8 in
+                  Bus.write_bytes bus
+                    (Int64.add base (Int64.of_int Layout.chan_hdr_size))
+                    payload;
+                  Bus.write bus (Int64.add base 8L) 8 (Int64.of_int len);
+                  Bus.write bus base 8 (Int64.add seq 1L);
+                  (* Bulk payload copy: a plain M-mode word copy, not
+                     the per-register validated transfer — only the
+                     header goes through Check-after-Load. *)
+                  charge t "sm_chan"
+                    (t.cost.Cost.ecall_roundtrip
+                    + ((len + 7) / 8 * (t.cost.Cost.load + t.cost.Cost.store)));
+                  ok ~value:(Int64.of_int len) ()
+            end
+      end
+    end
+    else if a6 = Ecall.fid_guest_chan_recv then begin
+      (* a0 = channel id, a1 = destination GPA, a2 = max length. The
+         peer-writable half goes through Check-after-Load against the
+         SM's delivery shadow; a rejected header is a strike against the
+         peer, and the strike budget degrades the channel — never the
+         consuming CVM. *)
+      match find_channel t (Int64.to_int a0) with
+      | None -> err Ecall.Not_found
+      | Some ch ->
+          if ch.ch_a <> cvm.Cvm.id && ch.ch_b <> cvm.Cvm.id then
+            err Ecall.Denied
+          else if ch.ch_phase <> Chan_established then err Ecall.Bad_state
+          else begin
+            let consumer_is_b = ch.ch_b = cvm.Cvm.id in
+            let from_a = consumer_is_b in
+            let shadow = if consumer_is_b then ch.ch_seq_ab else ch.ch_seq_ba in
+            charge t "sm_chan" t.cost.Cost.ecall_roundtrip;
+            match chan_check_dir t ch ~from_a ~shadow with
+            | Chan_idle -> ok ~value:0L ()
+            | Chan_bad verdict ->
+                chan_strike t ch ~victim:cvm.Cvm.id verdict;
+                err Ecall.Denied
+            | Chan_msg (seq, len) ->
+                if Int64.of_int len > a2 then err Ecall.Invalid_param
+                else begin
+                  let bus = t.machine.Machine.bus in
+                  let base = chan_dir_base ch ~from_a in
+                  let payload =
+                    Bus.read_bytes bus
+                      (Int64.add base (Int64.of_int Layout.chan_hdr_size))
+                      len
+                  in
+                  match write_guest t cvm ~gpa:a1 payload with
+                  | Error _ -> err Ecall.Invalid_param
+                  | Ok () ->
+                      if consumer_is_b then ch.ch_seq_ab <- seq
+                      else ch.ch_seq_ba <- seq;
+                      charge t "sm_chan"
+                        ((len + 7) / 8 * (t.cost.Cost.load + t.cost.Cost.store));
+                      ok ~value:(Int64.of_int len) ()
+                end
+          end
     end
     else if a6 = Ecall.fid_guest_share || a6 = Ecall.fid_guest_unshare then
       (* The static split-page-table design needs no per-page work: the
@@ -2065,20 +2646,47 @@ let audit t =
       t.cvms []
   in
   let seen_pa = Hashtbl.create 256 in
+  (* Channel ring pages are the one sanctioned two-owner exception: the
+     channel table, not [page_owner], is their ownership ground truth,
+     and §11 pins down exactly which two mappers are legal. *)
+  let chan_ring = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ ch ->
+      match ch.ch_page with
+      | Some pa when chan_live ch -> Hashtbl.replace chan_ring pa ch
+      | _ -> ())
+    t.channels;
   List.iter
     (fun cvm ->
       Spt.fold_private cvm.Cvm.spt
         (fun ~gpa ~pa () ->
-          check (Secmem.contains t.sm pa)
-            "CVM %d maps GPA 0x%Lx to non-secure PA 0x%Lx" cvm.Cvm.id gpa pa;
-          check
-            (Hashtbl.find_opt t.page_owner pa = Some cvm.Cvm.id)
-            "CVM %d maps PA 0x%Lx it does not own" cvm.Cvm.id pa;
-          (match Hashtbl.find_opt seen_pa pa with
-          | Some other ->
-              fail "PA 0x%Lx backs both CVM %d and CVM %d" pa other
-                cvm.Cvm.id
-          | None -> Hashtbl.add seen_pa pa cvm.Cvm.id);
+          (match Hashtbl.find_opt chan_ring pa with
+          | Some ch ->
+              check
+                (ch.ch_phase = Chan_established)
+                "CVM %d maps ring page 0x%Lx of un-established channel %d"
+                cvm.Cvm.id pa ch.ch_id;
+              check
+                (cvm.Cvm.id = ch.ch_a || cvm.Cvm.id = ch.ch_b)
+                "CVM %d maps channel %d ring page 0x%Lx but is not an \
+                 endpoint"
+                cvm.Cvm.id ch.ch_id pa;
+              check (gpa = ch.ch_gpa)
+                "CVM %d maps channel %d ring page 0x%Lx at GPA 0x%Lx, \
+                 expected slot 0x%Lx"
+                cvm.Cvm.id ch.ch_id pa gpa ch.ch_gpa
+          | None ->
+              check (Secmem.contains t.sm pa)
+                "CVM %d maps GPA 0x%Lx to non-secure PA 0x%Lx" cvm.Cvm.id
+                gpa pa;
+              check
+                (Hashtbl.find_opt t.page_owner pa = Some cvm.Cvm.id)
+                "CVM %d maps PA 0x%Lx it does not own" cvm.Cvm.id pa;
+              (match Hashtbl.find_opt seen_pa pa with
+              | Some other ->
+                  fail "PA 0x%Lx backs both CVM %d and CVM %d" pa other
+                    cvm.Cvm.id
+              | None -> Hashtbl.add seen_pa pa cvm.Cvm.id));
           incr checked)
         ())
     live;
@@ -2319,6 +2927,64 @@ let audit t =
               incr checked)
         swiotlb_gpas)
     live;
+  (* 11. Channel ownership. A live channel's ring page lies inside the
+     secure pool (so §1's PMP closure keeps it host-unreachable),
+     belongs to no CVM in [page_owner], sits in no free block, and is
+     mapped at the slot GPA by exactly its two endpoints iff the
+     channel is established — by nobody while merely offered. No live
+     channel may keep a destroyed or quarantined endpoint reachable,
+     and a dead channel holds no page at all. *)
+  Hashtbl.iter
+    (fun _ ch ->
+      match (ch.ch_phase, ch.ch_page) with
+      | (Chan_offered | Chan_established), None ->
+          fail "live channel %d holds no ring page" ch.ch_id
+      | (Chan_offered | Chan_established), Some pa ->
+          check (Secmem.contains t.sm pa)
+            "channel %d ring page 0x%Lx lies outside the secure pool"
+            ch.ch_id pa;
+          check
+            (not (Hashtbl.mem t.page_owner pa))
+            "channel %d ring page 0x%Lx is also CVM-owned" ch.ch_id pa;
+          let base = Int64.mul (Int64.div pa blk) blk in
+          check
+            (not (Hashtbl.mem free_bases base))
+            "channel %d ring page 0x%Lx lies in free block 0x%Lx" ch.ch_id
+            pa base;
+          List.iter
+            (fun id ->
+              incr checked;
+              match find_cvm t id with
+              | None -> fail "channel %d endpoint CVM %d missing" ch.ch_id id
+              | Some c -> (
+                  match c.Cvm.state with
+                  | Cvm.Destroyed | Cvm.Quarantined ->
+                      fail "live channel %d endpoint CVM %d is %s" ch.ch_id
+                        id
+                        (Cvm.state_to_string c.Cvm.state)
+                  | _ -> ()))
+            [ ch.ch_a; ch.ch_b ];
+          let maps id =
+            match find_cvm t id with
+            | Some c when c.Cvm.state <> Cvm.Destroyed ->
+                Spt.lookup c.Cvm.spt ~gpa:ch.ch_gpa = Some pa
+            | _ -> false
+          in
+          (match ch.ch_phase with
+          | Chan_established ->
+              check
+                (maps ch.ch_a && maps ch.ch_b)
+                "established channel %d is not mapped by both endpoints"
+                ch.ch_id
+          | _ ->
+              check
+                ((not (maps ch.ch_a)) && not (maps ch.ch_b))
+                "offered channel %d ring page 0x%Lx is already mapped"
+                ch.ch_id pa)
+      | (Chan_revoked | Chan_degraded), Some pa ->
+          fail "dead channel %d still holds ring page 0x%Lx" ch.ch_id pa
+      | (Chan_revoked | Chan_degraded), None -> incr checked)
+    t.channels;
   if !findings = [] then Ok !checked else Error (List.rev !findings)
 
 (* ---------- crash consistency: reboot + journal recovery ---------- *)
@@ -2498,6 +3164,7 @@ let replay_record t ~note ~fwd ~back (r : Journal.record) =
           cvm.Cvm.state <- Cvm.Quarantined;
           cvm.Cvm.quarantine_reason <- Some reason;
           Spt.clear_shared_root cvm.Cvm.spt;
+          chan_sweep_for t id ~reason:"endpoint quarantined";
           note
             (Printf.sprintf "quarantine #%d: CVM %d re-parked"
                r.Journal.seq id)
@@ -2640,6 +3307,79 @@ let replay_record t ~note ~fwd ~back (r : Journal.record) =
               destroy_replay ~record:r t cvm
           | _ -> ())
       | None -> ())
+  | Journal.Op_chan_grant { chan; a = _; b = _; block_base } -> (
+      incr back;
+      (* Channel ids double as slot indices: never mint this one
+         again. *)
+      if t.next_chan_id <= chan then t.next_chan_id <- chan + 1;
+      match find_channel t chan with
+      | Some ch ->
+          note
+            (Printf.sprintf "chan-grant #%d: rolled back torn offer %d"
+               r.Journal.seq chan);
+          chan_teardown t ch ~phase:Chan_revoked ~reason:"offer rolled back"
+      | None ->
+          (* The ring block may have been popped without the channel
+             ever reaching the table: scrub the orphan and re-link
+             it. *)
+          if
+            Secmem.contains t.sm block_base
+            && not (Secmem.is_free_base t.sm block_base)
+          then begin
+            Physmem.zero_range
+              (Bus.dram t.machine.Machine.bus)
+              (Int64.sub block_base Bus.dram_base)
+              (Secmem.block_size t.sm);
+            ignore (Hier_alloc.reclaim_base t.sm ~base:block_base);
+            note
+              (Printf.sprintf
+                 "chan-grant #%d: reclaimed orphaned ring block 0x%Lx"
+                 r.Journal.seq block_base)
+          end)
+  | Journal.Op_chan_accept { chan } -> (
+      incr back;
+      match find_channel t chan with
+      | Some ch when chan_live ch ->
+          (* Roll back to the offered state: the accepting side never
+             learned the establishment happened, so whichever of the two
+             map installs landed is removed again. TLBs are cold after
+             the reboot — no shootdown is owed. *)
+          (match ch.ch_page with
+          | Some pa ->
+              let unmap id =
+                match find_cvm t id with
+                | Some c when c.Cvm.state <> Cvm.Destroyed -> (
+                    match Spt.lookup c.Cvm.spt ~gpa:ch.ch_gpa with
+                    | Some pa' when pa' = pa ->
+                        ignore (Spt.unmap_private c.Cvm.spt ~gpa:ch.ch_gpa)
+                    | _ -> ())
+                | _ -> ()
+              in
+              unmap ch.ch_a;
+              unmap ch.ch_b
+          | None -> ());
+          ch.ch_phase <- Chan_offered;
+          ch.ch_seq_ab <- 0L;
+          ch.ch_seq_ba <- 0L;
+          ch.ch_strikes <- 0;
+          note
+            (Printf.sprintf
+               "chan-accept #%d: rolled channel %d back to offered"
+               r.Journal.seq chan)
+      | _ -> ())
+  | Journal.Op_chan_revoke { chan; degraded } -> (
+      incr fwd;
+      match find_channel t chan with
+      | Some ch when chan_live ch ->
+          let phase = if degraded then Chan_degraded else Chan_revoked in
+          chan_teardown t ch ~phase
+            ~reason:
+              (if degraded then "degraded (recovery replay)"
+               else "revoked (recovery replay)");
+          note
+            (Printf.sprintf "chan-revoke #%d: finished tearing down %d"
+               r.Journal.seq chan)
+      | _ -> ())
 
 let recover t =
   let detail = ref [] in

@@ -127,6 +127,19 @@ type tenant_health = {
   th_io_fallbacks : int;
       (** rings degraded to the exitful MMIO kick path
           (["sm.io.fallbacks"]) *)
+  th_chan_grants : int;
+      (** inter-CVM channels this CVM offered (["sm.chan.grants"]) *)
+  th_chan_accepts : int;
+      (** channels this CVM accepted (["sm.chan.accepts"]) *)
+  th_chan_revokes : int;
+      (** explicit and implicit channel revocations charged to this CVM
+          (["sm.chan.revokes"]) *)
+  th_chan_peer_rejects : int;
+      (** peer attestation mismatches and Check-after-Load header
+          rejections observed by this CVM (["sm.chan.peer_rejects"]) *)
+  th_chan_degradations : int;
+      (** channels the SM degraded on this CVM's behalf after the strike
+          budget (["sm.chan.degradations"]) *)
 }
 
 type health = {
@@ -188,7 +201,111 @@ val install_shared :
     normal memory); the SM links it into the CVM's root table. *)
 
 val destroy_cvm : t -> cvm:int -> (unit, Ecall.error) result
-(** Scrub and reclaim every secure block the CVM owned. *)
+(** Scrub and reclaim every secure block the CVM owned. Every live
+    channel touching the CVM is implicitly revoked first (scrubbed,
+    unmapped from the surviving peer, precisely shot down on both
+    VMIDs), inside the same journal window. *)
+
+(* {2 Attested inter-CVM channels}
+
+   SM-mediated shared-memory channels between two CVMs on one platform.
+   A channel is one secure 4 KiB ring page the SM maps into {e both}
+   endpoints' private halves at the same slot GPA
+   ([Layout.chan_slot_gpa]) — but only after each side has verified the
+   other's attestation report: the granter names the measurement it
+   expects at [chan_grant] (nothing is allocated for a peer that does
+   not match), the acceptor at [chan_accept], and each call returns the
+   peer's report — MAC-bound to the peer's CVM id, measurement,
+   {e lifecycle epoch} and the caller's freshness nonce — for the
+   caller to verify with [Attest.verify_report] before using the
+   channel. Epoch binding makes stale evidence unusable: any
+   migrate-out lock or release bumps the endpoint's epoch, and
+   [chan_accept] refuses an offer whose captured epochs no longer
+   match.
+
+   The ring page belongs to the channel, never to either CVM: it is the
+   one sanctioned double-mapping in the architecture, and [audit]'s
+   channel section proves it is mapped by exactly the two endpoints
+   while established, by nobody otherwise, never host-reachable, and
+   never reachable from a destroyed or quarantined VMID.
+
+   A Byzantine peer gets the exitless-ring treatment scoped to the
+   channel: every header field loaded from a peer-writable half passes
+   Check-after-Load against the SM's delivery shadow; each rejection
+   (seq rewind, seq runaway, absurd length) is a strike, and at
+   [chan_max_strikes] the SM degrades the {e channel} — journaled
+   teardown, scrub, precise two-VMID shootdown, block reclaim — never
+   the CVM. All multi-step transitions (grant, accept, revoke,
+   degradation, and the implicit revokes on destroy/quarantine/
+   migrate-out commit of either endpoint) journal intent before their
+   first mutation and recover idempotently. *)
+
+val chan_max_strikes : int
+(** Check-after-Load rejections a channel survives before the SM
+    degrades it (3). *)
+
+val chan_grant :
+  t ->
+  cvm:int ->
+  peer:int ->
+  nonce:string ->
+  expect:string ->
+  (int * Attest.report, Ecall.error) result
+(** Offer a channel from [cvm] to [peer]: allocate and scrub a ring
+    block, journal the offer, and return the channel id together with
+    the peer's attestation report over [nonce]. [expect] is the
+    measurement [cvm] requires of the peer — on mismatch nothing is
+    allocated and the call is [Denied] (counted under
+    ["sm.chan.peer_rejects"]). [nonce] must be 1..[Attest.max_nonce_len]
+    bytes ([Invalid_param] otherwise). Both endpoints must be distinct,
+    finalized and live; [Quarantined]/[Bad_state] otherwise. Nothing is
+    mapped yet: the offer only becomes a live window at
+    [chan_accept]. *)
+
+val chan_accept :
+  t ->
+  chan:int ->
+  cvm:int ->
+  nonce:string ->
+  expect:string ->
+  (Attest.report, Ecall.error) result
+(** Accept an offered channel as its designated peer: verify the
+    granter's current measurement against [expect] and both endpoints'
+    lifecycle epochs against those captured at the offer ([Denied] on
+    any mismatch — a stale pre-migration offer cannot go live), then
+    map the ring page into both private halves and return the granter's
+    report over [nonce]. [Already_exists] if either endpoint already
+    maps something at the slot GPA (e.g. demand-paged memory).
+    Only the endpoint named at the grant may accept ([Denied]). *)
+
+val chan_revoke : t -> chan:int -> cvm:int -> (unit, Ecall.error) result
+(** Tear the channel down from either endpoint: journaled scrub of the
+    ring page, unmap from both private halves, precise [flush_pa]
+    shootdown on both VMIDs, block returned to the pool. Idempotent on
+    an already-dead channel. [Denied] from a non-endpoint. *)
+
+val chan_poll : t -> chan:int -> (bool, Ecall.error) result
+(** Host-driveable watchdog: run Check-after-Load over both directional
+    headers without delivering anything, striking the channel for every
+    rejected field. Returns [Ok true] while the channel is live,
+    [Ok false] once it is dead — degradation is the outcome the host
+    polls for, not an error. *)
+
+type chan_info = {
+  ci_id : int;
+  ci_a : int;  (** granting endpoint *)
+  ci_b : int;  (** accepting endpoint *)
+  ci_phase : string;  (** "offered" | "established" | "revoked" | "degraded" *)
+  ci_gpa : int64;  (** slot GPA in both private halves *)
+  ci_page : int64 option;  (** ring page PA while the channel holds it *)
+  ci_strikes : int;
+  ci_reason : string option;  (** why it died, once dead *)
+}
+
+val chan_info : t -> chan:int -> chan_info option
+val chan_list : t -> chan_info list
+(** All channels this monitor knows, sorted by id (dead ones
+    included). *)
 
 val export_cvm : t -> cvm:int -> (string, Ecall.error) result
 (** Snapshot a suspended (or not-yet-run) CVM into an encrypted,
@@ -379,7 +496,13 @@ val audit : t -> (int, string list) result
       block, into a secure page its CVM no longer maps, or into secure
       memory at all under a VMID with no runnable CVM behind it
       (host, normal VMs, quarantined/destroyed/migrated-out guests) —
-      the invariant that makes VMID-tagged retention safe.
+      the invariant that makes VMID-tagged retention safe;
+    - channel ownership: every live channel's ring page lies inside the
+      PMP-closed pool, is CVM-owned by nobody, sits in no free block,
+      and is mapped at its slot GPA by exactly the two endpoints iff
+      established (by nobody while offered); no live channel keeps a
+      destroyed or quarantined endpoint reachable; dead channels hold
+      no page.
 
     Returns the number of facts checked, or the list of violations.
     Tests call this after every adversarial scenario; a violation means

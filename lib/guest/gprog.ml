@@ -222,3 +222,141 @@ let attest_report ~nonce_byte =
     ]
   @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
   @ [ Ecall ]
+
+(* ---------- attested inter-CVM channels ---------- *)
+
+(* Private scratch buffers for the ecall-based channel data plane. The
+   receive buffer must be page-aligned: the post-ecall status code is
+   branchy and so restricted to fixed-length encodings, and a zero-low-
+   bits GPA loads in a single lui. *)
+let chan_send_buf_gpa = 0x203000L
+let chan_recv_buf_gpa = 0x204000L
+
+let chan_send ~chan ~msg =
+  let len = String.length msg in
+  let stores =
+    List.concat
+      (List.init len (fun i ->
+           Asm.li Asm.t0 (Int64.add chan_send_buf_gpa (Int64.of_int i))
+           @ Asm.li Asm.t1 (Int64.of_int (Char.code msg.[i]))
+           @ [ Store { rs1 = Asm.t0; rs2 = Asm.t1; imm = 0L; width = B } ]))
+  in
+  stores
+  @ Asm.li Asm.a0 (Int64.of_int chan)
+  @ Asm.li Asm.a1 chan_send_buf_gpa
+  @ Asm.li Asm.a2 (Int64.of_int len)
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_chan_send
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+  @ [
+      (* +0: on error jump to the 'E' case at +12 *)
+      Branch (Bne, Asm.a0, 0, 12L);
+      (* +4 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code 'S'));
+      (* +8: skip the 'E' case *) Jal (0, 8L);
+      (* +12 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code 'E'));
+    ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+let chan_recv_putchar ~chan =
+  assert (Int64.logand chan_recv_buf_gpa 0xFFFL = 0L);
+  (* touch the buffer so it is mapped before the SM copies into it *)
+  store_u64 ~gpa:chan_recv_buf_gpa 0L
+  @ Asm.li Asm.a0 (Int64.of_int chan)
+  @ Asm.li Asm.a1 chan_recv_buf_gpa
+  @ Asm.li Asm.a2 (Int64.of_int Zion.Layout.chan_max_msg)
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_chan_recv
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+  (* a0 = error, a1 = delivered length (0 = nothing pending) *)
+  @ [
+      (* +0: error -> 'E' at +28 *) Branch (Bne, Asm.a0, 0, 28L);
+      (* +4: idle -> '-' at +20 *) Branch (Beq, Asm.a1, 0, 16L);
+      (* +8 *) Lui (Asm.t0, chan_recv_buf_gpa);
+      (* +12 *)
+      Load { rd = Asm.a0; rs1 = Asm.t0; imm = 0L; width = B; unsigned = true };
+      (* +16: done at +32 *) Jal (0, 16L);
+      (* +20 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code '-'));
+      (* +24: done at +32 *) Jal (0, 8L);
+      (* +28 *) Op_imm (Add, Asm.a0, 0, Int64.of_int (Char.code 'E'));
+      (* +32: fallthrough *)
+    ]
+  @ Asm.li Asm.a7 Zion.Ecall.sbi_legacy_putchar
+  @ [ Ecall ]
+
+(* Spin until the u64 at [gpa] reaches [target] — the release in the
+   channel/bounce ping-pong benches is always the peer's (or host's)
+   seq publish. Branchy, so fixed-length encodings only: the address
+   is assembled from a lui plus a 12-bit add, both constant-size. *)
+let wait_u64_ge ~gpa ~target =
+  let lo = Int64.to_int (Int64.logand gpa 0xFFFL) in
+  let lo = if lo >= 2048 then lo - 4096 else lo in
+  let hi = Int64.sub gpa (Int64.of_int lo) in
+  assert (Int64.logand hi 0xFFFL = 0L);
+  Asm.li Asm.t1 (Int64.of_int target)
+  @ [
+      Lui (Asm.t0, hi);
+      Op_imm (Add, Asm.t0, Asm.t0, Int64.of_int lo);
+      (* loop: *)
+      Load { rd = Asm.t2; rs1 = Asm.t0; imm = 0L; width = D; unsigned = false };
+      Branch (Blt, Asm.t2, Asm.t1, -4L);
+    ]
+
+(* Doubleword copy loop — the receive-side bounce copy of the
+   host-bounce baseline (shared window -> private buffer). *)
+let copy_words ~from_gpa ~to_gpa ~len =
+  if len mod 8 <> 0 then invalid_arg "Gprog.copy_words: len must be 8-aligned";
+  if len <= 0 then []
+  else
+    Asm.li Asm.t0 from_gpa
+    @ Asm.li Asm.t1 to_gpa
+    @ Asm.li Asm.t2 (Int64.of_int (len / 8))
+    @ [
+        (* loop: *)
+        Load { rd = 28; rs1 = Asm.t0; imm = 0L; width = D; unsigned = false };
+        Store { rs1 = Asm.t1; rs2 = 28; imm = 0L; width = D };
+        Op_imm (Add, Asm.t0, Asm.t0, 8L);
+        Op_imm (Add, Asm.t1, Asm.t1, 8L);
+        Op_imm (Add, Asm.t2, Asm.t2, -1L);
+        Branch (Bne, Asm.t2, 0, -20L);
+      ]
+
+(* Benchmark-weight channel data plane: stage with a compact fill loop
+   and skip the console status chatter of [chan_send]/[chan_recv_putchar]. *)
+let chan_send_fill ~chan ~byte ~len =
+  fill_bytes ~gpa:chan_send_buf_gpa ~byte ~len
+  @ Asm.li Asm.a0 (Int64.of_int chan)
+  @ Asm.li Asm.a1 chan_send_buf_gpa
+  @ Asm.li Asm.a2 (Int64.of_int len)
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_chan_send
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+
+let chan_recv_quiet ~chan =
+  store_u64 ~gpa:chan_recv_buf_gpa 0L
+  @ Asm.li Asm.a0 (Int64.of_int chan)
+  @ Asm.li Asm.a1 chan_recv_buf_gpa
+  @ Asm.li Asm.a2 (Int64.of_int Zion.Layout.chan_max_msg)
+  @ Asm.li Asm.a6 Zion.Ecall.fid_guest_chan_recv
+  @ Asm.li Asm.a7 Zion.Ecall.ext_zion
+  @ [ Ecall ]
+
+let chan_direct_send ~chan ~from_a ~byte ~len =
+  (* The zero-ecall data plane: the sender owns its directional half of
+     the mapped ring page and publishes with three plain stores —
+     payload, length, then the seq bump that makes them visible. *)
+  let base =
+    Int64.add
+      (Zion.Layout.chan_slot_gpa chan)
+      (if from_a then 0L else Int64.of_int Zion.Layout.chan_dir_off)
+  in
+  fill_bytes
+    ~gpa:(Int64.add base (Int64.of_int Zion.Layout.chan_hdr_size))
+    ~byte ~len
+  @ store_u64 ~gpa:(Int64.add base 8L) (Int64.of_int len)
+  @ Asm.li Asm.t0 base
+  @ [
+      Load { rd = Asm.t2; rs1 = Asm.t0; imm = 0L; width = D; unsigned = false };
+      Op_imm (Add, Asm.t2, Asm.t2, 1L);
+      Store { rs1 = Asm.t0; rs2 = Asm.t2; imm = 0L; width = D };
+    ]

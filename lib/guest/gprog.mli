@@ -78,3 +78,42 @@ val attest_report : nonce_byte:char -> Riscv.Decode.t list
 val relinquish : gpa:int64 -> Riscv.Decode.t list
 (** Touch [gpa] (so it is mapped and owned), then hand the page back to
     the SM via the guest relinquish ecall. Does not shut down. *)
+
+val chan_send : chan:int -> msg:string -> Riscv.Decode.t list
+(** Stage [msg] in private memory and publish it on channel [chan]
+    through the SM's chan-send ecall; prints 'S' on success / 'E' on a
+    typed error. Does not shut down. *)
+
+val chan_recv_putchar : chan:int -> Riscv.Decode.t list
+(** Consume one message from channel [chan] through the SM's chan-recv
+    ecall (Check-after-Load on the peer's header) and print its first
+    byte; '-' when nothing is pending, 'E' on a typed error. Does not
+    shut down. *)
+
+val chan_direct_send :
+  chan:int -> from_a:bool -> byte:char -> len:int -> Riscv.Decode.t list
+(** The zero-ecall data plane: publish a [len]-byte message of [byte]s
+    by storing straight into the caller's directional half of the
+    mapped ring page ([from_a] picks the a→b half), bumping the seq
+    header last. Does not wait or shut down. *)
+
+val wait_u64_ge : gpa:int64 -> target:int -> Riscv.Decode.t list
+(** Spin (fixed-length load/branch loop) until the u64 at [gpa] is at
+    least [target]. The ping-pong benches pace themselves with this:
+    the only release is the peer's (or the bouncing host's) seq
+    publish. Does not shut down. *)
+
+val copy_words : from_gpa:int64 -> to_gpa:int64 -> len:int -> Riscv.Decode.t list
+(** Copy [len] bytes ([len] must be a multiple of 8) as doublewords —
+    the receive-side bounce copy of the host-bounce baseline. Raises
+    [Invalid_argument] on misaligned lengths. Does not shut down. *)
+
+val chan_send_fill : chan:int -> byte:char -> len:int -> Riscv.Decode.t list
+(** Benchmark-weight [chan_send]: stage [len] copies of [byte] with a
+    compact fill loop and issue the chan-send ecall, no console
+    output. Does not shut down. *)
+
+val chan_recv_quiet : chan:int -> Riscv.Decode.t list
+(** Benchmark-weight [chan_recv_putchar]: one chan-recv ecall into the
+    private receive buffer, no branching or console output. Does not
+    shut down. *)

@@ -223,3 +223,205 @@ let ring_avail_runaway kvm h =
       ring_poke kvm h ~off:Sw.ring_avail_idx_off ~width:4 0x7001L;
       ring_drive kvm h;
       ring_judge kvm h ~label:"avail-index runaway"
+
+(* ---------- hostile-peer channel attacks (attested channels) ---------- *)
+
+(* The common verdict on a channel attack: the audit must stay clean,
+   and (when [expect_dead]) the channel must be fully torn down — dead
+   phase, ring page scrubbed and returned (ci_page = None). The CVMs
+   named in [alive] must NOT have been quarantined: the blast radius of
+   a hostile peer is the channel, never the tenant. *)
+let chan_judge kvm ~chan ~label ~alive =
+  let mon = Kvm.monitor kvm in
+  match Zion.Monitor.audit mon with
+  | Error findings ->
+      Leaked
+        (Printf.sprintf "%s: audit violation: %s" label
+           (match findings with f :: _ -> f | [] -> "?"))
+  | Ok _ -> (
+      let collateral =
+        List.find_opt
+          (fun id ->
+            Zion.Monitor.cvm_state mon ~cvm:id = Some Zion.Cvm.Quarantined)
+          alive
+      in
+      match collateral with
+      | Some id ->
+          Leaked
+            (Printf.sprintf "%s: endpoint CVM %d quarantined as collateral"
+               label id)
+      | None -> (
+          match Zion.Monitor.chan_info mon ~chan with
+          | Some ci
+            when ci.Zion.Monitor.ci_phase = "established"
+                 || ci.Zion.Monitor.ci_page <> None ->
+              Leaked (label ^ ": channel survived (ring page still owned)")
+          | Some _ | None ->
+              Blocked (label ^ ": channel torn down, endpoints unharmed")))
+
+let chan_connect kvm ha hb =
+  Kvm.connect_channel kvm ha hb ~nonce_a:"atk-nonce-a" ~nonce_b:"atk-nonce-b"
+
+let chan_ring_pa kvm ~chan =
+  match Zion.Monitor.chan_info (Kvm.monitor kvm) ~chan with
+  | Some { Zion.Monitor.ci_page = Some pa; _ } -> Ok pa
+  | _ -> Error "no ring page"
+
+let chan_poison_seq kvm ha hb =
+  match chan_connect kvm ha hb with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok chan -> (
+      match chan_ring_pa kvm ~chan with
+      | Error e -> Blocked ("setup: " ^ e)
+      | Ok pa ->
+          (* Scribble a runaway sequence number into the a→b header: the
+             SM's Check-after-Load shadow must reject it on every poll
+             and degrade the channel at the strike budget. *)
+          let bus = (Kvm.machine kvm).Machine.bus in
+          Bus.write bus pa 8 0xFFFF_FFFF_FF00L;
+          Bus.write bus (Int64.add pa 8L) 8 64L;
+          let mon = Kvm.monitor kvm in
+          for _ = 1 to Zion.Monitor.chan_max_strikes + 1 do
+            ignore (Zion.Monitor.chan_poll mon ~chan)
+          done;
+          chan_judge kvm ~chan ~label:"chan seq runaway"
+            ~alive:[ Kvm.cvm_id ha; Kvm.cvm_id hb ])
+
+let chan_map_ring kvm ha hb =
+  match chan_connect kvm ha hb with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok chan -> (
+      match chan_ring_pa kvm ~chan with
+      | Error e -> Blocked ("setup: " ^ e)
+      | Ok pa -> (
+          (* Point a leaf of A's *shared* subtree at the live channel
+             ring — a host-reachable alias of secure channel memory.
+             The SM's entry sweep must refuse and quarantine A; the
+             quarantine implicitly revokes the channel. *)
+          let mon = Kvm.monitor kvm in
+          if
+            not
+              (Zion.Monitor.config mon).Zion.Monitor.validate_shared_on_entry
+          then begin
+            ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:(Kvm.cvm_id ha));
+            Blocked
+              "PMP blocks CPU access to the aliased ring (entry validation \
+               off; enable validate_shared_on_entry for the quarantine path)"
+          end
+          else begin
+          Shared_map.map_secure_page_for_attack (Kvm.cvm_shared_map ha)
+            ~gpa:Zion.Layout.shared_gpa_base ~pa;
+          ignore
+            (Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:(Kvm.cvm_id ha) ~vcpu:0
+               ~max_steps:100);
+          match Zion.Monitor.audit mon with
+          | Error findings ->
+              Leaked
+                ("chan ring alias: audit violation: "
+                ^ match findings with f :: _ -> f | [] -> "?")
+          | Ok _ ->
+              if
+                Zion.Monitor.cvm_state mon ~cvm:(Kvm.cvm_id ha)
+                <> Some Zion.Cvm.Quarantined
+              then Leaked "chan ring alias: hostile subtree accepted"
+              else (
+                match Zion.Monitor.chan_info mon ~chan with
+                | Some ci when ci.Zion.Monitor.ci_page <> None ->
+                    Leaked
+                      "chan ring alias: quarantine left the ring page owned"
+                | _ ->
+                    Blocked
+                      "SM entry validation quarantined the aliasing CVM; \
+                       channel swept")
+          end))
+
+let chan_accept_stale_epoch kvm ha hb =
+  let mon = Kvm.monitor kvm in
+  let a = Kvm.cvm_id ha and b = Kvm.cvm_id hb in
+  let meas id =
+    Option.value ~default:"" (Zion.Monitor.cvm_measurement mon ~cvm:id)
+  in
+  match
+    Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"stale-a"
+      ~expect:(meas b)
+  with
+  | Error e -> Blocked ("setup: " ^ Zion.Ecall.error_to_string e)
+  | Ok (chan, _) -> (
+      (* Slide B through a migration lock/abort between offer and
+         accept: both transitions bump B's lifecycle epoch, so the
+         epoch captured in the offer is stale and accept must refuse —
+         the attestation a peer verified no longer describes this
+         incarnation. *)
+      (match Zion.Monitor.migrate_out_begin mon ~cvm:b ~session:"atk-stale" with
+      | Ok _ -> ignore (Zion.Monitor.migrate_out_abort mon ~session:"atk-stale")
+      | Error e ->
+          invalid_arg ("stale-epoch setup: " ^ Zion.Ecall.error_to_string e));
+      match
+        Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:"stale-b"
+          ~expect:(meas a)
+      with
+      | Ok _ -> Leaked "stale-epoch accept: mapping went live"
+      | Error Zion.Ecall.Denied ->
+          ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:a);
+          chan_judge kvm ~chan ~label:"stale-epoch accept refused"
+            ~alive:[ a; b ]
+      | Error e ->
+          Blocked ("stale-epoch accept: " ^ Zion.Ecall.error_to_string e))
+
+let chan_peer_destroyed_mid_accept kvm ha hb =
+  let mon = Kvm.monitor kvm in
+  let a = Kvm.cvm_id ha and b = Kvm.cvm_id hb in
+  let meas id =
+    Option.value ~default:"" (Zion.Monitor.cvm_measurement mon ~cvm:id)
+  in
+  match
+    Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"mid-a" ~expect:(meas b)
+  with
+  | Error e -> Blocked ("setup: " ^ Zion.Ecall.error_to_string e)
+  | Ok (chan, _) -> (
+      (* The grantor dies between offer and accept: destroy sweeps the
+         offered channel, so the accept must find it already dead and
+         never install a mapping into B. *)
+      (match Zion.Monitor.destroy_cvm mon ~cvm:a with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg ("mid-accept setup: " ^ Zion.Ecall.error_to_string e));
+      match
+        Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:"mid-b"
+          ~expect:(meas a)
+      with
+      | Ok _ -> Leaked "mid-accept: mapping went live against a dead grantor"
+      | Error _ -> chan_judge kvm ~chan ~label:"accept after grantor destroy"
+                     ~alive:[ b ])
+
+let chan_quarantined_peer kvm ha hb =
+  match chan_connect kvm ha hb with
+  | Error e -> Blocked ("setup: " ^ e)
+  | Ok chan -> (
+      (* Quarantine A (hostile shared subtree) while the channel is
+         live: the implicit revoke must tear the ring out of *both*
+         halves, and B must keep running. *)
+      let mon = Kvm.monitor kvm in
+      if not (Zion.Monitor.config mon).Zion.Monitor.validate_shared_on_entry
+      then begin
+        ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:(Kvm.cvm_id ha));
+        Blocked
+          "quarantine route needs validate_shared_on_entry; channel revoked"
+      end
+      else
+      let pool_base, _ = List.hd (Zion.Secmem.regions (Zion.Monitor.secmem mon)) in
+      Shared_map.map_secure_page_for_attack (Kvm.cvm_shared_map ha)
+        ~gpa:Zion.Layout.shared_gpa_base ~pa:pool_base;
+      ignore
+        (Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:(Kvm.cvm_id ha) ~vcpu:0
+           ~max_steps:100);
+      if
+        Zion.Monitor.cvm_state mon ~cvm:(Kvm.cvm_id ha)
+        <> Some Zion.Cvm.Quarantined
+      then Leaked "quarantined-peer: hostile subtree accepted"
+      else
+        match Zion.Monitor.chan_poll mon ~chan with
+        | Ok true -> Leaked "quarantined-peer: channel outlived the quarantine"
+        | Ok false | Error _ ->
+            chan_judge kvm ~chan ~label:"quarantined peer"
+              ~alive:[ Kvm.cvm_id hb ])

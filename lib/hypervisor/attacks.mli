@@ -66,3 +66,37 @@ val ring_used_dup_in_batch : Kvm.t -> Kvm.cvm_handle -> outcome
 val ring_avail_runaway : Kvm.t -> Kvm.cvm_handle -> outcome
 (** Run the avail index far past everything published (wrap flood);
     the host clamps, the guest sees phantom completions. *)
+
+(** {2 Hostile-peer channel attacks}
+
+    Vectors against the attested inter-CVM channel ([Zion.Monitor]'s
+    [chan_*] interface). The expected defence mirrors the hostile-ring
+    story: Check-after-Load strikes degrade the {e channel} (scrubbed
+    ring, both mappings gone, precise shootdown) while the endpoint
+    CVMs stay out of quarantine — plus the attestation checks that stop
+    a mapping from ever going live against a stale or dead peer. *)
+
+val chan_poison_seq : Kvm.t -> Kvm.cvm_handle -> Kvm.cvm_handle -> outcome
+(** Scribble a runaway sequence number into a live ring header; polls
+    must strike the channel out, never the endpoints. *)
+
+val chan_map_ring : Kvm.t -> Kvm.cvm_handle -> Kvm.cvm_handle -> outcome
+(** Alias the live channel ring into an endpoint's shared (host-
+    writable) subtree; the SM entry sweep must quarantine the aliasing
+    CVM and the quarantine must sweep the channel. *)
+
+val chan_accept_stale_epoch :
+  Kvm.t -> Kvm.cvm_handle -> Kvm.cvm_handle -> outcome
+(** Bump the acceptor's lifecycle epoch (migration lock/abort) between
+    offer and accept; the accept must be [Denied]. *)
+
+val chan_peer_destroyed_mid_accept :
+  Kvm.t -> Kvm.cvm_handle -> Kvm.cvm_handle -> outcome
+(** Destroy the grantor between offer and accept; the accept must find
+    the channel dead and install nothing. *)
+
+val chan_quarantined_peer :
+  Kvm.t -> Kvm.cvm_handle -> Kvm.cvm_handle -> outcome
+(** Quarantine one endpoint of an Established channel; the implicit
+    revoke must scrub and unmap both halves while the other endpoint
+    keeps running. *)

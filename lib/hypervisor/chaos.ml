@@ -54,6 +54,9 @@ type report = {
   migrations_aborted : int;
   ring_poisons : int;  (** hostile pokes at live exitless rings *)
   ring_fallbacks : int;  (** rings CAL degraded to exitful kicks *)
+  chan_opens : int;  (** attested inter-CVM channels established *)
+  chan_poisons : int;  (** hostile pokes at live channel ring headers *)
+  chan_degradations : int;  (** channels CAL degraded (strike budget) *)
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 
@@ -78,6 +81,8 @@ let pp_report ppf r =
   field "  quarantined/reclaimed  %d/%d@." r.quarantines
     r.quarantines_reclaimed;
   field "  ring poisons/fallbacks %d/%d@." r.ring_poisons r.ring_fallbacks;
+  field "  chans open/poison/degr %d/%d/%d@." r.chan_opens r.chan_poisons
+    r.chan_degradations;
   field "  pool clean at end      %b@." r.pool_clean;
   field "  verdict                %s@."
     (if survived r then "SURVIVED" else "COMPROMISED")
@@ -110,6 +115,11 @@ type world = {
   mutable session_ctr : int;
   mutable ring_poisons : int;
   mutable ring_fallbacks : int;
+  mutable chans : int list;
+      (* channel ids the fuzzer established (may have died since) *)
+  mutable chan_opens : int;
+  mutable chan_poisons : int;
+  mutable chan_degradations : int;
 }
 
 let guest_entry = 0x10000L
@@ -494,6 +504,155 @@ let poison_ring w =
         Metrics.Registry.inc (registry w) "chaos.ring_fallback"
       end
 
+(* ---------- channel actions ---------- *)
+
+(* Open an attested channel between two distinct live CVMs, playing the
+   honest relay: forward the grant, verify both reports exactly as the
+   guests would (MAC, then the expected measurement in constant time),
+   and only then accept. A report that fails verification aborts the
+   handshake with a revoke — the mapping must never go live first. *)
+let open_channel w =
+  let finalized h =
+    match Zion.Monitor.cvm_state w.mon ~cvm:(Kvm.cvm_id h) with
+    | Some (Zion.Cvm.Runnable | Zion.Cvm.Running | Zion.Cvm.Suspended) -> true
+    | _ -> false
+  in
+  (* The fuzzer's steady-state population hovers around one guest
+     (shutdowns destroy them fast), so conjure the second endpoint on
+     demand rather than waiting for a lucky census. *)
+  if List.length (List.filter finalized w.live) < 2 then spawn w;
+  if List.length (List.filter finalized w.live) < 2 then spawn w;
+  match List.filter finalized w.live with
+  | ha :: hb :: _ -> (
+      let a = Kvm.cvm_id ha and b = Kvm.cvm_id hb in
+      let meas id = Zion.Monitor.cvm_measurement w.mon ~cvm:id in
+      match (meas a, meas b) with
+      | Some ma, Some mb -> (
+          let nonce =
+            Printf.sprintf "chaos-%Ld" (Int64.logand (rand_i64 w.r) 0xFFFFFFL)
+          in
+          match
+            Zion.Monitor.chan_grant w.mon ~cvm:a ~peer:b ~nonce ~expect:mb
+          with
+          | exception exn -> record_exn w exn
+          | Error _ as r -> count_result w r
+          | Ok (chan, rb) as r -> (
+              count_result w r;
+              if
+                Zion.Attest.verify_report rb
+                && Zion.Attest.constant_time_eq rb.Zion.Attest.measurement mb
+              then (
+                match
+                  Zion.Monitor.chan_accept w.mon ~chan ~cvm:b
+                    ~nonce:(nonce ^ "-b") ~expect:ma
+                with
+                | exception exn -> record_exn w exn
+                | Error _ as r -> count_result w r
+                | Ok ra as r ->
+                    count_result w r;
+                    if
+                      Zion.Attest.verify_report ra
+                      && Zion.Attest.constant_time_eq ra.Zion.Attest.measurement
+                           ma
+                    then begin
+                      w.chan_opens <- w.chan_opens + 1;
+                      Metrics.Registry.inc (registry w) "chaos.chan_open";
+                      w.chans <- chan :: w.chans
+                    end
+                    else
+                      ignore (Zion.Monitor.chan_revoke w.mon ~chan ~cvm:b))
+              else ignore (Zion.Monitor.chan_revoke w.mon ~chan ~cvm:a)))
+      | _ -> ())
+  | _ -> ()
+
+(* Poison a live channel's directional header straight through physical
+   memory (in this model the host can always write secure DRAM — the
+   SM's Check-after-Load is the defense, not the medium): the following
+   polls must strike the channel and, at the budget, degrade it — the
+   channel dies, never the endpoint CVMs, and never with a raise. *)
+let chan_poison w =
+  let live_chan id =
+    match Zion.Monitor.chan_info w.mon ~chan:id with
+    | Some ci when ci.Zion.Monitor.ci_phase = "established" -> Some ci
+    | _ -> None
+  in
+  (* Channels rarely outlive their endpoints' next shutdown, so stand
+     one up to poison if none survived since the last open. *)
+  if List.filter_map live_chan w.chans = [] then open_channel w;
+  match List.filter_map live_chan w.chans with
+  | [] -> ()
+  | cis -> (
+      let ci = one_of w.r cis in
+      match ci.Zion.Monitor.ci_page with
+      | None -> ()
+      | Some pa ->
+          w.chan_poisons <- w.chan_poisons + 1;
+          Metrics.Registry.inc (registry w) "chaos.chan_poison";
+          let base =
+            if rand_int w.r 2 = 0 then pa
+            else Int64.add pa (Int64.of_int Zion.Layout.chan_dir_off)
+          in
+          let bus = w.machine.Machine.bus in
+          (match rand_int w.r 3 with
+          | 0 ->
+              (* sequence runaway (or rewind, once traffic has flowed) *)
+              Bus.write bus base 8 (rand_i64 w.r);
+              Bus.write bus (Int64.add base 8L) 8 16L
+          | 1 ->
+              (* oversized length: must bounce before any copy *)
+              Bus.write bus base 8 1L;
+              Bus.write bus (Int64.add base 8L) 8
+                (Int64.of_int
+                   (Zion.Layout.chan_max_msg + 1 + rand_int w.r 8192))
+          | _ ->
+              (* zero-length "message" *)
+              Bus.write bus base 8 1L;
+              Bus.write bus (Int64.add base 8L) 8 0L);
+          let polls = ref 0 and stop = ref false and degraded = ref false in
+          while (not !stop) && !polls <= Zion.Monitor.chan_max_strikes do
+            incr polls;
+            match Zion.Monitor.chan_poll w.mon ~chan:ci.Zion.Monitor.ci_id with
+            | Ok true -> ()
+            | Ok false ->
+                stop := true;
+                degraded := true
+            | Error _ -> stop := true
+            | exception exn ->
+                record_exn w exn;
+                stop := true
+          done;
+          if !degraded then begin
+            w.chan_degradations <- w.chan_degradations + 1;
+            Metrics.Registry.inc (registry w) "chaos.chan_degrade";
+            w.chans <-
+              List.filter (fun c -> c <> ci.Zion.Monitor.ci_id) w.chans
+          end)
+
+(* Channel calls with adversarial arguments — wrong ids, non-endpoint
+   callers, garbage nonces and expected measurements. All must bounce
+   with typed errors; a hostile "peer" must never acquire a mapping. *)
+let chan_fuzz_ecall w =
+  let mon = w.mon in
+  let fuzz_chan w =
+    match (rand_int w.r 3, w.chans) with
+    | 0, c :: _ -> c
+    | 1, _ -> rand_int w.r 64
+    | _, _ -> -rand_int w.r 1000
+  in
+  match rand_int w.r 4 with
+  | 0 ->
+      call w (fun () ->
+          Zion.Monitor.chan_grant mon ~cvm:(fuzz_id w) ~peer:(fuzz_id w)
+            ~nonce:(fuzz_string w) ~expect:(fuzz_string w))
+  | 1 ->
+      call w (fun () ->
+          Zion.Monitor.chan_accept mon ~chan:(fuzz_chan w) ~cvm:(fuzz_id w)
+            ~nonce:(fuzz_string w) ~expect:(fuzz_string w))
+  | 2 ->
+      call w (fun () ->
+          Zion.Monitor.chan_revoke mon ~chan:(fuzz_chan w) ~cvm:(fuzz_id w))
+  | _ -> call w (fun () -> Zion.Monitor.chan_poll mon ~chan:(fuzz_chan w))
+
 let flip_expand_policy w =
   Kvm.set_expand_policy w.kvm
     (match rand_int w.r 4 with
@@ -628,7 +787,7 @@ let audit w =
 (* ---------- driver ---------- *)
 
 let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
-    ?(tlb_retention = false) ~seed ~iters () =
+    ?(tlb_retention = false) ?(channels = true) ~seed ~iters () =
   let r = rng seed in
   let machine = Machine.create ~nharts ~dram_size:(mib dram_mib) () in
   let config =
@@ -680,6 +839,10 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
       session_ctr = 0;
       ring_poisons = 0;
       ring_fallbacks = 0;
+      chans = [];
+      chan_opens = 0;
+      chan_poisons = 0;
+      chan_degradations = 0;
     }
   in
   for i = 1 to iters do
@@ -687,7 +850,15 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
     (match rand_int w.r 100 with
     | n when n < 8 -> spawn w
     | n when n < 38 -> step w
-    | n when n < 78 -> fuzz_ecall w
+    | n when n < 72 -> fuzz_ecall w
+    | n when n < 78 ->
+        if not channels then fuzz_ecall w
+        else begin
+          match rand_int w.r 3 with
+          | 0 -> open_channel w
+          | 1 -> chan_poison w
+          | _ -> chan_fuzz_ecall w
+        end
     | n when n < 84 -> tamper_reply w
     | n when n < 89 -> tamper_subtree w
     | n when n < 94 -> poison_ring w
@@ -743,6 +914,9 @@ let run ?(dram_mib = 128) ?(pool_mib = 2) ?(nharts = 2)
     migrations_aborted = w.mig_aborted;
     ring_poisons = w.ring_poisons;
     ring_fallbacks = w.ring_fallbacks;
+    chan_opens = w.chan_opens;
+    chan_poisons = w.chan_poisons;
+    chan_degradations = w.chan_degradations;
     pool_clean;
   }
 
@@ -818,6 +992,32 @@ let sm_guest ?(prog = Guest.Gprog.hello "c") kvm =
   with
   | Ok h -> h
   | Error e -> invalid_arg ("Chaos.sm_crash_sweep setup (guest): " ^ e)
+
+(* Two finalized guests on one monitor, plus their measurements — the
+   raw material of every channel scenario. *)
+let sm_chan_pair mon kvm =
+  let ha = sm_guest kvm in
+  let hb = sm_guest kvm in
+  let a = Kvm.cvm_id ha and b = Kvm.cvm_id hb in
+  let meas id =
+    match Zion.Monitor.cvm_measurement mon ~cvm:id with
+    | Some m -> m
+    | None -> invalid_arg "Chaos.sm_crash_sweep setup (chan): no measurement"
+  in
+  (ha, hb, a, b, meas a, meas b)
+
+(* Drive the full attested handshake with the journal quiet, leaving an
+   Established channel for the op under test to tear at. *)
+let sm_chan_established mon kvm =
+  let ha, hb, a, b, ma, mb = sm_chan_pair mon kvm in
+  let chan, _ =
+    sm_expect "chan_grant"
+      (Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"sweep-a" ~expect:mb)
+  in
+  ignore
+    (sm_expect "chan_accept"
+       (Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:"sweep-b" ~expect:ma));
+  (ha, hb, a, b, chan)
 
 let sm_scenarios () =
   let solo name build_op =
@@ -907,6 +1107,76 @@ let sm_scenarios () =
           (sm_expect "out_begin"
              (Zion.Monitor.migrate_out_begin mon ~cvm:(Kvm.cvm_id h)
                 ~session:"sweep"));
+        ( (fun () ->
+            ignore (Zion.Monitor.migrate_out_commit mon ~session:"sweep")),
+          ignore ));
+    (* Channel lifecycle: every journaled chan_* transition, plus every
+       implicit revocation path (endpoint destroy, quarantine, and
+       migrate-out commit), torn at each journal point. *)
+    solo "chan-grant" (fun mon kvm ->
+        let _, _, a, b, _, mb = sm_chan_pair mon kvm in
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"sweep-a"
+                 ~expect:mb)),
+          ignore ));
+    solo "chan-accept" (fun mon kvm ->
+        let _, _, a, b, ma, mb = sm_chan_pair mon kvm in
+        let chan, _ =
+          sm_expect "chan_grant"
+            (Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"sweep-a"
+               ~expect:mb)
+        in
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:"sweep-b"
+                 ~expect:ma)),
+          ignore ));
+    solo "chan-revoke" (fun mon kvm ->
+        let _, _, a, _, chan = sm_chan_established mon kvm in
+        ( (fun () -> ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:a)),
+          ignore ));
+    solo "chan-degrade" (fun mon kvm ->
+        let _, _, _, _, chan = sm_chan_established mon kvm in
+        let pa =
+          match Zion.Monitor.chan_info mon ~chan with
+          | Some { Zion.Monitor.ci_page = Some pa; _ } -> pa
+          | _ ->
+              invalid_arg "Chaos.sm_crash_sweep setup (chan-degrade): no ring"
+        in
+        let bus = (Kvm.machine kvm).Machine.bus in
+        (* A zero-length "message" in the a→b header: every poll strikes,
+           and the strike that exhausts the budget journals the
+           degradation teardown — the op we crash at every point. *)
+        Bus.write bus pa 8 1L;
+        Bus.write bus (Int64.add pa 8L) 8 0L;
+        ( (fun () ->
+            for _ = 1 to Zion.Monitor.chan_max_strikes do
+              ignore (Zion.Monitor.chan_poll mon ~chan)
+            done),
+          ignore ));
+    solo "chan-destroy-a" (fun mon kvm ->
+        let _, _, a, _, _ = sm_chan_established mon kvm in
+        ((fun () -> ignore (Zion.Monitor.destroy_cvm mon ~cvm:a)), ignore));
+    solo "chan-destroy-b" (fun mon kvm ->
+        let _, _, _, b, _ = sm_chan_established mon kvm in
+        ((fun () -> ignore (Zion.Monitor.destroy_cvm mon ~cvm:b)), ignore));
+    solo "chan-quarantine" (fun mon kvm ->
+        let ha, _, a, _, _ = sm_chan_established mon kvm in
+        let pool_base, _ =
+          List.hd (Zion.Secmem.regions (Zion.Monitor.secmem mon))
+        in
+        Shared_map.map_secure_page_for_attack (Kvm.cvm_shared_map ha)
+          ~gpa:Zion.Layout.shared_gpa_base ~pa:pool_base;
+        ( (fun () ->
+            ignore
+              (Zion.Monitor.run_vcpu mon ~hart:0 ~cvm:a ~vcpu:0 ~max_steps:100)),
+          ignore ));
+    solo "chan-mig-commit" (fun mon kvm ->
+        let _, _, a, _, _ = sm_chan_established mon kvm in
+        ignore
+          (sm_expect "out_begin"
+             (Zion.Monitor.migrate_out_begin mon ~cvm:a ~session:"sweep"));
         ( (fun () ->
             ignore (Zion.Monitor.migrate_out_commit mon ~session:"sweep")),
           ignore ));

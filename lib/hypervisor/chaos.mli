@@ -4,11 +4,12 @@
     model against a live Secure Monitor: randomized host-interface
     calls with adversarial arguments, shared-vCPU reply tampering,
     hostile shared-subtree planting, dishonest answers to the
-    slow-path [Exit_need_memory] protocol, and full protocol
-    migrations to a second platform over a lossy channel with random
-    fault rates and injected endpoint crashes ({!Migrator}) —
-    interleaved with legitimate guest work so the attacks land on
-    realistic state.
+    slow-path [Exit_need_memory] protocol, attested inter-CVM channel
+    handshakes with ring-header poisoning and adversarial-argument
+    channel calls, and full protocol migrations to a second platform
+    over a lossy channel with random fault rates and injected endpoint
+    crashes ({!Migrator}) — interleaved with legitimate guest work so
+    the attacks land on realistic state.
 
     The engine checks three survivability properties and reports them:
 
@@ -39,6 +40,9 @@ type report = {
   migrations_aborted : int;
   ring_poisons : int;  (** hostile pokes at live exitless rings *)
   ring_fallbacks : int;  (** rings CAL degraded to exitful kicks *)
+  chan_opens : int;  (** attested inter-CVM channels established *)
+  chan_poisons : int;  (** hostile pokes at live channel ring headers *)
+  chan_degradations : int;  (** channels CAL degraded (strike budget) *)
   pool_clean : bool;  (** all blocks free and list well-formed at the end *)
 }
 
@@ -53,6 +57,7 @@ val run :
   ?pool_mib:int ->
   ?nharts:int ->
   ?tlb_retention:bool ->
+  ?channels:bool ->
   seed:int ->
   iters:int ->
   unit ->
@@ -61,14 +66,20 @@ val run :
     iterations from [seed]. Same seed, same build — same sequence:
     failures are replayable. [tlb_retention] turns on the VMID-tagged
     world-switch fast path, putting the precise-shootdown machinery
-    (and the audit's TLB-coherence section) under fire. *)
+    (and the audit's TLB-coherence section) under fire. [channels]
+    (default [true]) mixes in the inter-CVM channel actions: attested
+    open, ring-header poison (must degrade the channel, never the
+    endpoints), and adversarial-argument channel calls. *)
 
 (** {2 SM-crash sweeps}
 
     The crash-consistency counterpart to the hostile-host fuzzer: kill
     the Secure Monitor at {e every} write-ahead-journal point of every
     journaled operation (create, load, expand, relinquish, destroy,
-    quarantine, import, and all six migration-session calls), model the
+    quarantine, import, all six migration-session calls, and every
+    channel transition — grant, accept, revoke, strike-budget
+    degradation, and the implicit revocations on endpoint destroy,
+    quarantine and migrate-out commit), model the
     reboot with [Zion.Monitor.crash_reboot], run
     [Zion.Monitor.recover], and demand convergence — a clean audit, an
     idempotent second recovery, and a world that still tears down to an

@@ -740,3 +740,53 @@ let run_cvm_to_completion t h ~hart ~quantum ~max_slices =
 let mmio_exits_serviced t = t.mmio_serviced
 let expansions t = t.expansions
 let expand_stalls t = t.expand_stalls
+
+(* ---------- attested inter-CVM channels (host relay) ---------- *)
+
+(* The host's only legitimate role in a channel handshake: relay the
+   SM-signed reports between the two tenants and refuse to proceed when
+   either fails verification. The SM enforces this independently (the
+   mapping only goes live at chan_accept, which re-checks measurements
+   and epochs), so a hostile host skipping these checks gains nothing —
+   but an honest driver models the verify-before-live discipline the
+   guests themselves would follow. *)
+let verify_peer_report r ~expect_meas ~expect_nonce =
+  if not (Zion.Attest.verify_report r) then Error "report MAC invalid"
+  else if not (Zion.Attest.constant_time_eq r.Zion.Attest.measurement expect_meas)
+  then Error "peer measurement mismatch"
+  else if not (Zion.Attest.constant_time_eq r.Zion.Attest.nonce expect_nonce)
+  then Error "stale report (nonce mismatch)"
+  else Ok ()
+
+let connect_channel t ha hb ~nonce_a ~nonce_b =
+  let mon = t.monitor in
+  let a = cvm_id ha and b = cvm_id hb in
+  let meas id = Zion.Monitor.cvm_measurement mon ~cvm:id in
+  match (meas a, meas b) with
+  | None, _ | _, None -> Error "connect_channel: unmeasured endpoint"
+  | Some ma, Some mb -> (
+      match Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:nonce_a ~expect:mb with
+      | Error e ->
+          Error ("connect_channel grant: " ^ Zion.Ecall.error_to_string e)
+      | Ok (chan, rb) -> (
+          match verify_peer_report rb ~expect_meas:mb ~expect_nonce:nonce_a with
+          | Error why ->
+              ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:a);
+              Error ("connect_channel: B's report rejected: " ^ why)
+          | Ok () -> (
+              match
+                Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:nonce_b
+                  ~expect:ma
+              with
+              | Error e ->
+                  ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:a);
+                  Error
+                    ("connect_channel accept: " ^ Zion.Ecall.error_to_string e)
+              | Ok ra -> (
+                  match
+                    verify_peer_report ra ~expect_meas:ma ~expect_nonce:nonce_b
+                  with
+                  | Error why ->
+                      ignore (Zion.Monitor.chan_revoke mon ~chan ~cvm:b);
+                      Error ("connect_channel: A's report rejected: " ^ why)
+                  | Ok () -> Ok chan))))

@@ -146,3 +146,23 @@ val expand_stalls : t -> int
     [0, base/2) — so the ledger records between [1000 lsl n] and
     [1.5 * (1000 lsl n)] cycles for stall [n], and a fleet of tenants
     stalling on the same exhausted pool does not retry in lockstep. *)
+
+(** {2 Attested inter-CVM channels}
+
+    The host's relay role in the [Zion.Monitor.chan_*] handshake. *)
+
+val connect_channel :
+  t ->
+  cvm_handle ->
+  cvm_handle ->
+  nonce_a:string ->
+  nonce_b:string ->
+  (int, string) result
+(** Full attested handshake between two CVMs on this platform: grant
+    from the first endpoint (challenging the peer with [nonce_a]),
+    verify the peer's SM-signed report (MAC, expected measurement,
+    nonce freshness — all in constant time), then accept from the
+    second endpoint (challenging back with [nonce_b]) and verify the
+    grantor's report likewise. Any verification failure revokes the
+    offer before the mapping could be used and returns [Error]; on
+    [Ok chan] the channel is Established with both slot GPAs live. *)

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "zion"
-    (List.concat [ Test_metrics.suite; Test_crypto.suite; Test_riscv.suite; Test_zion.suite; Test_system.suite; Test_workloads.suite; Test_platform.suite; Test_concurrency.suite; Test_exec_extra.suite; Test_monitor_edge.suite; Test_migrate.suite; Test_migrate_proto.suite; Test_csr_props.suite; Test_ledger_accounting.suite; Test_seal_audit.suite; Test_components.suite; Test_odds_ends.suite; Test_observability.suite; Test_telemetry.suite; Test_chaos.suite; Test_tlb_coherence.suite; Test_recovery.suite; Test_exitless.suite ])
+    (List.concat [ Test_metrics.suite; Test_crypto.suite; Test_riscv.suite; Test_zion.suite; Test_system.suite; Test_workloads.suite; Test_platform.suite; Test_concurrency.suite; Test_exec_extra.suite; Test_monitor_edge.suite; Test_migrate.suite; Test_migrate_proto.suite; Test_csr_props.suite; Test_ledger_accounting.suite; Test_seal_audit.suite; Test_components.suite; Test_odds_ends.suite; Test_observability.suite; Test_telemetry.suite; Test_chaos.suite; Test_tlb_coherence.suite; Test_recovery.suite; Test_exitless.suite; Test_channels.suite ])

@@ -263,8 +263,17 @@ let sweep_tests =
         if not (Hypervisor.Chaos.sm_survived r) then
           Alcotest.failf "sweep compromised:@\n%a"
             Hypervisor.Chaos.pp_sm_report r;
-        Alcotest.(check int) "all thirteen operations swept" 13
+        Alcotest.(check int) "all twenty-one operations swept" 21
           (List.length r.Hypervisor.Chaos.sm_ops);
+        List.iter
+          (fun op ->
+            Alcotest.(check bool) (op ^ " swept") true
+              (List.mem_assoc op r.Hypervisor.Chaos.sm_ops))
+          [
+            "chan-grant"; "chan-accept"; "chan-revoke"; "chan-degrade";
+            "chan-destroy-a"; "chan-destroy-b"; "chan-quarantine";
+            "chan-mig-commit";
+          ];
         List.iter
           (fun (op, pts) ->
             if pts < 3 then

@@ -105,7 +105,10 @@ let cvm_tests =
         (* The measurement the SM sealed must verify in a report. *)
         let id = Hypervisor.Kvm.cvm_id h in
         let m = Option.get (Zion.Monitor.cvm_measurement monitor ~cvm:id) in
-        let r = Zion.Attest.make_report ~cvm_id:id ~measurement:m ~nonce:"x" in
+        let r =
+          Zion.Attest.make_report ~cvm_id:id ~epoch:1 ~measurement:m
+            ~nonce:"x"
+        in
         Alcotest.(check bool) "verifies" true (Zion.Attest.verify_report r));
     Alcotest.test_case "pool exhaustion triggers expansion (stage 3)" `Quick
       (fun () ->

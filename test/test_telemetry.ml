@@ -361,6 +361,62 @@ let export_tests =
             Alcotest.(check bool) "quantile sample present" true
               (find "zion_request_cycles" (fun labels _ ->
                    List.mem_assoc "quantile" labels)));
+    Alcotest.test_case "per-CVM channel counters survive both exporters"
+      `Quick (fun () ->
+        let r = Metrics.Registry.create () in
+        let inc ~cvm ~by name =
+          Metrics.Registry.inc ~scope:(Metrics.Registry.Cvm cvm) ~by r name
+        in
+        inc ~cvm:1 ~by:2 "sm.chan.grants";
+        inc ~cvm:1 ~by:1 "sm.chan.peer_rejects";
+        inc ~cvm:2 ~by:2 "sm.chan.accepts";
+        inc ~cvm:2 ~by:1 "sm.chan.revokes";
+        inc ~cvm:2 ~by:1 "sm.chan.degradations";
+        (* Prometheus text: each counter under its cvm label. *)
+        (match
+           Metrics.Export.parse_prometheus
+             (Metrics.Export.registry_to_prometheus r)
+         with
+        | Error e -> Alcotest.failf "prometheus parse failed: %s" e
+        | Ok samples ->
+            let expect name cvm v =
+              Alcotest.(check bool)
+                (Printf.sprintf "%s{cvm=%d} = %g" name cvm v)
+                true
+                (List.exists
+                   (fun (n, labels, got) ->
+                     n = name
+                     && List.assoc_opt "cvm" labels = Some (string_of_int cvm)
+                     && got = v)
+                   samples)
+            in
+            expect "zion_sm_chan_grants_total" 1 2.;
+            expect "zion_sm_chan_peer_rejects_total" 1 1.;
+            expect "zion_sm_chan_accepts_total" 2 2.;
+            expect "zion_sm_chan_revokes_total" 2 1.;
+            expect "zion_sm_chan_degradations_total" 2 1.);
+        (* JSON: structural round-trip plus the counter entries. *)
+        let j = Metrics.Export.registry_to_json r in
+        match Metrics.Export.parse_json (Metrics.Export.json_to_string j) with
+        | Error e -> Alcotest.failf "json parse failed: %s" e
+        | Ok parsed ->
+            Alcotest.(check bool) "structurally identical" true (parsed = j);
+            let has_counter name v =
+              match Metrics.Export.member "counters" parsed with
+              | Some (Metrics.Export.List l) ->
+                  List.exists
+                    (fun c ->
+                      Metrics.Export.member "name" c
+                      = Some (Metrics.Export.Str name)
+                      && Metrics.Export.member "value" c
+                         = Some (Metrics.Export.Num v))
+                    l
+              | _ -> false
+            in
+            Alcotest.(check bool) "grants in json" true
+              (has_counter "sm.chan.grants" 2.);
+            Alcotest.(check bool) "degradations in json" true
+              (has_counter "sm.chan.degradations" 1.));
     Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
         List.iter
           (fun s ->

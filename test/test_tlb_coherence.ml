@@ -234,6 +234,53 @@ let audit_tests =
         check_audit_flags_tlb "foreign page" mon;
         Tlb.flush_pa ~vmid:a tlb b_pa;
         check_audit_ok "after scoped flush_pa" mon);
+    Alcotest.test_case "audit flags a revoked channel ring left cached" `Quick
+      (fun () ->
+        (* The channel revoke path scrubs the ring page and shoots it
+           out of both VMIDs; if a hart somehow kept the translation,
+           the auditor must see a live vmid caching a free block. *)
+        let machine, mon = make_platform () in
+        let a = make_cvm mon (Guest.Gprog.hello "a") in
+        let b = make_cvm mon (Guest.Gprog.hello "b") in
+        let meas id =
+          Option.value ~default:""
+            (Zion.Monitor.cvm_measurement mon ~cvm:id)
+        in
+        let chan =
+          match
+            Zion.Monitor.chan_grant mon ~cvm:a ~peer:b ~nonce:"tlb-a"
+              ~expect:(meas b)
+          with
+          | Ok (c, _) -> c
+          | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e)
+        in
+        (match
+           Zion.Monitor.chan_accept mon ~chan ~cvm:b ~nonce:"tlb-b"
+             ~expect:(meas a)
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e));
+        let ring_pa =
+          match Zion.Monitor.chan_info mon ~chan with
+          | Some { Zion.Monitor.ci_page = Some pa; _ } -> pa
+          | _ -> Alcotest.fail "established channel without ring page"
+        in
+        (match Zion.Monitor.chan_revoke mon ~chan ~cvm:a with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail (Zion.Ecall.error_to_string e));
+        (* The real flow left nothing behind... *)
+        Alcotest.(check int) "no translations survive the revoke" 0
+          (count_vmid machine a + count_vmid machine b);
+        check_audit_ok "after revoke" mon;
+        (* ...and a hand-planted survivor is caught and cleanly killable
+           with the same primitive the revoke uses. *)
+        let tlb = machine.Machine.harts.(0).Hart.tlb in
+        Tlb.insert tlb ~asid:0 ~vmid:b
+          (Zion.Layout.chan_slot_gpa 1)
+          (entry ring_pa);
+        check_audit_flags_tlb "revoked ring" mon;
+        Tlb.flush_pa ~vmid:b tlb ring_pa;
+        check_audit_ok "after flush_pa" mon);
   ]
 
 (* ---------- full-system shootdowns under retention ---------- *)

@@ -316,7 +316,7 @@ let attest_tests =
     Alcotest.test_case "reports verify and tampering is detected" `Quick
       (fun () ->
         let r =
-          Zion.Attest.make_report ~cvm_id:7
+          Zion.Attest.make_report ~cvm_id:7 ~epoch:1
             ~measurement:(String.make 32 'm')
             ~nonce:"nonce123"
         in
@@ -324,7 +324,28 @@ let attest_tests =
         let bad = { r with Zion.Attest.nonce = "nonce124" } in
         Alcotest.(check bool)
           "tamper detected" false
-          (Zion.Attest.verify_report bad));
+          (Zion.Attest.verify_report bad);
+        (* The epoch is MAC-bound too: evidence from another lifecycle
+           epoch cannot be replayed as current. *)
+        let stale = { r with Zion.Attest.epoch = 2 } in
+        Alcotest.(check bool)
+          "epoch bound" false
+          (Zion.Attest.verify_report stale);
+        Alcotest.(check bool)
+          "empty nonce rejected" true
+          (match Zion.Attest.make_report ~cvm_id:7 ~epoch:1
+                   ~measurement:(String.make 32 'm') ~nonce:""
+           with
+          | _ -> false
+          | exception Invalid_argument _ -> true);
+        Alcotest.(check bool)
+          "oversized nonce rejected" true
+          (match Zion.Attest.make_report ~cvm_id:7 ~epoch:1
+                   ~measurement:(String.make 32 'm')
+                   ~nonce:(String.make 65 'n')
+           with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
     Alcotest.test_case "sealed measurement cannot be extended" `Quick
       (fun () ->
         let m = Zion.Attest.start () in
