@@ -392,6 +392,50 @@ let bench_coremark () =
         "ok" ];
     ]
 
+(* ---------- Simulator fast path : instructions per wall-second ---------- *)
+
+(* A/B of the cached-dispatch interpreter (per-page decode cache +
+   translation memos + timer-poll hoist), via [Platform.Exp_sim]. The
+   Table-I rv8 entries are analytic op-count models, so they cannot
+   exercise the interpreter; Exp_sim's mixes are real guest loops
+   stepped instruction by instruction — once with the fast path off,
+   once on — asserting registers, pc, minstret and the full cycle
+   ledger identical. Emits BENCH_sim.json; CI gates speedup >= 3x per
+   workload. *)
+
+let bench_sim () =
+  Metrics.Table.section
+    "Simulator fast path — instructions per wall-second (A/B)";
+  let steps = if quick then 400_000 else 2_000_000 in
+  let results =
+    List.map (fun w -> Platform.Exp_sim.ab_compare w ~steps)
+      Platform.Exp_sim.all
+  in
+  Metrics.Table.print
+    ~header:
+      [ "workload"; "baseline instr/s"; "fast instr/s"; "speedup";
+        "arch state + ledger" ]
+    (List.map
+       (fun (r : Platform.Exp_sim.ab) ->
+         [
+           Platform.Exp_sim.name r.Platform.Exp_sim.workload;
+           fixed 0 r.Platform.Exp_sim.baseline_ips;
+           fixed 0 r.Platform.Exp_sim.fast_ips;
+           Printf.sprintf "%.2fx" r.Platform.Exp_sim.speedup;
+           (if r.Platform.Exp_sim.identical then "identical" else "DIVERGED");
+         ])
+       results);
+  List.iter
+    (fun (r : Platform.Exp_sim.ab) ->
+      if not r.Platform.Exp_sim.identical then begin
+        Printf.printf "FAIL: %s diverged between fast and slow stepping\n"
+          (Platform.Exp_sim.name r.Platform.Exp_sim.workload);
+        exit 1
+      end)
+    results;
+  Platform.Exp_sim.write_json "BENCH_sim.json" ~steps results;
+  print_endline "wrote BENCH_sim.json"
+
 (* ---------- Figure 3 : Redis ---------- *)
 
 let bench_redis () =
@@ -1046,6 +1090,11 @@ let () =
     bench_channel ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "--only-sim") Sys.argv then begin
+    (* Interpreter fast-path A/B only: BENCH_sim.json and its gate. *)
+    bench_sim ();
+    exit 0
+  end;
   bench_switches ();
   bench_tlb_retention ();
   bench_faults ();
@@ -1053,6 +1102,7 @@ let () =
   bench_profile ();
   bench_rv8 ();
   bench_coremark ();
+  bench_sim ();
   bench_redis ();
   bench_iozone ();
   bench_exitless ();

@@ -16,6 +16,8 @@
      export       drive a traced+profiled Redis CVM and export the
                   telemetry plane (Prometheus text / JSON / folded
                   profile / Chrome trace)
+     sim          A/B-benchmark the interpreter fast path (decode cache +
+                  translation memos) and check architectural invisibility
      costs        dump the calibrated cost model *)
 
 open Cmdliner
@@ -1441,6 +1443,115 @@ let export_cmd =
       const run $ format $ out $ check $ profile_interval $ profile_out
       $ trace_out $ requests_arg)
 
+(* ---------- sim ---------- *)
+
+let sim_cmd =
+  let steps =
+    Arg.(
+      value & opt int 400_000
+      & info [ "steps" ] ~docv:"N"
+          ~doc:"Architectural steps per measured run.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Run only this workload (rv8_mix | coremark_mix | \
+             rv8_mix_paged); default all.")
+  in
+  let slow =
+    Arg.(
+      value & flag
+      & info [ "slow" ]
+          ~doc:
+            "Single run with the fast path disabled (no A/B), reporting \
+             instructions per wall-second of the uncached interpreter.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the A/B results as BENCH_sim-shaped JSON.")
+  in
+  let run steps workload slow json =
+    let workloads =
+      match workload with
+      | None -> Ok Platform.Exp_sim.all
+      | Some n -> (
+          match Platform.Exp_sim.of_name n with
+          | Some w -> Ok [ w ]
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown workload %S (expected rv8_mix | coremark_mix | \
+                    rv8_mix_paged)"
+                   n))
+    in
+    match workloads with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok workloads when slow ->
+        Metrics.Table.section "simulator, fast path disabled";
+        Metrics.Table.print
+          ~header:[ "workload"; "steps"; "seconds"; "instr/s"; "cycles" ]
+          (List.map
+             (fun w ->
+               let r = Platform.Exp_sim.run w ~fast:false ~steps in
+               [
+                 Platform.Exp_sim.name w;
+                 string_of_int r.Platform.Exp_sim.executed;
+                 fixed 3 r.Platform.Exp_sim.seconds;
+                 fixed 0
+                   (float_of_int r.Platform.Exp_sim.executed
+                   /. r.Platform.Exp_sim.seconds);
+                 string_of_int r.Platform.Exp_sim.state.Platform.Exp_sim.clock;
+               ])
+             workloads)
+    | Ok workloads ->
+        Metrics.Table.section
+          "simulator fast path — instructions per wall-second (A/B)";
+        let results =
+          List.map (fun w -> Platform.Exp_sim.ab_compare w ~steps) workloads
+        in
+        Metrics.Table.print
+          ~header:
+            [ "workload"; "baseline instr/s"; "fast instr/s"; "speedup";
+              "arch state + ledger" ]
+          (List.map
+             (fun (r : Platform.Exp_sim.ab) ->
+               [
+                 Platform.Exp_sim.name r.Platform.Exp_sim.workload;
+                 fixed 0 r.Platform.Exp_sim.baseline_ips;
+                 fixed 0 r.Platform.Exp_sim.fast_ips;
+                 Printf.sprintf "%.2fx" r.Platform.Exp_sim.speedup;
+                 (if r.Platform.Exp_sim.identical then "identical"
+                  else "DIVERGED");
+               ])
+             results);
+        (match json with
+        | Some path ->
+            Platform.Exp_sim.write_json path ~steps results;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if not (List.for_all (fun r -> r.Platform.Exp_sim.identical) results)
+        then begin
+          prerr_endline
+            "FAIL: fast and slow stepping diverged (see table above)";
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Benchmark the interpreter fast path (decode cache + translation \
+          memos) against uncached stepping, checking architectural \
+          invisibility")
+    Term.(const run $ steps $ workload $ slow $ json)
+
 (* ---------- costs ---------- *)
 
 let costs_cmd =
@@ -1498,5 +1609,5 @@ let () =
           [
             experiments_cmd; boot_cmd; attacks_cmd; audit_cmd; recover_cmd;
             fuzz_cmd; migrate_cmd; trace_cmd; stats_cmd; top_cmd; io_cmd;
-            channel_cmd; export_cmd; costs_cmd;
+            channel_cmd; export_cmd; sim_cmd; costs_cmd;
           ]))

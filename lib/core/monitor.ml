@@ -393,7 +393,11 @@ let find_cvm t id = Hashtbl.find_opt t.cvms id
    must not outlive its pages. Charged per hart actually fenced. *)
 let shootdown_vmid t ~vmid ~reason =
   let harts = t.machine.Machine.harts in
-  Array.iter (fun hart -> Tlb.flush_vmid hart.Hart.tlb vmid) harts;
+  Array.iter
+    (fun hart ->
+      Tlb.flush_vmid hart.Hart.tlb vmid;
+      Hart.invalidate_fast_path hart)
+    harts;
   charge t "sm_shootdown"
     (Array.length harts * t.cost.Cost.tlb_vmid_flush);
   if obs t then begin
@@ -466,7 +470,8 @@ let chan_teardown ?record t ch ~phase ~reason =
          Array.iter
            (fun hart ->
              Tlb.flush_pa ~vmid:ch.ch_a hart.Hart.tlb pa;
-             Tlb.flush_pa ~vmid:ch.ch_b hart.Hart.tlb pa)
+             Tlb.flush_pa ~vmid:ch.ch_b hart.Hart.tlb pa;
+             Hart.invalidate_fast_path hart)
            harts;
          charge t "sm_shootdown"
            (2 * Array.length harts * t.cost.Cost.tlb_vmid_flush);
@@ -683,7 +688,9 @@ let register_secure_region_impl t ~base ~size =
               ((synced * t.cost.Cost.pmp_toggle) + t.cost.Cost.pmp_toggle
               + (nharts * t.cost.Cost.tlb_full_flush));
             Array.iter
-              (fun hart -> Tlb.flush_all hart.Hart.tlb)
+              (fun hart ->
+                Tlb.flush_all hart.Hart.tlb;
+                Hart.invalidate_fast_path hart)
               t.machine.Machine.harts;
             if obs t then
               Metrics.Registry.inc t.registry ~by:nharts "tlb.full_flush";
@@ -1981,7 +1988,9 @@ let handle_guest_ecall t cvm (hart : Hart.t) =
                    down by physical page, scoped to this CVM, on every
                    hart. *)
                 Array.iter
-                  (fun h -> Tlb.flush_pa ~vmid:cvm.Cvm.id h.Hart.tlb pa)
+                  (fun h ->
+                    Tlb.flush_pa ~vmid:cvm.Cvm.id h.Hart.tlb pa;
+                    Hart.invalidate_fast_path h)
                   t.machine.Machine.harts;
                 charge t "sm_shootdown"
                   (Array.length t.machine.Machine.harts
@@ -2137,6 +2146,7 @@ let world_switch_out t hart_id cvm vcpu_idx ~mmio_kind =
     if t.cfg.tlb_retention then false
     else begin
       Tlb.flush_all hart.Hart.tlb;
+      Hart.invalidate_fast_path hart;
       true
     end
   in
@@ -2320,6 +2330,7 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                 if t.cfg.tlb_retention then false
                 else begin
                   Tlb.flush_all hart.Hart.tlb;
+                  Hart.invalidate_fast_path hart;
                   true
                 end
               in
@@ -2339,6 +2350,7 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                   (* No guest instruction ran: only this CVM's (possibly
                      retained) entries could be suspect. *)
                   Tlb.flush_vmid hart.Hart.tlb id;
+                  Hart.invalidate_fast_path hart;
                   if obs t then begin
                     Metrics.Trace.instant t.trace ~hart:hart_id ~cvm:id
                       ~vcpu:vcpu_idx "shared_subtree.reject";
@@ -2462,6 +2474,7 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
                                  the same page index is still valid. *)
                               Tlb.flush_page ~vmid:id hart.Hart.tlb
                                 hart.Hart.csr.Csr.mtval;
+                              Hart.invalidate_fast_path hart;
                               resume_guest t hart ~skip:false;
                               loop (steps + 1)
                           | Error (Exit_need_memory b) ->
@@ -2511,7 +2524,8 @@ let run_vcpu t ~hart:hart_id ~cvm:id ~vcpu:vcpu_idx ~max_steps =
             ignore (Pmp_guard.set_world t.guard hart ~cvm_open:false);
             (* Only this CVM's translations are suspect; the quarantine
                below shoots its VMID down on every hart anyway. *)
-            Tlb.flush_vmid hart.Hart.tlb cvm.Cvm.id
+            Tlb.flush_vmid hart.Hart.tlb cvm.Cvm.id;
+            Hart.invalidate_fast_path hart
           end;
           quarantine t cvm
             ~reason:("internal fault during run: " ^ Printexc.to_string e);
@@ -3006,6 +3020,7 @@ let crash_reboot t =
         Pmp.clear csr.Csr.pmp e
       done;
       Tlb.flush_all hart.Hart.tlb;
+      Hart.invalidate_fast_path hart;
       csr.Csr.satp <- 0L;
       csr.Csr.hgatp <- 0L;
       csr.Csr.medeleg <- 0L;
@@ -3397,7 +3412,8 @@ let recover t =
       if Pmp_guard.sync_hart t.guard hart t.sm ~cvm_open:false then
         incr synced;
       hart.Hart.mode <- Priv.HS;
-      Tlb.flush_all hart.Hart.tlb)
+      Tlb.flush_all hart.Hart.tlb;
+      Hart.invalidate_fast_path hart)
     t.machine.Machine.harts;
   let iopmp = Bus.iopmp t.machine.Machine.bus in
   Iopmp.allow_all_default iopmp true;

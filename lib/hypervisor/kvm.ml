@@ -259,6 +259,7 @@ let run_normal_vm t nvm ~hart:hart_id ~max_steps =
        guest access can use them. *)
     if Hashtbl.find_opt nvm.hgatp_seen hart_id <> Some hgatp then begin
       Tlb.flush_vmid hart.Hart.tlb vmid;
+      Hart.invalidate_fast_path hart;
       charge t "nvm_tlb_fence" t.cost.Cost.tlb_vmid_flush;
       Hashtbl.replace nvm.hgatp_seen hart_id hgatp
     end;

@@ -1,6 +1,11 @@
-type t = { mutable clock : int; totals : (string, int ref) Hashtbl.t }
+type t = {
+  mutable clock : int;
+  totals : (string, int ref) Hashtbl.t;
+  mutable gen : int;
+      (* bumped on [reset], which orphans the refs cached by counters *)
+}
 
-let create () = { clock = 0; totals = Hashtbl.create 32 }
+let create () = { clock = 0; totals = Hashtbl.create 32; gen = 0 }
 let now t = t.clock
 
 let charge t category cycles =
@@ -52,4 +57,36 @@ let snapshot_totals s = s.snap_totals
 
 let reset t =
   t.clock <- 0;
-  Hashtbl.reset t.totals
+  Hashtbl.reset t.totals;
+  t.gen <- t.gen + 1
+
+(* Pre-resolved handle for one category: hot paths charging the same
+   category every instruction skip the string hash. The cached ref is
+   resolved lazily on first tick (so a never-charged category does not
+   appear in [categories]/[snapshot], exactly as with [charge]) and
+   revalidated against the reset generation (a [reset] replaces the
+   underlying refs). [tick c n] is observably identical to
+   [charge t name n]. *)
+type counter = {
+  c_ledger : t;
+  c_name : string;
+  mutable c_gen : int;
+  mutable c_ref : int ref;
+}
+
+let counter t name = { c_ledger = t; c_name = name; c_gen = -1; c_ref = ref 0 }
+
+let tick c cycles =
+  if cycles < 0 then invalid_arg "Ledger.tick: negative cycles";
+  let t = c.c_ledger in
+  t.clock <- t.clock + cycles;
+  if c.c_gen <> t.gen then begin
+    (match Hashtbl.find_opt t.totals c.c_name with
+    | Some r -> c.c_ref <- r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.totals c.c_name r;
+        c.c_ref <- r);
+    c.c_gen <- t.gen
+  end;
+  c.c_ref := !(c.c_ref) + cycles

@@ -49,3 +49,16 @@ val snapshot_totals : snapshot -> (string * int) list
 
 val reset : t -> unit
 (** Zero the clock and all category totals. *)
+
+type counter
+(** Pre-resolved handle for one category, for paths that charge the
+    same category every instruction. *)
+
+val counter : t -> string -> counter
+(** [counter t name] — a handle such that [tick] is observably
+    identical to [charge t name] but skips the per-call string hash.
+    Creating the handle does {e not} create the category; it appears
+    only once ticked, exactly as with [charge]. Handles survive
+    [reset] (they re-resolve lazily). *)
+
+val tick : counter -> int -> unit

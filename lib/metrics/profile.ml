@@ -5,6 +5,12 @@ type t = {
   countdown : int array; (* per hart, retired instrs until next sample *)
   context : int array; (* per hart, owning CVM id (-1 = host) *)
   hits : (int * int64, int ref) Hashtbl.t; (* (cvm, page) -> count *)
+  (* Last-bucket memo per hart: loops sample the same (cvm, page) over
+     and over, and the tuple key + polymorphic hash would otherwise
+     allocate on every expiry. *)
+  last_cvm : int array;
+  last_page : int64 array; (* Int64.min_int = empty (never a page base) *)
+  last_count : int ref array;
   mutable regions : region list;
   mutable total : int;
 }
@@ -17,6 +23,9 @@ let create ?(interval = 64) ~nharts () =
     countdown = Array.make nharts interval;
     context = Array.make nharts (-1);
     hits = Hashtbl.create 64;
+    last_cvm = Array.make nharts (-1);
+    last_page = Array.make nharts Int64.min_int;
+    last_count = Array.init nharts (fun _ -> ref 0);
     regions = [];
     total = 0;
   }
@@ -26,19 +35,35 @@ let interval t = t.ival
 let page_of pc = Int64.logand pc (Int64.lognot 0xFFFL)
 
 (* The non-expiry path — decrement, compare, store — runs once per
-   retired instruction and must not allocate.  Everything boxed
-   (the Int64 page mask, the hashtable key) stays on the expiry path,
-   which runs once per [ival] instructions. *)
+   retired instruction and must not allocate.  The expiry path first
+   tries the per-hart last-bucket memo (an int compare, an Int64
+   compare and an incr); the tuple key and hashtable only get touched
+   when the sampled page actually changes. *)
 let sample t ~hart ~pc =
   if hart >= 0 && hart < Array.length t.countdown then begin
     let c = t.countdown.(hart) - 1 in
     if c > 0 then t.countdown.(hart) <- c
     else begin
       t.countdown.(hart) <- t.ival;
-      let key = (t.context.(hart), page_of pc) in
-      (match Hashtbl.find_opt t.hits key with
-      | Some r -> incr r
-      | None -> Hashtbl.add t.hits key (ref 1));
+      let cvm = t.context.(hart) in
+      let page = page_of pc in
+      if cvm = t.last_cvm.(hart) && Int64.equal page t.last_page.(hart) then
+        incr t.last_count.(hart)
+      else begin
+        let r =
+          let key = (cvm, page) in
+          match Hashtbl.find_opt t.hits key with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.add t.hits key r;
+              r
+        in
+        incr r;
+        t.last_cvm.(hart) <- cvm;
+        t.last_page.(hart) <- page;
+        t.last_count.(hart) <- r
+      end;
       t.total <- t.total + 1
     end
   end

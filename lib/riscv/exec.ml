@@ -2,9 +2,6 @@ open Decode
 
 exception Halt of int64
 
-let charge (hart : Hart.t) category cycles =
-  Metrics.Ledger.charge hart.Hart.ledger category cycles
-
 let alu_compute op a b =
   match op with
   | Add -> Int64.add a b
@@ -133,24 +130,24 @@ let exec_instr (hart : Hart.t) word instr =
   let reg = Hart.get_reg hart in
   match instr with
   | Lui (rd, imm) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd imm;
       hart.Hart.pc <- next
   | Auipc (rd, imm) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd (Int64.add hart.Hart.pc imm);
       hart.Hart.pc <- next
   | Jal (rd, imm) ->
-      charge hart "jump" cost.Cost.jump;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_jump cost.Cost.jump;
       rd_set rd next;
       hart.Hart.pc <- Int64.add hart.Hart.pc imm
   | Jalr (rd, rs1, imm) ->
-      charge hart "jump" cost.Cost.jump;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_jump cost.Cost.jump;
       let target = Int64.logand (Int64.add (reg rs1) imm) (-2L) in
       rd_set rd next;
       hart.Hart.pc <- target
   | Branch (op, rs1, rs2, imm) ->
-      charge hart "branch" cost.Cost.branch;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_branch cost.Cost.branch;
       let a = reg rs1 and b = reg rs2 in
       let taken =
         match op with
@@ -163,32 +160,32 @@ let exec_instr (hart : Hart.t) word instr =
       in
       hart.Hart.pc <- (if taken then Int64.add hart.Hart.pc imm else next)
   | Load { rd; rs1; imm; width; unsigned } ->
-      charge hart "load" cost.Cost.load;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_load cost.Cost.load;
       let va = Int64.add (reg rs1) imm in
       record_tinst hart word;
       let v = Hart.read_mem hart va (width_bytes width) in
       rd_set rd (load_result v width unsigned);
       hart.Hart.pc <- next
   | Store { rs1; rs2; imm; width } ->
-      charge hart "store" cost.Cost.store;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_store cost.Cost.store;
       let va = Int64.add (reg rs1) imm in
       record_tinst hart word;
       Hart.write_mem hart va (width_bytes width) (reg rs2);
       hart.Hart.pc <- next
   | Op_imm (op, rd, rs1, imm) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd (alu_compute op (reg rs1) imm);
       hart.Hart.pc <- next
   | Op_imm_w (op, rd, rs1, imm) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd (alu_compute_w op (reg rs1) imm);
       hart.Hart.pc <- next
   | Op (op, rd, rs1, rs2) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd (alu_compute op (reg rs1) (reg rs2));
       hart.Hart.pc <- next
   | Op_w (op, rd, rs1, rs2) ->
-      charge hart "alu" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_alu cost.Cost.alu;
       rd_set rd (alu_compute_w op (reg rs1) (reg rs2));
       hart.Hart.pc <- next
   | Muldiv (op, rd, rs1, rs2) ->
@@ -197,7 +194,7 @@ let exec_instr (hart : Hart.t) word instr =
         | Mul | Mulh | Mulhsu | Mulhu -> cost.Cost.mul
         | Div | Divu | Rem | Remu -> cost.Cost.div
       in
-      charge hart "muldiv" c;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_muldiv c;
       rd_set rd (muldiv_compute op (reg rs1) (reg rs2));
       hart.Hart.pc <- next
   | Muldiv_w (op, rd, rs1, rs2) ->
@@ -206,11 +203,11 @@ let exec_instr (hart : Hart.t) word instr =
         | Mul | Mulh | Mulhsu | Mulhu -> cost.Cost.mul
         | Div | Divu | Rem | Remu -> cost.Cost.div
       in
-      charge hart "muldiv" c;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_muldiv c;
       rd_set rd (muldiv_compute_w op (reg rs1) (reg rs2));
       hart.Hart.pc <- next
   | Amo { op; rd; rs1; rs2; width } -> begin
-      charge hart "amo" (cost.Cost.load + cost.Cost.store);
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_amo (cost.Cost.load + cost.Cost.store);
       let va = reg rs1 in
       let len = width_bytes width in
       let sext v = if width = W then Xword.sext32 v else v in
@@ -233,7 +230,9 @@ let exec_instr (hart : Hart.t) word instr =
           hart.Hart.pc <- next
       | Amoswap | Amoadd | Amoxor | Amoand | Amoor | Amomin | Amomax
       | Amominu | Amomaxu ->
-          let old = sext (Hart.read_mem hart va len) in
+          (* Both halves of an AMO use Store/AMO fault causes and
+             require write permission; only LR keeps Load-class. *)
+          let old = sext (Hart.amo_read_mem hart va len) in
           let src = reg rs2 in
           let nv =
             match op with
@@ -253,7 +252,7 @@ let exec_instr (hart : Hart.t) word instr =
           hart.Hart.pc <- next
     end
   | Csr (op, rd, rs1, csrno) -> begin
-      charge hart "csr" cost.Cost.csr;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_csr cost.Cost.csr;
       let csr = hart.Hart.csr in
       let src =
         match op with
@@ -292,8 +291,15 @@ let exec_instr (hart : Hart.t) word instr =
             raise (Hart.Trap_exn (Cause.Virtual_instruction, word, 0L))
           else raise (Hart.Trap_exn (Cause.Illegal_instruction, word, 0L))
     end
-  | Fence | Fence_i ->
-      charge hart "fence" cost.Cost.fence;
+  | Fence ->
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_fence cost.Cost.fence;
+      hart.Hart.pc <- next
+  | Fence_i ->
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_fence cost.Cost.fence;
+      (* fence.i orders stores before fetches: drop the decoded-
+         instruction cache (the write-generation check already makes
+         stale decodes impossible; this is the architectural hook). *)
+      Hart.flush_decode_cache hart;
       hart.Hart.pc <- next
   | Ecall -> raise (Hart.Trap_exn (ecall_cause hart.Hart.mode, 0L, 0L))
   | Ebreak ->
@@ -309,19 +315,67 @@ let exec_instr (hart : Hart.t) word instr =
       if hart.Hart.mode = Priv.M then Trap.mret hart
       else raise (Hart.Trap_exn (Cause.Illegal_instruction, word, 0L))
   | Wfi ->
-      charge hart "wfi" cost.Cost.alu;
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_wfi cost.Cost.alu;
       hart.Hart.wfi_stalled <- true;
       hart.Hart.pc <- next
-  | Sfence_vma (_, _) ->
-      charge hart "fence" cost.Cost.tlb_full_flush;
-      Tlb.flush_all hart.Hart.tlb;
+  | Sfence_vma (rs1, rs2) ->
+      (* Operand-scoped invalidation: rs1 carries a virtual address,
+         rs2 an ASID; x0 means "all". A guest sfence is additionally
+         confined to its own VMID. The cycle charge stays the full-
+         flush cost — operand decode doesn't change the modelled
+         shootdown latency. *)
+      Metrics.Ledger.tick hart.Hart.cnt.Hart.c_fence cost.Cost.tlb_full_flush;
+      let tlb = hart.Hart.tlb in
+      let vmid =
+        if Priv.virtualized hart.Hart.mode then Some (Hart.vmid hart)
+        else None
+      in
+      (if rs1 = 0 && rs2 = 0 then
+         match vmid with
+         | Some v -> Tlb.flush_vmid tlb v
+         | None -> Tlb.flush_all tlb
+       else if rs1 = 0 then
+         Tlb.flush_asid ?vmid tlb
+           (Int64.to_int (Int64.logand (reg rs2) 0xFFFFL))
+       else if rs2 = 0 then Tlb.flush_page ?vmid tlb (reg rs1)
+       else
+         Tlb.flush_page
+           ~asid:(Int64.to_int (Int64.logand (reg rs2) 0xFFFFL))
+           ?vmid tlb (reg rs1));
       hart.Hart.pc <- next
-  | Hfence_gvma (_, _) | Hfence_vvma (_, _) ->
+  | Hfence_gvma (_, rs2) ->
       if Priv.virtualized hart.Hart.mode then
         raise (Hart.Trap_exn (Cause.Virtual_instruction, word, 0L))
       else begin
-        charge hart "fence" cost.Cost.tlb_full_flush;
-        Tlb.flush_all hart.Hart.tlb;
+        Metrics.Ledger.tick hart.Hart.cnt.Hart.c_fence cost.Cost.tlb_full_flush;
+        (* rs1 would scope by guest-physical page, but the TLB caches
+           merged two-stage entries keyed by guest VA — a GPA cannot
+           select them, so only the VMID operand narrows the flush
+           (over-invalidation is always permitted). *)
+        (if rs2 = 0 then Tlb.flush_all hart.Hart.tlb
+         else
+           Tlb.flush_vmid hart.Hart.tlb
+             (Int64.to_int (Int64.logand (reg rs2) 0x3FFFL)));
+        hart.Hart.pc <- next
+      end
+  | Hfence_vvma (rs1, rs2) ->
+      if Priv.virtualized hart.Hart.mode then
+        raise (Hart.Trap_exn (Cause.Virtual_instruction, word, 0L))
+      else begin
+        Metrics.Ledger.tick hart.Hart.cnt.Hart.c_fence cost.Cost.tlb_full_flush;
+        (* VS-stage fence for the guest currently selected by hgatp;
+           rs1 = guest VA, rs2 = guest ASID. *)
+        let tlb = hart.Hart.tlb in
+        let vmid = Sv39.vmid_of_hgatp hart.Hart.csr.Csr.hgatp in
+        (if rs1 = 0 && rs2 = 0 then Tlb.flush_vmid tlb vmid
+         else if rs1 = 0 then
+           Tlb.flush_asid ~vmid tlb
+             (Int64.to_int (Int64.logand (reg rs2) 0xFFFFL))
+         else if rs2 = 0 then Tlb.flush_page ~vmid tlb (reg rs1)
+         else
+           Tlb.flush_page
+             ~asid:(Int64.to_int (Int64.logand (reg rs2) 0xFFFFL))
+             ~vmid tlb (reg rs1));
         hart.Hart.pc <- next
       end
   | Illegal w -> raise (Hart.Trap_exn (Cause.Illegal_instruction, w, 0L))
@@ -339,14 +393,61 @@ let update_timer_pending (hart : Hart.t) =
     Xword.set_bits hart.Hart.csr.Csr.mip ~hi:scode ~lo:scode
       (if swi then 1L else 0L)
 
+(* Memoised form of [update_timer_pending]: the forced mip bits can
+   only change when mtime crosses the memoised threshold, the CLINT
+   configuration generation moves, mip was written behind our back, or
+   time went backwards (ledger reset). Any of those recomputes exactly
+   as the slow path does; otherwise the bits provably already hold the
+   values the slow path would force. *)
+let sync_clint_mip (hart : Hart.t) =
+  let fp = hart.Hart.fp in
+  let clint = Bus.clint hart.Hart.bus in
+  let time = Clint.mtime clint in
+  let cg = Clint.generation clint in
+  let csr = hart.Hart.csr in
+  let mip = csr.Csr.mip in
+  if
+    fp.Hart.cl_gen = cg
+    && Xword.bit mip 7 = fp.Hart.cl_mtip
+    && Xword.bit mip 3 = fp.Hart.cl_msip
+    && not (Xword.ult time fp.Hart.cl_last_time)
+    && Xword.ult time fp.Hart.cl_poll_at
+  then fp.Hart.cl_last_time <- time
+  else begin
+    update_timer_pending hart;
+    fp.Hart.cl_gen <- cg;
+    fp.Hart.cl_mtip <- Xword.bit csr.Csr.mip 7;
+    fp.Hart.cl_msip <- Xword.bit csr.Csr.mip 3;
+    fp.Hart.cl_last_time <- time;
+    fp.Hart.cl_poll_at <-
+      (if fp.Hart.cl_mtip then Int64.max_int
+       else Clint.mtimecmp clint hart.Hart.id)
+  end
+
 let trace = ref false
 let profile : Metrics.Profile.t option ref = ref None
 
 let step (hart : Hart.t) =
   if !trace then
     Printf.eprintf "[trace] mode=%s pc=%Lx\n%!" (Priv.to_string hart.Hart.mode) hart.Hart.pc;
-  update_timer_pending hart;
-  match Trap.pending_interrupt hart with
+  let fast = Hart.fast_path_enabled hart in
+  if fast then sync_clint_mip hart else update_timer_pending hart;
+  let no_interrupt_possible =
+    (* (mip | hvip when virtualised) & mie = 0 makes pending_and_enabled
+       false for every cause, so the priority scan must return None. *)
+    fast
+    &&
+    let csr = hart.Hart.csr in
+    let pend =
+      if Priv.virtualized hart.Hart.mode then
+        Int64.logor csr.Csr.mip csr.Csr.hvip
+      else csr.Csr.mip
+    in
+    Int64.equal (Int64.logand pend csr.Csr.mie) 0L
+  in
+  match
+    if no_interrupt_possible then None else Trap.pending_interrupt hart
+  with
   | Some i ->
       hart.Hart.wfi_stalled <- false;
       Trap.take hart (Cause.Interrupt i) ~tval:0L ~tval2:0L
@@ -354,10 +455,7 @@ let step (hart : Hart.t) =
       if hart.Hart.wfi_stalled then ()
       else begin
         let pc_before = hart.Hart.pc in
-        match
-          let word = Hart.fetch hart in
-          (word, Decode.decode word)
-        with
+        match Hart.fetch_decoded hart with
         | word, instr -> begin
             try
               exec_instr hart word instr;

@@ -1,5 +1,106 @@
 exception Trap_exn of Cause.exception_t * int64 * int64
 
+(* One decoded-instruction cache page: the pre-decoded words of one
+   physical page, validated against the backing page's write
+   generation. A stale generation clears the slots; the handle itself
+   stays valid for the life of the machine. *)
+type dpage = {
+  dp_pa_page : int64;
+  dp_phys : Physmem.page;
+  mutable dp_gen : int;
+  dp_slots : (int64 * Decode.t) option array; (* one per 4-byte slot *)
+}
+
+(* One translation memo: the last translated page for one access kind
+   (fetch, load or store), plus an implied whole-page PMP verdict.
+   Valid while every input that could change the slow path's answer —
+   or its side effects on TLB statistics — is unchanged: same virtual
+   page, mode, raw satp/vsatp/hgatp, PMP configuration epoch and TLB
+   structural generation. *)
+type amemo = {
+  mutable am_valid : bool;
+  mutable am_vpage : int64;
+  mutable am_mode : Priv.t;
+  mutable am_satp : int64;
+  mutable am_vsatp : int64;
+  mutable am_hgatp : int64;
+  mutable am_pmp : int;
+  mutable am_tlb : int;
+  mutable am_pa_page : int64;
+  mutable am_counts_hit : bool;
+      (* whether the uncached path would have counted a TLB hit *)
+}
+
+(* Fast-path state. Everything here is a memo over architectural state
+   owned elsewhere; dropping it at any time is always correct. The
+   validity conditions are chosen so that serving from the memo is
+   indistinguishable from the uncached path — same traps, same TLB
+   statistics, same ledger charges. *)
+type fastpath = {
+  mutable fp_enabled : bool;
+  fm : amemo; (* fetch translations *)
+  lm : amemo; (* load translations *)
+  sm : amemo; (* store/AMO translations *)
+  dcache : dpage option array; (* direct-mapped by PA page *)
+  (* CLINT poll memo, maintained by [Exec.step]: the next mtime at
+     which the pending state can change, plus the mip bits and CLINT
+     generation it was computed from. *)
+  mutable cl_gen : int;
+  mutable cl_poll_at : int64;
+  mutable cl_last_time : int64;
+  mutable cl_mtip : bool;
+  mutable cl_msip : bool;
+}
+
+let dcache_ways = 64
+let dcache_slots = 4096 / 4
+let fast_path_default = ref true
+
+let fresh_amemo () =
+  {
+    am_valid = false;
+    am_vpage = 0L;
+    am_mode = Priv.M;
+    am_satp = 0L;
+    am_vsatp = 0L;
+    am_hgatp = 0L;
+    am_pmp = 0;
+    am_tlb = 0;
+    am_pa_page = 0L;
+    am_counts_hit = false;
+  }
+
+let fresh_fastpath () =
+  {
+    fp_enabled = !fast_path_default;
+    fm = fresh_amemo ();
+    lm = fresh_amemo ();
+    sm = fresh_amemo ();
+    dcache = Array.make dcache_ways None;
+    cl_gen = -1;
+    cl_poll_at = 0L;
+    cl_last_time = 0L;
+    cl_mtip = false;
+    cl_msip = false;
+  }
+
+(* Pre-resolved ledger counters for the per-instruction categories:
+   ticking one is observably identical to [Ledger.charge] with the
+   matching string, minus the hash. *)
+type exec_counters = {
+  c_alu : Metrics.Ledger.counter;
+  c_jump : Metrics.Ledger.counter;
+  c_branch : Metrics.Ledger.counter;
+  c_load : Metrics.Ledger.counter;
+  c_store : Metrics.Ledger.counter;
+  c_muldiv : Metrics.Ledger.counter;
+  c_amo : Metrics.Ledger.counter;
+  c_csr : Metrics.Ledger.counter;
+  c_fence : Metrics.Ledger.counter;
+  c_wfi : Metrics.Ledger.counter;
+  c_page_walk : Metrics.Ledger.counter;
+}
+
 type t = {
   id : int;
   regs : int64 array;
@@ -12,12 +113,15 @@ type t = {
   cost : Cost.t;
   mutable reservation : int64 option;
   mutable wfi_stalled : bool;
+  fp : fastpath;
+  cnt : exec_counters;
 }
 
 let create ?(cost = Cost.default) ?ledger ~id bus =
   let ledger =
     match ledger with Some l -> l | None -> Metrics.Ledger.create ()
   in
+  let c = Metrics.Ledger.counter ledger in
   {
     id;
     regs = Array.make 32 0L;
@@ -30,7 +134,36 @@ let create ?(cost = Cost.default) ?ledger ~id bus =
     cost;
     reservation = None;
     wfi_stalled = false;
+    fp = fresh_fastpath ();
+    cnt =
+      {
+        c_alu = c "alu";
+        c_jump = c "jump";
+        c_branch = c "branch";
+        c_load = c "load";
+        c_store = c "store";
+        c_muldiv = c "muldiv";
+        c_amo = c "amo";
+        c_csr = c "csr";
+        c_fence = c "fence";
+        c_wfi = c "wfi";
+        c_page_walk = c "page_walk";
+      };
   }
+
+let invalidate_fast_path t =
+  t.fp.fm.am_valid <- false;
+  t.fp.lm.am_valid <- false;
+  t.fp.sm.am_valid <- false;
+  Array.fill t.fp.dcache 0 dcache_ways None;
+  t.fp.cl_gen <- -1
+
+let flush_decode_cache t = Array.fill t.fp.dcache 0 dcache_ways None
+let fast_path_enabled t = t.fp.fp_enabled
+
+let set_fast_path t on =
+  t.fp.fp_enabled <- on;
+  if not on then invalidate_fast_path t
 
 let get_reg t r = if r = 0 then 0L else t.regs.(r)
 let set_reg t r v = if r <> 0 then t.regs.(r) <- v
@@ -84,17 +217,21 @@ let asid t =
 let vmid t =
   if Priv.virtualized t.mode then Sv39.vmid_of_hgatp t.csr.Csr.hgatp else 0
 
-(* Translate one stage; [kind] distinguishes the fault type raised. *)
-let walk_stage t env ~root ~widened access va ~on_fault =
+(* Translate one stage; [kind] distinguishes the fault type raised.
+   [charge] is false for TLB-fill permission probes, which must not
+   inflate the cycle model (a real TLB derives the permission bits from
+   the one walk it performs). *)
+let walk_stage t env ~charge ~root ~widened access va ~on_fault =
   match Sv39.walk env ~root ~widened access va with
   | Ok r ->
-      Metrics.Ledger.charge t.ledger "page_walk"
-        (r.Sv39.steps * t.cost.Cost.page_walk_step);
+      if charge then
+        Metrics.Ledger.tick t.cnt.c_page_walk
+          (r.Sv39.steps * t.cost.Cost.page_walk_step);
       r.Sv39.pa
   | Error Sv39.Page_fault -> on_fault `Page
   | Error Sv39.Access_fault -> on_fault `Access
 
-let translate_uncached t access va =
+let translate_uncached ?(charge = true) t access va =
   let csr = t.csr in
   let mode = t.mode in
   let raise_stage1 kind =
@@ -119,7 +256,7 @@ let translate_uncached t access va =
       | None -> va
       | Some root ->
           let env = make_env t ~user:(mode = Priv.VU) in
-          walk_stage t env ~root ~widened:false access va
+          walk_stage t env ~charge ~root ~widened:false access va
             ~on_fault:raise_stage1
     end
     else begin
@@ -130,7 +267,7 @@ let translate_uncached t access va =
           | None -> va
           | Some root ->
               let env = make_env t ~user:(mode = Priv.U) in
-              walk_stage t env ~root ~widened:false access va
+              walk_stage t env ~charge ~root ~widened:false access va
                 ~on_fault:raise_stage1
         end
       | Priv.VS | Priv.VU -> assert false
@@ -143,24 +280,26 @@ let translate_uncached t access va =
       | None -> gpa
       | Some root ->
           let env = make_env t ~user:true in
-          walk_stage t env ~root ~widened:true access gpa
+          walk_stage t env ~charge ~root ~widened:true access gpa
             ~on_fault:(raise_stage2 gpa)
     end
     else gpa
   in
   pa
 
-let translate t access va =
+let needs_translation t =
+  Priv.virtualized t.mode
+  || (t.mode <> Priv.M && Sv39.root_of_satp t.csr.Csr.satp <> None)
+
+let translate ?(len = 1) t access va =
   (* TLB hit path: permissions were validated when the entry was
-     inserted; the stored flags gate the access kind. *)
+     inserted; the stored flags gate the access kind. PMP is checked
+     over the full [len]-byte range — accesses are naturally aligned,
+     so the range never leaves the page. *)
   let key_asid = asid t and key_vmid = vmid t in
-  let needs_translation =
-    Priv.virtualized t.mode
-    || (t.mode <> Priv.M && Sv39.root_of_satp t.csr.Csr.satp <> None)
-  in
-  if not needs_translation then begin
+  if not (needs_translation t) then begin
     let pa = va in
-    if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1) then
+    if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa len) then
       raise (Trap_exn (access_fault_cause access, va, 0L));
     pa
   end
@@ -172,17 +311,21 @@ let translate t access va =
            | Sv39.Load -> e.Tlb.readable
            | Sv39.Store -> e.Tlb.writable) ->
         let pa = Int64.logor e.Tlb.pa_page (Int64.logand va 0xFFFL) in
-        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1)
+        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa len)
         then raise (Trap_exn (access_fault_cause access, va, 0L));
         pa
     | Some _ | None ->
         let pa = translate_uncached t access va in
-        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa 1)
+        if not (Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa len)
         then raise (Trap_exn (access_fault_cause access, va, 0L));
         (* Re-derive page permissions for the TLB entry by probing the
-           three access kinds; insert with whatever succeeds. *)
+           three access kinds; insert with whatever succeeds. Probes
+           are uncharged: a real TLB gets the permission bits from the
+           single walk it already performed. *)
         let probe a =
-          match translate_uncached t a (Xword.align_down va 4096L) with
+          match
+            translate_uncached ~charge:false t a (Xword.align_down va 4096L)
+          with
           | _ -> true
           | exception Trap_exn _ -> false
         in
@@ -208,9 +351,57 @@ let check_align access va len =
     | Sv39.Store -> raise (Trap_exn (Cause.Store_addr_misaligned, va, 0L))
   end
 
+let page_mask = Int64.lognot 0xFFFL
+
+(* Serve a translation from [m] when it is provably what the slow path
+   would produce: same page, mode, raw translation roots, PMP epoch and
+   TLB structural generation as when the memo was armed. A memo hit
+   must bump the TLB hit counter iff a slow-path lookup would have. *)
+let memo_hit t (m : amemo) va =
+  m.am_valid
+  && Int64.equal (Int64.shift_right_logical va 12) m.am_vpage
+  && t.mode = m.am_mode
+  && Int64.equal t.csr.Csr.satp m.am_satp
+  && Int64.equal t.csr.Csr.vsatp m.am_vsatp
+  && Int64.equal t.csr.Csr.hgatp m.am_hgatp
+  && Pmp.reconfig_writes t.csr.Csr.pmp = m.am_pmp
+  && Tlb.generation t.tlb = m.am_tlb
+
+(* Arm [m] after a successful slow-path translation — but only when the
+   whole page passes PMP as one range for this access kind: a sub-page
+   PMP boundary could give different offsets different verdicts, which
+   a page-granular memo cannot represent. *)
+let memo_arm t (m : amemo) access va pa counts_hit =
+  let pa_page = Int64.logand pa page_mask in
+  if Pmp.check t.csr.Csr.pmp t.mode (pmp_access access) pa_page 4096 then begin
+    m.am_valid <- true;
+    m.am_vpage <- Int64.shift_right_logical va 12;
+    m.am_mode <- t.mode;
+    m.am_satp <- t.csr.Csr.satp;
+    m.am_vsatp <- t.csr.Csr.vsatp;
+    m.am_hgatp <- t.csr.Csr.hgatp;
+    m.am_pmp <- Pmp.reconfig_writes t.csr.Csr.pmp;
+    m.am_tlb <- Tlb.generation t.tlb;
+    m.am_pa_page <- pa_page;
+    m.am_counts_hit <- counts_hit
+  end
+  else m.am_valid <- false
+
+let translate_memo t (m : amemo) access va len =
+  if t.fp.fp_enabled && memo_hit t m va then begin
+    if m.am_counts_hit then Tlb.count_hit t.tlb;
+    Int64.logor m.am_pa_page (Int64.logand va 0xFFFL)
+  end
+  else begin
+    let counts_hit = needs_translation t in
+    let pa = translate ~len t access va in
+    if t.fp.fp_enabled then memo_arm t m access va pa counts_hit;
+    pa
+  end
+
 let read_mem t va len =
   check_align Sv39.Load va len;
-  let pa = translate t Sv39.Load va in
+  let pa = translate_memo t t.fp.lm Sv39.Load va len in
   match Bus.read t.bus pa len with
   | v -> v
   | exception Bus.Fault _ ->
@@ -218,16 +409,85 @@ let read_mem t va len =
 
 let write_mem t va len v =
   check_align Sv39.Store va len;
-  let pa = translate t Sv39.Store va in
+  let pa = translate_memo t t.fp.sm Sv39.Store va len in
   match Bus.write t.bus pa len v with
   | () -> ()
   | exception Bus.Fault _ ->
       raise (Trap_exn (Cause.Store_access_fault, va, 0L))
 
+(* The read half of an AMO: the spec requires Store/AMO-class
+   misaligned/access/page-fault causes for both halves, and the page
+   must be writable — so the read half aligns and translates exactly
+   like a store. (LR keeps Load-class causes; SC is a plain store.) *)
+let amo_read_mem t va len =
+  check_align Sv39.Store va len;
+  let pa = translate_memo t t.fp.sm Sv39.Store va len in
+  match Bus.read t.bus pa len with
+  | v -> v
+  | exception Bus.Fault _ ->
+      raise (Trap_exn (Cause.Store_access_fault, va, 0L))
+
 let fetch t =
   check_align Sv39.Fetch t.pc 4;
-  let pa = translate t Sv39.Fetch t.pc in
+  let pa = translate ~len:4 t Sv39.Fetch t.pc in
   match Bus.read t.bus pa 4 with
   | v -> v
   | exception Bus.Fault _ ->
       raise (Trap_exn (Cause.Instr_access_fault, t.pc, 0L))
+
+(* Look up (filling lazily) the decoded word at DRAM address [pa]. *)
+let decode_cached t pa =
+  let fp = t.fp in
+  let pa_page = Int64.logand pa page_mask in
+  let idx = Int64.to_int (Int64.shift_right_logical pa 12) land (dcache_ways - 1) in
+  let dp =
+    match fp.dcache.(idx) with
+    | Some dp when Int64.equal dp.dp_pa_page pa_page ->
+        let g = Physmem.page_gen dp.dp_phys in
+        if dp.dp_gen <> g then begin
+          Array.fill dp.dp_slots 0 dcache_slots None;
+          dp.dp_gen <- g
+        end;
+        dp
+    | _ ->
+        let phys =
+          Physmem.page_handle (Bus.dram t.bus)
+            (Int64.sub pa_page Bus.dram_base)
+        in
+        let dp =
+          {
+            dp_pa_page = pa_page;
+            dp_phys = phys;
+            dp_gen = Physmem.page_gen phys;
+            dp_slots = Array.make dcache_slots None;
+          }
+        in
+        fp.dcache.(idx) <- Some dp;
+        dp
+  in
+  let slot = Int64.to_int (Int64.logand pa 0xFFFL) lsr 2 in
+  match dp.dp_slots.(slot) with
+  | Some entry -> entry
+  | None ->
+      let raw = Bus.read t.bus pa 4 in
+      let entry = (raw, Decode.decode raw) in
+      dp.dp_slots.(slot) <- Some entry;
+      entry
+
+let fetch_decoded t =
+  let fp = t.fp in
+  let pc = t.pc in
+  check_align Sv39.Fetch pc 4;
+  let pa = translate_memo t fp.fm Sv39.Fetch pc 4 in
+  if fp.fp_enabled && Bus.in_dram t.bus pa then begin
+    match decode_cached t pa with
+    | entry -> entry
+    | exception Bus.Fault _ ->
+        raise (Trap_exn (Cause.Instr_access_fault, pc, 0L))
+  end
+  else begin
+    match Bus.read t.bus pa 4 with
+    | v -> (v, Decode.decode v)
+    | exception Bus.Fault _ ->
+        raise (Trap_exn (Cause.Instr_access_fault, pc, 0L))
+  end

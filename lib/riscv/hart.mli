@@ -6,12 +6,61 @@
     [satp]/[vsatp]/[hgatp], PMP checks on the resulting physical
     address — and charge the cycle ledger for walks and refills.
     Architectural failures raise [Trap_exn], which the interpreter turns
-    into a trap via [Trap.take]. *)
+    into a trap via [Trap.take].
+
+    The hart additionally carries purely-microarchitectural fast-path
+    state (fetch/load/store last-translation memos, a per-physical-page
+    decoded-instruction cache, and a CLINT poll memo). Every piece is a
+    memo over architectural state owned elsewhere, validated by
+    generation counters ([Physmem.page_gen], [Tlb.generation],
+    [Pmp.reconfig_writes], [Clint.generation]); serving from it is
+    indistinguishable from the uncached path — same traps, same TLB
+    statistics, same ledger — and dropping it at any time is always
+    correct. *)
 
 exception
   Trap_exn of Cause.exception_t * int64 * int64
       (** (cause, tval, tval2). [tval2] carries the guest-physical
           address (pre-shifted right by 2) for guest-page faults, else 0. *)
+
+type dpage
+(** One cached page of pre-decoded instructions. *)
+
+type amemo
+(** One last-translation memo: (vpage, mode, raw satp/vsatp/hgatp, PMP
+    epoch, TLB structural generation) → pa page. Armed only when the
+    whole destination page passes PMP for the access kind. *)
+
+type fastpath = {
+  mutable fp_enabled : bool;
+  fm : amemo;  (** fetch translations *)
+  lm : amemo;  (** load translations *)
+  sm : amemo;  (** store and AMO translations *)
+  dcache : dpage option array;
+  mutable cl_gen : int;
+  mutable cl_poll_at : int64;
+  mutable cl_last_time : int64;
+  mutable cl_mtip : bool;
+  mutable cl_msip : bool;
+}
+(** Fast-path memo state; see the module comment. The [cl_*] fields are
+    maintained by [Exec.step]'s timer poll. *)
+
+type exec_counters = {
+  c_alu : Metrics.Ledger.counter;
+  c_jump : Metrics.Ledger.counter;
+  c_branch : Metrics.Ledger.counter;
+  c_load : Metrics.Ledger.counter;
+  c_store : Metrics.Ledger.counter;
+  c_muldiv : Metrics.Ledger.counter;
+  c_amo : Metrics.Ledger.counter;
+  c_csr : Metrics.Ledger.counter;
+  c_fence : Metrics.Ledger.counter;
+  c_wfi : Metrics.Ledger.counter;
+  c_page_walk : Metrics.Ledger.counter;
+}
+(** Pre-resolved ledger counters for the per-instruction categories
+    ([Metrics.Ledger.tick] ≡ [charge] minus the string hash). *)
 
 type t = {
   id : int;
@@ -25,26 +74,60 @@ type t = {
   cost : Cost.t;
   mutable reservation : int64 option;  (** LR/SC reservation address *)
   mutable wfi_stalled : bool;
+  fp : fastpath;
+  cnt : exec_counters;
 }
 
 val create :
   ?cost:Cost.t -> ?ledger:Metrics.Ledger.t -> id:int -> Bus.t -> t
-(** A hart in M mode at pc 0 with a fresh CSR file. *)
+(** A hart in M mode at pc 0 with a fresh CSR file. The fast path
+    starts in the state of [fast_path_default]. *)
+
+val fast_path_default : bool ref
+(** Initial fast-path setting for newly created harts (default [true]).
+    The cached interpreter is architecturally invisible; the switch
+    exists for A/B benchmarking and differential testing. *)
+
+val fast_path_enabled : t -> bool
+
+val set_fast_path : t -> bool -> unit
+(** Enable/disable the fast path; disabling also drops all memos. *)
+
+val invalidate_fast_path : t -> unit
+(** Drop the fetch memo, decoded-instruction cache and CLINT poll memo.
+    Correct at any time; the SM's flush/scrub boundaries call this as
+    belt-and-braces on top of the generation checks. *)
+
+val flush_decode_cache : t -> unit
+(** Drop only the decoded-instruction cache ([fence.i]). *)
 
 val get_reg : t -> int -> int64
 val set_reg : t -> int -> int64 -> unit
 
-val translate : t -> Sv39.access -> int64 -> int64
+val translate : ?len:int -> t -> Sv39.access -> int64 -> int64
 (** Translate a virtual address under the hart's current configuration
-    and verify PMP. Raises [Trap_exn] on any architectural fault. *)
+    and verify PMP over the full [len]-byte range (default 1). Raises
+    [Trap_exn] on any architectural fault. *)
 
 val read_mem : t -> int64 -> int -> int64
 (** Translated, PMP-checked read of 1/2/4/8 bytes. *)
 
 val write_mem : t -> int64 -> int -> int64 -> unit
 
+val amo_read_mem : t -> int64 -> int -> int64
+(** The read half of an AMO: aligns and translates as a {e store}
+    (Store/AMO misaligned, access- and page-fault causes; requires
+    write permission), as the spec demands for both halves of an AMO. *)
+
 val fetch : t -> int64
-(** Fetch the 32-bit instruction at the current pc. *)
+(** Fetch the 32-bit instruction at the current pc (uncached path). *)
+
+val fetch_decoded : t -> int64 * Decode.t
+(** Fetch and decode the instruction at the current pc, serving from
+    the fetch-translation memo and decoded-instruction cache when the
+    fast path is enabled and valid. Returns [(raw word, decoded)].
+    Behaves exactly like [fetch] + [Decode.decode] in every
+    architecturally visible way. *)
 
 val asid : t -> int
 (** Current ASID from (v)satp. *)

@@ -1,7 +1,14 @@
 let page_size = 4096
 let page_bits = 12
 
-type t = { size : int64; pages : (int, Bytes.t) Hashtbl.t }
+(* Each backing page carries a write generation so PA-keyed caches
+   above (the decoded-instruction cache) can validate with one load.
+   Every mutation path funnels through [write_raw], so the counter
+   covers guest stores, DMA, monitor scrubs and migration imports
+   alike. *)
+type page = { bytes : Bytes.t; mutable gen : int }
+
+type t = { size : int64; pages : (int, page) Hashtbl.t }
 
 let create ~size =
   if size <= 0L then invalid_arg "Physmem.create: non-positive size";
@@ -19,9 +26,15 @@ let page t idx =
   match Hashtbl.find_opt t.pages idx with
   | Some p -> p
   | None ->
-      let p = Bytes.make page_size '\x00' in
+      let p = { bytes = Bytes.make page_size '\x00'; gen = 0 } in
       Hashtbl.add t.pages idx p;
       p
+
+let page_handle t off =
+  check t off 1;
+  page t (Int64.to_int (Int64.shift_right_logical off page_bits))
+
+let page_gen p = p.gen
 
 (* Split an access at page granularity; most accesses stay in one page. *)
 let rec write_raw t off s pos len =
@@ -29,7 +42,9 @@ let rec write_raw t off s pos len =
     let idx = Int64.to_int (Int64.shift_right_logical off page_bits) in
     let in_page = Int64.to_int (Int64.logand off 0xFFFL) in
     let chunk = min len (page_size - in_page) in
-    Bytes.blit_string s pos (page t idx) in_page chunk;
+    let p = page t idx in
+    Bytes.blit_string s pos p.bytes in_page chunk;
+    p.gen <- p.gen + 1;
     write_raw t
       (Int64.add off (Int64.of_int chunk))
       s (pos + chunk) (len - chunk)
@@ -41,7 +56,7 @@ let rec read_raw t off buf pos len =
     let in_page = Int64.to_int (Int64.logand off 0xFFFL) in
     let chunk = min len (page_size - in_page) in
     (match Hashtbl.find_opt t.pages idx with
-    | Some p -> Bytes.blit p in_page buf pos chunk
+    | Some p -> Bytes.blit p.bytes in_page buf pos chunk
     | None -> Bytes.fill buf pos chunk '\x00');
     read_raw t (Int64.add off (Int64.of_int chunk)) buf (pos + chunk)
       (len - chunk)

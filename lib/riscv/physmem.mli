@@ -6,6 +6,10 @@
 
 type t
 
+type page
+(** Handle to one backing page: identity plus a write-generation
+    counter. *)
+
 val page_size : int
 (** 4096. *)
 
@@ -32,3 +36,14 @@ val zero_range : t -> int64 -> int64 -> unit
 
 val allocated_pages : t -> int
 (** Number of 4 KiB pages materialised so far. *)
+
+val page_handle : t -> int64 -> page
+(** [page_handle t off] — the backing page containing byte [off]
+    (materialising it if never touched). The handle stays valid for the
+    life of [t]; PA-keyed caches hold it to validate with one load.
+    Raises [Invalid_argument] when [off] is out of range. *)
+
+val page_gen : page -> int
+(** Write generation of the page: bumped on {e every} mutation path
+    (CPU store, DMA, bulk load, scrub). A cache that recorded
+    [page_gen] at fill time is stale iff the value changed. *)

@@ -17,6 +17,12 @@ type t = {
   mutable misses : int;
   mutable flushes : int;
   mutable victim_seed : int;
+  mutable gen : int;
+      (* structural generation: bumped on every insert, eviction and
+         flush, never reset. A fetch-translation memo recorded at
+         generation g is valid iff the TLB still holds exactly the
+         entries it held at g — so serving from the memo is
+         indistinguishable (hits, misses, walks, ledger) from a lookup. *)
 }
 
 let create ?(capacity = 32) () =
@@ -29,6 +35,7 @@ let create ?(capacity = 32) () =
     misses = 0;
     flushes = 0;
     victim_seed = 0x9e3779b9;
+    gen = 0;
   }
 
 let page_of va = Int64.shift_right_logical va 12
@@ -57,7 +64,8 @@ let index_remove t key =
 
 let remove_key t key =
   index_remove t key;
-  Hashtbl.remove t.entries key
+  Hashtbl.remove t.entries key;
+  t.gen <- t.gen + 1
 
 let lookup t ~asid ~vmid va =
   let key = { asid; vmid; vpage = page_of va } in
@@ -95,29 +103,38 @@ let insert t ~asid ~vmid va entry =
   if Hashtbl.mem t.entries key then index_remove t key
   else if Hashtbl.length t.entries >= t.capacity then evict_one t;
   Hashtbl.replace t.entries key entry;
-  index_add t key entry
+  index_add t key entry;
+  t.gen <- t.gen + 1
 
 let flush_all t =
   Hashtbl.reset t.entries;
   Hashtbl.reset t.by_pa;
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  t.gen <- t.gen + 1
 
 let flush_matching t pred =
   let doomed =
     Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.entries []
   in
   List.iter (remove_key t) doomed;
-  t.flushes <- t.flushes + 1
-
-let flush_vmid t vmid = flush_matching t (fun k -> k.vmid = vmid)
-let flush_asid t asid = flush_matching t (fun k -> k.asid = asid)
+  t.flushes <- t.flushes + 1;
+  t.gen <- t.gen + 1
 
 let vmid_matches vmid k =
   match vmid with None -> true | Some v -> k.vmid = v
 
-let flush_page ?vmid t va =
+let flush_vmid t vmid = flush_matching t (fun k -> k.vmid = vmid)
+
+let flush_asid ?vmid t asid =
+  flush_matching t (fun k -> k.asid = asid && vmid_matches vmid k)
+
+let flush_page ?asid ?vmid t va =
   let vpage = page_of va in
-  flush_matching t (fun k -> k.vpage = vpage && vmid_matches vmid k)
+  let asid_matches k =
+    match asid with None -> true | Some a -> k.asid = a
+  in
+  flush_matching t (fun k ->
+      k.vpage = vpage && asid_matches k && vmid_matches vmid k)
 
 let flush_pa ?vmid t pa =
   let pa_page = Int64.logand pa (Int64.lognot 0xFFFL) in
@@ -131,7 +148,8 @@ let flush_pa ?vmid t pa =
       in
       List.iter (remove_key t) doomed);
   (* The fence executes whether or not anything was cached. *)
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  t.gen <- t.gen + 1
 
 let fold t f init =
   Hashtbl.fold
@@ -139,6 +157,8 @@ let fold t f init =
     t.entries init
 
 let hits t = t.hits
+let generation t = t.gen
+let count_hit t = t.hits <- t.hits + 1
 let misses t = t.misses
 let flushes t = t.flushes
 let occupancy t = Hashtbl.length t.entries

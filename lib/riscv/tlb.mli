@@ -35,14 +35,17 @@ val flush_all : t -> unit
 val flush_vmid : t -> int -> unit
 (** hfence.gvma with a VMID: drop entries of one guest. *)
 
-val flush_asid : t -> int -> unit
+val flush_asid : ?vmid:int -> t -> int -> unit
+(** sfence.vma/hfence.vvma with an ASID operand: drop one address
+    space's entries, optionally only within one guest ([vmid]). *)
 
-val flush_page : ?vmid:int -> t -> int64 -> unit
+val flush_page : ?asid:int -> ?vmid:int -> t -> int64 -> unit
 (** Drop the entries for one virtual page. Without [vmid] this sweeps
     the page index across every address space (the pre-shootdown
     behaviour, kept for host sfence emulation); with [vmid] only that
     guest's entries die — two guests faulting on the same page index
-    must not shoot each other down. *)
+    must not shoot each other down. [asid] further narrows to one
+    address space (sfence.vma rs1,rs2 with both operands). *)
 
 val flush_pa : ?vmid:int -> t -> int64 -> unit
 (** Reverse-indexed shootdown: drop every entry whose {e final
@@ -64,4 +67,17 @@ val hits : t -> int
 val misses : t -> int
 val flushes : t -> int
 val occupancy : t -> int
+
 val reset_stats : t -> unit
+(** Zeroes hits/misses/flushes. Does {e not} touch [generation]. *)
+
+val generation : t -> int
+(** Structural generation: bumped on every insert, eviction and flush,
+    never reset. The fetch-translation fast path records it at arm time
+    and re-walks whenever it moved — so a memoised translation can
+    never outlive the TLB entry it mirrors. *)
+
+val count_hit : t -> unit
+(** Record a hit served by a memo that bypassed [lookup] (the fetch
+    fast path), keeping hit statistics identical to the uncached
+    interpreter. *)
